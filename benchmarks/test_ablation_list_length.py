@@ -1,0 +1,54 @@
+"""Ablation: hardware list length — latency vs area trade-off.
+
+The paper sizes the ready/delay lists at 8 entries and shows the area
+side of larger lists in Fig. 12. This ablation adds the latency side:
+a longer list means a longer bubble-sort settle time (§4.4), so a
+GET_HW_SCHED issued shortly after the tick's releases stalls longer —
+the cost of supporting more tasks with the simple sorting hardware the
+paper chose ("for larger numbers of tasks ... faster algorithms may be
+necessary to avoid stalls").
+"""
+
+from repro.analysis import format_table
+from repro.asic import AreaModel
+from repro.harness import run_workload
+from repro.rtosunit.config import parse_config
+from repro.workloads import delay_periodic
+
+from benchmarks.conftest import publish
+
+LENGTHS = (8, 16, 32, 64)
+
+
+def _measure():
+    results = {}
+    for length in LENGTHS:
+        config = parse_config("SLT", list_length=length)
+        results[length] = run_workload("cv32e40p", config,
+                                       delay_periodic(iterations=10))
+    return results
+
+
+def test_ablation_list_length(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    area = AreaModel()
+    rows = []
+    for length, run in results.items():
+        report = area.report("cv32e40p",
+                             parse_config("SLT", list_length=length))
+        rows.append((length, f"{run.stats.mean:.1f}", run.stats.maximum,
+                     f"{report.overhead_percent:+.1f}%"))
+    publish("ablation_list_length", format_table(
+        ("list length", "mean latency", "max latency", "area ovh"), rows))
+
+    means = {length: run.stats.mean for length, run in results.items()}
+    maxima = {length: run.stats.maximum for length, run in results.items()}
+    # Longer lists never help latency and eventually hurt the worst case:
+    # the sort settle time stalls GET_HW_SCHED on tick-release switches.
+    assert means[64] >= means[8]
+    assert maxima[64] > maxima[8]
+    # And they always cost area (Fig. 12).
+    areas = [AreaModel().report(
+        "cv32e40p", parse_config("SLT", list_length=l)).added_kge
+        for l in LENGTHS]
+    assert areas == sorted(areas)

@@ -1,0 +1,80 @@
+"""Ablation: preloading hit rate vs available think time (§4.7).
+
+Preloading fills a 31-word buffer from idle memory-port cycles between
+switches. Whether it completes — and therefore whether (SPLIT) lands in
+its fast cluster — depends on how long tasks run between switches. This
+ablation sweeps the tasks' inter-yield work and reports hit rate and
+mean latency, making the paper's "two clusters of similar size"
+mechanism explicit.
+"""
+
+from repro.analysis import format_table
+from repro.harness import run_workload
+from repro.kernel.tasks import KernelObjects, TaskSpec
+from repro.rtosunit.config import parse_config
+from repro.workloads.suite import Workload
+
+from benchmarks.conftest import publish
+
+WORK_LOOPS = (0, 10, 30, 60, 120)
+
+
+def _workload(work: int) -> Workload:
+    body = """\
+task_{n}:
+    li   s1, {rounds}
+{n}_loop:
+    li   s0, {work}
+{n}_work:                       #@ bound {work_bound}
+    addi s0, s0, -1
+    bgtz s0, {n}_work
+    jal  k_yield
+    addi s1, s1, -1
+    bnez s1, {n}_loop
+{n}_end:
+{end}
+"""
+    halt = "    li   a0, 0\n    jal  k_halt\n"
+    loop = "    j    task_b\n"
+    objects = KernelObjects(tasks=[
+        TaskSpec("a", body.format(n="a", rounds=30, work=work,
+                                  work_bound=max(work, 1), end=halt),
+                 priority=2),
+        TaskSpec("b", body.format(n="b", rounds=999, work=work,
+                                  work_bound=max(work, 1), end=loop),
+                 priority=2),
+    ])
+    return Workload(f"preload_work_{work}", objects)
+
+
+def _measure():
+    config = parse_config("SPLIT")
+    results = {}
+    for work in WORK_LOOPS:
+        results[work] = run_workload("cv32e40p", config, _workload(work))
+    return results
+
+
+def test_ablation_preload_think_time(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = []
+    hit_rates = {}
+    for work, run in results.items():
+        stats = run.unit_stats
+        attempts = stats.preload_hits + stats.preload_misses
+        rate = stats.preload_hits / attempts if attempts else 0.0
+        hit_rates[work] = rate
+        rows.append((work, f"{rate:.2f}", f"{run.stats.mean:.1f}",
+                     run.stats.minimum, run.stats.maximum))
+    publish("ablation_preload", format_table(
+        ("work loop", "hit rate", "mean latency", "min", "max"), rows))
+
+    # No think time -> the 31-word preload can never finish.
+    assert hit_rates[0] == 0.0
+    # Ample think time -> it (almost) always does.
+    assert hit_rates[120] > 0.9
+    # Hit rate grows monotonically with think time.
+    rates = [hit_rates[w] for w in WORK_LOOPS]
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+    # And hits translate into lower mean latency.
+    assert results[120].stats.mean < results[0].stats.mean

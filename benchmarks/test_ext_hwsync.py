@@ -1,0 +1,58 @@
+"""Extension experiment: hardware synchronisation primitives (§7).
+
+The paper's future work: "hardware acceleration of common
+synchronization primitives ... could further offload the processor and
+reduce overhead in coordination-intensive workloads." This bench
+implements the claim check: run the two coordination-heavy tests
+(semaphore signalling and mutex contention) with software semaphores
+(SLT) and with the hardware extension (SLTY), and compare total workload
+cycles, switch counts and area cost.
+"""
+
+from repro.analysis import format_table
+from repro.asic import AreaModel
+from repro.harness import run_workload
+from repro.rtosunit.config import parse_config
+from repro.workloads import mutex_workload, sem_signal
+
+from benchmarks.conftest import publish
+
+
+def _measure():
+    rows = {}
+    for config_name in ("SLT", "SLTY"):
+        config = parse_config(config_name)
+        for factory in (sem_signal, mutex_workload):
+            run = run_workload("cv32e40p", config, factory(iterations=15))
+            rows[(config_name, run.workload)] = run
+    return rows
+
+
+def test_ext_hwsync_offload(benchmark):
+    runs = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    area = AreaModel()
+    table_rows = []
+    for (config, workload), run in runs.items():
+        table_rows.append((
+            config, workload, run.cycles, run.instret,
+            f"{run.stats.mean:.1f}",
+            f"{area.report('cv32e40p', parse_config(config)).overhead_percent:+.1f}%",
+        ))
+    publish("ext_hwsync", format_table(
+        ("config", "workload", "total cycles", "instructions",
+         "mean switch", "area ovh"), table_rows))
+
+    for workload in ("sem_signal", "mutex_workload"):
+        sw = runs[("SLT", workload)]
+        hw = runs[("SLTY", workload)]
+        # The coordination-heavy workload finishes in fewer cycles and
+        # fewer instructions: the give/take paths collapsed to one
+        # custom instruction each.
+        assert hw.cycles < sw.cycles, workload
+        assert hw.instret < sw.instret, workload
+
+    # The offload costs area: SLTY > SLT, but far less than preloading.
+    slt = area.report("cv32e40p", parse_config("SLT")).overhead_percent
+    slty = area.report("cv32e40p", parse_config("SLTY")).overhead_percent
+    split = area.report("cv32e40p", parse_config("SPLIT")).overhead_percent
+    assert slt < slty < split

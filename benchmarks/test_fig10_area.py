@@ -1,0 +1,44 @@
+"""Figure 10: normalized ASIC area per core × configuration (22 nm).
+
+Prints normalized area, overhead and absolute mm² for every design
+point and checks the paper's headline percentages:
+CV32E40P S +21.9 %, CV32RT +21.2 %, T within EDA noise, ST +33 %,
+SLT ≈ ST, SPLIT +44 %; CVA6 S +3–5 %, CV32RT +2 %, SWITCH_RF hazard
+configs above their (L) counterparts; NaxRiscv CV32RT +19 % worst,
+omitting (L) reduces area.
+"""
+
+from repro.analysis import format_fig10
+from repro.asic import AreaModel
+
+from benchmarks.conftest import publish
+
+
+def test_fig10_normalized_area(benchmark):
+    model = AreaModel()
+    reports = benchmark.pedantic(model.figure10, rounds=1, iterations=1)
+    publish("fig10_area", format_fig10(reports))
+
+    pct = {key: r.overhead_percent for key, r in reports.items()}
+
+    # CV32E40P (paper: 21.9 / 21.2 / ~0 / 33 / ~33 / 44).
+    assert 18 <= pct[("cv32e40p", "S")] <= 26
+    assert 17 <= pct[("cv32e40p", "CV32RT")] <= 25
+    assert pct[("cv32e40p", "T")] < 3.5
+    assert 28 <= pct[("cv32e40p", "ST")] <= 38
+    assert abs(pct[("cv32e40p", "SLT")] - pct[("cv32e40p", "ST")]) < 4
+    assert 38 <= pct[("cv32e40p", "SPLIT")] <= 50
+
+    # CVA6 (paper: S 3–5, CV32RT 2; hazard logic penalises SWITCH_RF).
+    assert 2.5 <= pct[("cva6", "S")] <= 6
+    assert 0.5 <= pct[("cva6", "CV32RT")] <= 3
+    assert pct[("cva6", "S")] > pct[("cva6", "SL")]
+    assert pct[("cva6", "ST")] > pct[("cva6", "SLT")]
+
+    # NaxRiscv (paper: CV32RT 19 % worst; ST < SLT).
+    nax_cv32rt = pct[("naxriscv", "CV32RT")]
+    assert 16 <= nax_cv32rt <= 24
+    assert all(pct[("naxriscv", name)] < nax_cv32rt
+               for (core, name) in reports
+               if core == "naxriscv" and name != "CV32RT")
+    assert pct[("naxriscv", "ST")] < pct[("naxriscv", "SLT")]

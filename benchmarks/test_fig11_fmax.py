@@ -1,0 +1,36 @@
+"""Figure 11: ASIC fmax per core × configuration.
+
+Paper's pattern: ≈15 % drop on CV32E40P for all RTOSUnit configurations
+(but not CV32RT), ≈8 % on CVA6 across configurations, NaxRiscv stable
+except ≈4 % for SPLIT — all GHz-class throughout.
+"""
+
+import pytest
+
+from repro.analysis import format_fig11
+from repro.asic import FrequencyModel
+
+from benchmarks.conftest import publish
+
+
+def test_fig11_fmax(benchmark):
+    model = FrequencyModel()
+    reports = benchmark.pedantic(model.figure11, rounds=1, iterations=1)
+    publish("fig11_fmax", format_fig11(reports))
+
+    drop = {key: r.drop_percent for key, r in reports.items()}
+    for (core, config), value in drop.items():
+        if config == "vanilla":
+            assert value == 0
+            continue
+        if core == "cv32e40p":
+            expected = 0 if config == "CV32RT" else 15
+        elif core == "cva6":
+            expected = 8
+        else:  # naxriscv
+            expected = 4 if config == "SPLIT" else 0
+        assert value == pytest.approx(expected, abs=1), (core, config)
+
+    # All configurations remain at viable operating frequencies.
+    for report in reports.values():
+        assert report.fmax_ghz > 0.5

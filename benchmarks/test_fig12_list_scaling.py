@@ -1,0 +1,36 @@
+"""Figure 12: area scaling with hardware scheduler list length.
+
+CV32E40P with scheduling-only (T), both lists swept together from 0
+(unmodified core) to 64 slots. The paper observes approximately linear
+growth reaching ≈14 % at 64 slots, with small-size fluctuations down to
+EDA heuristics noise.
+"""
+
+from repro.analysis import format_fig12
+from repro.asic import AreaModel
+
+from benchmarks.conftest import publish
+
+LENGTHS = (0, 2, 4, 8, 16, 24, 32, 48, 64)
+
+
+def test_fig12_list_length_scaling(benchmark):
+    model = AreaModel()
+    points = benchmark.pedantic(
+        lambda: model.list_scaling("cv32e40p", lengths=LENGTHS),
+        rounds=1, iterations=1)
+    baseline = model.baselines["cv32e40p"].area_kge
+    publish("fig12_list_scaling", format_fig12(points, baseline))
+
+    by_length = dict(points)
+    assert by_length[0] == baseline
+    # Monotone growth.
+    ordered = [by_length[l] for l in LENGTHS]
+    assert ordered == sorted(ordered)
+    # ≈14 % at 64 slots (paper); generous tolerance.
+    overhead_64 = (by_length[64] / baseline - 1) * 100
+    assert 10 <= overhead_64 <= 18
+    # Approximately linear: the 32→64 increment is about twice 16→32.
+    inc_a = by_length[32] - by_length[16]
+    inc_b = by_length[64] - by_length[32]
+    assert 1.5 <= inc_b / inc_a <= 2.5

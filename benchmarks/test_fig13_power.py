@@ -1,0 +1,62 @@
+"""Figure 13: power at 500 MHz, mutex_workload, per core × configuration.
+
+The paper derives power from gate-level simulation of the actual
+``mutex_workload`` execution; this bench runs the same workload on the
+cycle simulator and feeds its activity counters into the power model.
+
+Paper's pattern: power tracks area (static dominates at 22 nm);
+CV32E40P up to +72 % relative but small absolute; CVA6 up to +33 %;
+NaxRiscv up to ≈13 % excluding CV32RT, which is its worst; (T) adds the
+least on NaxRiscv (<2 mW).
+"""
+
+from repro.analysis import format_fig13
+from repro.asic import PowerModel
+from repro.cores import CORE_NAMES
+from repro.harness import run_workload
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+from repro.workloads import mutex_workload
+
+from benchmarks.conftest import publish
+
+
+def _figure13():
+    model = PowerModel()
+    reports = {}
+    for core in CORE_NAMES:
+        for name in EVALUATED_CONFIGS:
+            config = parse_config(name)
+            run = run_workload(core, config, mutex_workload(iterations=6))
+            reports[(core, name)] = model.report(core, config, run=run)
+    return reports
+
+
+def test_fig13_power(benchmark):
+    reports = benchmark.pedantic(_figure13, rounds=1, iterations=1)
+    publish("fig13_power", format_fig13(reports))
+
+    increase = {key: r.increase_percent for key, r in reports.items()}
+    added = {key: r.added_mw for key, r in reports.items()}
+
+    # Relative bounds per core (paper: 72 % / 33 % / 13 %-ish).
+    assert max(increase[("cv32e40p", n)] for n in EVALUATED_CONFIGS) <= 90
+    assert max(increase[("cv32e40p", n)] for n in EVALUATED_CONFIGS) >= 45
+    assert max(increase[("cva6", n)] for n in EVALUATED_CONFIGS) <= 45
+    assert max(increase[("naxriscv", n)] for n in EVALUATED_CONFIGS
+               if n != "CV32RT") <= 18
+
+    # CV32RT draws the most on NaxRiscv (largest area there).
+    assert added[("naxriscv", "CV32RT")] == max(
+        added[("naxriscv", n)] for n in EVALUATED_CONFIGS)
+    # Scheduling-only is the cheapest addition on NaxRiscv (<2 mW).
+    assert added[("naxriscv", "T")] < 2.0
+    assert added[("naxriscv", "T")] == min(
+        added[("naxriscv", n)] for n in EVALUATED_CONFIGS if n != "vanilla")
+
+    # Power correlates with area: SPLIT > SLT > T on every core.
+    for core in CORE_NAMES:
+        assert added[(core, "SPLIT")] > added[(core, "SLT")] > \
+            added[(core, "T")]
+
+    # Absolute additions stay small on the MCU-class core.
+    assert all(added[("cv32e40p", n)] < 4.0 for n in EVALUATED_CONFIGS)

@@ -1,0 +1,57 @@
+"""Figure 9: context-switch latency and jitter per core × configuration.
+
+Runs the RTOSBench-workalike suite on every core and configuration
+(the paper's setting: 8-entry hardware lists, single-cycle SRAM,
+latency measured interrupt trigger → mret) and prints μ, min, max and
+Δ per design point, with the CV32E40P WCET column of §6.2.
+
+Shape checks (tolerant — absolute cycles are simulator cycles):
+who wins, roughly by how much, and where the jitter goes.
+"""
+
+import pytest
+
+from repro.analysis import format_fig9
+from repro.cores import CORE_NAMES
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+from repro.wcet import analyze_config
+
+from benchmarks.conftest import publish
+
+
+@pytest.fixture(scope="module")
+def wcet_by_config():
+    return {name: analyze_config(parse_config(name)).wcet_cycles
+            for name in EVALUATED_CONFIGS}
+
+
+def test_fig9_context_switch_latency(benchmark, fig9_sweep, wcet_by_config):
+    results = benchmark.pedantic(lambda: fig9_sweep, rounds=1, iterations=1)
+    publish("fig9_latency", format_fig9(results, wcet=wcet_by_config))
+
+    stats = {key: suite.stats for key, suite in results.items()}
+
+    for core in CORE_NAMES:
+        vanilla = stats[(core, "vanilla")]
+        # CV32RT: modest gains (paper: 3–12 %).
+        cv32rt_red = stats[(core, "CV32RT")].reduction_vs(vanilla)
+        assert 0.0 < cv32rt_red < 0.18, (core, cv32rt_red)
+        # (S) beats CV32RT (paper: 17–27 % vs 3–12 %).
+        assert stats[(core, "S")].mean <= stats[(core, "CV32RT")].mean
+        # (T) reduces jitter by >90 % (paper: >90 % on CV32E40P).
+        assert stats[(core, "T")].jitter < vanilla.jitter * 0.1
+        # (SLT) minimises both mean and jitter.
+        assert stats[(core, "SLT")].mean < vanilla.mean * 0.65
+        assert stats[(core, "SLT")].jitter < vanilla.jitter * 0.12
+        # (SDLO) ≈ (SL): dirty bits alone don't help without HW sched.
+        sl, sdlo = stats[(core, "SL")].mean, stats[(core, "SDLO")].mean
+        assert abs(sdlo - sl) / sl < 0.08
+        # (SPLIT) reaches the fastest switches of any configuration.
+        assert stats[(core, "SPLIT")].minimum == min(
+            stats[(core, name)].minimum for name in EVALUATED_CONFIGS)
+
+    # CV32E40P headline numbers: (SLT) eliminates jitter; the best fixed
+    # configuration reduces the mean by well over half (paper: up to 76 %).
+    assert stats[("cv32e40p", "SLT")].jitter <= 2
+    best = min(stats[("cv32e40p", name)].mean for name in EVALUATED_CONFIGS)
+    assert best < stats[("cv32e40p", "vanilla")].mean * 0.45

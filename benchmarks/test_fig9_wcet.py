@@ -1,0 +1,40 @@
+"""§6.2 / Figure 9 'x' markers: worst-case timing guarantees (CV32E40P).
+
+Regenerates the WCET column (8 delayed tasks moved by the tick handler,
+as in the paper) and checks the paper's ordering:
+vanilla > SL ≫ T > SLT, with (SLT)'s WCET matching measurement.
+Paper's RTL numbers: 1649 > 1442 ≫ 202 > 70 cycles.
+"""
+
+from repro.analysis import format_table
+from repro.harness import run_suite
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+from repro.wcet import analyze_config
+
+from benchmarks.conftest import publish
+
+
+def _analyze_all():
+    return {name: analyze_config(parse_config(name))
+            for name in EVALUATED_CONFIGS}
+
+
+def test_fig9_wcet_markers(benchmark):
+    results = benchmark.pedantic(_analyze_all, rounds=1, iterations=1)
+    rows = [(name, r.wcet_cycles, r.paths_explored, r.instructions_on_path)
+            for name, r in results.items()]
+    publish("fig9_wcet", format_table(
+        ("config", "WCET [cycles]", "paths", "longest path [instr]"), rows))
+
+    wcet = {name: r.wcet_cycles for name, r in results.items()}
+    # Paper ordering: vanilla(1649) > SL(1442) >> T(202) > SLT(70).
+    assert wcet["vanilla"] > wcet["SL"]
+    assert 0.75 < wcet["SL"] / wcet["vanilla"] < 0.98
+    assert wcet["T"] < wcet["vanilla"] * 0.3
+    assert wcet["SLT"] < wcet["T"]
+    assert wcet["SLT"] < 120
+
+    # (SLT): WCET matches the measured latency (paper: 70 == 70).
+    measured = run_suite("cv32e40p", parse_config("SLT"),
+                         iterations=8).stats
+    assert 0 <= wcet["SLT"] - measured.maximum <= 10

@@ -1,0 +1,51 @@
+"""Meta-benchmark: simulator throughput.
+
+Not a paper figure — this tracks the reproduction's own speed (simulated
+instructions per host second) so regressions in the core models show up.
+pytest-benchmark runs these repeatedly, unlike the single-shot figure
+benches.
+"""
+
+from repro.cores import CORE_CLASSES
+from repro.cores.system import System
+from repro.harness import run_workload
+from repro.isa.assembler import assemble
+from repro.rtosunit.config import parse_config
+from repro.workloads import yield_pingpong
+
+_LOOP = """
+    li   s0, 20000
+loop:
+    addi s1, s1, 1
+    andi s2, s1, 0xFF
+    add  s3, s3, s2
+    addi s0, s0, -1
+    bnez s0, loop
+    li   t6, 0xFFFF0000
+    sw   zero, 0(t6)
+"""
+
+
+def _run_loop(core_name: str) -> int:
+    system = System(CORE_CLASSES[core_name], parse_config("vanilla"))
+    system.load(assemble(_LOOP))
+    system.run(max_cycles=10_000_000)
+    return system.core.stats.instret
+
+
+def test_perf_cv32e40p_throughput(benchmark):
+    instret = benchmark(_run_loop, "cv32e40p")
+    assert instret > 100_000
+
+
+def test_perf_naxriscv_throughput(benchmark):
+    instret = benchmark(_run_loop, "naxriscv")
+    assert instret > 100_000
+
+
+def test_perf_full_workload(benchmark):
+    def run():
+        return run_workload("cv32e40p", parse_config("SLT"),
+                            yield_pingpong(10))
+    result = benchmark(run)
+    assert result.stats.count > 30

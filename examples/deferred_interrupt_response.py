@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Deferred interrupt handling: the paper's §1 motivating scenario.
+
+An external interrupt cannot be fully handled inside the ISR; the ISR
+only *signals* a high-priority handler task (deferred handling), so the
+system's response time includes a full context switch. This example
+wires an external interrupt source to a semaphore-give in the ISR hook,
+measures trigger-to-handler-task response times across configurations,
+and shows how the RTOSUnit shortens the minimal response time.
+
+Run:  python examples/deferred_interrupt_response.py
+"""
+
+from repro.harness import run_workload
+from repro.rtosunit.config import parse_config
+from repro.workloads import interrupt_response
+
+
+def main() -> None:
+    print("Deferred external-interrupt response on CV32E40P")
+    print("(trigger -> mret into the handler task, cycles)\n")
+    baseline_mean = None
+    for name in ("vanilla", "CV32RT", "S", "SL", "T", "SLT", "SPLIT"):
+        result = run_workload("cv32e40p", parse_config(name),
+                              interrupt_response(iterations=10))
+        stats = result.stats
+        if baseline_mean is None:
+            baseline_mean = stats.mean
+        improvement = 100 * (1 - stats.mean / baseline_mean)
+        print(f"  {name:8s} mean={stats.mean:6.1f}  min={stats.minimum:4d}"
+              f"  max={stats.maximum:4d}  ({improvement:+.1f}% vs vanilla)")
+    print("\nEvery configuration that accelerates storing also shortens")
+    print("the *non-deferred* part: the ISR hook starts on fresh registers")
+    print("immediately, without waiting for a software context save.")
+
+
+if __name__ == "__main__":
+    main()

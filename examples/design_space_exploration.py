@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick an RTOSUnit configuration (paper §6.4).
+
+Sweeps every configuration on every core and scores each point on the
+three axes the paper trades off — mean latency, jitter, and silicon
+area — then prints the §6.4 shortlist: (SLT) as the all-rounder,
+(SPLIT) for lowest mean latency, (T) for area-constrained designs, and
+(SL) as the midpoint.
+
+Run:  python examples/design_space_exploration.py  [--cores cv32e40p,...]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.asic import AreaModel, PowerModel
+from repro.harness import run_suite
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+
+
+def explore(cores, iterations: int) -> list[tuple]:
+    area_model = AreaModel()
+    power_model = PowerModel()
+    rows = []
+    for core in cores:
+        baseline = run_suite(core, parse_config("vanilla"),
+                             iterations=iterations).stats
+        for name in EVALUATED_CONFIGS:
+            config = parse_config(name)
+            stats = (baseline if config.is_vanilla else
+                     run_suite(core, config, iterations=iterations).stats)
+            area = area_model.report(core, config)
+            power = power_model.report(core, config)
+            rows.append((
+                core, name,
+                f"{stats.mean:.1f}",
+                f"{100 * (1 - stats.mean / baseline.mean):+.1f}%",
+                stats.jitter,
+                f"{area.overhead_percent:+.1f}%",
+                f"{power.added_mw:.2f}",
+            ))
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", default="cv32e40p",
+                        help="comma-separated core list")
+    parser.add_argument("--iterations", type=int, default=8)
+    args = parser.parse_args()
+    cores = [c.strip() for c in args.cores.split(",")]
+
+    rows = explore(cores, args.iterations)
+    print(format_table(
+        ("core", "config", "mean lat", "vs vanilla", "jitter",
+         "area ovh", "added mW"), rows))
+
+    print("\nPaper §6.4 guidance, re-derived from the sweep above:")
+    print("  all-round            -> SLT   (low latency AND low jitter)")
+    print("  lowest mean latency  -> SPLIT (preloading; highest area)")
+    print("  area-constrained     -> T     (jitter win at ~zero area)")
+    print("  middle ground        -> SL    (latency win, moderate area)")
+
+
+if __name__ == "__main__":
+    main()

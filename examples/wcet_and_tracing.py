@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Worst-case timing guarantees and execution tracing (§6.2).
+
+Runs the static WCET analysis for a set of configurations, then traces
+an actual (SLT) run to show the bound holding: every observed ISR is
+below the static worst case, and for full offload the two coincide —
+the paper's headline predictability result.
+
+Run:  python examples/wcet_and_tracing.py
+"""
+
+from repro.cores import attach_tracer, format_switch_timeline
+from repro.kernel.builder import build_kernel_system
+from repro.kernel.tasks import KernelObjects, TaskSpec
+from repro.rtosunit.config import parse_config
+from repro.wcet import analyze_config
+
+TASK_A = """\
+task_a:
+    li   s0, 6
+a_loop:
+    li   s1, 40
+a_work:
+    addi s1, s1, -1
+    bnez s1, a_work
+    jal  k_yield
+    addi s0, s0, -1
+    bnez s0, a_loop
+    li   a0, 0
+    jal  k_halt
+"""
+
+TASK_B = """\
+task_b:
+b_loop:
+    jal  k_yield
+    j    b_loop
+"""
+
+
+def main() -> None:
+    print("Static ISR WCET (CV32E40P, 8 delayed tasks — §6.2 method)\n")
+    bounds = {}
+    for name in ("vanilla", "SL", "T", "SLT"):
+        result = analyze_config(parse_config(name))
+        bounds[name] = result.wcet_cycles
+        print(f"  {name:8s} WCET = {result.wcet_cycles:5d} cycles "
+              f"({result.paths_explored} paths analysed)")
+    print("\nPaper's RTL numbers for comparison: 1649 / 1442 / 202 / 70 —")
+    print("same ordering, roughly half the scale (hand-written kernel).\n")
+
+    objects = KernelObjects(tasks=[TaskSpec("a", TASK_A, priority=2),
+                                   TaskSpec("b", TASK_B, priority=2)])
+    system = build_kernel_system("cv32e40p", parse_config("SLT"), objects,
+                                 tick_period=1 << 20)
+    tracer = attach_tracer(system.core, only_isr=True)
+    system.run(max_cycles=500_000)
+
+    print("Last ISR executed under (SLT) — Fig. 4 (g), merely updating "
+          "currentTCB:\n")
+    print(tracer.format(limit=10))
+    print("\nSwitch timeline (response = trigger->take, ISR = take->mret):\n")
+    print(format_switch_timeline(system.switches, limit=6))
+
+    worst_isr = max(s.mret_cycle - s.entry_cycle + 4  # + trap entry cost
+                    for s in system.switches)
+    print(f"\nWorst observed ISR: {worst_isr} cycles; "
+          f"static bound: {bounds['SLT']} cycles "
+          f"({'HOLDS' if worst_isr <= bounds['SLT'] else 'VIOLATED'})")
+
+
+if __name__ == "__main__":
+    main()

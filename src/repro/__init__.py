@@ -1,0 +1,49 @@
+"""RTOSUnit reproduction library.
+
+Python reproduction of "Co-Exploration of RISC-V Processor
+Microarchitectures and FreeRTOS Extensions for Lower Context-Switch
+Latency" (ASPLOS '26).
+
+The package is organised bottom-up:
+
+* :mod:`repro.isa` — RV32IM_Zicsr instruction set, the six RTOSUnit custom
+  instructions, and an assembler used to build the FreeRTOS-workalike kernel.
+* :mod:`repro.mem` — memory substrate: SRAM, arbitration, caches, and the
+  fixed context-memory region.
+* :mod:`repro.rtosunit` — the paper's contribution: store/restore FSMs,
+  hardware scheduler, dirty bits, load omission, preloading.
+* :mod:`repro.cores` — cycle-level models of CV32E40P, CVA6 and NaxRiscv,
+  plus the CV32RT comparison point.
+* :mod:`repro.kernel` — FreeRTOS-workalike kernel in RISC-V assembly with
+  per-configuration ISR variants.
+* :mod:`repro.workloads` — RTOSBench-workalike workloads.
+* :mod:`repro.harness` — latency measurement and sweeps.
+* :mod:`repro.wcet` — static worst-case path analysis.
+* :mod:`repro.asic` — 22 nm area / fmax / power models.
+* :mod:`repro.analysis` — statistics and figure/table rendering.
+"""
+
+from repro.errors import (
+    AnalysisError,
+    AssemblerError,
+    ConfigurationError,
+    DecodeError,
+    KernelError,
+    ReproError,
+    SimulationError,
+)
+from repro.rtosunit.config import RTOSUnitConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "AssemblerError",
+    "ConfigurationError",
+    "DecodeError",
+    "KernelError",
+    "ReproError",
+    "RTOSUnitConfig",
+    "SimulationError",
+    "__version__",
+]

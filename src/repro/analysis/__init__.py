@@ -1,0 +1,37 @@
+"""Statistics helpers, figure/table renderers, and claim verification."""
+
+from repro.analysis.claims import (
+    ALL_CLAIMS,
+    Claim,
+    ClaimResult,
+    Evidence,
+    format_verdicts,
+    gather_evidence,
+    verify_all,
+)
+from repro.analysis.reporting import (
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_table,
+    format_table1,
+)
+
+__all__ = [
+    "ALL_CLAIMS",
+    "Claim",
+    "ClaimResult",
+    "Evidence",
+    "format_verdicts",
+    "gather_evidence",
+    "verify_all",
+    "format_fig9",
+    "format_fig10",
+    "format_fig11",
+    "format_fig12",
+    "format_fig13",
+    "format_table",
+    "format_table1",
+]

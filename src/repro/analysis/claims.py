@@ -1,0 +1,212 @@
+"""The paper's quantitative claims, encoded as checkable data.
+
+Each :class:`Claim` cites the paper section, states the expectation, and
+evaluates against measured results. ``verify_all`` powers the
+``python -m repro verify`` command and the claims regression test, and
+is the machine-readable counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.asic import AreaModel, FrequencyModel, PowerModel
+from repro.harness.metrics import Clusters
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim_id: str
+    section: str
+    statement: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim_id: str
+    section: str
+    statement: str
+    check: Callable[["Evidence"], tuple[bool, str]]
+
+    def evaluate(self, evidence: "Evidence") -> ClaimResult:
+        passed, detail = self.check(evidence)
+        return ClaimResult(self.claim_id, self.section, self.statement,
+                           passed, detail)
+
+
+@dataclass
+class Evidence:
+    """Everything the claims need: a Fig. 9 sweep plus the cost models.
+
+    ``latency`` maps ``(core, config_name)`` → SuiteResult (or anything
+    with a ``.stats`` LatencyStats and ``.all_latencies``).
+    """
+
+    latency: Mapping
+    area: AreaModel
+    frequency: FrequencyModel
+    power: PowerModel
+
+    def stats(self, core: str, config: str):
+        return self.latency[(core, config)].stats
+
+    def reduction(self, core: str, config: str) -> float:
+        return self.stats(core, config).reduction_vs(
+            self.stats(core, "vanilla"))
+
+
+def _claim_cv32rt_modest(ev: Evidence) -> tuple[bool, str]:
+    reductions = [ev.reduction(core, "CV32RT")
+                  for core in ("cv32e40p", "cva6", "naxriscv")]
+    ok = all(0.0 < r < 0.18 for r in reductions)
+    return ok, f"reductions {[f'{r:.1%}' for r in reductions]}"
+
+
+def _claim_s_beats_cv32rt(ev: Evidence) -> tuple[bool, str]:
+    deltas = []
+    for core in ("cv32e40p", "cva6", "naxriscv"):
+        deltas.append(ev.stats(core, "CV32RT").mean
+                      - ev.stats(core, "S").mean)
+    return all(d >= 0 for d in deltas), f"mean gaps {deltas}"
+
+
+def _claim_t_jitter(ev: Evidence) -> tuple[bool, str]:
+    vanilla = ev.stats("cv32e40p", "vanilla").jitter
+    hw = ev.stats("cv32e40p", "T").jitter
+    return hw < 0.1 * vanilla, f"{vanilla} -> {hw} cycles"
+
+
+def _claim_slt_jitter_eliminated(ev: Evidence) -> tuple[bool, str]:
+    jitter = ev.stats("cv32e40p", "SLT").jitter
+    return jitter <= 2, f"SLT jitter {jitter} cycles"
+
+
+def _claim_slt_isr_jitter_exactly_zero(ev: Evidence) -> tuple[bool, str]:
+    suite = ev.latency[("cv32e40p", "SLT")]
+    isr_jitter = suite.breakdown.isr.jitter
+    return isr_jitter == 0, f"ISR-part jitter {isr_jitter} cycles"
+
+
+def _claim_headline_reduction(ev: Evidence) -> tuple[bool, str]:
+    best = max(ev.reduction("cv32e40p", name)
+               for name in EVALUATED_CONFIGS if name != "vanilla")
+    return best > 0.55, f"best mean reduction {best:.1%}"
+
+
+def _claim_sdlo_matches_sl(ev: Evidence) -> tuple[bool, str]:
+    sl = ev.stats("cv32e40p", "SL").mean
+    sdlo = ev.stats("cv32e40p", "SDLO").mean
+    gap = abs(sdlo - sl) / sl
+    return gap < 0.08, f"relative gap {gap:.1%}"
+
+
+def _claim_split_bimodal(ev: Evidence) -> tuple[bool, str]:
+    samples = ev.latency[("cv32e40p", "SPLIT")].all_latencies
+    clusters = Clusters.split(samples)
+    return clusters.is_bimodal, (f"{len(clusters.low)} fast / "
+                                 f"{len(clusters.high)} slow samples")
+
+
+def _claim_area_cv32e40p(ev: Evidence) -> tuple[bool, str]:
+    pct = {name: ev.area.report(
+        "cv32e40p", parse_config(name)).overhead_percent
+        for name in ("S", "T", "ST", "SPLIT")}
+    ok = (18 <= pct["S"] <= 26 and pct["T"] < 3.5
+          and 28 <= pct["ST"] <= 38 and 38 <= pct["SPLIT"] <= 50)
+    return ok, ", ".join(f"{k} {v:+.1f}%" for k, v in pct.items())
+
+
+def _claim_area_nax_cv32rt_worst(ev: Evidence) -> tuple[bool, str]:
+    reports = {name: ev.area.report(
+        "naxriscv", parse_config(name)).overhead_percent
+        for name in EVALUATED_CONFIGS if name != "vanilla"}
+    worst = max(reports, key=reports.get)
+    return worst == "CV32RT", f"worst is {worst} ({reports[worst]:+.1f}%)"
+
+
+def _claim_fmax_pattern(ev: Evidence) -> tuple[bool, str]:
+    cv32 = ev.frequency.report("cv32e40p", parse_config("SLT")).drop_percent
+    cva6 = ev.frequency.report("cva6", parse_config("SLT")).drop_percent
+    nax = ev.frequency.report("naxriscv", parse_config("SLT")).drop_percent
+    nax_split = ev.frequency.report(
+        "naxriscv", parse_config("SPLIT")).drop_percent
+    ok = (14 <= cv32 <= 16 and 7 <= cva6 <= 9 and nax == 0
+          and 3 <= nax_split <= 5)
+    return ok, (f"drops cv32e40p {cv32:.0f}%, cva6 {cva6:.0f}%, "
+                f"nax {nax:.0f}% (SPLIT {nax_split:.0f}%)")
+
+
+def _claim_power_tracks_area(ev: Evidence) -> tuple[bool, str]:
+    order = []
+    for name in ("T", "SLT", "SPLIT"):
+        order.append(ev.power.report(
+            "cv32e40p", parse_config(name)).added_mw)
+    return order == sorted(order), f"added mW {order}"
+
+
+ALL_CLAIMS: tuple[Claim, ...] = (
+    Claim("cv32rt-modest", "6.1",
+          "CV32RT achieves only modest reductions (3-12%)",
+          _claim_cv32rt_modest),
+    Claim("s-beats-cv32rt", "6.1",
+          "(S) yields larger improvements than CV32RT on every core",
+          _claim_s_beats_cv32rt),
+    Claim("t-jitter", "6.1",
+          "(T) reduces CV32E40P jitter by more than 90%",
+          _claim_t_jitter),
+    Claim("slt-zero-jitter", "6.1/7",
+          "(SLT) eliminates jitter on CV32E40P",
+          _claim_slt_jitter_eliminated),
+    Claim("slt-isr-jitter-zero", "6.1/7",
+          "(SLT) ISR path is perfectly constant (take->mret)",
+          _claim_slt_isr_jitter_exactly_zero),
+    Claim("headline-reduction", "abstract",
+          "mean context-switch latency reduced by up to ~3/4",
+          _claim_headline_reduction),
+    Claim("sdlo-eq-sl", "6.1",
+          "(SDLO) shows no improvement over (SL)",
+          _claim_sdlo_matches_sl),
+    Claim("split-bimodal", "6.1",
+          "(SPLIT) results fall into two clusters",
+          _claim_split_bimodal),
+    Claim("area-cv32e40p", "6.3",
+          "CV32E40P area: S~22%, T~0, ST~33%, SPLIT~44%",
+          _claim_area_cv32e40p),
+    Claim("area-nax-cv32rt", "6.3",
+          "CV32RT has the largest overhead on NaxRiscv",
+          _claim_area_nax_cv32rt_worst),
+    Claim("fmax-pattern", "6.3",
+          "fmax: -15% CV32E40P, -8% CVA6, 0 NaxRiscv (-4% SPLIT)",
+          _claim_fmax_pattern),
+    Claim("power-area", "6.3",
+          "power draw correlates with area",
+          _claim_power_tracks_area),
+)
+
+
+def gather_evidence(iterations: int = 8, cores=None) -> Evidence:
+    """Run the Fig. 9 sweep and bundle it with the cost models."""
+    from repro.harness import sweep
+
+    latency = sweep(cores=cores or ("cv32e40p", "cva6", "naxriscv"),
+                    iterations=iterations)
+    return Evidence(latency=latency, area=AreaModel(),
+                    frequency=FrequencyModel(), power=PowerModel())
+
+
+def verify_all(evidence: Evidence) -> list[ClaimResult]:
+    """Evaluate every encoded claim against *evidence*."""
+    return [claim.evaluate(evidence) for claim in ALL_CLAIMS]
+
+
+def format_verdicts(results: list[ClaimResult]) -> str:
+    from repro.analysis.reporting import format_table
+
+    rows = [(r.claim_id, r.section, "PASS" if r.passed else "FAIL",
+             r.statement, r.detail) for r in results]
+    return format_table(("claim", "§", "verdict", "statement", "measured"),
+                        rows)

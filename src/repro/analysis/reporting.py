@@ -1,0 +1,90 @@
+"""ASCII renderers for every table and figure of the evaluation.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place so benchmarks, examples
+and EXPERIMENTS.md all agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.isa.custom import CUSTOM_INSTRUCTIONS
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render a plain fixed-width table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def _line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    out = [_line(headers), _line("-" * w for w in widths)]
+    out.extend(_line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def format_table1() -> str:
+    """Table 1: the proposed custom instructions."""
+    rows = [(spec.mnemonic.upper(), spec.description, spec.required_for)
+            for spec in CUSTOM_INSTRUCTIONS.values()]
+    rows.sort()
+    return format_table(("Custom Instruction", "Description", "Required for"),
+                        rows)
+
+
+def format_fig9(results: Mapping, wcet: Mapping | None = None) -> str:
+    """Figure 9: context-switch latency (μ, Δ) per core × configuration.
+
+    ``results`` maps ``(core, config_name)`` → SuiteResult; ``wcet``
+    optionally maps config names → WCET cycles (CV32E40P only, as in the
+    paper).
+    """
+    rows = []
+    for (core, config), suite in results.items():
+        stats = suite.stats
+        wcet_cell = ""
+        if wcet and core == "cv32e40p" and config in wcet:
+            wcet_cell = str(wcet[config])
+        rows.append((core, config, f"{stats.mean:.1f}", stats.minimum,
+                     stats.maximum, stats.jitter, wcet_cell))
+    return format_table(
+        ("core", "config", "mean (μ)", "min", "max", "jitter (Δ)", "WCET"),
+        rows)
+
+
+def format_fig10(reports: Mapping) -> str:
+    """Figure 10: normalized ASIC area (absolute mm² alongside)."""
+    rows = [(core, config, f"{r.normalized:.3f}",
+             f"{r.overhead_percent:+.1f}%", f"{r.total_mm2:.4f}")
+            for (core, config), r in reports.items()]
+    return format_table(
+        ("core", "config", "normalized", "overhead", "area [mm2]"), rows)
+
+
+def format_fig11(reports: Mapping) -> str:
+    """Figure 11: fmax per core × configuration."""
+    rows = [(core, config, f"{r.fmax_ghz:.3f}", f"{r.drop_percent:.1f}%")
+            for (core, config), r in reports.items()]
+    return format_table(("core", "config", "fmax [GHz]", "drop"), rows)
+
+
+def format_fig12(points: Sequence[tuple[int, float]],
+                 baseline_kge: float) -> str:
+    """Figure 12: area scaling with scheduler list length."""
+    rows = [(length, f"{kge:.2f}", f"{(kge / baseline_kge - 1) * 100:+.2f}%")
+            for length, kge in points]
+    return format_table(("list length", "area [kGE]", "overhead"), rows)
+
+
+def format_fig13(reports: Mapping) -> str:
+    """Figure 13: power at 500 MHz on mutex_workload."""
+    rows = [(core, config, f"{r.total_mw:.2f}", f"{r.added_mw:.2f}",
+             f"{r.increase_percent:+.1f}%")
+            for (core, config), r in reports.items()]
+    return format_table(
+        ("core", "config", "total [mW]", "added [mW]", "increase"), rows)

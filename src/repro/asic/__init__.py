@@ -1,0 +1,30 @@
+"""22 nm ASIC cost models: area, maximum frequency, power.
+
+The paper implements every configuration down to chip layout with
+commercial EDA tools on a 22 nm node (§6.3). Without an EDA flow, this
+package models the same quantities *structurally*: gate-equivalent
+component models for everything the RTOSUnit adds (register banks, FSMs,
+sorting lists, queues, preload buffer, hazard logic), a critical-path
+model for fmax, and a static+dynamic power model driven by activity
+counters from the cycle simulation of the same ``mutex_workload`` the
+paper uses for its gate-level power analysis.
+"""
+
+from repro.asic.area import AreaModel, AreaReport, area_report, list_length_sweep
+from repro.asic.frequency import FrequencyModel, fmax_report
+from repro.asic.power import PowerModel, power_report
+from repro.asic.technology import CORE_BASELINES, Technology, TECH_22NM
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "CORE_BASELINES",
+    "FrequencyModel",
+    "PowerModel",
+    "TECH_22NM",
+    "Technology",
+    "area_report",
+    "fmax_report",
+    "list_length_sweep",
+    "power_report",
+]

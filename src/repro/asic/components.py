@@ -1,0 +1,173 @@
+"""Gate-equivalent component models for everything the RTOSUnit adds.
+
+Each function returns raw kGE *before* the per-core routing-congestion
+factor. The constants are calibrated so the roll-up reproduces the
+paper's Figure 10 percentages; the structure (what scales with what) is
+the load-bearing part: register banks scale with register count × width,
+the scheduler scales linearly with list length (Fig. 12), CV32RT's
+snapshot wiring explodes on renaming cores (16 extra read ports, §6.3).
+"""
+
+from __future__ import annotations
+
+from repro.asic.technology import CoreBaseline, Technology
+from repro.rtosunit.config import RTOSUnitConfig
+
+#: Registers duplicated in the alternate bank (29 GPRs, §4.2).
+ALT_BANK_REGS = 29
+WORD_BITS = 32
+
+
+def alt_register_bank_kge(core: CoreBaseline, tech: Technology) -> float:
+    """Alternate RF bank + sparse MUX structure (§4.2, optimisation 1)."""
+    regs = max(ALT_BANK_REGS, core.phys_regs // 2) if core.renames else ALT_BANK_REGS
+    flops = regs * WORD_BITS * tech.flop_ge
+    # Sparse MUX: the core's read ports select between RF1 and RF2; the
+    # RTOSUnit is wired to RF1 only, so no extra RF ports are needed.
+    mux = core.rf_read_ports * regs * WORD_BITS * tech.mux2_ge
+    write_steer = 0.30e3
+    translation_dup = 2.0e3 if core.renames else 0.0  # §5.3, Fig. 7
+    return (flops + mux + write_steer + translation_dup) / 1e3
+
+
+def store_fsm_kge() -> float:
+    """Store FSM: word counter, ID-shift address generator, control."""
+    return 0.45
+
+
+def restore_fsm_kge(core: CoreBaseline) -> float:
+    """Restore FSM plus mret stall signalling."""
+    return 0.9 if core.renames else 0.5
+
+
+def memory_arbiter_kge(core: CoreBaseline, tech: Technology) -> float:
+    """Bus-level mux arbitration, or the ctxQueue in NaxRiscv's LSU."""
+    if core.renames:
+        # 8-entry ctxQueue: address + data + tag per entry (Fig. 8).
+        entry_bits = 48
+        return (8 * entry_bits * tech.flop_ge + 300) / 1e3
+    return 0.25
+
+
+def switch_rf_hazard_kge(core: CoreBaseline) -> float:
+    """Hazard logic for SWITCH_RF (store-without-load configs, §5).
+
+    CV32E40P needs none (shallow pipeline); CVA6 needs real logic —
+    which is why its (S*) configs cost *more* than the (S*L*) ones;
+    NaxRiscv reuses its pipeline-rescheduling machinery.
+    """
+    if core.name == "cva6":
+        return 2.8
+    if core.renames:
+        return 0.2
+    return 0.0
+
+
+def sched_store_sync_kge(core: CoreBaseline) -> float:
+    """Coupling of hardware scheduling with context storing (S and T
+    together): GET→store-address path, auto-timer, stall sequencing.
+    Expensive on the shallow CV32E40P pipeline (the paper's (ST) jump
+    from (S)+(T) to 33 %), mild on the deeper cores."""
+    return {"cv32e40p": 2.85, "cva6": 1.2, "naxriscv": 0.8}[core.name]
+
+
+def scheduler_kge(list_length: int) -> float:
+    """Ready + delay lists with iterative (bubble) sorting, Fig. 5.
+
+    Linear in the number of slots — the basis of Fig. 12.
+    """
+    per_slot_ge = 34.0  # id + priority + delay/valid flops + compare-swap
+    control_ge = 100.0
+    return (2 * list_length * per_slot_ge + control_ge) / 1e3
+
+
+def dirty_bits_kge() -> float:
+    """One dirty flag per APP register + the write-trace interface."""
+    return 0.32
+
+
+def load_omission_kge() -> float:
+    """Previous/next task-ID comparator and the skip path."""
+    return 0.12
+
+
+def preload_kge(tech: Technology) -> float:
+    """31-word preload buffer (latch array) + lockstep swap logic (§4.7)."""
+    latch_ge_per_bit = 2.6
+    buffer = 31 * WORD_BITS * latch_ge_per_bit
+    control = 420.0
+    return (buffer + control) / 1e3
+
+
+def cv32rt_kge(core: CoreBaseline, tech: Technology) -> float:
+    """CV32RT (Balas et al.): snapshot half the RF in a single cycle.
+
+    The parallel copy needs per-bit wiring into a second bank and a
+    dedicated memory port. On a renaming core, snapshotting cannot use
+    static addresses and needs 16 extra physical-RF read ports — the
+    cost explosion the paper measures on NaxRiscv (§6.3).
+    """
+    bank = 16 * WORD_BITS * tech.flop_ge
+    parallel_copy_wiring = 16 * WORD_BITS * 1.5
+    dedicated_port = 0.7e3
+    wiring_factor = 1.8 if core.name == "cv32e40p" else 1.0
+    total = (bank + parallel_copy_wiring) * wiring_factor + dedicated_port
+    if core.renames:
+        extra_read_ports = 16 * core.phys_regs * WORD_BITS * 0.55
+        total += extra_read_ports
+    return total / 1e3
+
+
+def hwsync_kge(sem_slots: int, max_waiters: int, tech: Technology) -> float:
+    """§7 extension: semaphore count table + priority-ordered waiter
+    queues (id + priority per waiter slot) + take/give control."""
+    count_bits = sem_slots * 8
+    waiter_bits = sem_slots * max_waiters * 8
+    control = 350.0
+    return ((count_bits + waiter_bits) * tech.flop_ge + control) / 1e3
+
+
+def component_breakdown(config: RTOSUnitConfig, core: CoreBaseline,
+                        tech: Technology) -> dict[str, float]:
+    """Per-component raw kGE for *config* on *core* (before congestion).
+
+    The keys name the structures of §4/§5; their sum is
+    :func:`added_raw_kge`. Useful for cost attribution and the stacked
+    view of Figure 10.
+    """
+    if config.is_vanilla:
+        return {}
+    if config.cv32rt:
+        return {"cv32rt_snapshot": cv32rt_kge(core, tech),
+                "integration": core.integration_kge}
+    parts: dict[str, float] = {"integration": core.integration_kge}
+    if config.store:
+        parts["alt_register_bank"] = alt_register_bank_kge(core, tech)
+        parts["store_fsm"] = store_fsm_kge()
+        parts["memory_arbiter"] = memory_arbiter_kge(core, tech)
+    if config.load:
+        parts["restore_fsm"] = restore_fsm_kge(core)
+    if config.uses_switch_rf:
+        hazard = switch_rf_hazard_kge(core)
+        if hazard:
+            parts["switch_rf_hazard"] = hazard
+    if config.sched:
+        parts["scheduler_lists"] = scheduler_kge(config.list_length)
+        if config.store:
+            parts["sched_store_sync"] = sched_store_sync_kge(core)
+    if config.dirty:
+        parts["dirty_bits"] = dirty_bits_kge()
+    if config.omit:
+        parts["load_omission"] = load_omission_kge()
+    if config.preload:
+        parts["preload_buffer"] = preload_kge(tech)
+    if config.hwsync:
+        parts["hw_semaphores"] = hwsync_kge(config.sem_slots,
+                                            config.list_length, tech)
+    return parts
+
+
+def added_raw_kge(config: RTOSUnitConfig, core: CoreBaseline,
+                  tech: Technology) -> float:
+    """Raw added logic (kGE) for *config* on *core*, before congestion."""
+    return sum(component_breakdown(config, core, tech).values())

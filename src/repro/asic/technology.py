@@ -1,0 +1,75 @@
+"""22 nm technology node constants and per-core baselines.
+
+All area modelling is done in *gate equivalents* (GE, the area of a
+NAND2) and converted to mm² with the node's GE area. Baseline figures
+are calibration constants chosen to sit in the published ballpark for
+the three cores in 22 nm, with cache/branch-table SRAM macros excluded,
+as the paper does for NaxRiscv (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process node parameters."""
+
+    name: str
+    ge_area_um2: float          # NAND2 footprint
+    flop_ge: float              # GE per flip-flop bit
+    mux2_ge: float              # GE per 2:1 mux bit
+    static_power_mw_per_mm2: float
+    dynamic_nj_per_kge_toggle: float  # energy per kGE of active logic/cycle
+
+    def ge_to_mm2(self, ge: float) -> float:
+        return ge * self.ge_area_um2 * 1e-6
+
+
+TECH_22NM = Technology(
+    name="22nm-FDSOI",
+    ge_area_um2=0.199,
+    flop_ge=4.5,
+    mux2_ge=0.8,
+    static_power_mw_per_mm2=28.0,
+    dynamic_nj_per_kge_toggle=0.000030,
+)
+
+
+@dataclass(frozen=True)
+class CoreBaseline:
+    """Calibrated baseline figures for one unmodified core.
+
+    ``congestion`` scales added logic into effective area — small cores
+    pay disproportionately for the RF mux wiring (the paper attributes
+    CV32E40P's larger relative overheads to routing congestion, §6.3).
+    ``rf_read_ports`` drives the cost of RF replication/muxing;
+    ``phys_regs`` is the physical register file depth (renaming cores).
+    """
+
+    name: str
+    area_kge: float
+    fmax_ghz: float
+    congestion: float
+    rf_read_ports: int
+    phys_regs: int
+    renames: bool
+    baseline_power_mw_500mhz: float
+    integration_kge: float  # decode/trace/CSR plumbing for any RTOSUnit
+
+
+CORE_BASELINES: dict[str, CoreBaseline] = {
+    "cv32e40p": CoreBaseline(
+        name="cv32e40p", area_kge=42.0, fmax_ghz=1.25, congestion=1.30,
+        rf_read_ports=2, phys_regs=32, renames=False,
+        baseline_power_mw_500mhz=3.1, integration_kge=0.35),
+    "cva6": CoreBaseline(
+        name="cva6", area_kge=260.0, fmax_ghz=1.10, congestion=1.05,
+        rf_read_ports=3, phys_regs=32, renames=False,
+        baseline_power_mw_500mhz=19.0, integration_kge=0.8),
+    "naxriscv": CoreBaseline(
+        name="naxriscv", area_kge=110.0, fmax_ghz=0.95, congestion=1.10,
+        rf_read_ports=4, phys_regs=64, renames=True,
+        baseline_power_mw_500mhz=46.0, integration_kge=1.0),
+}

@@ -1,0 +1,291 @@
+"""Command-line interface: regenerate any figure, run workloads, assemble.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig9 --cores cv32e40p --iterations 10
+    python -m repro fig10
+    python -m repro wcet --config SLT
+    python -m repro run --core naxriscv --config SPLIT \
+        --workload mutex_workload
+    python -m repro asm program.s --symbols
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_table,
+    format_table1,
+)
+from repro.cores import CORE_NAMES
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+
+
+def _add_grid_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", default=",".join(CORE_NAMES),
+                        help="comma-separated core list")
+    parser.add_argument("--configs", default=",".join(EVALUATED_CONFIGS),
+                        help="comma-separated configuration list")
+
+
+def _cmd_table1(_args) -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from repro.harness import sweep
+    from repro.wcet import analyze_config
+
+    cores = args.cores.split(",")
+    configs = args.configs.split(",")
+    results = sweep(cores=cores, configs=configs,
+                    iterations=args.iterations)
+    if args.json:
+        from repro.harness.export import sweep_dict, write_json
+
+        write_json(args.json, sweep_dict(results))
+        print(f"wrote {args.json}")
+        return 0
+    if args.chart:
+        from repro.analysis.charts import latency_chart
+
+        for core in cores:
+            print(latency_chart(results, core))
+            print()
+        return 0
+    wcet = None
+    if "cv32e40p" in cores:
+        wcet = {name: analyze_config(parse_config(name)).wcet_cycles
+                for name in configs}
+    print(format_fig9(results, wcet=wcet))
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from repro.asic import AreaModel
+
+    reports = AreaModel().figure10(
+        cores=args.cores.split(","), configs=args.configs.split(","))
+    if args.json:
+        from repro.harness.export import area_dict, write_json
+
+        write_json(args.json, area_dict(reports))
+        print(f"wrote {args.json}")
+        return 0
+    if args.chart:
+        from repro.analysis.charts import area_chart
+
+        for core in args.cores.split(","):
+            print(area_chart(reports, core))
+            print()
+        return 0
+    print(format_fig10(reports))
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from repro.asic import FrequencyModel
+
+    print(format_fig11(FrequencyModel().figure11(
+        cores=args.cores.split(","), configs=args.configs.split(","))))
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    from repro.asic import AreaModel
+
+    model = AreaModel()
+    points = model.list_scaling(args.core)
+    print(format_fig12(points, model.baselines[args.core].area_kge))
+    return 0
+
+
+def _cmd_fig13(args) -> int:
+    from repro.asic import PowerModel
+    from repro.harness import run_workload
+    from repro.workloads import mutex_workload
+
+    model = PowerModel()
+    reports = {}
+    for core in args.cores.split(","):
+        for name in args.configs.split(","):
+            config = parse_config(name)
+            run = run_workload(core, config,
+                               mutex_workload(args.iterations))
+            reports[(core, name)] = model.report(core, config, run=run)
+    print(format_fig13(reports))
+    return 0
+
+
+def _cmd_wcet(args) -> int:
+    from repro.wcet import analyze_config
+
+    configs = (args.config.split(",") if args.config
+               else list(EVALUATED_CONFIGS))
+    rows = []
+    for name in configs:
+        result = analyze_config(parse_config(name),
+                                delayed_tasks=args.delayed_tasks)
+        rows.append((name, result.wcet_cycles, result.paths_explored))
+    print(format_table(("config", "WCET [cycles]", "paths"), rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import run_workload
+    from repro.workloads import workload_by_name
+
+    workload = workload_by_name(args.workload, iterations=args.iterations)
+    result = run_workload(args.core, parse_config(args.config), workload)
+    stats = result.stats
+    print(f"{args.workload} on {args.core}/{args.config}:")
+    print(f"  switches={stats.count} mean={stats.mean:.1f} "
+          f"min={stats.minimum} max={stats.maximum} jitter={stats.jitter}")
+    print(f"  cycles={result.cycles} instructions={result.instret}")
+    if result.unit_stats is not None:
+        print(f"  unit: {result.unit_stats}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.cores import attach_tracer, format_switch_timeline
+    from repro.kernel.builder import KernelBuilder
+    from repro.workloads import workload_by_name
+
+    workload = workload_by_name(args.workload, iterations=args.iterations)
+    builder = KernelBuilder(config=parse_config(args.config),
+                            objects=workload.objects,
+                            tick_period=workload.tick_period)
+    system = builder.build(args.core,
+                           external_events=workload.external_events)
+    tracer = attach_tracer(system.core, capacity=args.limit * 4,
+                           only_isr=args.isr_only)
+    system.run(max_cycles=workload.max_cycles)
+    print(tracer.format(limit=args.limit))
+    print()
+    print(format_switch_timeline(system.switches, limit=args.switches))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.analysis.claims import (format_verdicts, gather_evidence,
+                                       verify_all)
+
+    results = verify_all(gather_evidence(iterations=args.iterations))
+    print(format_verdicts(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_asm(args) -> int:
+    from repro.isa.assembler import assemble
+    from repro.isa.disassembler import disassemble
+
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source, origin=args.origin)
+    if args.symbols:
+        for name, addr in sorted(program.symbols.items(),
+                                 key=lambda kv: kv[1]):
+            print(f"{addr:#010x}  {name}")
+        return 0
+    for addr in sorted(program.words):
+        word = program.words[addr]
+        try:
+            text = disassemble(word, addr)
+        except Exception:
+            text = f".word {word:#010x}"
+        print(f"{addr:#010x}: {word:08x}  {text}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RTOSUnit reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: custom instructions")
+
+    p = sub.add_parser("fig9", help="Figure 9: latency/jitter sweep")
+    _add_grid_args(p)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--chart", action="store_true",
+                   help="draw ASCII bars instead of the table")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the sweep as JSON instead of printing")
+    p = sub.add_parser("fig10", help="Figure 10: ASIC area")
+    _add_grid_args(p)
+    p.add_argument("--chart", action="store_true")
+    p.add_argument("--json", default=None, metavar="FILE")
+    p = sub.add_parser("fig11", help="Figure 11: fmax")
+    _add_grid_args(p)
+    p = sub.add_parser("fig12", help="Figure 12: list-length area scaling")
+    p.add_argument("--core", default="cv32e40p")
+    p = sub.add_parser("fig13", help="Figure 13: power on mutex_workload")
+    _add_grid_args(p)
+    p.add_argument("--iterations", type=int, default=6)
+
+    p = sub.add_parser("wcet", help="worst-case ISR timing (CV32E40P)")
+    p.add_argument("--config", default=None,
+                   help="comma-separated configs (default: all)")
+    p.add_argument("--delayed-tasks", type=int, default=8)
+
+    p = sub.add_parser("run", help="run one workload")
+    p.add_argument("--core", default="cv32e40p", choices=CORE_NAMES)
+    p.add_argument("--config", default="SLT")
+    p.add_argument("--workload", default="yield_pingpong")
+    p.add_argument("--iterations", type=int, default=20)
+
+    p = sub.add_parser("trace", help="instruction trace + switch timeline")
+    p.add_argument("--core", default="cv32e40p", choices=CORE_NAMES)
+    p.add_argument("--config", default="SLT")
+    p.add_argument("--workload", default="yield_pingpong")
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--limit", type=int, default=60)
+    p.add_argument("--switches", type=int, default=10)
+    p.add_argument("--isr-only", action="store_true")
+
+    p = sub.add_parser("verify",
+                       help="evaluate every encoded paper claim")
+    p.add_argument("--iterations", type=int, default=8)
+
+    p = sub.add_parser("asm", help="assemble a file and dump it")
+    p.add_argument("file")
+    p.add_argument("--origin", type=lambda t: int(t, 0), default=0)
+    p.add_argument("--symbols", action="store_true")
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "wcet": _cmd_wcet,
+    "trace": _cmd_trace,
+    "verify": _cmd_verify,
+    "run": _cmd_run,
+    "asm": _cmd_asm,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # output piped into head/less and closed
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""CLINT-style interrupt sources: machine timer, software and external.
+
+``mtime`` advances with the core's cycle counter. The RISC-V hardware
+timer drives preemptive scheduling; with hardware scheduling (T) the
+paper modifies it to *auto-reset* (§4.4), eliminating the software
+counter read and compare-register update in the ISR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa import csr as csrmod
+from repro.mem.memory import MSIP_ADDR, MTIME_ADDR, MTIMECMP_ADDR
+
+
+@dataclass
+class Clint:
+    """Timer / software / external interrupt block for one hart."""
+
+    tick_period: int = 1000
+    autoreset: bool = False
+    mtimecmp: int = field(default=None)  # type: ignore[assignment]
+    msip: bool = False
+    msip_set_cycle: int = 0
+    external_events: list[int] = field(default_factory=list)
+    _external_pending_since: int | None = None
+    _core: object = None
+
+    def __post_init__(self) -> None:
+        if self.mtimecmp is None:
+            self.mtimecmp = self.tick_period
+        self.external_events = sorted(self.external_events)
+
+    def attach(self, core) -> None:
+        self._core = core
+
+    @property
+    def mtime(self) -> int:
+        if self._core is None:
+            raise SimulationError("CLINT not attached to a core")
+        return self._core.cycle
+
+    # -- MMIO ------------------------------------------------------------------
+
+    def read_mmio(self, addr: int) -> int:
+        if addr == MTIME_ADDR:
+            return self.mtime & 0xFFFFFFFF
+        if addr == MTIMECMP_ADDR:
+            return self.mtimecmp & 0xFFFFFFFF
+        if addr == MSIP_ADDR:
+            return int(self.msip)
+        raise SimulationError(f"unhandled CLINT read at {addr:#010x}")
+
+    def write_mmio(self, addr: int, value: int) -> None:
+        if addr == MTIMECMP_ADDR:
+            self.mtimecmp = value
+            return
+        if addr == MSIP_ADDR:
+            was = self.msip
+            self.msip = bool(value & 1)
+            if self.msip and not was:
+                self.msip_set_cycle = self.mtime
+            return
+        raise SimulationError(f"unhandled CLINT write at {addr:#010x}")
+
+    # -- interrupt evaluation ----------------------------------------------------
+
+    def pending(self, cycle: int, mie: int) -> tuple[int, int] | None:
+        """Highest-priority pending+enabled interrupt at *cycle*.
+
+        Returns ``(mcause, trigger_cycle)`` or None. Priority follows the
+        RISC-V spec: external > software > timer.
+        """
+        self._refresh_external(cycle)
+        if self._external_pending_since is not None and mie & csrmod.MIP_MEIP:
+            return csrmod.CAUSE_MEI, self._external_pending_since
+        if self.msip and mie & csrmod.MIP_MSIP:
+            return csrmod.CAUSE_MSI, self.msip_set_cycle
+        if cycle >= self.mtimecmp and mie & csrmod.MIP_MTIP:
+            return csrmod.CAUSE_MTI, self.mtimecmp
+        return None
+
+    def _refresh_external(self, cycle: int) -> None:
+        if self._external_pending_since is None and self.external_events:
+            if self.external_events[0] <= cycle:
+                self._external_pending_since = self.external_events.pop(0)
+
+    def acknowledge(self, cause: int, cycle: int) -> None:
+        """Interrupt taken: clear/re-arm the source."""
+        if cause == csrmod.CAUSE_MTI:
+            if self.autoreset:
+                # Hardware auto-reset (T): next tick one period later,
+                # with no software involvement.
+                self.mtimecmp = cycle + self.tick_period
+            # Otherwise software must update mtimecmp inside the ISR.
+        elif cause == csrmod.CAUSE_MSI:
+            self.msip = False
+        elif cause == csrmod.CAUSE_MEI:
+            self._external_pending_since = None
+        else:
+            raise SimulationError(f"unknown interrupt cause {cause:#x}")

@@ -1,0 +1,39 @@
+"""A small bimodal branch predictor shared by CVA6 and NaxRiscv models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BimodalPredictor:
+    """PC-indexed 2-bit saturating counters with a direct-mapped BTB."""
+
+    entries: int = 128
+    counters: dict[int, int] = field(default_factory=dict)
+    predictions: int = 0
+    mispredictions: int = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Return True when the prediction was correct; train the counter."""
+        index = self._index(pc)
+        counter = self.counters.get(index, 1)  # weakly not-taken reset state
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self.counters[index] = counter
+        return correct
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,141 @@
+"""System model: core + RTOSUnit + memory + interrupt sources, wired up."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.cores.clint import Clint
+from repro.isa.assembler import Program
+from repro.mem.memory import (
+    HALT_ADDR,
+    MSIP_ADDR,
+    MTIME_ADDR,
+    MTIMECMP_ADDR,
+    Memory,
+    PROBE_ADDR,
+    PUTCHAR_ADDR,
+)
+from repro.mem.regions import MemoryLayout
+from repro.mem.timeline import MemoryTimeline
+from repro.rtosunit.config import RTOSUnitConfig
+from repro.rtosunit.unit import RTOSUnit
+
+_CLINT_ADDRS = frozenset({MSIP_ADDR, MTIMECMP_ADDR, MTIME_ADDR})
+
+
+@dataclass
+class SwitchRecord:
+    """One measured context switch: interrupt trigger → mret completion."""
+
+    trigger_cycle: int
+    entry_cycle: int
+    mret_cycle: int
+
+    @property
+    def latency(self) -> int:
+        return self.mret_cycle - self.trigger_cycle
+
+
+class System:
+    """One simulated uniprocessor system.
+
+    Routes MMIO between the CLINT and the simulator-control registers,
+    owns the RTOSUnit when the configuration calls for one, and exposes
+    the measured context-switch records after a run.
+    """
+
+    def __init__(
+        self,
+        core_class,
+        config: RTOSUnitConfig,
+        layout: MemoryLayout | None = None,
+        tick_period: int = 1000,
+        mem_size: int = 1 << 20,
+        external_events: list[int] | None = None,
+    ):
+        self.config = config
+        self.layout = layout or MemoryLayout()
+        self.memory = Memory(size=mem_size)
+        self.memory.clint = self  # MMIO router
+        self.timeline = MemoryTimeline()
+        region = self.layout.context_region
+        self.unit: RTOSUnit | None = None
+        if not config.is_vanilla:
+            self.unit = RTOSUnit(config, self.memory, self.timeline, region)
+        self.core = core_class(self.memory, config, unit=self.unit)
+        if self.unit is not None:
+            # LSU-level arbitration shares the core's cache (§5.3).
+            self.unit.word_cost = self.core.rtosunit_word_cost
+            self.unit.timeline = self.timeline
+        self.core.timeline = self.timeline
+        if self.core.__class__.__name__ == "CVA6" and not config.is_vanilla:
+            self.core.uncached_ranges.append((region.base, region.end))
+        self.clint = Clint(tick_period=tick_period,
+                           autoreset=config.hw_timer_autoreset,
+                           external_events=list(external_events or []))
+        self.clint.attach(self.core)
+        self.core.clint = self.clint
+        self.console: list[str] = []
+        self.probes: list[tuple[int, int]] = []  # (value, cycle)
+
+    # -- MMIO routing ---------------------------------------------------------
+
+    def read_mmio(self, addr: int) -> int:
+        if addr in _CLINT_ADDRS:
+            return self.clint.read_mmio(addr)
+        if addr == PROBE_ADDR:
+            return len(self.probes)
+        raise SimulationError(f"unhandled MMIO read at {addr:#010x}")
+
+    def write_mmio(self, addr: int, value: int) -> None:
+        if addr in _CLINT_ADDRS:
+            self.clint.write_mmio(addr, value)
+            return
+        if addr == HALT_ADDR:
+            self.core.halted = True
+            self.core.exit_code = value
+            return
+        if addr == PUTCHAR_ADDR:
+            self.console.append(chr(value & 0xFF))
+            return
+        if addr == PROBE_ADDR:
+            self.probes.append((value, self.core.cycle))
+            return
+        raise SimulationError(f"unhandled MMIO write at {addr:#010x}")
+
+    # -- program loading ---------------------------------------------------------
+
+    def load(self, program: Program, boot_task_id: int | None = None) -> None:
+        """Load an assembled image and point the core at its entry."""
+        self.memory.load_program(program.words)
+        self.core.pc = program.entry
+        if self.unit is not None and boot_task_id is not None:
+            self.unit.boot(boot_task_id)
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Run to completion; returns the exit code from the HALT store."""
+        return self.core.run(max_cycles=max_cycles)
+
+    @property
+    def console_text(self) -> str:
+        return "".join(self.console)
+
+    @property
+    def switches(self) -> list[SwitchRecord]:
+        return [SwitchRecord(*event) for event in self.core.switch_events]
+
+
+def build_system(core_name: str, config: RTOSUnitConfig,
+                 **kwargs) -> System:
+    """Convenience constructor from a core name (``cv32e40p``...)."""
+    from repro.cores import CORE_CLASSES
+
+    core_class = CORE_CLASSES.get(core_name.lower())
+    if core_class is None:
+        raise ConfigurationError(
+            f"unknown core {core_name!r}; expected one of "
+            f"{sorted(CORE_CLASSES)}")
+    return System(core_class, config, **kwargs)

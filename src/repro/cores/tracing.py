@@ -1,0 +1,108 @@
+"""Execution tracing: instruction streams and switch timelines.
+
+Attach a :class:`Tracer` to a core to capture a bounded window of
+decoded instructions with their cycles, plus every trap/mret boundary.
+Tracing exists for debugging kernels and workloads — it is off by
+default and costs nothing when detached.
+
+``format_switch_timeline`` renders the measured context switches of a
+finished run as a table: trigger → entry → mret with the latency split
+into response (trigger→entry) and ISR (entry→mret) parts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.isa.disassembler import format_instr
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One captured event."""
+
+    cycle: int
+    kind: str  # "instr" | "trap" | "mret"
+    pc: int
+    text: str
+
+    def __str__(self) -> str:
+        marker = {"trap": ">>>", "mret": "<<<"}.get(self.kind, "   ")
+        return f"{self.cycle:>10d} {marker} {self.pc:#010x}  {self.text}"
+
+
+@dataclass
+class Tracer:
+    """Bounded instruction/event recorder.
+
+    ``capacity`` bounds memory; the *latest* events win (ring buffer), so
+    a crash site is always in view. ``only_isr`` restricts capture to
+    trap-handler execution.
+    """
+
+    capacity: int = 4096
+    only_isr: bool = False
+    events: deque = field(init=False)
+    instructions_seen: int = 0
+
+    def __post_init__(self) -> None:
+        self.events = deque(maxlen=self.capacity)
+
+    # -- hooks called by BaseCore ------------------------------------------------
+
+    def on_instr(self, core, instr) -> None:
+        self.instructions_seen += 1
+        if self.only_isr and not core.in_isr:
+            return
+        self.events.append(TraceEvent(
+            cycle=core.cycle, kind="instr", pc=instr.addr,
+            text=format_instr(instr)))
+
+    def on_trap(self, core, cause: int) -> None:
+        self.events.append(TraceEvent(
+            cycle=core.cycle, kind="trap", pc=core.pc,
+            text=f"trap taken, mcause={cause:#010x}"))
+
+    def on_mret(self, core) -> None:
+        self.events.append(TraceEvent(
+            cycle=core.cycle, kind="mret", pc=core.pc,
+            text="mret (resume task)"))
+
+    # -- rendering -------------------------------------------------------------------
+
+    def format(self, limit: int | None = None) -> str:
+        events = list(self.events)
+        if limit is not None:
+            events = events[-limit:]
+        return "\n".join(str(event) for event in events)
+
+
+def attach_tracer(core, capacity: int = 4096,
+                  only_isr: bool = False) -> Tracer:
+    """Create a tracer and hook it onto *core*."""
+    tracer = Tracer(capacity=capacity, only_isr=only_isr)
+    core.tracer = tracer
+    return tracer
+
+
+def format_switch_timeline(switches, limit: int = 30) -> str:
+    """Render SwitchRecords as a response/ISR latency breakdown."""
+    # Imported here: repro.analysis pulls in the claim-verification
+    # machinery, which itself builds kernels via repro.cores.
+    from repro.analysis.reporting import format_table
+
+    rows = []
+    for index, record in enumerate(switches[:limit]):
+        rows.append((
+            index,
+            record.trigger_cycle,
+            record.entry_cycle,
+            record.mret_cycle,
+            record.entry_cycle - record.trigger_cycle,
+            record.mret_cycle - record.entry_cycle,
+            record.latency,
+        ))
+    return format_table(
+        ("#", "trigger", "entry", "mret", "response", "ISR", "total"),
+        rows)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the RTOSUnit reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be translated to machine code."""
+
+    def __init__(self, message: str, line: int | None = None, source: str | None = None):
+        self.line = line
+        self.source = source
+        location = f" (line {line}: {source!r})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class DecodeError(ReproError):
+    """Raised when a 32-bit word does not decode to a known instruction."""
+
+
+class MemoryError_(ReproError):
+    """Raised on out-of-range or misaligned memory accesses.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``MemoryError``.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid RTOSUnit or core configurations."""
+
+
+class SimulationError(ReproError):
+    """Raised when simulated software traps or the simulator hits a limit."""
+
+
+class KernelError(ReproError):
+    """Raised for invalid kernel/workload construction (tasks, stacks, IPC)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the WCET analyzer when a bound cannot be established."""

@@ -1,0 +1,30 @@
+"""Measurement harness: run workloads, collect latency distributions."""
+
+from repro.harness.export import (
+    run_dict,
+    suite_dict,
+    sweep_dict,
+    write_json,
+)
+from repro.harness.experiment import (
+    RunResult,
+    SuiteResult,
+    run_suite,
+    run_workload,
+    sweep,
+)
+from repro.harness.metrics import LatencyBreakdown, LatencyStats
+
+__all__ = [
+    "LatencyBreakdown",
+    "LatencyStats",
+    "run_dict",
+    "suite_dict",
+    "sweep_dict",
+    "write_json",
+    "RunResult",
+    "SuiteResult",
+    "run_suite",
+    "run_workload",
+    "sweep",
+]

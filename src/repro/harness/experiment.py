@@ -1,0 +1,125 @@
+"""Experiment drivers: one workload, the whole suite, or a full sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cores import CORE_NAMES
+from repro.errors import SimulationError
+from repro.harness.metrics import LatencyStats
+from repro.kernel.builder import KernelBuilder
+from repro.mem.regions import MemoryLayout
+from repro.rtosunit.config import EVALUATED_CONFIGS, RTOSUnitConfig, parse_config
+from repro.workloads import RTOSBENCH_WORKLOADS, Workload
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (core, config, workload) simulation."""
+
+    core: str
+    config: RTOSUnitConfig
+    workload: str
+    latencies: list[int]
+    stats: LatencyStats
+    switches: list
+    cycles: int
+    instret: int
+    core_stats: object
+    unit_stats: object | None
+
+    @property
+    def config_name(self) -> str:
+        return self.config.name
+
+    @property
+    def breakdown(self):
+        """Response/ISR decomposition of this run's switches."""
+        from repro.harness.metrics import LatencyBreakdown
+
+        return LatencyBreakdown.from_switches(self.switches)
+
+
+@dataclass
+class SuiteResult:
+    """All workloads for one (core, config): the paper's Fig. 9 datapoint."""
+
+    core: str
+    config: RTOSUnitConfig
+    runs: list[RunResult] = field(default_factory=list)
+
+    @property
+    def all_latencies(self) -> list[int]:
+        samples: list[int] = []
+        for run in self.runs:
+            samples.extend(run.latencies)
+        return samples
+
+    @property
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.all_latencies)
+
+    @property
+    def breakdown(self):
+        """Response/ISR decomposition across all runs."""
+        from repro.harness.metrics import LatencyBreakdown
+
+        switches = [s for run in self.runs for s in run.switches]
+        return LatencyBreakdown.from_switches(switches)
+
+    def run_named(self, workload: str) -> RunResult:
+        for run in self.runs:
+            if run.workload == workload:
+                return run
+        raise SimulationError(f"no run for workload {workload!r}")
+
+
+def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
+                 layout: MemoryLayout | None = None) -> RunResult:
+    """Simulate one workload and return its latency distribution."""
+    builder = KernelBuilder(config=config, objects=workload.objects,
+                            layout=layout or MemoryLayout(),
+                            tick_period=workload.tick_period)
+    system = builder.build(core, external_events=workload.external_events)
+    exit_code = system.run(max_cycles=workload.max_cycles)
+    if exit_code not in (0, 42):
+        raise SimulationError(
+            f"workload {workload.name} on {core}/{config.name} exited "
+            f"with {exit_code:#x}")
+    switches = system.switches[workload.warmup_switches:]
+    latencies = [s.latency for s in switches]
+    return RunResult(
+        core=core,
+        config=config,
+        workload=workload.name,
+        latencies=latencies,
+        stats=LatencyStats.from_samples(latencies),
+        switches=switches,
+        cycles=system.core.cycle,
+        instret=system.core.stats.instret,
+        core_stats=system.core.stats,
+        unit_stats=system.unit.stats if system.unit else None,
+    )
+
+
+def run_suite(core: str, config: RTOSUnitConfig, iterations: int = 20,
+              workloads=None) -> SuiteResult:
+    """Run all (or the given) workload factories for one design point."""
+    factories = workloads or RTOSBENCH_WORKLOADS
+    suite = SuiteResult(core=core, config=config)
+    for factory in factories:
+        workload = factory(iterations) if callable(factory) else factory
+        suite.runs.append(run_workload(core, config, workload))
+    return suite
+
+
+def sweep(cores=CORE_NAMES, configs=EVALUATED_CONFIGS, iterations: int = 20,
+          workloads=None) -> dict[tuple[str, str], SuiteResult]:
+    """The full Fig. 9 grid: every core × every configuration."""
+    results: dict[tuple[str, str], SuiteResult] = {}
+    for core in cores:
+        for config_name in configs:
+            config = parse_config(config_name)
+            results[(core, config_name)] = run_suite(
+                core, config, iterations=iterations, workloads=workloads)
+    return results

@@ -1,0 +1,94 @@
+"""Result serialisation: sweeps and figure data as JSON.
+
+``python -m repro fig9 --json out.json`` (and programmatic use) dumps
+everything a plotting pipeline needs — per-run latency samples, summary
+statistics, activity counters, and the ASIC figures — as plain JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Mapping
+
+from repro.harness.experiment import RunResult, SuiteResult
+from repro.harness.metrics import LatencyStats
+
+
+def stats_dict(stats: LatencyStats) -> dict:
+    return {
+        "count": stats.count,
+        "mean": stats.mean,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "median": stats.median,
+        "stdev": stats.stdev,
+        "jitter": stats.jitter,
+    }
+
+
+def run_dict(run: RunResult) -> dict:
+    payload = {
+        "core": run.core,
+        "config": run.config_name,
+        "workload": run.workload,
+        "latencies": run.latencies,
+        "stats": stats_dict(run.stats),
+        "cycles": run.cycles,
+        "instructions": run.instret,
+    }
+    if run.unit_stats is not None:
+        payload["unit"] = dataclasses.asdict(run.unit_stats)
+    return payload
+
+
+def suite_dict(suite: SuiteResult) -> dict:
+    return {
+        "core": suite.core,
+        "config": suite.config.name,
+        "stats": stats_dict(suite.stats),
+        "runs": [run_dict(run) for run in suite.runs],
+    }
+
+
+def sweep_dict(results: Mapping) -> dict:
+    """Serialise a Fig. 9 sweep (``(core, config) -> SuiteResult``)."""
+    return {
+        "points": [suite_dict(suite) for suite in results.values()],
+    }
+
+
+def area_dict(reports: Mapping) -> dict:
+    return {"points": [{
+        "core": report.core,
+        "config": report.config,
+        "normalized": report.normalized,
+        "overhead_percent": report.overhead_percent,
+        "area_mm2": report.total_mm2,
+        "area_kge": report.total_kge,
+    } for report in reports.values()]}
+
+
+def fmax_dict(reports: Mapping) -> dict:
+    return {"points": [{
+        "core": report.core,
+        "config": report.config,
+        "fmax_ghz": report.fmax_ghz,
+        "drop_percent": report.drop_percent,
+    } for report in reports.values()]}
+
+
+def power_dict(reports: Mapping) -> dict:
+    return {"points": [{
+        "core": report.core,
+        "config": report.config,
+        "total_mw": report.total_mw,
+        "added_mw": report.added_mw,
+        "increase_percent": report.increase_percent,
+    } for report in reports.values()]}
+
+
+def write_json(path: str, payload: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,98 @@
+"""Latency statistics, following the paper's definitions.
+
+Latency is measured from interrupt trigger to the completion of ``mret``
+(§6.1); *jitter* is the difference between the maximum and minimum
+observed latency.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency distribution (cycles)."""
+
+    count: int
+    mean: float
+    minimum: int
+    maximum: int
+    median: float
+    stdev: float
+
+    @property
+    def jitter(self) -> int:
+        """Max − min observed latency (paper's Δ)."""
+        return self.maximum - self.minimum
+
+    @classmethod
+    def from_samples(cls, samples: list[int]) -> "LatencyStats":
+        if not samples:
+            raise AnalysisError("no latency samples collected")
+        return cls(
+            count=len(samples),
+            mean=statistics.fmean(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+            median=statistics.median(samples),
+            stdev=statistics.pstdev(samples) if len(samples) > 1 else 0.0,
+        )
+
+    def reduction_vs(self, baseline: "LatencyStats") -> float:
+        """Mean-latency reduction relative to *baseline* (0..1)."""
+        if baseline.mean == 0:
+            raise AnalysisError("baseline mean latency is zero")
+        return 1.0 - self.mean / baseline.mean
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Decomposition of switch latency into response and ISR parts.
+
+    *Response* is trigger→take (the wait for the current instruction or
+    a masked window); *ISR* is take→mret. The RTOSUnit shortens the ISR
+    part; the response part is a property of the interrupted code.
+    """
+
+    response: LatencyStats
+    isr: LatencyStats
+    total: LatencyStats
+
+    @classmethod
+    def from_switches(cls, switches) -> "LatencyBreakdown":
+        responses = [s.entry_cycle - s.trigger_cycle for s in switches]
+        isrs = [s.mret_cycle - s.entry_cycle for s in switches]
+        totals = [s.latency for s in switches]
+        return cls(response=LatencyStats.from_samples(responses),
+                   isr=LatencyStats.from_samples(isrs),
+                   total=LatencyStats.from_samples(totals))
+
+
+@dataclass
+class Clusters:
+    """Two-means split of a distribution (used for SPLIT's bimodality)."""
+
+    low: list[int] = field(default_factory=list)
+    high: list[int] = field(default_factory=list)
+
+    @classmethod
+    def split(cls, samples: list[int]) -> "Clusters":
+        """Partition samples around the midpoint of min/max."""
+        if not samples:
+            raise AnalysisError("no samples to cluster")
+        pivot = (min(samples) + max(samples)) / 2
+        clusters = cls()
+        for sample in samples:
+            (clusters.low if sample <= pivot else clusters.high).append(sample)
+        return clusters
+
+    @property
+    def is_bimodal(self) -> bool:
+        """Both clusters populated and clearly separated."""
+        if not self.low or not self.high:
+            return False
+        return min(self.high) - max(self.low) > 2

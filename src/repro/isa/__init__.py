@@ -1,0 +1,24 @@
+"""RV32IM_Zicsr instruction set plus RTOSUnit custom instructions."""
+
+from repro.isa.assembler import Assembler, Program, assemble
+from repro.isa.custom import CUSTOM_INSTRUCTIONS, CustomOp
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instr
+from repro.isa.registers import ABI_NAMES, REG_NUMBERS, reg_name, reg_num
+
+__all__ = [
+    "ABI_NAMES",
+    "Assembler",
+    "CUSTOM_INSTRUCTIONS",
+    "CustomOp",
+    "Instr",
+    "Program",
+    "REG_NUMBERS",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+    "reg_name",
+    "reg_num",
+]

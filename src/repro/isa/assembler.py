@@ -1,0 +1,587 @@
+"""A two-pass RV32IM_Zicsr assembler.
+
+The FreeRTOS-workalike kernel (:mod:`repro.kernel`) is written in textual
+RISC-V assembly and translated by this module into loadable
+:class:`Program` images. The assembler supports the subset of GNU-as
+syntax the kernel needs:
+
+* labels, numeric and ABI register names, the usual pseudo-instructions
+  (``li``, ``la``, ``mv``, ``call``, ``ret``, ``beqz``...),
+* directives: ``.org``, ``.align``, ``.word``, ``.half``, ``.byte``,
+  ``.space``/``.zero``, ``.asciz``, ``.equ``/``.set``, ``.globl`` (ignored),
+* constant expressions with ``+ - * / << >> & | ^ ~`` and ``%hi()``/``%lo()``,
+* RTOSUnit custom instructions (``add_ready``, ``get_hw_sched``, ...),
+* ``#@ key value`` annotation comments, recorded against the next
+  instruction's address (used by the WCET analyzer for loop bounds).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.isa.csr import CSR_NAMES
+from repro.isa.custom import CUSTOM_BY_MNEMONIC, CustomOp
+from repro.isa.encoding import encode
+from repro.isa.instructions import FMT_B, FMT_CUSTOM, SPECS, Instr
+from repro.isa.registers import reg_num
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class Program:
+    """An assembled, loadable image.
+
+    ``words`` maps word-aligned byte addresses to 32-bit values;
+    ``symbols`` maps label names to addresses; ``annotations`` maps
+    instruction addresses to ``{key: value}`` dicts from ``#@`` comments;
+    ``source_map`` maps instruction addresses to their source line text.
+    """
+
+    words: dict[int, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    annotations: dict[int, dict[str, str]] = field(default_factory=dict)
+    source_map: dict[int, str] = field(default_factory=dict)
+    entry: int = 0
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblerError(f"undefined symbol {name!r}") from None
+
+    def word_at(self, addr: int) -> int:
+        return self.words.get(addr & ~3, 0)
+
+    def merged_with(self, other: "Program") -> "Program":
+        """Return a new program combining this image with *other*.
+
+        Overlapping words are an error; symbol collisions are an error.
+        """
+        overlap = set(self.words) & set(other.words)
+        if overlap:
+            raise AssemblerError(
+                f"program images overlap at {min(overlap):#010x}")
+        clash = set(self.symbols) & set(other.symbols)
+        if clash:
+            raise AssemblerError(f"duplicate symbols: {sorted(clash)[:5]}")
+        merged = Program(entry=self.entry)
+        merged.words = {**self.words, **other.words}
+        merged.symbols = {**self.symbols, **other.symbols}
+        merged.annotations = {**self.annotations, **other.annotations}
+        merged.source_map = {**self.source_map, **other.source_map}
+        return merged
+
+
+@dataclass
+class _Statement:
+    """One instruction or data directive scheduled for pass 2."""
+
+    kind: str  # "instr", "word", "space"
+    addr: int
+    line_no: int
+    source: str
+    mnemonic: str = ""
+    operands: tuple[str, ...] = ()
+    value_expr: str = ""
+    size: int = 4
+    annotations: dict[str, str] = field(default_factory=dict)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_ALLOWED_AST = (
+    ast.Expression, ast.BinOp, ast.UnaryOp, ast.Constant, ast.Name,
+    ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Div, ast.Mod,
+    ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor,
+    ast.Invert, ast.USub, ast.UAdd, ast.Call, ast.Load,
+)
+
+
+class _ExprEvaluator:
+    """Safe evaluator for assembler constant expressions."""
+
+    def __init__(self, symbols: dict[str, int]):
+        self.symbols = symbols
+
+    def eval(self, text: str) -> int:
+        text = text.strip()
+        # Fast path: a bare symbol. This also makes labels that happen to
+        # collide with Python keywords ('as', 'in', ...) work — the AST
+        # parser below could not handle them.
+        if text in self.symbols:
+            return self.symbols[text]
+        # %hi(expr) / %lo(expr) → function-call syntax the parser accepts.
+        text = text.replace("%hi(", "__hi__(").replace("%lo(", "__lo__(")
+        # Character literals: 'a' → ordinal.
+        text = re.sub(r"'(\\?.)'", lambda m: str(_char_value(m.group(1))), text)
+        try:
+            tree = ast.parse(text, mode="eval")
+        except SyntaxError as exc:
+            raise AssemblerError(f"bad expression {text!r}: {exc}") from None
+        for node in ast.walk(tree):
+            if not isinstance(node, _ALLOWED_AST):
+                raise AssemblerError(
+                    f"disallowed construct {type(node).__name__} in {text!r}")
+        return self._eval_node(tree.body)
+
+    def _eval_node(self, node: ast.AST) -> int:
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, int):
+                raise AssemblerError(f"non-integer constant {node.value!r}")
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in self.symbols:
+                return self.symbols[node.id]
+            raise AssemblerError(f"undefined symbol {node.id!r}")
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or len(node.args) != 1:
+                raise AssemblerError("only %hi()/%lo() calls are allowed")
+            arg = self._eval_node(node.args[0]) & MASK32
+            if node.func.id == "__hi__":
+                # Compensate for the sign-extension of the low 12 bits.
+                return ((arg + 0x800) >> 12) & 0xFFFFF
+            if node.func.id == "__lo__":
+                low = arg & 0xFFF
+                return low - 0x1000 if low >= 0x800 else low
+            raise AssemblerError(f"unknown function {node.func.id!r}")
+        if isinstance(node, ast.UnaryOp):
+            val = self._eval_node(node.operand)
+            if isinstance(node.op, ast.USub):
+                return -val
+            if isinstance(node.op, ast.Invert):
+                return ~val
+            return val
+        if isinstance(node, ast.BinOp):
+            lhs, rhs = self._eval_node(node.left), self._eval_node(node.right)
+            ops = {
+                ast.Add: lambda: lhs + rhs,
+                ast.Sub: lambda: lhs - rhs,
+                ast.Mult: lambda: lhs * rhs,
+                ast.FloorDiv: lambda: lhs // rhs,
+                ast.Div: lambda: lhs // rhs,
+                ast.Mod: lambda: lhs % rhs,
+                ast.LShift: lambda: lhs << rhs,
+                ast.RShift: lambda: lhs >> rhs,
+                ast.BitAnd: lambda: lhs & rhs,
+                ast.BitOr: lambda: lhs | rhs,
+                ast.BitXor: lambda: lhs ^ rhs,
+            }
+            fn = ops.get(type(node.op))
+            if fn is None:
+                raise AssemblerError(f"unsupported operator {node.op!r}")
+            return fn()
+        raise AssemblerError(f"unsupported expression node {node!r}")
+
+
+def _char_value(text: str) -> int:
+    escapes = {"\\n": 10, "\\t": 9, "\\0": 0, "\\\\": 92, "\\'": 39}
+    if text in escapes:
+        return escapes[text]
+    return ord(text)
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Program` images."""
+
+    def __init__(self, origin: int = 0):
+        self.origin = origin
+
+    def assemble(self, source: str, symbols: dict[str, int] | None = None) -> Program:
+        """Assemble *source*; *symbols* pre-seeds the symbol table."""
+        program = Program(entry=self.origin)
+        program.symbols.update(symbols or {})
+        statements = self._pass1(source, program)
+        self._pass2(statements, program)
+        return program
+
+    # -- pass 1: layout ----------------------------------------------------
+
+    def _pass1(self, source: str, program: Program) -> list[_Statement]:
+        statements: list[_Statement] = []
+        pc = self.origin
+        pending_annotations: dict[str, str] = {}
+        for line_no, raw_line in enumerate(source.splitlines(), start=1):
+            line, annotation = _split_comment(raw_line)
+            if annotation:
+                key, _, value = annotation.partition(" ")
+                pending_annotations[key.strip()] = value.strip()
+            line = line.strip()
+            if not line:
+                continue
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in program.symbols:
+                    raise AssemblerError(
+                        f"duplicate label {label!r}", line_no, raw_line)
+                program.symbols[label] = pc
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                pc = self._directive_pass1(
+                    line, pc, program, statements, line_no, raw_line)
+                continue
+            mnemonic, operands = _split_instr(line)
+            size = _pseudo_size(mnemonic, operands)
+            stmt = _Statement(
+                kind="instr", addr=pc, line_no=line_no, source=line,
+                mnemonic=mnemonic, operands=operands, size=size,
+                annotations=pending_annotations)
+            pending_annotations = {}
+            statements.append(stmt)
+            pc += size
+        return statements
+
+    def _directive_pass1(
+        self,
+        line: str,
+        pc: int,
+        program: Program,
+        statements: list[_Statement],
+        line_no: int,
+        raw: str,
+    ) -> int:
+        name, _, rest = line.partition(" ")
+        rest = rest.strip()
+        evaluator = _ExprEvaluator(program.symbols)
+        if name in (".globl", ".global", ".text", ".data", ".section",
+                    ".option", ".type", ".size"):
+            return pc
+        if name == ".org":
+            target = evaluator.eval(rest)
+            if target < pc:
+                raise AssemblerError(
+                    f".org {target:#x} moves backwards from {pc:#x}",
+                    line_no, raw)
+            return target
+        if name == ".align":
+            bits = evaluator.eval(rest)
+            mask = (1 << bits) - 1
+            return (pc + mask) & ~mask
+        if name in (".equ", ".set"):
+            sym, _, expr = rest.partition(",")
+            program.symbols[sym.strip()] = evaluator.eval(expr)
+            return pc
+        if name in (".word", ".half", ".byte"):
+            unit = {"word": 4, "half": 2, "byte": 1}[name[1:]]
+            exprs = _split_operands(rest)
+            for expr in exprs:
+                statements.append(_Statement(
+                    kind="word", addr=pc, line_no=line_no, source=line,
+                    value_expr=expr, size=unit))
+                pc += unit
+            return pc
+        if name in (".space", ".zero"):
+            size = evaluator.eval(rest)
+            statements.append(_Statement(
+                kind="space", addr=pc, line_no=line_no, source=line,
+                size=size))
+            return pc + size
+        if name == ".asciz":
+            text = ast.literal_eval(rest)
+            data = text.encode() + b"\0"
+            for i, byte in enumerate(data):
+                statements.append(_Statement(
+                    kind="word", addr=pc + i, line_no=line_no, source=line,
+                    value_expr=str(byte), size=1))
+            return pc + len(data)
+        raise AssemblerError(f"unknown directive {name!r}", line_no, raw)
+
+    # -- pass 2: encoding --------------------------------------------------
+
+    def _pass2(self, statements: list[_Statement], program: Program) -> None:
+        evaluator = _ExprEvaluator(program.symbols)
+        for stmt in statements:
+            if stmt.kind == "space":
+                for offset in range(0, stmt.size, 4):
+                    _store_bytes(program, stmt.addr + offset,
+                                 min(4, stmt.size - offset), 0)
+                continue
+            if stmt.kind == "word":
+                value = evaluator.eval(stmt.value_expr)
+                _store_bytes(program, stmt.addr, stmt.size, value)
+                continue
+            try:
+                instrs = _expand(stmt, evaluator)
+            except AssemblerError as exc:
+                raise AssemblerError(
+                    str(exc), stmt.line_no, stmt.source) from None
+            offset = 0
+            for instr in instrs:
+                addr = stmt.addr + offset
+                instr.addr = addr
+                word = encode(instr)
+                _store_word(program, addr, word)
+                program.source_map[addr] = stmt.source
+                offset += 4
+            if stmt.annotations:
+                program.annotations[stmt.addr] = stmt.annotations
+            if len(instrs) * 4 != stmt.size:
+                raise AssemblerError(
+                    f"pseudo expansion size changed between passes for "
+                    f"{stmt.mnemonic!r}", stmt.line_no, stmt.source)
+
+
+def _store_word(program: Program, addr: int, word: int) -> None:
+    if addr & 3:
+        raise AssemblerError(f"misaligned word at {addr:#x}")
+    if addr in program.words:
+        raise AssemblerError(f"overlapping data at {addr:#x}")
+    program.words[addr] = word & MASK32
+
+
+def _store_bytes(program: Program, addr: int, size: int, value: int) -> None:
+    """Merge a .byte/.half/.word value into the word map."""
+    for i in range(size):
+        byte = (value >> (8 * i)) & 0xFF
+        word_addr = (addr + i) & ~3
+        shift = 8 * ((addr + i) & 3)
+        current = program.words.get(word_addr, 0)
+        current &= ~(0xFF << shift)
+        program.words[word_addr] = current | (byte << shift)
+
+
+def _split_comment(line: str) -> tuple[str, str | None]:
+    """Strip comments; return (code, annotation-or-None) for ``#@`` lines."""
+    annotation = None
+    for marker in ("#", "//", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            comment = line[idx + len(marker):].strip()
+            if comment.startswith("@"):
+                annotation = comment[1:].strip()
+            line = line[:idx]
+    return line, annotation
+
+
+def _split_instr(line: str) -> tuple[str, tuple[str, ...]]:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    if len(parts) == 1:
+        return mnemonic, ()
+    return mnemonic, tuple(_split_operands(parts[1]))
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas not inside parentheses."""
+    operands, depth, current = [], 0, []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+_MEM_OPERAND_RE = re.compile(r"^(.*)\(\s*([\w$]+)\s*\)$")
+
+
+def _parse_mem_operand(text: str, evaluator: _ExprEvaluator) -> tuple[int, int]:
+    """Parse ``offset(reg)`` into (offset, regnum)."""
+    match = _MEM_OPERAND_RE.match(text.strip())
+    if not match:
+        raise AssemblerError(f"expected offset(reg), got {text!r}")
+    offset_text = match.group(1).strip() or "0"
+    return evaluator.eval(offset_text), reg_num(match.group(2))
+
+
+def _pseudo_size(mnemonic: str, operands: tuple[str, ...]) -> int:
+    """Instruction byte size after pseudo expansion (must be pass-stable)."""
+    if mnemonic == "li":
+        # Keep layout independent of symbol values: literal small constants
+        # (including character literals) take one instruction, everything
+        # else two.
+        text = operands[1] if len(operands) > 1 else "0"
+        text = re.sub(r"'(\\?.)'", lambda m: str(_char_value(m.group(1))),
+                      text)
+        try:
+            value = int(text, 0)
+        except ValueError:
+            return 8
+        return 4 if -2048 <= value <= 2047 else 8
+    if mnemonic in ("la", "call", "tail"):
+        return 8
+    return 4
+
+
+def _expand(stmt: _Statement, ev: _ExprEvaluator) -> list[Instr]:
+    """Expand one source statement into real instructions."""
+    m, ops = stmt.mnemonic, stmt.operands
+
+    def _r(i: int) -> int:
+        return reg_num(ops[i])
+
+    def _imm(i: int) -> int:
+        return ev.eval(ops[i])
+
+    def _target(i: int) -> int:
+        return ev.eval(ops[i]) - stmt.addr
+
+    # Real instructions -----------------------------------------------------
+    if m in SPECS:
+        spec = SPECS[m]
+        if spec.fmt == "R":
+            return [Instr(m, rd=_r(0), rs1=_r(1), rs2=_r(2))]
+        if spec.fmt == "I":
+            if m == "jalr":
+                if len(ops) == 1:
+                    return [Instr(m, rd=1, rs1=_r(0), imm=0)]
+                if len(ops) == 2 and "(" in ops[1]:
+                    off, base = _parse_mem_operand(ops[1], ev)
+                    return [Instr(m, rd=_r(0), rs1=base, imm=off)]
+                return [Instr(m, rd=_r(0), rs1=_r(1), imm=_imm(2))]
+            if m in ("lb", "lh", "lw", "lbu", "lhu"):
+                off, base = _parse_mem_operand(ops[1], ev)
+                return [Instr(m, rd=_r(0), rs1=base, imm=off)]
+            return [Instr(m, rd=_r(0), rs1=_r(1), imm=_imm(2))]
+        if spec.fmt == "S":
+            off, base = _parse_mem_operand(ops[1], ev)
+            return [Instr(m, rs1=base, rs2=_r(0), imm=off)]
+        if spec.fmt == "B":
+            return [Instr(m, rs1=_r(0), rs2=_r(1), imm=_target(2), fmt=FMT_B)]
+        if spec.fmt == "U":
+            return [Instr(m, rd=_r(0), imm=_imm(1) & 0xFFFFF)]
+        if spec.fmt == "J":  # jal rd, target
+            if len(ops) == 1:
+                return [Instr(m, rd=1, imm=_target(0))]
+            return [Instr(m, rd=_r(0), imm=_target(1))]
+        if spec.fmt == "CSR":
+            return [Instr(m, rd=_r(0), rs1=_r(2), csr=_csr(ops[1], ev))]
+        if spec.fmt == "CSRI":
+            return [Instr(m, rd=_r(0), imm=_imm(2), csr=_csr(ops[1], ev))]
+        if spec.fmt == "SYS":
+            return [Instr(m)]
+    # Custom instructions ---------------------------------------------------
+    if m in CUSTOM_BY_MNEMONIC:
+        spec = CUSTOM_BY_MNEMONIC[m]
+        rd = rs1 = rs2 = 0
+        idx = 0
+        if spec.writes_rd:
+            rd = _r(idx)
+            idx += 1
+        if spec.uses_rs1:
+            rs1 = _r(idx)
+            idx += 1
+        if spec.uses_rs2:
+            rs2 = _r(idx)
+        return [Instr(f"custom.{spec.op.name.lower()}",
+                      rd=rd, rs1=rs1, rs2=rs2, fmt=FMT_CUSTOM)]
+    # Pseudo-instructions ---------------------------------------------------
+    return _expand_pseudo(stmt, ev)
+
+
+def _csr(name: str, ev: _ExprEvaluator) -> int:
+    name = name.strip().lower()
+    if name in CSR_NAMES:
+        return CSR_NAMES[name]
+    return ev.eval(name)
+
+
+def _expand_pseudo(stmt: _Statement, ev: _ExprEvaluator) -> list[Instr]:
+    m, ops = stmt.mnemonic, stmt.operands
+
+    def _r(i: int) -> int:
+        return reg_num(ops[i])
+
+    def _target(i: int) -> int:
+        return ev.eval(ops[i]) - stmt.addr
+
+    if m == "nop":
+        return [Instr("addi", rd=0, rs1=0, imm=0)]
+    if m == "mv":
+        return [Instr("addi", rd=_r(0), rs1=_r(1), imm=0)]
+    if m == "not":
+        return [Instr("xori", rd=_r(0), rs1=_r(1), imm=-1)]
+    if m == "neg":
+        return [Instr("sub", rd=_r(0), rs1=0, rs2=_r(1))]
+    if m == "seqz":
+        return [Instr("sltiu", rd=_r(0), rs1=_r(1), imm=1)]
+    if m == "snez":
+        return [Instr("sltu", rd=_r(0), rs1=0, rs2=_r(1))]
+    if m == "sltz":
+        return [Instr("slt", rd=_r(0), rs1=_r(1), rs2=0)]
+    if m == "sgtz":
+        return [Instr("slt", rd=_r(0), rs1=0, rs2=_r(1))]
+    if m == "li":
+        value = ev.eval(ops[1]) & MASK32
+        signed = value - (1 << 32) if value >= (1 << 31) else value
+        if stmt.size == 4:
+            return [Instr("addi", rd=_r(0), rs1=0, imm=signed)]
+        hi = ((value + 0x800) >> 12) & 0xFFFFF
+        lo = value & 0xFFF
+        lo = lo - 0x1000 if lo >= 0x800 else lo
+        return [Instr("lui", rd=_r(0), imm=hi),
+                Instr("addi", rd=_r(0), rs1=_r(0), imm=lo)]
+    if m == "la":
+        value = ev.eval(ops[1]) & MASK32
+        hi = ((value + 0x800) >> 12) & 0xFFFFF
+        lo = value & 0xFFF
+        lo = lo - 0x1000 if lo >= 0x800 else lo
+        return [Instr("lui", rd=_r(0), imm=hi),
+                Instr("addi", rd=_r(0), rs1=_r(0), imm=lo)]
+    if m == "j":
+        return [Instr("jal", rd=0, imm=_target(0))]
+    if m == "jr":
+        return [Instr("jalr", rd=0, rs1=_r(0), imm=0)]
+    if m == "ret":
+        return [Instr("jalr", rd=0, rs1=1, imm=0)]
+    if m in ("call", "tail"):
+        value = ev.eval(ops[0]) & MASK32
+        rel = (value - stmt.addr) & MASK32
+        rel_signed = rel - (1 << 32) if rel >= (1 << 31) else rel
+        hi = ((rel + 0x800) >> 12) & 0xFFFFF
+        lo = rel_signed & 0xFFF
+        lo = lo - 0x1000 if lo >= 0x800 else lo
+        link = 1 if m == "call" else 0
+        return [Instr("auipc", rd=6, imm=hi),
+                Instr("jalr", rd=link, rs1=6, imm=lo)]
+    branch_zero = {"beqz": "beq", "bnez": "bne", "bltz": "blt", "bgez": "bge"}
+    if m in branch_zero:
+        return [Instr(branch_zero[m], rs1=_r(0), rs2=0, imm=_target(1),
+                      fmt=FMT_B)]
+    if m == "blez":  # rs <= 0  →  bge zero, rs
+        return [Instr("bge", rs1=0, rs2=_r(0), imm=_target(1), fmt=FMT_B)]
+    if m == "bgtz":  # rs > 0  →  blt zero, rs
+        return [Instr("blt", rs1=0, rs2=_r(0), imm=_target(1), fmt=FMT_B)]
+    swapped = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}
+    if m in swapped:
+        return [Instr(swapped[m], rs1=_r(1), rs2=_r(0), imm=_target(2),
+                      fmt=FMT_B)]
+    if m == "csrr":
+        return [Instr("csrrs", rd=_r(0), rs1=0, csr=_csr(ops[1], ev))]
+    if m == "csrw":
+        return [Instr("csrrw", rd=0, rs1=_r(1), csr=_csr(ops[0], ev))]
+    if m == "csrs":
+        return [Instr("csrrs", rd=0, rs1=_r(1), csr=_csr(ops[0], ev))]
+    if m == "csrc":
+        return [Instr("csrrc", rd=0, rs1=_r(1), csr=_csr(ops[0], ev))]
+    if m == "csrwi":
+        return [Instr("csrrwi", rd=0, imm=ev.eval(ops[1]),
+                      csr=_csr(ops[0], ev), fmt="CSRI")]
+    if m == "csrsi":
+        return [Instr("csrrsi", rd=0, imm=ev.eval(ops[1]),
+                      csr=_csr(ops[0], ev), fmt="CSRI")]
+    if m == "csrci":
+        return [Instr("csrrci", rd=0, imm=ev.eval(ops[1]),
+                      csr=_csr(ops[0], ev), fmt="CSRI")]
+    raise AssemblerError(f"unknown mnemonic {m!r}")
+
+
+def assemble(source: str, origin: int = 0,
+             symbols: dict[str, int] | None = None) -> Program:
+    """Assemble *source* starting at *origin* and return the image."""
+    return Assembler(origin=origin).assemble(source, symbols=symbols)

@@ -1,0 +1,112 @@
+"""Machine-mode control and status registers used by the simulation.
+
+Only the CSRs that FreeRTOS and the RTOSUnit touch are modelled:
+``mstatus`` (interrupt enable / previous enable), ``mepc`` (resume PC),
+``mcause`` (trap cause, used by the hardware scheduler to detect timer
+ticks, §4.4), ``mtvec`` (trap vector), ``mie``/``mip`` (interrupt enable /
+pending), and ``mscratch``. Reads of unmodelled CSRs return zero, matching
+a minimal RV32 implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# CSR addresses (RISC-V privileged spec).
+MSTATUS = 0x300
+MISA = 0x301
+MIE = 0x304
+MTVEC = 0x305
+MSCRATCH = 0x340
+MEPC = 0x341
+MCAUSE = 0x342
+MTVAL = 0x343
+MIP = 0x344
+MCYCLE = 0xB00
+MHARTID = 0xF14
+
+#: Human-readable names for the assembler / disassembler.
+CSR_NAMES: dict[str, int] = {
+    "mstatus": MSTATUS,
+    "misa": MISA,
+    "mie": MIE,
+    "mtvec": MTVEC,
+    "mscratch": MSCRATCH,
+    "mepc": MEPC,
+    "mcause": MCAUSE,
+    "mtval": MTVAL,
+    "mip": MIP,
+    "mcycle": MCYCLE,
+    "mhartid": MHARTID,
+}
+CSR_ADDR_TO_NAME: dict[int, str] = {v: k for k, v in CSR_NAMES.items()}
+
+# mstatus bits.
+MSTATUS_MIE = 1 << 3
+MSTATUS_MPIE = 1 << 7
+MSTATUS_MPP = 3 << 11  # we always run machine mode, MPP stays 0b11
+
+# mie / mip bits.
+MIP_MSIP = 1 << 3  # machine software interrupt (voluntary yield)
+MIP_MTIP = 1 << 7  # machine timer interrupt (time slicing)
+MIP_MEIP = 1 << 11  # machine external interrupt (deferred handling)
+
+# mcause values (interrupt bit set).
+CAUSE_INTERRUPT = 1 << 31
+CAUSE_MSI = CAUSE_INTERRUPT | 3
+CAUSE_MTI = CAUSE_INTERRUPT | 7
+CAUSE_MEI = CAUSE_INTERRUPT | 11
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class CSRFile:
+    """Architectural CSR state of one hart."""
+
+    regs: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Machine mode with previous-privilege M; interrupts initially off.
+        self.regs.setdefault(MSTATUS, MSTATUS_MPP)
+
+    def read(self, addr: int) -> int:
+        """Read a CSR; unmodelled CSRs read as zero."""
+        return self.regs.get(addr, 0) & MASK32
+
+    def write(self, addr: int, value: int) -> None:
+        """Write a CSR (full 32-bit replacement)."""
+        self.regs[addr] = value & MASK32
+
+    def set_bits(self, addr: int, mask: int) -> None:
+        self.regs[addr] = (self.read(addr) | mask) & MASK32
+
+    def clear_bits(self, addr: int, mask: int) -> None:
+        self.regs[addr] = self.read(addr) & ~mask & MASK32
+
+    # -- interrupt helpers -------------------------------------------------
+
+    @property
+    def mie_global(self) -> bool:
+        """True when the global machine interrupt enable bit is set."""
+        return bool(self.read(MSTATUS) & MSTATUS_MIE)
+
+    def enter_trap(self, cause: int, pc: int, mtvec_target: int) -> int:
+        """Perform trap entry: stash state, mask interrupts, return new PC."""
+        mstatus = self.read(MSTATUS)
+        mpie = MSTATUS_MPIE if mstatus & MSTATUS_MIE else 0
+        self.write(MSTATUS, (mstatus & ~(MSTATUS_MIE | MSTATUS_MPIE)) | mpie)
+        self.write(MEPC, pc)
+        self.write(MCAUSE, cause)
+        return mtvec_target
+
+    def leave_trap(self) -> int:
+        """Perform ``mret``: restore interrupt enable, return resume PC."""
+        mstatus = self.read(MSTATUS)
+        mie = MSTATUS_MIE if mstatus & MSTATUS_MPIE else 0
+        self.write(MSTATUS, (mstatus & ~MSTATUS_MIE) | mie | MSTATUS_MPIE)
+        return self.read(MEPC)
+
+    def snapshot(self) -> dict[int, int]:
+        """Return a copy of the CSR state (for context save/restore tests)."""
+        return dict(self.regs)

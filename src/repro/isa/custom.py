@@ -1,0 +1,108 @@
+"""The six RTOSUnit custom instructions (paper Table 1).
+
+All custom instructions use the RISC-V *custom-0* major opcode (0b0001011)
+with ``funct3`` selecting the operation. They are R-type encoded; unused
+operand fields are zero. As §5 explains, every one of them updates RTOSUnit
+state and must therefore execute in order and non-speculatively.
+
+=================  ==========================================  =====================
+Instruction        Description                                 Required for
+=================  ==========================================  =====================
+ADD_READY          Insert task into ready list                 HW scheduling
+ADD_DELAY          Insert task into delay list                 HW scheduling
+RM_TASK            Remove task from HW lists                   HW scheduling
+SET_CONTEXT_ID     Set the next task                           w/o HW scheduling
+GET_HW_SCHED       Get next task from HW                       HW scheduling
+SWITCH_RF          Switch back to the APP RF                   Context storing w/o loading
+=================  ==========================================  =====================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Major opcode for all RTOSUnit custom instructions (custom-0).
+CUSTOM0_OPCODE = 0b0001011
+
+
+class CustomOp(enum.IntEnum):
+    """funct3 values selecting the RTOSUnit operation.
+
+    Values 0–5 are the paper's Table 1; 6–7 implement the paper's §7
+    future-work extension (hardware synchronisation primitives).
+    """
+
+    SET_CONTEXT_ID = 0
+    ADD_READY = 1
+    ADD_DELAY = 2
+    RM_TASK = 3
+    GET_HW_SCHED = 4
+    SWITCH_RF = 5
+    SEM_TAKE = 6
+    SEM_GIVE = 7
+
+
+@dataclass(frozen=True)
+class CustomSpec:
+    """Static description of one custom instruction."""
+
+    op: CustomOp
+    mnemonic: str
+    description: str
+    required_for: str
+    uses_rs1: bool
+    uses_rs2: bool
+    writes_rd: bool
+
+
+#: Table 1 of the paper, as data.
+CUSTOM_INSTRUCTIONS: dict[CustomOp, CustomSpec] = {
+    CustomOp.ADD_READY: CustomSpec(
+        CustomOp.ADD_READY, "add_ready",
+        "Insert task into ready list", "HW scheduling",
+        uses_rs1=True, uses_rs2=True, writes_rd=False),
+    CustomOp.ADD_DELAY: CustomSpec(
+        CustomOp.ADD_DELAY, "add_delay",
+        "Insert task into delay list", "HW scheduling",
+        uses_rs1=True, uses_rs2=True, writes_rd=False),
+    CustomOp.RM_TASK: CustomSpec(
+        CustomOp.RM_TASK, "rm_task",
+        "Remove task from HW lists", "HW scheduling",
+        uses_rs1=True, uses_rs2=False, writes_rd=False),
+    CustomOp.SET_CONTEXT_ID: CustomSpec(
+        CustomOp.SET_CONTEXT_ID, "set_context_id",
+        "Set the next task", "w/o HW scheduling",
+        uses_rs1=True, uses_rs2=False, writes_rd=False),
+    CustomOp.GET_HW_SCHED: CustomSpec(
+        CustomOp.GET_HW_SCHED, "get_hw_sched",
+        "Get next task from HW", "HW scheduling",
+        uses_rs1=False, uses_rs2=False, writes_rd=True),
+    CustomOp.SWITCH_RF: CustomSpec(
+        CustomOp.SWITCH_RF, "switch_rf",
+        "Switch back to the APP RF", "Context storing w/o loading",
+        uses_rs1=False, uses_rs2=False, writes_rd=False),
+}
+
+#: §7 future-work extension: hardware semaphores (our addition, not part
+#: of the paper's Table 1 — kept separate so Table 1 reproduces exactly).
+EXTENSION_INSTRUCTIONS: dict[CustomOp, CustomSpec] = {
+    CustomOp.SEM_TAKE: CustomSpec(
+        CustomOp.SEM_TAKE, "sem_take",
+        "Take HW semaphore; blocks the task on failure", "HW sync (ext.)",
+        uses_rs1=True, uses_rs2=False, writes_rd=True),
+    CustomOp.SEM_GIVE: CustomSpec(
+        CustomOp.SEM_GIVE, "sem_give",
+        "Give HW semaphore; wakes the best waiter", "HW sync (ext.)",
+        uses_rs1=True, uses_rs2=False, writes_rd=True),
+}
+
+#: All decodable custom instructions (Table 1 + extension).
+ALL_CUSTOM: dict[CustomOp, CustomSpec] = {
+    **CUSTOM_INSTRUCTIONS, **EXTENSION_INSTRUCTIONS,
+}
+
+#: Mnemonic → spec, for the assembler.
+CUSTOM_BY_MNEMONIC: dict[str, CustomSpec] = {
+    spec.mnemonic: spec for spec in ALL_CUSTOM.values()
+}

@@ -1,0 +1,69 @@
+"""Instruction formatting for debugging, listings and WCET reports."""
+
+from __future__ import annotations
+
+from repro.isa.csr import CSR_ADDR_TO_NAME
+from repro.isa.instructions import (
+    FMT_B,
+    FMT_CSR,
+    FMT_CSRI,
+    FMT_CUSTOM,
+    FMT_I,
+    FMT_J,
+    FMT_R,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+    Instr,
+)
+from repro.isa.registers import reg_name
+
+
+def format_instr(instr: Instr) -> str:
+    """Render a decoded instruction in assembly syntax."""
+    m = instr.mnemonic
+    fmt = instr.fmt
+    if fmt == FMT_R:
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {reg_name(instr.rs2)}"
+    if fmt == FMT_I:
+        if instr.is_load:
+            return f"{m} {reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs1)})"
+        if m == "jalr":
+            return f"{m} {reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs1)})"
+        return f"{m} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {instr.imm}"
+    if fmt == FMT_S:
+        return f"{m} {reg_name(instr.rs2)}, {instr.imm}({reg_name(instr.rs1)})"
+    if fmt == FMT_B:
+        target = instr.addr + instr.imm
+        return (f"{m} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}, "
+                f"{target:#x}")
+    if fmt == FMT_U:
+        return f"{m} {reg_name(instr.rd)}, {instr.imm:#x}"
+    if fmt == FMT_J:
+        return f"{m} {reg_name(instr.rd)}, {instr.addr + instr.imm:#x}"
+    if fmt == FMT_CSR:
+        csr = CSR_ADDR_TO_NAME.get(instr.csr, hex(instr.csr))
+        return f"{m} {reg_name(instr.rd)}, {csr}, {reg_name(instr.rs1)}"
+    if fmt == FMT_CSRI:
+        csr = CSR_ADDR_TO_NAME.get(instr.csr, hex(instr.csr))
+        return f"{m} {reg_name(instr.rd)}, {csr}, {instr.imm}"
+    if fmt == FMT_CUSTOM:
+        parts = []
+        if instr.rd:
+            parts.append(reg_name(instr.rd))
+        if instr.rs1:
+            parts.append(reg_name(instr.rs1))
+        if instr.rs2:
+            parts.append(reg_name(instr.rs2))
+        name = m.split(".", 1)[1]
+        return f"{name} {', '.join(parts)}".strip()
+    if fmt == FMT_SYS:
+        return m
+    return f"{m} <raw {instr.raw:#010x}>"
+
+
+def disassemble(word: int, addr: int = 0) -> str:
+    """Decode and format a 32-bit instruction word."""
+    from repro.isa.encoding import decode
+
+    return format_instr(decode(word, addr))

@@ -1,0 +1,232 @@
+"""Bit-level instruction encoding and decoding for RV32IM_Zicsr + custom-0."""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+from repro.isa.custom import ALL_CUSTOM, CUSTOM0_OPCODE, CustomOp
+from repro.isa.instructions import (
+    FMT_B,
+    FMT_CSR,
+    FMT_CSRI,
+    FMT_CUSTOM,
+    FMT_I,
+    FMT_J,
+    FMT_R,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+    OP_BRANCH,
+    OP_FENCE,
+    OP_IMM,
+    OP_JAL,
+    OP_JALR,
+    OP_LOAD,
+    OP_REG,
+    OP_STORE,
+    OP_SYSTEM,
+    SPECS,
+    Instr,
+    InstrSpec,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend *value* of width *bits* to a Python int."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _check_range(value: int, bits: int, signed: bool, what: str) -> None:
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    if not low <= value <= high:
+        raise DecodeError(f"{what} {value} does not fit in {bits} bits")
+
+
+def encode(instr: Instr) -> int:
+    """Encode a decoded instruction back to its 32-bit word."""
+    m = instr.mnemonic
+    if m.startswith("custom."):
+        op = CustomOp[m.split(".", 1)[1].upper()]
+        return (
+            CUSTOM0_OPCODE
+            | (instr.rd << 7)
+            | (int(op) << 12)
+            | (instr.rs1 << 15)
+            | (instr.rs2 << 20)
+        )
+    spec = SPECS.get(m)
+    if spec is None:
+        raise DecodeError(f"unknown mnemonic {m!r}")
+    return _encode_with_spec(spec, instr)
+
+
+def _encode_with_spec(spec: InstrSpec, instr: Instr) -> int:
+    opcode, f3, f7 = spec.opcode, spec.funct3 or 0, spec.funct7 or 0
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    if spec.fmt == FMT_R:
+        return opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) | (f7 << 25)
+    if spec.fmt == FMT_I:
+        if spec.mnemonic in ("slli", "srli", "srai"):
+            _check_range(imm, 5, signed=False, what="shift amount")
+            return (opcode | (rd << 7) | (f3 << 12) | (rs1 << 15)
+                    | (imm << 20) | (f7 << 25))
+        _check_range(imm, 12, signed=True, what="immediate")
+        return opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | ((imm & 0xFFF) << 20)
+    if spec.fmt == FMT_S:
+        _check_range(imm, 12, signed=True, what="store offset")
+        imm12 = imm & 0xFFF
+        return (opcode | ((imm12 & 0x1F) << 7) | (f3 << 12) | (rs1 << 15)
+                | (rs2 << 20) | ((imm12 >> 5) << 25))
+    if spec.fmt == FMT_B:
+        _check_range(imm, 13, signed=True, what="branch offset")
+        if imm & 1:
+            raise DecodeError(f"branch offset {imm} is not 2-byte aligned")
+        b = imm & 0x1FFF
+        return (opcode
+                | (((b >> 11) & 1) << 7)
+                | (((b >> 1) & 0xF) << 8)
+                | (f3 << 12) | (rs1 << 15) | (rs2 << 20)
+                | (((b >> 5) & 0x3F) << 25)
+                | (((b >> 12) & 1) << 31))
+    if spec.fmt == FMT_U:
+        _check_range(imm, 20, signed=False, what="upper immediate")
+        return opcode | (rd << 7) | (imm << 12)
+    if spec.fmt == FMT_J:
+        _check_range(imm, 21, signed=True, what="jump offset")
+        if imm & 1:
+            raise DecodeError(f"jump offset {imm} is not 2-byte aligned")
+        j = imm & 0x1FFFFF
+        return (opcode | (rd << 7)
+                | (((j >> 12) & 0xFF) << 12)
+                | (((j >> 11) & 1) << 20)
+                | (((j >> 1) & 0x3FF) << 21)
+                | (((j >> 20) & 1) << 31))
+    if spec.fmt == FMT_CSR:
+        return opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | (instr.csr << 20)
+    if spec.fmt == FMT_CSRI:
+        _check_range(imm, 5, signed=False, what="CSR zimm")
+        return opcode | (rd << 7) | (f3 << 12) | (imm << 15) | (instr.csr << 20)
+    if spec.fmt == FMT_SYS:
+        fixed = spec.fixed_imm or 0
+        return opcode | (f3 << 12) | (fixed << 20)
+    raise DecodeError(f"unencodable format {spec.fmt!r}")
+
+
+# Decode lookup tables, built once.
+_R_TABLE: dict[tuple[int, int], str] = {}
+_I_TABLES: dict[int, dict[int, str]] = {OP_LOAD: {}, OP_IMM: {}, OP_JALR: {}}
+_S_TABLE: dict[int, str] = {}
+_B_TABLE: dict[int, str] = {}
+for _spec in SPECS.values():
+    if _spec.fmt == FMT_R:
+        _R_TABLE[(_spec.funct3, _spec.funct7)] = _spec.mnemonic
+    elif _spec.fmt == FMT_I and _spec.opcode in _I_TABLES:
+        _I_TABLES[_spec.opcode][_spec.funct3] = _spec.mnemonic
+    elif _spec.fmt == FMT_S:
+        _S_TABLE[_spec.funct3] = _spec.mnemonic
+    elif _spec.fmt == FMT_B:
+        _B_TABLE[_spec.funct3] = _spec.mnemonic
+_CSR_TABLE = {1: "csrrw", 2: "csrrs", 3: "csrrc",
+              5: "csrrwi", 6: "csrrsi", 7: "csrrci"}
+_SYS_TABLE = {0x000: "ecall", 0x001: "ebreak", 0x302: "mret", 0x105: "wfi"}
+
+
+def decode(word: int, addr: int = 0) -> Instr:
+    """Decode a 32-bit instruction word into an :class:`Instr`.
+
+    Raises :class:`DecodeError` for unknown encodings.
+    """
+    word &= MASK32
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == CUSTOM0_OPCODE:
+        try:
+            op = CustomOp(funct3)
+        except ValueError:
+            raise DecodeError(f"unknown custom-0 funct3 {funct3}") from None
+        spec = ALL_CUSTOM[op]
+        return Instr(mnemonic=f"custom.{spec.op.name.lower()}",
+                     rd=rd if spec.writes_rd else 0,
+                     rs1=rs1 if spec.uses_rs1 else 0,
+                     rs2=rs2 if spec.uses_rs2 else 0,
+                     raw=word, addr=addr, fmt=FMT_CUSTOM)
+    if opcode == 0b0110111:
+        return Instr("lui", rd=rd, imm=word >> 12, raw=word, addr=addr, fmt=FMT_U)
+    if opcode == 0b0010111:
+        return Instr("auipc", rd=rd, imm=word >> 12, raw=word, addr=addr, fmt=FMT_U)
+    if opcode == OP_JAL:
+        imm = _sext((((word >> 31) & 1) << 20)
+                    | (((word >> 12) & 0xFF) << 12)
+                    | (((word >> 20) & 1) << 11)
+                    | (((word >> 21) & 0x3FF) << 1), 21)
+        return Instr("jal", rd=rd, imm=imm, raw=word, addr=addr, fmt=FMT_J)
+    if opcode == OP_JALR:
+        return Instr("jalr", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12),
+                     raw=word, addr=addr, fmt=FMT_I)
+    if opcode == OP_BRANCH:
+        if funct3 not in _B_TABLE:
+            raise DecodeError(f"unknown branch funct3 {funct3}")
+        imm = _sext((((word >> 31) & 1) << 12)
+                    | (((word >> 7) & 1) << 11)
+                    | (((word >> 25) & 0x3F) << 5)
+                    | (((word >> 8) & 0xF) << 1), 13)
+        return Instr(_B_TABLE[funct3], rs1=rs1, rs2=rs2, imm=imm,
+                     raw=word, addr=addr, fmt=FMT_B)
+    if opcode == OP_LOAD:
+        if funct3 not in _I_TABLES[OP_LOAD]:
+            raise DecodeError(f"unknown load funct3 {funct3}")
+        return Instr(_I_TABLES[OP_LOAD][funct3], rd=rd, rs1=rs1,
+                     imm=_sext(word >> 20, 12), raw=word, addr=addr, fmt=FMT_I)
+    if opcode == OP_STORE:
+        if funct3 not in _S_TABLE:
+            raise DecodeError(f"unknown store funct3 {funct3}")
+        imm = _sext((funct7 << 5) | rd, 12)
+        return Instr(_S_TABLE[funct3], rs1=rs1, rs2=rs2, imm=imm,
+                     raw=word, addr=addr, fmt=FMT_S)
+    if opcode == OP_IMM:
+        mnemonic = _I_TABLES[OP_IMM].get(funct3)
+        if funct3 == 0b001:
+            mnemonic = "slli"
+        elif funct3 == 0b101:
+            mnemonic = "srai" if funct7 == 0b0100000 else "srli"
+        if mnemonic is None:
+            raise DecodeError(f"unknown op-imm funct3 {funct3}")
+        if mnemonic in ("slli", "srli", "srai"):
+            return Instr(mnemonic, rd=rd, rs1=rs1, imm=rs2,
+                         raw=word, addr=addr, fmt=FMT_I)
+        return Instr(mnemonic, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12),
+                     raw=word, addr=addr, fmt=FMT_I)
+    if opcode == OP_REG:
+        key = (funct3, funct7)
+        if key not in _R_TABLE:
+            raise DecodeError(f"unknown op funct3/funct7 {funct3}/{funct7}")
+        return Instr(_R_TABLE[key], rd=rd, rs1=rs1, rs2=rs2,
+                     raw=word, addr=addr, fmt=FMT_R)
+    if opcode == OP_FENCE:
+        return Instr("fence", raw=word, addr=addr, fmt=FMT_SYS)
+    if opcode == OP_SYSTEM:
+        if funct3 == 0:
+            imm12 = word >> 20
+            if imm12 not in _SYS_TABLE:
+                raise DecodeError(f"unknown system imm12 {imm12:#x}")
+            return Instr(_SYS_TABLE[imm12], raw=word, addr=addr, fmt=FMT_SYS)
+        if funct3 not in _CSR_TABLE:
+            raise DecodeError(f"unknown system funct3 {funct3}")
+        mnemonic = _CSR_TABLE[funct3]
+        fmt = FMT_CSRI if funct3 >= 5 else FMT_CSR
+        if fmt == FMT_CSRI:
+            return Instr(mnemonic, rd=rd, imm=rs1, csr=word >> 20,
+                         raw=word, addr=addr, fmt=fmt)
+        return Instr(mnemonic, rd=rd, rs1=rs1, csr=word >> 20,
+                     raw=word, addr=addr, fmt=fmt)
+    raise DecodeError(f"unknown opcode {opcode:#09b} in word {word:#010x}")

@@ -1,0 +1,54 @@
+"""RISC-V integer register names and numbering.
+
+RV32 has 32 general-purpose registers. ``x0`` is hard-wired to zero. The
+ABI names below follow the standard RISC-V calling convention. As the paper
+notes (§3), ``gp`` and ``tp`` hold static data under FreeRTOS, which is why
+a task context comprises only 29 general-purpose registers plus ``mstatus``
+and ``mepc`` (31 words total).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+#: ABI name for each register number.
+ABI_NAMES: tuple[str, ...] = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+#: Map from every accepted spelling (ABI name, ``xN``, ``fp``) to number.
+REG_NUMBERS: dict[str, int] = {}
+for _num, _name in enumerate(ABI_NAMES):
+    REG_NUMBERS[_name] = _num
+    REG_NUMBERS[f"x{_num}"] = _num
+REG_NUMBERS["fp"] = 8  # alias for s0
+
+#: Registers saved in a task context (everything except x0, gp, tp) — 29.
+CONTEXT_SAVED_REGS: tuple[int, ...] = tuple(
+    n for n in range(32) if n not in (0, 3, 4)
+)
+
+#: Words in a full task context: 29 GPRs + mstatus + mepc (paper §3).
+CONTEXT_WORDS: int = len(CONTEXT_SAVED_REGS) + 2
+
+#: Context slot size in words; over-provisioned to 32 so that the context
+#: address is ``base + (task_id << 7)`` (paper §4.2 optimisation 3).
+CONTEXT_SLOT_WORDS: int = 32
+
+
+def reg_num(name: str) -> int:
+    """Return the register number for *name* (ABI or ``xN`` spelling)."""
+    try:
+        return REG_NUMBERS[name.lower()]
+    except KeyError:
+        raise AssemblerError(f"unknown register {name!r}") from None
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical ABI name for register *num*."""
+    if not 0 <= num < 32:
+        raise AssemblerError(f"register number out of range: {num}")
+    return ABI_NAMES[num]

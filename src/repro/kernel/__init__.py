@@ -1,0 +1,20 @@
+"""FreeRTOS-workalike kernel, written in RV32IM assembly.
+
+The kernel reproduces the structures and ISR flows of FreeRTOS as the
+paper describes them (§3, Figure 2, Figure 4): per-priority ready lists
+with round-robin time slicing, a wake-time-ordered delay list, event
+lists for synchronisation primitives, a ``current TCB`` pointer, and one
+ISR per RTOSUnit configuration — from the all-software ``vanilla`` path
+to the (SLT) path whose ISR merely updates ``currentTCB``.
+"""
+
+from repro.kernel.builder import KernelBuilder, build_kernel_system
+from repro.kernel.tasks import KernelObjects, Semaphore, TaskSpec
+
+__all__ = [
+    "KernelBuilder",
+    "KernelObjects",
+    "Semaphore",
+    "TaskSpec",
+    "build_kernel_system",
+]

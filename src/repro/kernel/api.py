@@ -1,0 +1,742 @@
+"""Task-facing kernel API in assembly.
+
+Functions follow the standard calling convention (arguments in ``a0``/
+``a1``, ``t*`` caller-saved, ``s*`` callee-saved). Critical sections mask
+interrupts through ``mstatus.MIE``; voluntary yields raise the machine
+software interrupt (``msip``), matching the FreeRTOS RISC-V port.
+
+Two variants of the blocking/wake paths exist: the software-scheduled one
+manipulates the ready lists directly, while the hardware-scheduled (T)
+one issues ``RM_TASK`` / ``ADD_READY`` / ``ADD_DELAY`` custom
+instructions; event lists always stay in software (§4.4).
+"""
+
+from __future__ import annotations
+
+_PREEMPT_CHECK = """\
+    la   t0, current_tcb
+    lw   t1, 0(t0)
+    lw   t2, TCB_PRIORITY(t1)
+    lw   t3, TCB_PRIORITY(a1)
+    blt  t3, t2, {skip}
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+"""
+
+
+def api_asm(hw_sched: bool, hwsync: bool = False) -> str:
+    """Render the kernel API.
+
+    ``hw_sched`` selects hardware (T) vs software scheduling for the
+    blocking/wake paths; ``hwsync`` additionally replaces the semaphore
+    take/give paths with the SEM_TAKE/SEM_GIVE custom instructions (the
+    §7 hardware-synchronisation extension, configuration letter Y).
+    Queues keep their software event lists either way, and
+    ``k_sem_take_timeout`` is not available under ``hwsync`` (the count
+    lives in hardware; a call panics).
+    """
+    if hw_sched:
+        remove_self = """\
+    lw   t5, TCB_TASK_ID(s3)
+    rm_task t5
+"""
+        wake_add_ready = """\
+    lw   t2, TCB_TASK_ID(s2)
+    lw   t3, TCB_PRIORITY(s2)
+    add_ready t2, t3
+"""
+        # RM_TASK already cleared the hardware delay list entry, so a
+        # timed-out waiter needs no extra delay-list cleanup on wake.
+        wake_clear_delay = """\
+    lw   t2, TCB_TASK_ID(s2)
+    rm_task t2
+"""
+        block_delay_self = """\
+    lw   t5, TCB_TASK_ID(s3)
+    rm_task t5
+    lw   t3, TCB_PRIORITY(s3)
+    add_delay t3, s4
+"""
+        delay_body = """\
+k_delay:
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t0, current_tcb
+    lw   t1, 0(t0)
+    lw   t2, TCB_TASK_ID(t1)
+    lw   t3, TCB_PRIORITY(t1)
+    rm_task t2
+    add_delay t3, a0
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    ret
+"""
+    else:
+        remove_self = """\
+    addi a0, s3, TCB_STATE_NODE
+    jal  list_remove
+"""
+        wake_add_ready = """\
+    mv   a0, s2
+    jal  sw_add_ready
+"""
+        # A waiter blocked with a timeout also sits in the delay list
+        # (FreeRTOS keeps it in both); detach it before readying.
+        wake_clear_delay = """\
+    lw   t2, TCB_STATE_NODE+NODE_OWNER(s2)
+    beqz t2, kwo_no_delay
+    addi a0, s2, TCB_STATE_NODE
+    jal  list_remove
+kwo_no_delay:
+"""
+        block_delay_self = """\
+    addi a0, s3, TCB_STATE_NODE
+    jal  list_remove
+    la   t2, tick_count
+    lw   t3, 0(t2)
+    add  t3, t3, s4
+    sw   t3, TCB_STATE_NODE+NODE_VALUE(s3)
+    addi a1, s3, TCB_STATE_NODE
+    la   a0, delay_list
+    jal  list_insert_sorted
+"""
+        delay_body = """\
+k_delay:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s2, 4(sp)
+    sw   s3, 8(sp)
+    mv   s3, a0
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t0, current_tcb
+    lw   s2, 0(t0)
+    addi a0, s2, TCB_STATE_NODE
+    jal  list_remove
+    la   t2, tick_count
+    lw   t3, 0(t2)
+    add  t3, t3, s3
+    sw   t3, TCB_STATE_NODE+NODE_VALUE(s2)
+    addi a1, s2, TCB_STATE_NODE
+    la   a0, delay_list
+    jal  list_insert_sorted
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s2, 4(sp)
+    lw   s3, 8(sp)
+    addi sp, sp, 12
+    ret
+"""
+
+    sem_bodies = _sem_bodies(hwsync, block_delay_self)
+    pi_bodies = _pi_bodies(hw_sched)
+    task_control = _task_control(hw_sched)
+
+    return f"""
+# ------------------------------------------------------------- kernel API --
+# void k_yield()  -- voluntary yield via the software interrupt
+k_yield:
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    ret
+
+# void k_delay(a0 = ticks)
+{delay_body}
+# void k_block_current(a0 = event-list header)
+# Interrupts must already be masked. Removes the running task from the
+# scheduler, queues its event node by priority, yields, and returns
+# (unmasked) once the task has been woken.
+k_block_current:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s2, 4(sp)
+    sw   s3, 8(sp)
+    mv   s2, a0
+    la   t1, current_tcb
+    lw   s3, 0(t1)
+{remove_self}\
+    lw   t3, TCB_PRIORITY(s3)
+    li   t4, MAX_PRIORITIES
+    sub  t4, t4, t3
+    sw   t4, TCB_EVENT_NODE+NODE_VALUE(s3)
+    addi a1, s3, TCB_EVENT_NODE
+    mv   a0, s2
+    jal  list_insert_sorted
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s2, 4(sp)
+    lw   s3, 8(sp)
+    addi sp, sp, 12
+    ret
+
+# int k_wake_one(a0 = event-list header) -> a0 = woken?, a1 = woken tcb
+# Interrupts must already be masked.
+k_wake_one:
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   s2, 4(sp)
+    lw   t1, LIST_COUNT(a0)
+    beqz t1, kwo_none
+    lw   s2, NODE_NEXT(a0)
+    mv   a0, s2
+    jal  list_remove
+    addi s2, s2, -TCB_EVENT_NODE
+{wake_clear_delay}\
+{wake_add_ready}\
+    mv   a1, s2
+    li   a0, 1
+    j    kwo_out
+kwo_none:
+    li   a0, 0
+kwo_out:
+    lw   ra, 0(sp)
+    lw   s2, 4(sp)
+    addi sp, sp, 8
+    ret
+
+# void k_block_current_timeout(a0 = event-list header, a1 = ticks)
+# Like k_block_current, but the task additionally joins the delay list
+# (FreeRTOS keeps a timed-out waiter in both lists, §3): whichever event
+# fires first — wake or timeout — reactivates it.
+k_block_current_timeout:
+    addi sp, sp, -16
+    sw   ra, 0(sp)
+    sw   s2, 4(sp)
+    sw   s3, 8(sp)
+    sw   s4, 12(sp)
+    mv   s2, a0
+    mv   s4, a1
+    la   t1, current_tcb
+    lw   s3, 0(t1)
+{block_delay_self}\
+    lw   t3, TCB_PRIORITY(s3)
+    li   t4, MAX_PRIORITIES
+    sub  t4, t4, t3
+    sw   t4, TCB_EVENT_NODE+NODE_VALUE(s3)
+    addi a1, s3, TCB_EVENT_NODE
+    mv   a0, s2
+    jal  list_insert_sorted
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s2, 4(sp)
+    lw   s3, 8(sp)
+    lw   s4, 12(sp)
+    addi sp, sp, 16
+    ret
+
+
+{sem_bodies}\
+# Mutexes are binary semaphores initialised to 1.
+k_mutex_lock:
+    j    k_sem_take
+k_mutex_unlock:
+    j    k_sem_give
+
+{pi_bodies}\
+
+# void k_queue_send(a0 = queue, a1 = word)
+k_queue_send:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    mv   s0, a0
+    mv   s1, a1
+kqs_retry:                       #@ bound BLOCK_RETRY_BOUND
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, QUEUE_COUNT(s0)
+    lw   t1, QUEUE_CAPACITY(s0)
+    bltu t0, t1, kqs_room
+    addi a0, s0, QUEUE_SEND_WAITERS
+    jal  k_block_current
+    j    kqs_retry
+kqs_room:
+    lw   t2, QUEUE_TAIL(s0)
+    lw   t3, QUEUE_BUFFER(s0)
+    slli t4, t2, 2
+    add  t4, t4, t3
+    sw   s1, 0(t4)
+    addi t2, t2, 1
+    bne  t2, t1, kqs_nowrap
+    li   t2, 0
+kqs_nowrap:
+    sw   t2, QUEUE_TAIL(s0)
+    addi t0, t0, 1
+    sw   t0, QUEUE_COUNT(s0)
+    addi a0, s0, QUEUE_RECV_WAITERS
+    jal  k_wake_one
+    beqz a0, kqs_done
+{_PREEMPT_CHECK.format(skip="kqs_done")}\
+kqs_done:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    addi sp, sp, 12
+    ret
+
+# int k_queue_recv(a0 = queue) -> a0 = word
+k_queue_recv:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    mv   s0, a0
+kqr_retry:                       #@ bound BLOCK_RETRY_BOUND
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, QUEUE_COUNT(s0)
+    bnez t0, kqr_item
+    addi a0, s0, QUEUE_RECV_WAITERS
+    jal  k_block_current
+    j    kqr_retry
+kqr_item:
+    lw   t2, QUEUE_HEAD(s0)
+    lw   t3, QUEUE_BUFFER(s0)
+    slli t4, t2, 2
+    add  t4, t4, t3
+    lw   s1, 0(t4)
+    addi t2, t2, 1
+    lw   t1, QUEUE_CAPACITY(s0)
+    bne  t2, t1, kqr_nowrap
+    li   t2, 0
+kqr_nowrap:
+    sw   t2, QUEUE_HEAD(s0)
+    addi t0, t0, -1
+    sw   t0, QUEUE_COUNT(s0)
+    addi a0, s0, QUEUE_SEND_WAITERS
+    jal  k_wake_one
+    beqz a0, kqr_wake_done
+{_PREEMPT_CHECK.format(skip="kqr_wake_done")}\
+kqr_wake_done:
+    mv   a0, s1
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    addi sp, sp, 12
+    ret
+
+
+# int k_queue_recv_timeout(a0 = queue, a1 = ticks) -> a0 = word, a1 = ok?
+# Returns a1 = 1 with the word in a0, or a1 = 0 on timeout.
+k_queue_recv_timeout:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    mv   s0, a0
+    mv   s1, a1
+kqrt_retry:                      #@ bound BLOCK_RETRY_BOUND
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, QUEUE_COUNT(s0)
+    bnez t0, kqrt_item
+    addi a0, s0, QUEUE_RECV_WAITERS
+    mv   a1, s1
+    jal  k_block_current_timeout
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t1, current_tcb
+    lw   t2, 0(t1)
+    lw   t3, TCB_EVENT_NODE+NODE_OWNER(t2)
+    beqz t3, kqrt_unmask_retry
+    addi a0, t2, TCB_EVENT_NODE
+    jal  list_remove
+    csrsi mstatus, MSTATUS_MIE_BIT
+    li   a0, 0
+    li   a1, 0
+    j    kqrt_out
+kqrt_unmask_retry:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    j    kqrt_retry
+kqrt_item:
+    lw   t2, QUEUE_HEAD(s0)
+    lw   t3, QUEUE_BUFFER(s0)
+    slli t4, t2, 2
+    add  t4, t4, t3
+    lw   s1, 0(t4)
+    addi t2, t2, 1
+    lw   t1, QUEUE_CAPACITY(s0)
+    bne  t2, t1, kqrt_nowrap
+    li   t2, 0
+kqrt_nowrap:
+    sw   t2, QUEUE_HEAD(s0)
+    addi t0, t0, -1
+    sw   t0, QUEUE_COUNT(s0)
+    addi a0, s0, QUEUE_SEND_WAITERS
+    jal  k_wake_one
+    mv   a0, s1
+    li   a1, 1
+kqrt_out:
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    addi sp, sp, 12
+    ret
+
+{task_control}\
+# void k_probe(a0 = marker)  -- record an instrumentation marker + cycle
+k_probe:
+    li   t0, PROBE_ADDR
+    sw   a0, 0(t0)
+    ret
+
+# void k_halt(a0 = exit code)  -- end the simulation
+k_halt:
+    li   t0, HALT_ADDR
+    sw   a0, 0(t0)
+khalt_spin:
+    j    khalt_spin
+"""
+
+_HWSYNC_SEM_BODIES = """\
+# void k_sem_take(a0 = semaphore)  -- HW synchronisation extension (Y)
+# The struct's first word holds the hardware semaphore ID. SEM_TAKE
+# either takes the token or queues this task as a waiter in hardware
+# (removing it from the ready list); software then only yields.
+k_sem_take:
+    lw   t2, SEM_COUNT(a0)
+kst_retry:                       #@ bound BLOCK_RETRY_BOUND
+    csrci mstatus, MSTATUS_MIE_BIT
+    sem_take t0, t2
+    bnez t0, kst_got
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    j    kst_retry
+kst_got:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    ret
+
+# void k_sem_give(a0 = semaphore)  -- HW synchronisation extension (Y)
+# SEM_GIVE returns (woken priority + 1) or 0; software preempts when the
+# woken task's priority is at least its own.
+k_sem_give:
+    lw   t2, SEM_COUNT(a0)
+    csrci mstatus, MSTATUS_MIE_BIT
+    sem_give t3, t2
+    beqz t3, ksg_done
+    la   t0, current_tcb
+    lw   t1, 0(t0)
+    lw   t4, TCB_PRIORITY(t1)
+    addi t4, t4, 1
+    bltu t3, t4, ksg_done
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+ksg_done:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    ret
+
+# k_sem_take_timeout is unavailable under the HW-sync extension: the
+# count lives in hardware and cannot join the software timeout path.
+k_sem_take_timeout:
+    j    kernel_panic
+
+# void k_sem_give_from_isr(a0 = semaphore)
+k_sem_give_from_isr:
+    lw   t2, SEM_COUNT(a0)
+    sem_give t3, t2
+    ret
+
+"""
+
+_SW_SEM_TEMPLATE = """\
+# void k_sem_take(a0 = semaphore)
+k_sem_take:
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    mv   s0, a0
+kst_retry:                       #@ bound BLOCK_RETRY_BOUND
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, SEM_COUNT(s0)
+    bnez t0, kst_got
+    addi a0, s0, SEM_WAITERS
+    jal  k_block_current
+    j    kst_retry
+kst_got:
+    addi t0, t0, -1
+    sw   t0, SEM_COUNT(s0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 8
+    ret
+
+# void k_sem_give(a0 = semaphore)
+k_sem_give:
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    mv   s0, a0
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, SEM_COUNT(s0)
+    addi t0, t0, 1
+    sw   t0, SEM_COUNT(s0)
+    addi a0, s0, SEM_WAITERS
+    jal  k_wake_one
+    beqz a0, ksg_done
+{preempt}\
+ksg_done:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 8
+    ret
+
+# int k_sem_take_timeout(a0 = semaphore, a1 = ticks) -> a0 = 1 ok / 0 timeout
+# The timeout applies per blocking attempt (FreeRTOS decrements the
+# remaining time across retries; we re-arm the full timeout — a
+# documented simplification).
+k_sem_take_timeout:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    mv   s0, a0
+    mv   s1, a1
+kstt_retry:                      #@ bound BLOCK_RETRY_BOUND
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, SEM_COUNT(s0)
+    bnez t0, kstt_got
+    addi a0, s0, SEM_WAITERS
+    mv   a1, s1
+    jal  k_block_current_timeout
+    # Resumed either by a give (event node detached by the waker) or by
+    # the timeout (event node still queued on the semaphore).
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t1, current_tcb
+    lw   t2, 0(t1)
+    lw   t3, TCB_EVENT_NODE+NODE_OWNER(t2)
+    beqz t3, kstt_unmask_retry
+    addi a0, t2, TCB_EVENT_NODE
+    jal  list_remove
+    csrsi mstatus, MSTATUS_MIE_BIT
+    li   a0, 0
+    j    kstt_out
+kstt_unmask_retry:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    j    kstt_retry
+kstt_got:
+    addi t0, t0, -1
+    sw   t0, SEM_COUNT(s0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    li   a0, 1
+kstt_out:
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    addi sp, sp, 12
+    ret
+
+# void k_sem_give_from_isr(a0 = semaphore)
+# ISR-safe give: interrupts are already masked by trap entry and must
+# stay masked, and no yield is raised — the ISR reschedules on exit.
+k_sem_give_from_isr:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    lw   t0, SEM_COUNT(a0)
+    addi t0, t0, 1
+    sw   t0, SEM_COUNT(a0)
+    addi a0, a0, SEM_WAITERS
+    jal  k_wake_one
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+"""
+
+
+def _sem_bodies(hwsync: bool, block_delay_self: str) -> str:
+    """Semaphore take/give/timeout bodies for the selected mode."""
+    if hwsync:
+        return _HWSYNC_SEM_BODIES
+    return _SW_SEM_TEMPLATE.format(
+        preempt=_PREEMPT_CHECK.format(skip="ksg_done"),
+        block_delay_self=block_delay_self)
+
+
+_PI_SW_TEMPLATE = """\
+# void k_mutex_lock_pi(a0 = mutex)  -- lock with priority inheritance
+# A contended lock donates the caller's priority to the current owner
+# (removing and re-inserting the owner's ready-list node at the boosted
+# level when it is runnable), preventing unbounded priority inversion.
+k_mutex_lock_pi:
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    mv   s0, a0
+kmlp_retry:                      #@ bound BLOCK_RETRY_BOUND
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, SEM_COUNT(s0)
+    beqz t0, kmlp_contended
+    addi t0, t0, -1
+    sw   t0, SEM_COUNT(s0)
+    la   t1, current_tcb
+    lw   t2, 0(t1)
+    sw   t2, SEM_OWNER(s0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 8
+    ret
+kmlp_contended:
+    lw   t3, SEM_OWNER(s0)
+    beqz t3, kmlp_block
+    la   t1, current_tcb
+    lw   t2, 0(t1)
+    lw   t4, TCB_PRIORITY(t2)    # caller priority
+    lw   t5, TCB_PRIORITY(t3)    # owner priority
+    bgeu t5, t4, kmlp_block      # owner already at least as urgent
+    # Donate: update the owner's priority, re-queue its ready node.
+    lw   t6, TCB_STATE_NODE+NODE_OWNER(t3)
+    la   t0, ready_lists
+    slli t1, t5, 4
+    add  t1, t1, t0
+    sw   t4, TCB_PRIORITY(t3)
+    bne  t6, t1, kmlp_block      # not runnable: field update suffices
+    addi a0, t3, TCB_STATE_NODE
+    jal  list_remove
+    addi a0, a0, -TCB_STATE_NODE
+    jal  sw_add_ready
+kmlp_block:
+    addi a0, s0, SEM_WAITERS
+    jal  k_block_current
+    j    kmlp_retry
+
+# void k_mutex_unlock_pi(a0 = mutex)
+k_mutex_unlock_pi:
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    mv   s0, a0
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, SEM_COUNT(s0)
+    addi t0, t0, 1
+    sw   t0, SEM_COUNT(s0)
+    sw   zero, SEM_OWNER(s0)
+    # Drop any donated priority back to the base level.
+    la   t1, current_tcb
+    lw   t2, 0(t1)
+    lw   t3, TCB_PRIORITY(t2)
+    lw   t4, TCB_BASE_PRIO(t2)
+    beq  t3, t4, kmup_wake
+    addi a0, t2, TCB_STATE_NODE
+    jal  list_remove
+    la   t1, current_tcb
+    lw   t2, 0(t1)
+    lw   t4, TCB_BASE_PRIO(t2)
+    sw   t4, TCB_PRIORITY(t2)
+    mv   a0, t2
+    jal  sw_add_ready
+kmup_wake:
+    addi a0, s0, SEM_WAITERS
+    jal  k_wake_one
+    beqz a0, kmup_done
+{preempt}\
+kmup_done:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 8
+    ret
+"""
+
+_PI_HW_FALLBACK = """\
+# Priority inheritance needs the scheduler's task-state visibility; the
+# hardware ready list exposes none (a blocked owner is simply absent),
+# so under (T) configurations the PI entry points fall back to plain
+# mutexes — the same trade-off that keeps event lists in software
+# (§4.4). See DESIGN.md, "hardware scheduling limitations".
+k_mutex_lock_pi:
+    j    k_sem_take
+k_mutex_unlock_pi:
+    j    k_sem_give
+"""
+
+
+def _pi_bodies(hw_sched: bool) -> str:
+    """Priority-inheritance mutex entry points."""
+    if hw_sched:
+        return _PI_HW_FALLBACK
+    return _PI_SW_TEMPLATE.format(
+        preempt=_PREEMPT_CHECK.format(skip="kmup_done"))
+
+
+_TASK_CONTROL_SW = """\
+# void k_task_start(a0 = tcb)  -- make a dormant task runnable
+# Tasks declared with auto_ready=False begin outside every list; this
+# inserts them into their priority's ready list (vTaskResume-style).
+k_task_start:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, TCB_STATE_NODE+NODE_OWNER(a0)
+    bnez t0, kts_done            # already queued somewhere
+    jal  sw_add_ready
+kts_done:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+# void k_task_suspend_self()  -- remove the caller from scheduling
+# until another task calls k_task_start on its TCB (vTaskSuspend(NULL)).
+k_task_suspend_self:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t0, current_tcb
+    lw   a0, 0(t0)
+    addi a0, a0, TCB_STATE_NODE
+    jal  list_remove
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+"""
+
+_TASK_CONTROL_HW = """\
+# void k_task_start(a0 = tcb)  -- make a dormant task runnable (T: the
+# hardware list holds the ready set; RM_TASK first keeps it idempotent).
+k_task_start:
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t2, TCB_TASK_ID(a0)
+    lw   t3, TCB_PRIORITY(a0)
+    rm_task t2
+    add_ready t2, t3
+    csrsi mstatus, MSTATUS_MIE_BIT
+    ret
+
+# void k_task_suspend_self()
+k_task_suspend_self:
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t0, current_tcb
+    lw   t1, 0(t0)
+    lw   t2, TCB_TASK_ID(t1)
+    rm_task t2
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    ret
+"""
+
+
+def _task_control(hw_sched: bool) -> str:
+    """Start/suspend task-control entry points."""
+    return _TASK_CONTROL_HW if hw_sched else _TASK_CONTROL_SW

@@ -1,0 +1,77 @@
+"""Boot code generation.
+
+The boot sequence installs the trap vector, enables the three interrupt
+sources, seeds the hardware scheduler (T configurations), and launches
+the first task by restoring its initial context through whichever restore
+path the configuration uses — so the launch itself exercises the same
+machinery as a context switch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernel.context import restore_context_region, restore_context_stack
+from repro.rtosunit.config import RTOSUnitConfig
+
+_PROLOGUE = """\
+_start:
+    la   t0, isr_entry
+    csrw mtvec, t0
+    li   t0, 0x888
+    csrw mie, t0
+"""
+
+_LOOKUP_CURRENT = """\
+    la   t1, task_table
+    slli t2, a0, 2
+    add  t1, t1, t2
+    lw   t2, 0(t1)
+    la   t3, current_tcb
+    sw   t2, 0(t3)
+"""
+
+
+def boot_asm(config: RTOSUnitConfig,
+             ready_tasks: Sequence[tuple[int, int]],
+             first_task_id: int,
+             sem_inits: Sequence[tuple[int, int]] = ()) -> str:
+    """Render boot code.
+
+    ``ready_tasks`` lists ``(task_id, priority)`` for every initially
+    ready task (used to seed the hardware ready list under T);
+    ``first_task_id`` is the task launched first; ``sem_inits`` seeds
+    the hardware semaphore counts under the (Y) extension.
+    """
+    parts = [_PROLOGUE]
+    if config.sched:
+        for task_id, priority in ready_tasks:
+            parts.append(f"    li   a0, {task_id}\n"
+                         f"    li   a1, {priority}\n"
+                         f"    add_ready a0, a1\n")
+        if config.hwsync:
+            for sem_id, initial in sem_inits:
+                for _ in range(initial):
+                    parts.append(f"    li   a0, {sem_id}\n"
+                                 f"    sem_give a1, a0\n")
+        parts.append("    get_hw_sched a0\n")
+        parts.append(_LOOKUP_CURRENT)
+        if config.store and config.load:
+            parts.append("    mret\n")
+        elif config.store:
+            parts.append("    csrw mscratch, a0\n")
+            parts.append(restore_context_region())
+        else:
+            parts.append(restore_context_stack())
+    elif config.store:
+        parts.append(f"    li   a0, {first_task_id}\n")
+        parts.append("    set_context_id a0\n")
+        if config.load:
+            parts.append("    mret\n")
+        else:
+            parts.append("    csrw mscratch, a0\n")
+            parts.append(restore_context_region())
+    else:
+        # vanilla / CV32RT: restore the statically initialised frame.
+        parts.append(restore_context_stack())
+    return "".join(parts)

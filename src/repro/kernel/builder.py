@@ -1,0 +1,146 @@
+"""Kernel image builder: assembles boot + ISR + kernel + tasks + data.
+
+``KernelBuilder`` renders one self-contained assembly source for a
+(configuration, workload) pair and loads it into a :class:`System`. The
+same workload source runs unmodified across cores; only the RTOSUnit
+configuration changes the generated ISR/boot/API code — exactly the
+FreeRTOS-extension story of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.cores.system import System, build_system
+from repro.isa.assembler import Program, assemble
+from repro.kernel.api import api_asm
+from repro.kernel.boot import boot_asm
+from repro.kernel.isr import isr_asm
+from repro.kernel.layout import equates
+from repro.kernel.lists import LIST_ASM
+from repro.kernel.sched import SCHED_ASM
+from repro.kernel.tasks import IDLE_TASK, KernelObjects, TaskSpec, data_section
+from repro.mem.regions import MemoryLayout
+from repro.rtosunit.config import RTOSUnitConfig
+
+_DEFAULT_EXT_HANDLER = """\
+ext_irq_handler:
+    ret
+"""
+
+
+@dataclass
+class KernelBuilder:
+    """Builds runnable kernel images for one configuration."""
+
+    config: RTOSUnitConfig
+    objects: KernelObjects
+    layout: MemoryLayout = None  # type: ignore[assignment]
+    tick_period: int = 1000
+    include_idle: bool = True
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.layout is None:
+            self.layout = MemoryLayout()
+        self.tasks: list[TaskSpec] = list(self.objects.tasks)
+        if self.include_idle:
+            if any(t.name == "idle" for t in self.tasks):
+                raise KernelError(
+                    "task name 'idle' is reserved for the idle task")
+            self.tasks.append(IDLE_TASK)
+        if not self.tasks:
+            raise KernelError("a kernel needs at least one task")
+        if self.config.sched:
+            ready_count = sum(t.auto_ready for t in self.tasks)
+            if ready_count > self.config.list_length:
+                raise KernelError(
+                    f"{ready_count} initially ready tasks exceed the "
+                    f"hardware list length {self.config.list_length}")
+        if self.config.hwsync:
+            n_sems = len(self.objects.semaphores)
+            if n_sems > self.config.sem_slots:
+                raise KernelError(
+                    f"{n_sems} semaphores exceed the {self.config.sem_slots} "
+                    f"hardware semaphore slots")
+        if self.validate:
+            from repro.kernel.validate import require_clean
+
+            require_clean(self.objects)
+
+    # -- source rendering -------------------------------------------------------
+
+    def source(self) -> str:
+        """Render the complete assembly source."""
+        objects = KernelObjects(
+            tasks=self.tasks,
+            semaphores=self.objects.semaphores,
+            queues=self.objects.queues,
+            ext_handler=self.objects.ext_handler,
+        )
+        ready = [(task_id, task.priority)
+                 for task_id, task in enumerate(self.tasks)
+                 if task.auto_ready]
+        first = max(ready, key=lambda pair: pair[1])[0]
+        parts = [
+            equates(self.layout, self.tick_period),
+            f".equ ISR_STACK_TOP, {self.layout.stack_base:#x}\n",
+            f".equ LIST_SCAN_BOUND, {self.layout.max_tasks}\n",
+            f".equ DELAY_WAKE_BOUND, {self.config.list_length}\n",
+            ".equ BLOCK_RETRY_BOUND, 4\n",
+            boot_asm(self.config, ready, first,
+                     sem_inits=[(index, sem.initial)
+                                for index, sem in
+                                enumerate(self.objects.semaphores)]),
+            isr_asm(self.config),
+            LIST_ASM,
+            SCHED_ASM if not self.config.sched else _sw_sched_stub(),
+            api_asm(hw_sched=self.config.sched,
+                    hwsync=self.config.hwsync),
+            objects.ext_handler or _DEFAULT_EXT_HANDLER,
+        ]
+        for task in self.tasks:
+            parts.append(task.body if task.body.endswith("\n")
+                         else task.body + "\n")
+        parts.append(data_section(objects, self.layout, self.config))
+        return "\n".join(parts)
+
+    # -- building ------------------------------------------------------------------
+
+    def program(self) -> Program:
+        return assemble(self.source(), origin=self.layout.text_base)
+
+    def build(self, core_name: str, external_events=None,
+              mem_size: int = 1 << 20) -> System:
+        """Assemble and load into a ready-to-run :class:`System`."""
+        system = build_system(
+            core_name, self.config, layout=self.layout,
+            tick_period=self.tick_period, mem_size=mem_size,
+            external_events=external_events)
+        system.load(self.program())
+        return system
+
+
+def _sw_sched_stub() -> str:
+    """Hardware-scheduled kernels keep the panic entry point only."""
+    return """
+kernel_panic:
+    li   t0, HALT_ADDR
+    li   t1, 0xDEAD
+    sw   t1, 0(t0)
+kp_spin:
+    j    kp_spin
+"""
+
+
+def build_kernel_system(core_name: str, config: RTOSUnitConfig,
+                        objects: KernelObjects, *,
+                        tick_period: int = 1000,
+                        external_events=None,
+                        layout: MemoryLayout | None = None) -> System:
+    """One-call convenience: build and load a kernel for a workload."""
+    builder = KernelBuilder(config=config, objects=objects,
+                            layout=layout or MemoryLayout(),
+                            tick_period=tick_period)
+    return builder.build(core_name, external_events=external_events)

@@ -1,0 +1,113 @@
+"""Context save/restore assembly fragments (inlined into ISRs and boot).
+
+Three flavours exist:
+
+* stack frames — the FreeRTOS way, used by ``vanilla``, ``(T)`` and
+  ``CV32RT``: the frame lives on the task's stack and the saved stack
+  pointer is kept in ``TCB.pxTopOfStack`` (Fig. 4 (a)/(b)/(d));
+* region restore — used by store-only configurations ``(S*)``/``(ST*)``
+  where the hardware stored the context into the fixed region and
+  *software* loads it back after ``SWITCH_RF`` (§4.2);
+* full hardware — ``(SL*)`` configurations need no fragment at all; the
+  restore FSM fills the APP register file and ``mret`` switches banks.
+"""
+
+from __future__ import annotations
+
+from repro.mem.regions import CONTEXT_REG_ORDER
+from repro.isa.registers import reg_name
+from repro.rtosunit.unit import CV32RT_HW_REGS
+
+#: Registers with a slot in a frame, minus the stack pointer (implicit in
+#: stack frames; loaded from its slot in region restores).
+_FRAME_REGS = [r for r in CONTEXT_REG_ORDER if r != 2]
+
+
+def save_context_stack() -> str:
+    """Push a full frame onto the current task's stack, store sp in TCB."""
+    lines = ["    addi sp, sp, -FRAME_BYTES"]
+    for reg in _FRAME_REGS:
+        lines.append(f"    sw   {reg_name(reg)}, FRAME_X{reg}(sp)")
+    lines += [
+        "    csrr t0, mstatus",
+        "    sw   t0, FRAME_MSTATUS(sp)",
+        "    csrr t0, mepc",
+        "    sw   t0, FRAME_MEPC(sp)",
+        "    la   t0, current_tcb",
+        "    lw   t0, 0(t0)",
+        "    sw   sp, TCB_TOP_OF_STACK(t0)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def save_context_stack_cv32rt() -> str:
+    """CV32RT: hardware snapshots half the registers over its dedicated
+    port at interrupt entry; software saves only the other half."""
+    lines = ["    addi sp, sp, -FRAME_BYTES"]
+    for reg in _FRAME_REGS:
+        if reg in CV32RT_HW_REGS:
+            continue  # stored by the snapshot hardware
+        lines.append(f"    sw   {reg_name(reg)}, FRAME_X{reg}(sp)")
+    lines += [
+        "    csrr t0, mstatus",
+        "    sw   t0, FRAME_MSTATUS(sp)",
+        "    csrr t0, mepc",
+        "    sw   t0, FRAME_MEPC(sp)",
+        "    la   t0, current_tcb",
+        "    lw   t0, 0(t0)",
+        "    sw   sp, TCB_TOP_OF_STACK(t0)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def restore_context_stack() -> str:
+    """Load the frame of ``current_tcb`` from its stack and ``mret``."""
+    lines = [
+        "    la   t0, current_tcb",
+        "    lw   t0, 0(t0)",
+        "    lw   sp, TCB_TOP_OF_STACK(t0)",
+        "    lw   t0, FRAME_MSTATUS(sp)",
+        "    csrw mstatus, t0",
+        "    lw   t0, FRAME_MEPC(sp)",
+        "    csrw mepc, t0",
+    ]
+    for reg in _FRAME_REGS:
+        if reg == 5:  # t0 is the working register; restored last
+            continue
+        lines.append(f"    lw   {reg_name(reg)}, FRAME_X{reg}(sp)")
+    lines += [
+        "    lw   t0, FRAME_X5(sp)",
+        "    addi sp, sp, FRAME_BYTES",
+        "    mret",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def restore_context_region() -> str:
+    """Software restore from the fixed context region (after SWITCH_RF).
+
+    The next task's ID was stashed in ``mscratch`` *before* the bank
+    switch; everything after the switch runs on the APP register file, so
+    the working registers ``t5``/``t6`` are reloaded from the slot last.
+    """
+    lines = [
+        "    csrr t6, mscratch",
+        "    slli t6, t6, 7",
+        "    lui  t5, %hi(CONTEXT_BASE)",
+        "    addi t5, t5, %lo(CONTEXT_BASE)",
+        "    add  t6, t6, t5",
+        "    lw   t5, FRAME_MSTATUS(t6)",
+        "    csrw mstatus, t5",
+        "    lw   t5, FRAME_MEPC(t6)",
+        "    csrw mepc, t5",
+    ]
+    for reg in CONTEXT_REG_ORDER:
+        if reg in (30, 31):  # t5, t6 reloaded last
+            continue
+        lines.append(f"    lw   {reg_name(reg)}, FRAME_X{reg}(t6)")
+    lines += [
+        "    lw   t5, FRAME_X30(t6)",
+        "    lw   t6, FRAME_X31(t6)",
+        "    mret",
+    ]
+    return "\n".join(lines) + "\n"

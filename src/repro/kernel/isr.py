@@ -1,0 +1,107 @@
+"""ISR generation, one variant per RTOSUnit configuration (Fig. 4).
+
+The ISR always runs with further interrupts masked (machine mode,
+``mstatus.MIE`` cleared by trap entry) and ends with ``mret``. As
+features move into hardware, the ISR shrinks:
+
+========================  ====================================================
+configuration             ISR contents
+========================  ====================================================
+vanilla                   save frame → tick/ext dispatch → SW scheduler →
+                          restore frame → mret
+CV32RT                    half-save frame (HW snapshots the rest) → same
+S, SD                     (HW stores) tick/ext dispatch → SW scheduler →
+                          SET_CONTEXT_ID → SWITCH_RF → SW region restore
+SL, SDLO                  (HW stores) dispatch → SW scheduler →
+                          SET_CONTEXT_ID (HW restores) → mret
+T                         save frame → ext dispatch → GET_HW_SCHED →
+                          update currentTCB → restore frame → mret
+ST, SDT                   (HW stores) ext dispatch → GET_HW_SCHED → update
+                          currentTCB → SWITCH_RF → SW region restore
+SLT, SDLOT, SPLIT         (HW stores+loads) ext dispatch → GET_HW_SCHED →
+                          update currentTCB → mret
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernel.context import (
+    restore_context_region,
+    restore_context_stack,
+    save_context_stack,
+    save_context_stack_cv32rt,
+)
+from repro.rtosunit.config import RTOSUnitConfig
+
+_SW_DISPATCH = """\
+    csrr t0, mcause
+    li   t1, MCAUSE_MTI
+    beq  t0, t1, isr_tick
+    li   t1, MCAUSE_MEI
+    beq  t0, t1, isr_ext
+    j    isr_resched
+isr_tick:
+    jal  tick_handler
+    j    isr_resched
+isr_ext:
+    jal  ext_irq_handler
+isr_resched:
+    jal  switch_context_sw
+"""
+
+_HW_DISPATCH = """\
+    csrr t0, mcause
+    li   t1, MCAUSE_MEI
+    bne  t0, t1, isr_hwsched
+    jal  ext_irq_handler
+isr_hwsched:
+    get_hw_sched a0
+    la   t1, task_table
+    slli t2, a0, 2
+    add  t1, t1, t2
+    lw   t2, 0(t1)
+    la   t3, current_tcb
+    sw   t2, 0(t3)
+"""
+
+_SET_CONTEXT_FROM_TCB = """\
+    la   t0, current_tcb
+    lw   t0, 0(t0)
+    lw   a0, TCB_TASK_ID(t0)
+    set_context_id a0
+"""
+
+_ISR_STACK = "    li   sp, ISR_STACK_TOP\n"
+
+
+def isr_asm(config: RTOSUnitConfig) -> str:
+    """Render the full ISR for *config*, starting at label ``isr_entry``."""
+    parts = ["isr_entry:\n"]
+    if config.is_vanilla:
+        parts += [save_context_stack(), _SW_DISPATCH,
+                  restore_context_stack()]
+    elif config.cv32rt:
+        parts += [save_context_stack_cv32rt(), _SW_DISPATCH,
+                  restore_context_stack()]
+    elif config.store and not config.sched:
+        parts += [_ISR_STACK, _SW_DISPATCH, _SET_CONTEXT_FROM_TCB]
+        if config.load:
+            parts.append("    mret\n")
+        else:
+            parts += ["    csrw mscratch, a0\n", "    switch_rf\n",
+                      restore_context_region()]
+    elif config.sched and not config.store:
+        parts += [save_context_stack(), _HW_DISPATCH,
+                  restore_context_stack()]
+    elif config.sched and config.store:
+        parts += [_ISR_STACK, _HW_DISPATCH]
+        if config.load:
+            parts.append("    mret\n")
+        else:
+            parts += ["    csrw mscratch, a0\n", "    switch_rf\n",
+                      restore_context_region()]
+    else:
+        raise ConfigurationError(
+            f"no ISR template for configuration {config.name}")
+    return "".join(parts)

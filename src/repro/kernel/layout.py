@@ -1,0 +1,112 @@
+"""Kernel data-structure layout shared by the assembly and the tooling.
+
+Everything here is mirrored into ``.equ`` constants so the assembly, the
+Python-side builders and the tests all agree on offsets.
+"""
+
+from __future__ import annotations
+
+from repro.mem.regions import CONTEXT_REG_ORDER
+from repro.mem.memory import HALT_ADDR, MSIP_ADDR, MTIME_ADDR, MTIMECMP_ADDR, PROBE_ADDR, PUTCHAR_ADDR
+from repro.mem.regions import MemoryLayout
+
+#: Number of FreeRTOS-style priorities (0 = idle, highest = MAX-1).
+MAX_PRIORITIES = 8
+
+# -- TCB layout (byte offsets) -------------------------------------------------
+TCB_TOP_OF_STACK = 0
+TCB_PRIORITY = 4
+TCB_TASK_ID = 8
+TCB_BASE_PRIO = 12   # unboosted priority (priority inheritance)
+TCB_STATE_NODE = 16   # list node linking the task into ready/delay lists
+TCB_EVENT_NODE = 32   # list node linking the task into an event list
+TCB_SIZE = 48
+
+# -- list node layout (byte offsets within a node) ------------------------------
+NODE_NEXT = 0
+NODE_PREV = 4
+NODE_VALUE = 8   # wake tick (delay list) or inverted priority (event lists)
+NODE_OWNER = 12  # owning list header, 0 when detached
+NODE_SIZE = 16
+
+#: A list header is a sentinel node; VALUE is the +inf sentinel for sorted
+#: insertion and OWNER doubles as the element count.
+LIST_COUNT = NODE_OWNER
+LIST_SENTINEL_VALUE = 0xFFFF_FFFF
+
+# -- semaphore layout ------------------------------------------------------------
+SEM_COUNT = 0
+SEM_WAITERS = 4        # event-list header
+SEM_OWNER = 4 + NODE_SIZE  # owning TCB (priority-inheritance mutexes)
+SEM_SIZE = 8 + NODE_SIZE
+
+# -- queue layout -----------------------------------------------------------------
+QUEUE_HEAD = 0
+QUEUE_TAIL = 4
+QUEUE_COUNT = 8
+QUEUE_CAPACITY = 12
+QUEUE_BUFFER = 16      # pointer to word buffer
+QUEUE_RECV_WAITERS = 20
+QUEUE_SEND_WAITERS = 20 + NODE_SIZE
+QUEUE_SIZE = 20 + 2 * NODE_SIZE
+
+# -- context frame ------------------------------------------------------------------
+#: Word index of each saved register within a context frame (stack frame in
+#: the software configurations, context-region slot in the hardware ones).
+CONTEXT_OFFSETS = {reg: 4 * i for i, reg in enumerate(CONTEXT_REG_ORDER)}
+FRAME_MSTATUS = 4 * len(CONTEXT_REG_ORDER)
+FRAME_MEPC = FRAME_MSTATUS + 4
+FRAME_BYTES = FRAME_MEPC + 4  # 31 words = 124 bytes
+
+#: Initial mstatus in a freshly created task context: previous privilege M,
+#: previous interrupt-enable set, so ``mret`` starts the task with
+#: interrupts on.
+INITIAL_MSTATUS = 0x1880
+
+
+def equates(layout: MemoryLayout, tick_period: int) -> str:
+    """Render the shared ``.equ`` block for kernel assembly sources."""
+    lines = [
+        f".equ MSIP_ADDR, {MSIP_ADDR:#x}",
+        f".equ MTIMECMP_ADDR, {MTIMECMP_ADDR:#x}",
+        f".equ MTIME_ADDR, {MTIME_ADDR:#x}",
+        f".equ HALT_ADDR, {HALT_ADDR:#x}",
+        f".equ PUTCHAR_ADDR, {PUTCHAR_ADDR:#x}",
+        f".equ PROBE_ADDR, {PROBE_ADDR:#x}",
+        f".equ TICK_PERIOD, {tick_period}",
+        f".equ CONTEXT_BASE, {layout.context_base:#x}",
+        f".equ MAX_PRIORITIES, {MAX_PRIORITIES}",
+        f".equ TCB_TOP_OF_STACK, {TCB_TOP_OF_STACK}",
+        f".equ TCB_PRIORITY, {TCB_PRIORITY}",
+        f".equ TCB_TASK_ID, {TCB_TASK_ID}",
+        f".equ TCB_BASE_PRIO, {TCB_BASE_PRIO}",
+        f".equ TCB_STATE_NODE, {TCB_STATE_NODE}",
+        f".equ TCB_EVENT_NODE, {TCB_EVENT_NODE}",
+        f".equ NODE_NEXT, {NODE_NEXT}",
+        f".equ NODE_PREV, {NODE_PREV}",
+        f".equ NODE_VALUE, {NODE_VALUE}",
+        f".equ NODE_OWNER, {NODE_OWNER}",
+        f".equ LIST_COUNT, {LIST_COUNT}",
+        f".equ NODE_SIZE, {NODE_SIZE}",
+        f".equ SEM_COUNT, {SEM_COUNT}",
+        f".equ SEM_WAITERS, {SEM_WAITERS}",
+        f".equ SEM_OWNER, {SEM_OWNER}",
+        f".equ QUEUE_HEAD, {QUEUE_HEAD}",
+        f".equ QUEUE_TAIL, {QUEUE_TAIL}",
+        f".equ QUEUE_COUNT, {QUEUE_COUNT}",
+        f".equ QUEUE_CAPACITY, {QUEUE_CAPACITY}",
+        f".equ QUEUE_BUFFER, {QUEUE_BUFFER}",
+        f".equ QUEUE_RECV_WAITERS, {QUEUE_RECV_WAITERS}",
+        f".equ QUEUE_SEND_WAITERS, {QUEUE_SEND_WAITERS}",
+        f".equ FRAME_MSTATUS, {FRAME_MSTATUS}",
+        f".equ FRAME_MEPC, {FRAME_MEPC}",
+        f".equ FRAME_BYTES, {FRAME_BYTES}",
+        f".equ INITIAL_MSTATUS, {INITIAL_MSTATUS:#x}",
+        ".equ MSTATUS_MIE_BIT, 8",
+        ".equ MCAUSE_MTI, 0x80000007",
+        ".equ MCAUSE_MSI, 0x80000003",
+        ".equ MCAUSE_MEI, 0x8000000b",
+    ]
+    for reg, offset in CONTEXT_OFFSETS.items():
+        lines.append(f".equ FRAME_X{reg}, {offset}")
+    return "\n".join(lines) + "\n"

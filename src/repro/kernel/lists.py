@@ -1,0 +1,61 @@
+"""Doubly-linked list primitives, FreeRTOS-style, in assembly.
+
+Every list has a sentinel header whose ``VALUE`` field is the +inf marker
+for sorted insertion and whose ``OWNER`` slot stores the element count.
+Task TCBs embed two nodes: the *state* node (ready/delay lists) and the
+*event* node (semaphore/queue waiter lists).
+
+Calling convention: ``a0``/``a1`` carry arguments, ``t0``–``t2`` are
+clobbered, ``a0`` is preserved by ``list_remove`` so callers can keep the
+node. All routines assume interrupts are already masked by the caller.
+"""
+
+LIST_ASM = """
+# ---------------------------------------------------------------- lists --
+# void list_insert_tail(a0 = list header, a1 = node)
+list_insert_tail:
+    lw   t0, NODE_PREV(a0)
+    sw   a1, NODE_PREV(a0)
+    sw   a1, NODE_NEXT(t0)
+    sw   t0, NODE_PREV(a1)
+    sw   a0, NODE_NEXT(a1)
+    sw   a0, NODE_OWNER(a1)
+    lw   t0, LIST_COUNT(a0)
+    addi t0, t0, 1
+    sw   t0, LIST_COUNT(a0)
+    ret
+
+# void list_remove(a0 = node)   -- a0 preserved
+list_remove:
+    lw   t0, NODE_NEXT(a0)
+    lw   t1, NODE_PREV(a0)
+    sw   t0, NODE_NEXT(t1)
+    sw   t1, NODE_PREV(t0)
+    lw   t2, NODE_OWNER(a0)
+    lw   t0, LIST_COUNT(t2)
+    addi t0, t0, -1
+    sw   t0, LIST_COUNT(t2)
+    sw   zero, NODE_OWNER(a0)
+    ret
+
+# void list_insert_sorted(a0 = list header, a1 = node with VALUE set)
+# Ascending by VALUE; equal values keep FIFO order (stable insertion).
+list_insert_sorted:
+    lw   t2, NODE_VALUE(a1)
+    mv   t0, a0
+lis_scan:                        #@ bound LIST_SCAN_BOUND
+    lw   t0, NODE_NEXT(t0)
+    lw   t1, NODE_VALUE(t0)
+    bleu t1, t2, lis_scan
+    # insert before t0
+    lw   t1, NODE_PREV(t0)
+    sw   a1, NODE_NEXT(t1)
+    sw   a1, NODE_PREV(t0)
+    sw   t1, NODE_PREV(a1)
+    sw   t0, NODE_NEXT(a1)
+    sw   a0, NODE_OWNER(a1)
+    lw   t1, LIST_COUNT(a0)
+    addi t1, t1, 1
+    sw   t1, LIST_COUNT(a0)
+    ret
+"""

@@ -1,0 +1,116 @@
+"""Software scheduler and tick handler (the ``vanilla`` FreeRTOS path).
+
+``switch_context_sw`` reproduces ``vTaskSwitchContext``: rotate the
+running task to the tail of its priority's ready list (round-robin within
+priority, Fig. 2 (b)), then scan down from the top ready priority for the
+next task. ``tick_handler`` reproduces ``xTaskIncrementTick``: advance the
+tick counter, re-arm the timer compare register in software, and move
+every expired task from the delay list back to the ready lists
+(Fig. 2 (g)) — the variable-latency work that dominates vanilla jitter.
+"""
+
+SCHED_ASM = """
+# ------------------------------------------------------------- scheduler --
+# void sw_add_ready(a0 = tcb)  -- append to its priority's ready list
+sw_add_ready:
+    lw   t3, TCB_PRIORITY(a0)
+    la   t4, ready_lists
+    slli t5, t3, 4
+    add  t4, t4, t5
+    addi a1, a0, TCB_STATE_NODE
+    lw   t0, NODE_PREV(t4)
+    sw   a1, NODE_PREV(t4)
+    sw   a1, NODE_NEXT(t0)
+    sw   t0, NODE_PREV(a1)
+    sw   t4, NODE_NEXT(a1)
+    sw   t4, NODE_OWNER(a1)
+    lw   t0, LIST_COUNT(t4)
+    addi t0, t0, 1
+    sw   t0, LIST_COUNT(t4)
+    la   t5, top_ready_prio
+    lw   t0, 0(t5)
+    bgeu t0, t3, sar_done
+    sw   t3, 0(t5)
+sar_done:
+    ret
+
+# void switch_context_sw()  -- select next task into current_tcb
+switch_context_sw:
+    la   t0, current_tcb
+    lw   t1, 0(t0)
+    lw   t2, TCB_STATE_NODE+NODE_OWNER(t1)
+    beqz t2, sc_pick
+    lw   t3, TCB_PRIORITY(t1)
+    la   t4, ready_lists
+    slli t5, t3, 4
+    add  t4, t4, t5
+    bne  t2, t4, sc_pick
+    # rotate the running task to the tail of its ready list
+    addi a1, t1, TCB_STATE_NODE
+    lw   t5, NODE_NEXT(a1)
+    lw   t6, NODE_PREV(a1)
+    sw   t5, NODE_NEXT(t6)
+    sw   t6, NODE_PREV(t5)
+    lw   t5, NODE_PREV(t4)
+    sw   a1, NODE_PREV(t4)
+    sw   a1, NODE_NEXT(t5)
+    sw   t5, NODE_PREV(a1)
+    sw   t4, NODE_NEXT(a1)
+sc_pick:
+    la   t4, ready_lists
+    la   t5, top_ready_prio
+    lw   t3, 0(t5)
+sc_scan:                         #@ bound MAX_PRIORITIES
+    slli t6, t3, 4
+    add  t6, t6, t4
+    lw   t2, LIST_COUNT(t6)
+    bnez t2, sc_found
+    addi t3, t3, -1
+    bgez t3, sc_scan
+    j    kernel_panic
+sc_found:
+    sw   t3, 0(t5)
+    lw   t2, NODE_NEXT(t6)
+    addi t2, t2, -TCB_STATE_NODE
+    sw   t2, 0(t0)
+    ret
+
+# void tick_handler()  -- software tick: re-arm timer, wake expired tasks
+tick_handler:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    li   t0, MTIME_ADDR
+    lw   t1, 0(t0)
+    li   t0, MTIMECMP_ADDR
+    li   t2, TICK_PERIOD
+    add  t3, t1, t2
+    sw   t3, 0(t0)
+    la   t0, tick_count
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+tick_wake_loop:                  #@ bound DELAY_WAKE_BOUND
+    la   t2, delay_list
+    lw   t3, NODE_NEXT(t2)
+    beq  t3, t2, tick_done
+    la   t0, tick_count
+    lw   t1, 0(t0)
+    lw   t4, NODE_VALUE(t3)
+    bgtu t4, t1, tick_done
+    mv   a0, t3
+    jal  list_remove
+    addi a0, a0, -TCB_STATE_NODE
+    jal  sw_add_ready
+    j    tick_wake_loop
+tick_done:
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+kernel_panic:
+    li   t0, HALT_ADDR
+    li   t1, 0xDEAD
+    sw   t1, 0(t0)
+kp_spin:
+    j    kp_spin
+"""

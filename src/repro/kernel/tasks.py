@@ -1,0 +1,232 @@
+"""Task sets, kernel objects, and static data-section generation.
+
+Task control blocks, ready/delay lists, semaphores and queues are laid
+out statically in the image, exactly as FreeRTOS would have built them at
+runtime: every initially ready task's state node is pre-linked into its
+priority's ready list, initial register frames sit on the task stacks
+(software-restore configurations) or in the fixed context region
+(hardware-store configurations), and ``current_tcb`` points at the
+highest-priority first task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+from repro.mem.regions import CONTEXT_REG_ORDER
+from repro.kernel.layout import (
+    FRAME_BYTES,
+    INITIAL_MSTATUS,
+    LIST_SENTINEL_VALUE,
+    MAX_PRIORITIES,
+    NODE_SIZE,
+    TCB_STATE_NODE,
+)
+from repro.mem.regions import MemoryLayout
+from repro.rtosunit.config import RTOSUnitConfig
+
+
+@dataclass
+class TaskSpec:
+    """One task: assembly body plus scheduling attributes.
+
+    ``body`` must define the entry label ``task_<name>:``. Tasks never
+    return; they loop, block, or call ``k_halt``.
+    """
+
+    name: str
+    body: str
+    priority: int = 1
+    auto_ready: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise KernelError(f"task name {self.name!r} is not an identifier")
+        if not 0 <= self.priority < MAX_PRIORITIES:
+            raise KernelError(
+                f"priority {self.priority} outside [0, {MAX_PRIORITIES})")
+        if f"task_{self.name}:" not in self.body:
+            raise KernelError(
+                f"task body for {self.name!r} must define label "
+                f"task_{self.name}:")
+
+
+@dataclass
+class Semaphore:
+    """Counting semaphore (mutexes are semaphores with ``initial=1``)."""
+
+    name: str
+    initial: int = 0
+
+
+@dataclass
+class MessageQueue:
+    """Fixed-capacity queue of single words."""
+
+    name: str
+    capacity: int = 4
+
+
+@dataclass
+class KernelObjects:
+    """Everything a workload contributes to the kernel image."""
+
+    tasks: list[TaskSpec] = field(default_factory=list)
+    semaphores: list[Semaphore] = field(default_factory=list)
+    queues: list[MessageQueue] = field(default_factory=list)
+    ext_handler: str | None = None  # asm body under label ext_irq_handler
+
+
+IDLE_TASK = TaskSpec(
+    name="idle",
+    priority=0,
+    body="""\
+task_idle:
+idle_loop:
+    wfi
+    j    idle_loop
+""",
+)
+
+
+def _frame_words(sp_value: int, entry_symbol: str) -> list[str]:
+    """Initial context frame: zeroed registers, initial mstatus, entry PC."""
+    words = []
+    for reg in CONTEXT_REG_ORDER:
+        words.append(str(sp_value) if reg == 2 else "0")
+    words.append(f"{INITIAL_MSTATUS:#x}")
+    words.append(entry_symbol)
+    return words
+
+
+def data_section(objects: KernelObjects, layout: MemoryLayout,
+                 config: RTOSUnitConfig) -> str:
+    """Render the static data section (``.org``-placed)."""
+    tasks = objects.tasks
+    if len(tasks) > layout.max_tasks:
+        raise KernelError(
+            f"{len(tasks)} tasks exceed the layout's {layout.max_tasks}")
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise KernelError(f"duplicate task names in {names}")
+
+    first = _first_task(tasks)
+    use_sw_ready = not config.sched
+    lines = [f".org {layout.data_base:#x}", ""]
+    lines.append(f"current_tcb: .word tcb_{first.name}")
+    lines.append("tick_count: .word 0")
+    top = max((t.priority for t in tasks if t.auto_ready), default=0)
+    lines.append(f"top_ready_prio: .word {top}")
+    lines.append("")
+
+    # Ready lists: 8 sentinel headers, statically chained when the
+    # software scheduler owns them.
+    by_prio: dict[int, list[TaskSpec]] = {}
+    if use_sw_ready:
+        for task in tasks:
+            if task.auto_ready:
+                by_prio.setdefault(task.priority, []).append(task)
+    lines.append("ready_lists:")
+    for prio in range(MAX_PRIORITIES):
+        header = f"ready_lists+{prio * NODE_SIZE}"
+        chain = by_prio.get(prio, [])
+        if chain:
+            head = f"tcb_{chain[0].name}+{TCB_STATE_NODE}"
+            tail = f"tcb_{chain[-1].name}+{TCB_STATE_NODE}"
+        else:
+            head = tail = header
+        lines.append(f"    .word {head}, {tail}, "
+                     f"{LIST_SENTINEL_VALUE:#x}, {len(chain)}")
+    lines.append("delay_list: .word delay_list, delay_list, "
+                 f"{LIST_SENTINEL_VALUE:#x}, 0")
+    lines.append("")
+
+    lines.append("task_table:")
+    for task in tasks:
+        lines.append(f"    .word tcb_{task.name}")
+    lines.append("")
+
+    # TCBs.
+    for task_id, task in enumerate(tasks):
+        stack_top = layout.stack_top(task_id)
+        top_of_stack = stack_top if config.store else stack_top - FRAME_BYTES
+        node_next, node_prev, node_owner = _chain_links(
+            task, by_prio, use_sw_ready)
+        lines += [
+            f"tcb_{task.name}:",
+            f"    .word {top_of_stack:#x}",
+            f"    .word {task.priority}",
+            f"    .word {task_id}",
+            f"    .word {task.priority}",  # base priority (inheritance)
+            f"    .word {node_next}, {node_prev}, 0, {node_owner}",
+            "    .word 0, 0, 0, 0",
+        ]
+    lines.append("")
+
+    for sem_id, sem in enumerate(objects.semaphores):
+        waiters = f"sem_{sem.name}+4"
+        # Under the HW-sync extension the first word holds the hardware
+        # semaphore ID (counts live in the unit); otherwise the count.
+        first_word = sem_id if config.hwsync else sem.initial
+        lines += [
+            f"sem_{sem.name}:",
+            f"    .word {first_word}",
+            f"    .word {waiters}, {waiters}, {LIST_SENTINEL_VALUE:#x}, 0",
+            "    .word 0",  # owner TCB (priority-inheritance mutexes)
+        ]
+    for queue in objects.queues:
+        if queue.capacity <= 0:
+            raise KernelError(f"queue {queue.name!r} needs capacity > 0")
+        recv = f"queue_{queue.name}+20"
+        send = f"queue_{queue.name}+{20 + NODE_SIZE}"
+        lines += [
+            f"queue_{queue.name}:",
+            f"    .word 0, 0, 0, {queue.capacity}",
+            f"    .word queue_{queue.name}_buf",
+            f"    .word {recv}, {recv}, {LIST_SENTINEL_VALUE:#x}, 0",
+            f"    .word {send}, {send}, {LIST_SENTINEL_VALUE:#x}, 0",
+            f"queue_{queue.name}_buf:",
+            f"    .space {queue.capacity * 4}",
+        ]
+    lines.append("")
+
+    # Initial contexts: stack frames for software restore, region slots
+    # for hardware store configurations.
+    for task_id, task in enumerate(tasks):
+        stack_top = layout.stack_top(task_id)
+        entry = f"task_{task.name}"
+        if config.store:
+            slot = layout.context_region.slot_addr(task_id)
+            lines.append(f".org {slot:#x}")
+            lines.append("    .word " + ", ".join(
+                _frame_words(stack_top, entry)))
+        else:
+            frame = stack_top - FRAME_BYTES
+            lines.append(f".org {frame:#x}")
+            lines.append("    .word " + ", ".join(
+                _frame_words(stack_top, entry)))
+    return "\n".join(lines) + "\n"
+
+
+def _first_task(tasks: list[TaskSpec]) -> TaskSpec:
+    """The task that runs first: highest priority, earliest declared."""
+    ready = [t for t in tasks if t.auto_ready]
+    if not ready:
+        raise KernelError("no initially ready task")
+    return max(ready, key=lambda t: t.priority)  # max is earliest on ties
+
+
+def _chain_links(task: TaskSpec, by_prio: dict[int, list[TaskSpec]],
+                 use_sw_ready: bool) -> tuple[str, str, str]:
+    """State-node links for the static ready-list chains."""
+    if not use_sw_ready or not task.auto_ready:
+        return "0", "0", "0"
+    chain = by_prio[task.priority]
+    index = chain.index(task)
+    header = f"ready_lists+{task.priority * NODE_SIZE}"
+    node_next = (header if index == len(chain) - 1
+                 else f"tcb_{chain[index + 1].name}+{TCB_STATE_NODE}")
+    node_prev = (header if index == 0
+                 else f"tcb_{chain[index - 1].name}+{TCB_STATE_NODE}")
+    return node_next, node_prev, header

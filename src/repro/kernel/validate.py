@@ -1,0 +1,150 @@
+"""Static validation of workload task bodies.
+
+Task assembly is user input to the kernel builder; this linter catches
+the mistakes that otherwise surface as baffling runtime corruption:
+
+* touching ``gp``/``tp`` — the kernel relies on them being static (§3:
+  they are excluded from the saved context, so any modification leaks
+  across context switches),
+* executing ``mret`` or the RTOSUnit custom instructions from task code
+  (they belong to the ISR/boot paths; issuing them mid-task corrupts
+  unit state),
+* clobbering ``sp`` with ``li``/``la`` (tasks get a pre-sized stack; a
+  rebased stack pointer aliases other tasks' stacks),
+* jumping to obviously undefined local labels (typo detection — kernel
+  symbols and cross-task references are resolved at assembly time and
+  excluded here).
+
+The builder runs the linter by default; violations raise
+:class:`repro.errors.KernelError`. Pass ``validate=False`` to
+:class:`repro.kernel.builder.KernelBuilder` for intentionally unusual
+workloads (the test suite's fault-injection tasks do this).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.isa.custom import CUSTOM_BY_MNEMONIC
+
+#: Custom instructions tasks must not issue (ISR/boot only).
+_FORBIDDEN_CUSTOM = frozenset(CUSTOM_BY_MNEMONIC) - {"sem_take", "sem_give"}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_BRANCH_MNEMONICS = frozenset({
+    "j", "jal", "beq", "bne", "blt", "bge", "bltu", "bgeu", "beqz", "bnez",
+    "blez", "bgez", "bltz", "bgtz", "bgt", "ble", "bgtu", "bleu", "call",
+    "tail",
+})
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One problem found in a task body."""
+
+    task: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.task}:{self.line}: [{self.code}] {self.message}"
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", "//", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def lint_task(name: str, body: str) -> list[LintIssue]:
+    """Lint one task body; returns the issues found (possibly empty)."""
+    issues: list[LintIssue] = []
+    for number, raw in enumerate(body.splitlines(), start=1):
+        line = _strip(raw)
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            line = line[match.end():].strip()
+        if not line or line.startswith("."):
+            continue
+        parts = line.replace(",", " ").split()
+        mnemonic = parts[0].lower()
+        operands = [p.lower() for p in parts[1:]]
+
+        if mnemonic == "mret":
+            issues.append(LintIssue(
+                name, number, "task-mret",
+                "mret in task code: only the ISR returns from traps"))
+        if mnemonic in _FORBIDDEN_CUSTOM:
+            issues.append(LintIssue(
+                name, number, "task-custom",
+                f"custom instruction '{mnemonic}' must not be issued from "
+                f"task code (ISR/boot only)"))
+        for reg in ("gp", "tp", "x3", "x4"):
+            if operands and operands[0] == reg and mnemonic not in (
+                    "beqz", "bnez") and not mnemonic.startswith("s"):
+                issues.append(LintIssue(
+                    name, number, "static-reg",
+                    f"writes {reg}: gp/tp are static under FreeRTOS and "
+                    f"excluded from the saved context (§3)"))
+                break
+        if mnemonic in ("li", "la", "lui", "auipc") and operands \
+                and operands[0] == "sp":
+            issues.append(LintIssue(
+                name, number, "sp-rebase",
+                "rebasing sp: tasks own a fixed stack; adjust it with "
+                "addi instead"))
+    issues.extend(_check_local_labels(name, body))
+    return issues
+
+
+def _check_local_labels(name: str, body: str) -> list[LintIssue]:
+    """Flag branches to labels that look task-local but are undefined."""
+    defined: set[str] = set()
+    used: list[tuple[int, str]] = []
+    for number, raw in enumerate(body.splitlines(), start=1):
+        line = _strip(raw)
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            defined.add(match.group(1))
+            line = line[match.end():].strip()
+        if not line or line.startswith("."):
+            continue
+        parts = line.replace(",", " ").split()
+        if parts[0].lower() in _BRANCH_MNEMONICS and parts[1:]:
+            target = parts[-1]
+            if re.fullmatch(r"[A-Za-z_][\w]*", target):
+                used.append((number, target))
+    prefix = f"{name}_"
+    issues = []
+    for number, target in used:
+        if target.startswith(prefix) and target not in defined:
+            issues.append(LintIssue(
+                name, number, "undefined-label",
+                f"branch target '{target}' looks task-local but is not "
+                f"defined in this body"))
+    return issues
+
+
+def lint_objects(objects) -> list[LintIssue]:
+    """Lint every task of a :class:`KernelObjects`."""
+    issues: list[LintIssue] = []
+    for task in objects.tasks:
+        issues.extend(lint_task(task.name, task.body))
+    return issues
+
+
+def require_clean(objects) -> None:
+    """Raise :class:`KernelError` when any task body has lint issues."""
+    issues = lint_objects(objects)
+    if issues:
+        rendered = "\n".join(str(issue) for issue in issues)
+        raise KernelError(f"task validation failed:\n{rendered}")

@@ -1,0 +1,19 @@
+"""Memory substrate: SRAM, MMIO, arbitration timeline and cache models."""
+
+from repro.mem.cache import CacheModel, WriteBackCache, WriteThroughCache
+from repro.mem.memory import CLINT_BASE, HALT_ADDR, Memory, PUTCHAR_ADDR
+from repro.mem.regions import ContextRegion, MemoryLayout
+from repro.mem.timeline import MemoryTimeline
+
+__all__ = [
+    "CLINT_BASE",
+    "CacheModel",
+    "ContextRegion",
+    "HALT_ADDR",
+    "Memory",
+    "MemoryLayout",
+    "MemoryTimeline",
+    "PUTCHAR_ADDR",
+    "WriteBackCache",
+    "WriteThroughCache",
+]

@@ -1,0 +1,106 @@
+"""Functional memory: flat on-chip SRAM plus a small MMIO window.
+
+The paper's evaluation assumes tightly coupled, single-cycle on-chip SRAM
+(§6.1). We model a flat RAM of configurable size starting at address 0,
+plus:
+
+* a CLINT-style timer/software-interrupt block (``mtime``, ``mtimecmp``,
+  ``msip``) — FreeRTOS uses the timer for time slicing and ``msip`` for
+  voluntary yields,
+* simulator control registers: ``HALT_ADDR`` ends the simulation (the
+  store value becomes the exit code), ``PUTCHAR_ADDR`` collects console
+  output, and ``PROBE_ADDR`` records instrumentation markers with their
+  cycle for the measurement harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryError_
+
+MASK32 = 0xFFFFFFFF
+
+#: CLINT-compatible MMIO block.
+CLINT_BASE = 0x0200_0000
+MSIP_ADDR = CLINT_BASE + 0x0000
+MTIMECMP_ADDR = CLINT_BASE + 0x4000
+MTIME_ADDR = CLINT_BASE + 0xBFF8
+
+#: Simulator control registers.
+SIMCTL_BASE = 0xFFFF_0000
+HALT_ADDR = SIMCTL_BASE + 0x0
+PUTCHAR_ADDR = SIMCTL_BASE + 0x4
+PROBE_ADDR = SIMCTL_BASE + 0x8
+
+_MMIO_ADDRS = frozenset({
+    MSIP_ADDR, MTIMECMP_ADDR, MTIME_ADDR, HALT_ADDR, PUTCHAR_ADDR, PROBE_ADDR,
+})
+
+
+def is_mmio(addr: int) -> bool:
+    """True when *addr* falls in an MMIO window rather than RAM."""
+    return addr in _MMIO_ADDRS
+
+
+@dataclass
+class Memory:
+    """Byte-addressable RAM with word/half/byte access and MMIO hooks.
+
+    The MMIO side effects are delegated to a ``clint`` object (set by the
+    system model) with ``read_mmio(addr)`` / ``write_mmio(addr, value)``
+    methods; until one is attached, MMIO accesses raise.
+    """
+
+    size: int = 1 << 20
+    data: bytearray = field(init=False)
+    clint: object | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.data = bytearray(self.size)
+
+    # -- loading -------------------------------------------------------------
+
+    def load_program(self, words: dict[int, int]) -> None:
+        """Copy an assembled image's words into RAM."""
+        for addr, word in words.items():
+            self.write_word_raw(addr, word)
+
+    # -- raw RAM access (no MMIO, used by loaders and the RTOSUnit FSMs) -----
+
+    def read_word_raw(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self.data[addr:addr + 4], "little")
+
+    def write_word_raw(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self.data[addr:addr + 4] = (value & MASK32).to_bytes(4, "little")
+
+    # -- CPU-visible access ----------------------------------------------------
+
+    def read(self, addr: int, size: int) -> int:
+        if is_mmio(addr):
+            if self.clint is None:
+                raise MemoryError_(f"MMIO read at {addr:#010x} with no CLINT")
+            return self.clint.read_mmio(addr) & ((1 << (8 * size)) - 1)
+        self._check(addr, size)
+        return int.from_bytes(self.data[addr:addr + size], "little")
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        if is_mmio(addr):
+            if self.clint is None:
+                raise MemoryError_(f"MMIO write at {addr:#010x} with no CLINT")
+            self.clint.write_mmio(addr, value & MASK32)
+            return
+        self._check(addr, size)
+        mask = (1 << (8 * size)) - 1
+        self.data[addr:addr + size] = (value & mask).to_bytes(size, "little")
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > self.size:
+            raise MemoryError_(
+                f"access at {addr:#010x} (+{size}) outside RAM of "
+                f"{self.size:#x} bytes")
+        if addr % size:
+            raise MemoryError_(
+                f"misaligned {size}-byte access at {addr:#010x}")

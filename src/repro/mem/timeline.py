@@ -1,0 +1,103 @@
+"""Cycle-granular bookkeeping of the shared memory port (§4.2, opt. 2).
+
+The paper removes the need for a second memory port by arbitrating a
+single port between the processor (priority) and the RTOSUnit, which uses
+the processor's dead/idle cycles. The core model runs ahead instruction by
+instruction and marks the cycles in which it occupies the port; the
+RTOSUnit FSMs then *consume* free cycles in order.
+
+Because the core has absolute priority, RTOSUnit completion times can be
+evaluated lazily: they are only observed at core events (``SWITCH_RF``,
+``mret``, interrupt entry), at which point the core-side occupancy up to
+that cycle is fully known, and any cycles the core spends *stalled waiting
+for the RTOSUnit* are free by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class MemoryTimeline:
+    """Tracks core-busy cycles and hands free cycles to the RTOSUnit.
+
+    Core-busy cycles must be marked in non-decreasing order (the core
+    timing models naturally do this). The RTOSUnit consumes free cycles in
+    non-decreasing order too, so a single forward scan suffices.
+    """
+
+    def __init__(self) -> None:
+        self._busy: deque[int] = deque()
+        self._scan = 0  # next cycle the RTOSUnit may consider
+        self._last_marked = -1
+        self.core_cycles = 0
+        self.unit_cycles = 0
+
+    def mark_core_busy(self, cycle: int) -> None:
+        """Record that the core occupies the port during *cycle*."""
+        if cycle < self._last_marked:
+            # Out-of-order marks can happen when an OoO core commits a
+            # memory operation late; clamp to keep the scan monotonic.
+            cycle = self._last_marked
+        self._last_marked = cycle
+        if cycle >= self._scan:
+            self._busy.append(cycle)
+        self.core_cycles += 1
+
+    def consume_free(self, start: int, count: int) -> int:
+        """Consume *count* free cycles at or after *start*.
+
+        Returns the cycle in which the last of the *count* transfers
+        completes. Cycles beyond all marked core activity are treated as
+        free — valid because completion is only queried when the core is
+        stalled (issuing no memory traffic) or the marks are up to date.
+        """
+        if count <= 0:
+            return max(start, self._scan) - 1
+        cycle = max(start, self._scan)
+        remaining = count
+        while remaining:
+            while self._busy and self._busy[0] < cycle:
+                self._busy.popleft()
+            if self._busy and self._busy[0] == cycle:
+                self._busy.popleft()
+                cycle += 1
+                continue
+            remaining -= 1
+            self.unit_cycles += 1
+            cycle += 1
+        self._scan = cycle
+        return cycle - 1
+
+    def consume_free_until(self, start: int, count: int,
+                           deadline: int) -> int | None:
+        """Consume up to *count* free cycles in ``[start, deadline]``.
+
+        Returns the completion cycle when all *count* transfers fit, or
+        None when the deadline hits first — in which case only the free
+        cycles up to the deadline are consumed (the FSM really did use
+        them) and the scan stops at the deadline.
+        """
+        if count <= 0:
+            return max(start, self._scan) - 1
+        cycle = max(start, self._scan)
+        remaining = count
+        while remaining and cycle <= deadline:
+            while self._busy and self._busy[0] < cycle:
+                self._busy.popleft()
+            if self._busy and self._busy[0] == cycle:
+                self._busy.popleft()
+                cycle += 1
+                continue
+            remaining -= 1
+            self.unit_cycles += 1
+            cycle += 1
+        self._scan = cycle
+        return None if remaining else cycle - 1
+
+    def reset(self) -> None:
+        self._busy.clear()
+        self._scan = 0
+        self._last_marked = -1
+        self.core_cycles = 0
+        self.unit_cycles = 0

@@ -1,0 +1,24 @@
+"""The RTOSUnit: configurable hardware acceleration for FreeRTOS.
+
+This package implements the paper's primary contribution (§4): a hardware
+unit attached to the core via custom instructions that can offload context
+storing (S), context loading (L) and task scheduling (T), with the
+optional dirty-bit (D), load-omission (O) and preloading (P) features.
+"""
+
+from repro.rtosunit.config import (
+    EVALUATED_CONFIGS,
+    RTOSUnitConfig,
+    parse_config,
+)
+from repro.rtosunit.scheduler import HardwareScheduler, ListEntry
+from repro.rtosunit.unit import RTOSUnit
+
+__all__ = [
+    "EVALUATED_CONFIGS",
+    "HardwareScheduler",
+    "ListEntry",
+    "RTOSUnit",
+    "RTOSUnitConfig",
+    "parse_config",
+]

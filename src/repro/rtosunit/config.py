@@ -1,0 +1,172 @@
+"""RTOSUnit feature configuration and validity rules.
+
+The paper's letter scheme (§4): **S** context storing, **L** context
+loading, **T** hardware task scheduling, **D** dirty bits, **O** load
+omission, **P** preloading. ``vanilla`` is the all-software baseline and
+``CV32RT`` the comparison point of Balas et al. (half-register-file
+snapshotting over a dedicated memory port).
+
+Validity rules from the paper:
+
+* L only works in conjunction with S (§4.3).
+* D requires S — it accelerates *storing* (§4.5).
+* O requires L — it skips *loading* (§4.6).
+* P requires S, L and T (it preloads the head of the *hardware* ready
+  list in lockstep with storing, §4.7) and is incompatible with D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RTOSUnitConfig:
+    """One point in the RTOSUnit design space.
+
+    Attributes mirror the paper's letters. ``cv32rt`` selects the related
+    work re-implementation instead of the RTOSUnit (all letters must then
+    be off). ``list_length`` sizes the hardware ready and delay lists
+    (8 in the paper's evaluation unless stated otherwise).
+    """
+
+    store: bool = False
+    load: bool = False
+    sched: bool = False
+    dirty: bool = False
+    omit: bool = False
+    preload: bool = False
+    hwsync: bool = False
+    cv32rt: bool = False
+    list_length: int = 8
+    sem_slots: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cv32rt and (self.store or self.load or self.sched
+                            or self.dirty or self.omit or self.preload
+                            or self.hwsync):
+            raise ConfigurationError(
+                "CV32RT is a standalone comparison point; it cannot be "
+                "combined with RTOSUnit features")
+        if self.load and not self.store:
+            raise ConfigurationError(
+                "context loading (L) only works in conjunction with "
+                "storing (S)")
+        if self.dirty and not self.store:
+            raise ConfigurationError("dirty bits (D) require storing (S)")
+        if self.omit and not self.load:
+            raise ConfigurationError("load omission (O) requires loading (L)")
+        if self.preload:
+            if not (self.store and self.load and self.sched):
+                raise ConfigurationError(
+                    "preloading (P) requires store, load and hardware "
+                    "scheduling (S, L, T)")
+            if self.dirty:
+                raise ConfigurationError(
+                    "preloading (P) is incompatible with dirty bits (D)")
+        if self.hwsync and not self.sched:
+            raise ConfigurationError(
+                "hardware synchronisation (Y, §7 extension) needs the "
+                "hardware scheduler (T) for its waiter wakeups")
+        if self.hwsync and self.sem_slots <= 0:
+            raise ConfigurationError(
+                "hardware synchronisation needs at least one semaphore slot")
+        if self.list_length < 0:
+            raise ConfigurationError("list_length must be non-negative")
+        if self.sched and self.list_length == 0:
+            raise ConfigurationError(
+                "hardware scheduling (T) needs a non-zero list length")
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def is_vanilla(self) -> bool:
+        """True for the unmodified all-software baseline."""
+        return not (self.store or self.load or self.sched or self.cv32rt)
+
+    @property
+    def uses_switch_rf(self) -> bool:
+        """SWITCH_RF is needed when storing is on but loading is not (§4.2)."""
+        return self.store and not self.load
+
+    @property
+    def uses_set_context_id(self) -> bool:
+        """SET_CONTEXT_ID tells the unit the next task when T is off (§4.2)."""
+        return (self.store or self.load) and not self.sched
+
+    @property
+    def hw_timer_autoreset(self) -> bool:
+        """(T) auto-resets the tick timer in hardware (§4.4)."""
+        return self.sched
+
+    @property
+    def name(self) -> str:
+        """Paper-style letter name, e.g. ``SLT``, ``SDLOT``, ``SPLIT``."""
+        if self.cv32rt:
+            return "CV32RT"
+        if self.is_vanilla:
+            return "vanilla"
+        letters = []
+        if self.store:
+            letters.append("S")
+        if self.preload:
+            letters.append("P")
+        if self.dirty:
+            letters.append("D")
+        if self.load:
+            letters.append("L")
+        if self.omit:
+            letters.append("O")
+        if self.sched:
+            letters.append("T")
+        if self.hwsync:
+            letters.append("Y")  # our §7 future-work extension
+        # The paper spells the preloading configuration "SPLIT".
+        name = "".join(letters)
+        if name.startswith("SPLT"):
+            name = "SPLIT" + name[4:]
+        return name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def parse_config(name: str, list_length: int = 8) -> RTOSUnitConfig:
+    """Parse a paper-style configuration name into a config object.
+
+    Accepts ``vanilla``, ``CV32RT`` (case-insensitive), and letter strings
+    such as ``S``, ``SL``, ``SLT``, ``SDLOT`` or ``SPLIT`` (the paper's
+    spelling of S+P+L+T; the stray ``I`` is tolerated).
+    """
+    text = name.strip()
+    lowered = text.lower()
+    if lowered == "vanilla":
+        return RTOSUnitConfig(list_length=list_length)
+    if lowered == "cv32rt":
+        return RTOSUnitConfig(cv32rt=True, list_length=list_length)
+    flags = {"store": False, "load": False, "sched": False,
+             "dirty": False, "omit": False, "preload": False,
+             "hwsync": False}
+    by_letter = {"S": "store", "L": "load", "T": "sched",
+                 "D": "dirty", "O": "omit", "P": "preload",
+                 "Y": "hwsync"}
+    for letter in text.upper():
+        if letter == "I":  # "SPLIT" contains a decorative I
+            continue
+        field = by_letter.get(letter)
+        if field is None:
+            raise ConfigurationError(f"unknown configuration letter {letter!r}"
+                                     f" in {name!r}")
+        if flags[field]:
+            raise ConfigurationError(f"duplicate letter {letter!r} in {name!r}")
+        flags[field] = True
+    return RTOSUnitConfig(list_length=list_length, **flags)
+
+
+#: The configuration sweep evaluated in the paper's Figures 9, 10, 11, 13.
+EVALUATED_CONFIGS: tuple[str, ...] = (
+    "vanilla", "CV32RT", "S", "SD", "SL", "SDLO", "T", "ST", "SDT",
+    "SLT", "SDLOT", "SPLIT",
+)

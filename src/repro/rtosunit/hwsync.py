@@ -1,0 +1,94 @@
+"""Hardware synchronisation primitives — the paper's §7 future work.
+
+"Hardware acceleration of common synchronization primitives, such as the
+semaphores or mutexes examined in prior work, could further offload the
+processor and reduce overhead in coordination-intensive workloads."
+
+This module implements that extension (configuration letter **Y**): a
+small table of counting semaphores lives inside the RTOSUnit, each with
+a priority-ordered waiter list. Two custom instructions drive it:
+
+* ``SEM_TAKE rd, rs1`` — try to take semaphore ``rs1``. On success the
+  count decrements and ``rd`` = 1. On failure the *current* task is
+  removed from the hardware ready list and queued as a waiter, and
+  ``rd`` = 0 — software then simply yields.
+* ``SEM_GIVE rd, rs1`` — increment the count; if waiters exist, the
+  highest-priority one is moved back to the hardware ready list.
+  ``rd`` = that waiter's priority + 1 (so software can decide whether
+  to preempt) or 0 when nobody waited.
+
+The extension requires the hardware scheduler (T): wakeups go straight
+into the hardware ready list, mirroring how ``ADD_READY`` works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.rtosunit.scheduler import HardwareScheduler
+
+
+@dataclass
+class _Waiter:
+    task_id: int
+    priority: int
+    seq: int
+
+
+@dataclass
+class HardwareSync:
+    """Semaphore table + waiter queues inside the RTOSUnit."""
+
+    scheduler: HardwareScheduler
+    slots: int = 4
+    max_waiters: int = 8
+    counts: list[int] = field(init=False)
+    waiters: list[list[_Waiter]] = field(init=False)
+    _seq: int = 0
+    takes: int = 0
+    gives: int = 0
+    blocks: int = 0
+    wakes: int = 0
+
+    def __post_init__(self) -> None:
+        self.counts = [0] * self.slots
+        self.waiters = [[] for _ in range(self.slots)]
+
+    def _check(self, sem_id: int) -> None:
+        if not 0 <= sem_id < self.slots:
+            raise SimulationError(
+                f"hardware semaphore id {sem_id} outside the {self.slots} "
+                f"configured slots")
+
+    def take(self, sem_id: int, task_id: int, priority: int,
+             cycle: int) -> int:
+        """SEM_TAKE: returns 1 on success, 0 after queueing the waiter."""
+        self._check(sem_id)
+        self.takes += 1
+        if self.counts[sem_id] > 0:
+            self.counts[sem_id] -= 1
+            return 1
+        if len(self.waiters[sem_id]) >= self.max_waiters:
+            raise SimulationError(
+                f"hardware semaphore {sem_id} waiter queue overflow")
+        self._seq += 1
+        self.waiters[sem_id].append(
+            _Waiter(task_id=task_id, priority=priority, seq=self._seq))
+        # Highest priority first; FIFO among equals (stable sort).
+        self.waiters[sem_id].sort(key=lambda w: (-w.priority, w.seq))
+        self.scheduler.rm_task(task_id, cycle)
+        self.blocks += 1
+        return 0
+
+    def give(self, sem_id: int, cycle: int) -> int:
+        """SEM_GIVE: returns (woken priority + 1) or 0."""
+        self._check(sem_id)
+        self.gives += 1
+        self.counts[sem_id] += 1
+        if not self.waiters[sem_id]:
+            return 0
+        waiter = self.waiters[sem_id].pop(0)
+        self.scheduler.add_ready(waiter.task_id, waiter.priority, cycle)
+        self.wakes += 1
+        return waiter.priority + 1

@@ -1,0 +1,12 @@
+"""Static worst-case execution time analysis of the ISR paths."""
+
+from repro.wcet.analyzer import (
+    TimingBounds,
+    WCETAnalyzer,
+    WCETResult,
+    analyze_bounds,
+    analyze_config,
+)
+
+__all__ = ["TimingBounds", "WCETAnalyzer", "WCETResult", "analyze_bounds",
+           "analyze_config"]

@@ -1,0 +1,38 @@
+"""RTOSBench-workalike workloads.
+
+The paper evaluates context-switch latency over "20 iterations of all
+tests provided by the RISC-V port of RTOSBench" (§6.1). RTOSBench itself
+is a C benchmark suite; this package provides equivalent workloads for
+our assembly kernel, each provoking context switches under a different
+scheduler state: voluntary yields, semaphore signalling with preemption,
+mutex contention, message-queue passing, periodic delays (tick-driven
+wakeups), and deferred external-interrupt handling.
+"""
+
+from repro.workloads.suite import (
+    ALL_WORKLOADS,
+    RTOSBENCH_WORKLOADS,
+    Workload,
+    delay_periodic,
+    interrupt_response,
+    mixed_stress,
+    mutex_workload,
+    queue_passing,
+    sem_signal,
+    workload_by_name,
+    yield_pingpong,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "RTOSBENCH_WORKLOADS",
+    "Workload",
+    "delay_periodic",
+    "interrupt_response",
+    "mixed_stress",
+    "mutex_workload",
+    "queue_passing",
+    "sem_signal",
+    "workload_by_name",
+    "yield_pingpong",
+]

@@ -1,0 +1,37 @@
+"""The encoded paper claims must all hold against fresh evidence."""
+
+import pytest
+
+from repro.analysis.claims import (
+    ALL_CLAIMS,
+    format_verdicts,
+    gather_evidence,
+    verify_all,
+)
+
+
+@pytest.fixture(scope="module")
+def evidence():
+    return gather_evidence(iterations=4)
+
+
+class TestClaims:
+    def test_every_claim_passes(self, evidence):
+        results = verify_all(evidence)
+        failed = [r for r in results if not r.passed]
+        assert not failed, format_verdicts(failed)
+
+    def test_claims_cover_all_eval_sections(self):
+        sections = {claim.section for claim in ALL_CLAIMS}
+        assert any("6.1" in s for s in sections)
+        assert any("6.3" in s for s in sections)
+        assert any("abstract" in s for s in sections)
+
+    def test_claim_ids_unique(self):
+        ids = [claim.claim_id for claim in ALL_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_verdict_rendering(self, evidence):
+        text = format_verdicts(verify_all(evidence))
+        assert "PASS" in text
+        assert "slt-zero-jitter" in text

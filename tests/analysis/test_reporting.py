@@ -1,0 +1,66 @@
+"""Figure/table renderers."""
+
+from repro.analysis import (
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_table,
+    format_table1,
+)
+from repro.asic import AreaModel, FrequencyModel, PowerModel
+from repro.harness import run_suite
+from repro.rtosunit.config import parse_config
+from repro.workloads import yield_pingpong
+
+
+class TestGenericTable:
+    def test_alignment(self):
+        text = format_table(("a", "bbbb"), [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all("  " in line for line in lines[2:])
+
+    def test_table1_contains_all_instructions(self):
+        text = format_table1()
+        for name in ("ADD_READY", "ADD_DELAY", "RM_TASK", "SET_CONTEXT_ID",
+                     "GET_HW_SCHED", "SWITCH_RF"):
+            assert name in text
+
+
+class TestFigureRenderers:
+    def test_fig9(self):
+        suite = run_suite("cv32e40p", parse_config("vanilla"),
+                          iterations=2, workloads=(yield_pingpong,))
+        text = format_fig9({("cv32e40p", "vanilla"): suite},
+                           wcet={"vanilla": 708})
+        assert "cv32e40p" in text
+        assert "708" in text
+        assert "jitter" in text
+
+    def test_fig10(self):
+        reports = AreaModel().figure10(cores=("cv32e40p",),
+                                       configs=("vanilla", "SLT"))
+        text = format_fig10(reports)
+        assert "SLT" in text
+        assert "mm2" in text
+
+    def test_fig11(self):
+        reports = FrequencyModel().figure11(cores=("cva6",),
+                                            configs=("vanilla", "S"))
+        text = format_fig11(reports)
+        assert "GHz" in text
+
+    def test_fig12(self):
+        model = AreaModel()
+        points = model.list_scaling("cv32e40p", lengths=(0, 8, 64))
+        text = format_fig12(points, model.baselines["cv32e40p"].area_kge)
+        assert "64" in text
+        assert "+0.00%" in text
+
+    def test_fig13(self):
+        report = PowerModel().report("cv32e40p", parse_config("SLT"))
+        text = format_fig13({("cv32e40p", "SLT"): report})
+        assert "mW" in text

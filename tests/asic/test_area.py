@@ -1,0 +1,185 @@
+"""Area model: Figure 10 shapes and Figure 12 scaling."""
+
+import pytest
+
+from repro.asic.area import AreaModel
+from repro.errors import ConfigurationError
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+def overhead(model, core, config_name, **kwargs):
+    return model.report(core, parse_config(config_name, **kwargs)).overhead_percent
+
+
+class TestCV32E40P:
+    """Paper: S +21.9 %, CV32RT +21.2 %, T ≈ noise, ST +33 %,
+    SLT ≈ ST, SPLIT +44 %."""
+
+    def test_s_overhead(self, model):
+        assert 18 <= overhead(model, "cv32e40p", "S") <= 26
+
+    def test_cv32rt_comparable_to_s(self, model):
+        cv32rt = overhead(model, "cv32e40p", "CV32RT")
+        s = overhead(model, "cv32e40p", "S")
+        assert 17 <= cv32rt <= 25
+        assert abs(cv32rt - s) < 4
+
+    def test_t_within_noise(self, model):
+        assert overhead(model, "cv32e40p", "T") < 3.5
+
+    def test_st_jump(self, model):
+        assert 28 <= overhead(model, "cv32e40p", "ST") <= 38
+
+    def test_slt_negligible_over_st(self, model):
+        delta = overhead(model, "cv32e40p", "SLT") - \
+            overhead(model, "cv32e40p", "ST")
+        assert abs(delta) < 4
+
+    def test_split_is_max(self, model):
+        split = overhead(model, "cv32e40p", "SPLIT")
+        assert 38 <= split <= 50
+        for name in EVALUATED_CONFIGS:
+            if name in ("SPLIT", "vanilla"):
+                continue
+            assert overhead(model, "cv32e40p", name) < split
+
+    def test_dirty_within_noise_of_base(self, model):
+        delta = overhead(model, "cv32e40p", "SD") - \
+            overhead(model, "cv32e40p", "S")
+        assert abs(delta) < 3
+
+
+class TestCVA6:
+    """Paper: S +3–5 %, CV32RT +2 %, SWITCH_RF configs cost more than
+    their +L counterparts, ≤+8 % (+14 % with preloading)."""
+
+    def test_s_range(self, model):
+        assert 2.5 <= overhead(model, "cva6", "S") <= 6
+
+    def test_cv32rt_small(self, model):
+        assert 0.5 <= overhead(model, "cva6", "CV32RT") <= 3
+
+    def test_hazard_logic_makes_switch_rf_configs_larger(self, model):
+        """§6.3: (S)/(ST) exceed (SL)/(SLT) on CVA6."""
+        assert overhead(model, "cva6", "S") > overhead(model, "cva6", "SL")
+        assert overhead(model, "cva6", "ST") > overhead(model, "cva6", "SLT")
+
+    def test_all_configs_moderate(self, model):
+        for name in EVALUATED_CONFIGS:
+            assert overhead(model, "cva6", name) <= 16
+
+
+class TestNaxRiscv:
+    """Paper: S ≤ +15 %, CV32RT +19 % (worst: 16 extra read ports on a
+    renaming RF), omitting L reduces area."""
+
+    def test_cv32rt_is_worst(self, model):
+        cv32rt = overhead(model, "naxriscv", "CV32RT")
+        assert 16 <= cv32rt <= 24
+        for name in EVALUATED_CONFIGS:
+            if name in ("CV32RT", "vanilla"):
+                continue
+            assert overhead(model, "naxriscv", name) < cv32rt
+
+    def test_s_upper_bound(self, model):
+        assert 9 <= overhead(model, "naxriscv", "S") <= 16
+
+    def test_omitting_load_reduces_area(self, model):
+        """§6.3: the opposite of CVA6 — hazards are handled by pipeline
+        rescheduling, so the restore FSM is the net cost."""
+        assert overhead(model, "naxriscv", "ST") < \
+            overhead(model, "naxriscv", "SLT")
+
+    def test_renaming_core_pays_for_translation_duplication(self, model):
+        """NaxRiscv's (S) costs more kGE than CVA6's despite the smaller
+        baseline, because renaming logic is duplicated (Fig. 7)."""
+        nax = model.report("naxriscv", parse_config("S")).added_kge
+        cva6 = model.report("cva6", parse_config("S")).added_kge
+        assert nax > cva6 * 0.9
+
+
+class TestFigure12:
+    def test_scaling_is_approximately_linear(self, model):
+        points = model.list_scaling("cv32e40p",
+                                    lengths=(0, 8, 16, 32, 64))
+        deltas = [b - a for (_, a), (_, b) in zip(points, points[1:])]
+        # Increments proportional to length increments (8, 8, 16, 32).
+        assert deltas[2] == pytest.approx(2 * deltas[1], rel=0.3)
+        assert deltas[3] == pytest.approx(2 * deltas[2], rel=0.3)
+
+    def test_64_slots_overhead(self, model):
+        """Paper: ≈14 % at 64 slots."""
+        points = dict(model.list_scaling("cv32e40p", lengths=(0, 64)))
+        overhead_64 = (points[64] / points[0] - 1) * 100
+        assert 10 <= overhead_64 <= 18
+
+    def test_zero_length_is_baseline(self, model):
+        points = dict(model.list_scaling("cv32e40p", lengths=(0,)))
+        assert points[0] == model.baselines["cv32e40p"].area_kge
+
+
+class TestModelMechanics:
+    def test_vanilla_has_no_overhead_or_noise(self, model):
+        report = model.report("cv32e40p", parse_config("vanilla"))
+        assert report.added_kge == 0
+        assert report.normalized == 1.0
+
+    def test_noise_is_deterministic(self, model):
+        first = model.report("cva6", parse_config("SLT")).total_kge
+        second = AreaModel().report("cva6", parse_config("SLT")).total_kge
+        assert first == second
+
+    def test_unknown_core_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.report("z80", parse_config("S"))
+
+    def test_mm2_conversion(self, model):
+        report = model.report("cv32e40p", parse_config("vanilla"))
+        assert 0.005 < report.total_mm2 < 0.02
+
+    def test_figure10_grid_complete(self, model):
+        grid = model.figure10()
+        assert len(grid) == 3 * len(EVALUATED_CONFIGS)
+
+
+class TestComponentBreakdown:
+    def test_breakdown_sums_to_added_area(self, model):
+        from repro.rtosunit.config import parse_config
+
+        for name in ("S", "SLT", "SPLIT", "CV32RT", "SLTY"):
+            config = parse_config(name)
+            breakdown = model.breakdown("cv32e40p", config)
+            report = model.report("cv32e40p", config)
+            assert sum(breakdown.values()) == pytest.approx(
+                report.added_kge)
+
+    def test_vanilla_breakdown_empty(self, model):
+        from repro.rtosunit.config import parse_config
+
+        assert model.breakdown("cv32e40p", parse_config("vanilla")) == {}
+
+    def test_register_bank_dominates_store_configs(self, model):
+        from repro.rtosunit.config import parse_config
+
+        breakdown = model.breakdown("cv32e40p", parse_config("S"))
+        assert breakdown["alt_register_bank"] == max(breakdown.values())
+
+    def test_cv32rt_breakdown_is_snapshot(self, model):
+        from repro.rtosunit.config import parse_config
+
+        breakdown = model.breakdown("naxriscv", parse_config("CV32RT"))
+        assert "cv32rt_snapshot" in breakdown
+        assert breakdown["cv32rt_snapshot"] > 15  # renaming port explosion
+
+    def test_scheduler_component_scales_with_length(self, model):
+        from repro.rtosunit.config import parse_config
+
+        small = model.breakdown("cv32e40p", parse_config("T"))
+        large = model.breakdown("cv32e40p",
+                                parse_config("T", list_length=64))
+        assert large["scheduler_lists"] > 5 * small["scheduler_lists"]

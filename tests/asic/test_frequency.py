@@ -1,0 +1,66 @@
+"""fmax model: Figure 11 shapes."""
+
+import pytest
+
+from repro.asic.frequency import FrequencyModel
+from repro.errors import ConfigurationError
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FrequencyModel()
+
+
+def drop(model, core, config_name):
+    return model.report(core, parse_config(config_name)).drop_percent
+
+
+class TestCV32E40P:
+    def test_15_percent_drop_for_rtosunit_configs(self, model):
+        """Paper: ≈15 % across all configurations except CV32RT."""
+        for name in EVALUATED_CONFIGS:
+            if name in ("vanilla", "CV32RT"):
+                continue
+            assert drop(model, "cv32e40p", name) == pytest.approx(15, abs=1)
+
+    def test_cv32rt_keeps_fmax(self, model):
+        assert drop(model, "cv32e40p", "CV32RT") == 0
+
+    def test_vanilla_reference(self, model):
+        assert drop(model, "cv32e40p", "vanilla") == 0
+
+    def test_remains_ghz_class(self, model):
+        """§6.3: frequencies stay well above embedded operating points."""
+        report = model.report("cv32e40p", parse_config("SPLIT"))
+        assert report.fmax_ghz > 0.5
+
+
+class TestCVA6:
+    def test_8_percent_drop_across_configs(self, model):
+        for name in EVALUATED_CONFIGS:
+            if name == "vanilla":
+                continue
+            assert drop(model, "cva6", name) == pytest.approx(8, abs=1)
+
+
+class TestNaxRiscv:
+    def test_stable_except_preloading(self, model):
+        """Paper: NaxRiscv maintains fmax; SPLIT drops ≈4 %."""
+        for name in EVALUATED_CONFIGS:
+            if name in ("vanilla", "SPLIT"):
+                continue
+            assert drop(model, "naxriscv", name) == 0
+        assert drop(model, "naxriscv", "SPLIT") == pytest.approx(4, abs=1)
+
+
+class TestMechanics:
+    def test_unknown_core_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.report("arm9", parse_config("S"))
+
+    def test_figure11_grid(self, model):
+        grid = model.figure11()
+        assert len(grid) == 3 * len(EVALUATED_CONFIGS)
+        for report in grid.values():
+            assert 0 < report.fmax_ghz <= report.baseline_ghz

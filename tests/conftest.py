@@ -1,0 +1,79 @@
+"""Shared fixtures: small task sets and prebuilt systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.tasks import KernelObjects, Semaphore, TaskSpec
+from repro.rtosunit.config import parse_config
+
+
+PINGPONG_A = """\
+task_a:
+    li   s0, 6
+a_loop:
+    jal  k_yield
+    addi s0, s0, -1
+    bnez s0, a_loop
+    li   a0, 0
+    jal  k_halt
+"""
+
+PINGPONG_B = """\
+task_b:
+b_loop:
+    jal  k_yield
+    j    b_loop
+"""
+
+
+@pytest.fixture
+def pingpong_objects() -> KernelObjects:
+    return KernelObjects(tasks=[TaskSpec("a", PINGPONG_A, priority=2),
+                                TaskSpec("b", PINGPONG_B, priority=2)])
+
+
+@pytest.fixture
+def sem_objects() -> KernelObjects:
+    consumer = """\
+task_con:
+    li   s0, 6
+con_loop:
+    la   a0, sem_s
+    jal  k_sem_take
+    addi s0, s0, -1
+    bnez s0, con_loop
+    li   a0, 0
+    jal  k_halt
+"""
+    producer = """\
+task_pro:
+pro_loop:
+    la   a0, sem_s
+    jal  k_sem_give
+    j    pro_loop
+"""
+    return KernelObjects(
+        tasks=[TaskSpec("con", consumer, priority=3),
+               TaskSpec("pro", producer, priority=1)],
+        semaphores=[Semaphore("s", initial=0)])
+
+
+def build_and_run(core: str, config_name: str, objects: KernelObjects,
+                  tick_period: int = 5000, max_cycles: int = 3_000_000,
+                  external_events=None, list_length: int = 8):
+    """Build a system for (core, config), run it, return the system."""
+    from repro.kernel.builder import build_kernel_system
+
+    config = parse_config(config_name, list_length=list_length)
+    system = build_kernel_system(core, config, objects,
+                                 tick_period=tick_period,
+                                 external_events=external_events)
+    code = system.run(max_cycles=max_cycles)
+    assert code == 0, f"exit code {code:#x} on {core}/{config_name}"
+    return system
+
+
+ALL_CORES = ("cv32e40p", "cva6", "naxriscv")
+KEY_CONFIGS = ("vanilla", "CV32RT", "S", "SL", "T", "ST", "SLT", "SDLOT",
+               "SPLIT")

@@ -1,0 +1,100 @@
+"""Core-model edge cases and error paths."""
+
+import pytest
+
+from repro.cores import CORE_CLASSES, CV32E40P
+from repro.cores.system import System
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.rtosunit.config import parse_config
+from tests.cores.helpers import run_fragment
+
+
+class TestRunLoop:
+    def test_cycle_limit_reports_pc(self):
+        system = System(CV32E40P, parse_config("vanilla"))
+        system.load(assemble("spin:\n    j spin\n"))
+        with pytest.raises(SimulationError, match="cycle limit"):
+            system.run(max_cycles=1000)
+
+    def test_ecall_rejected_with_location(self):
+        system = System(CV32E40P, parse_config("vanilla"))
+        system.load(assemble("    ecall\n"))
+        with pytest.raises(SimulationError, match="ecall"):
+            system.run(max_cycles=1000)
+
+    def test_wfi_without_clint_sources_wakes_on_timer(self):
+        # wfi with only the (distant) timer skips straight to it.
+        system = run_fragment("""
+    li   t0, 0x888
+    csrw mie, t0
+    wfi
+""", tick_period=500, max_cycles=10_000)
+        assert system.core.cycle >= 500
+
+    def test_custom_instruction_without_unit_rejected(self):
+        system = System(CV32E40P, parse_config("vanilla"))
+        system.load(assemble("    get_hw_sched a0\n"))
+        with pytest.raises(SimulationError, match="RTOSUnit"):
+            system.run(max_cycles=1000)
+
+
+class TestDecodeCache:
+    def test_repeated_execution_uses_cache(self):
+        system = run_fragment("""
+    li   s0, 50
+loop:
+    addi s0, s0, -1
+    bnez s0, loop
+""")
+        # The loop body decodes once; the cache holds far fewer entries
+        # than the executed instruction count.
+        assert len(system.core._decode_cache) < 20
+        assert system.core.stats.instret > 100
+
+
+class TestWriteToDataInCodeRegion:
+    def test_inline_data_is_plain_memory(self):
+        """Data words interleaved with code behave as ordinary RAM."""
+        system = run_fragment("""
+    la   t0, value
+    lw   a0, 0(t0)
+    addi a0, a0, 1
+    sw   a0, 0(t0)
+    lw   a1, 0(t0)
+    j    done
+value: .word 41
+done:
+""")
+        assert system.core.regs[11] == 42
+
+
+class TestCrossCoreConsistency:
+    @pytest.mark.parametrize("core", sorted(CORE_CLASSES))
+    def test_trap_roundtrip_preserves_state(self, core):
+        source = """
+    la   t0, handler
+    csrw mtvec, t0
+    li   t0, 0x888
+    csrw mie, t0
+    li   s0, 0x1234
+    li   s1, 0x5678
+    csrsi mstatus, 8
+    li   t0, 0x2000000
+    li   t1, 1
+    sw   t1, 0(t0)
+    add  a0, s0, s1
+    j    end
+handler:
+    mret
+end:
+"""
+        system = run_fragment(source, core=core, max_cycles=50_000)
+        assert system.core.regs[10] == 0x1234 + 0x5678
+        assert system.core.stats.traps == 1
+
+    @pytest.mark.parametrize("core", sorted(CORE_CLASSES))
+    def test_timing_is_positive_and_ordered(self, core):
+        short = run_fragment("nop\n" * 5, core=core).core.cycle
+        long = run_fragment("nop\n" * 200, core=core).core.cycle
+        assert 0 < short < long

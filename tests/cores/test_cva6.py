@@ -1,0 +1,70 @@
+"""CVA6-specific behaviour (§5.2): WT cache, bus arbitration, uncaching."""
+
+from repro.cores import CVA6, build_system
+from repro.rtosunit.config import parse_config
+from tests.cores.helpers import run_fragment
+
+
+class TestWriteThrough:
+    def test_stores_always_reach_the_bus(self):
+        system = run_fragment(
+            "li a0, 0x1000\n" + "sw a0, 0(a0)\n" * 6, core="cva6")
+        assert system.timeline.core_cycles >= 6
+
+    def test_loads_hit_without_bus_traffic(self):
+        warm = """
+    li   a0, 0x1000
+    lw   a1, 0(a0)
+"""
+        system = run_fragment(warm + "    lw a2, 0(a0)\n" * 8, core="cva6")
+        # One refill (line-sized) plus nothing for the hits.
+        refill = system.core.params.cache_line_words
+        assert system.timeline.core_cycles <= refill + 4
+
+
+class TestUncachedContextRegion:
+    def test_region_not_cached(self):
+        """The RTOSUnit writes the region at the bus level, below the
+        write-through cache — the core must not cache it (§5.2)."""
+        system = build_system("cva6", parse_config("SLT"))
+        region = system.layout.context_region
+        core = system.core
+        assert core._uncached(region.base)
+        assert core._uncached(region.end - 4)
+        assert not core._uncached(region.base - 4)
+
+    def test_vanilla_has_no_uncached_ranges(self):
+        system = build_system("cva6", parse_config("vanilla"))
+        assert system.core.uncached_ranges == []
+
+    def test_uncached_loads_mark_bus_busy(self):
+        system = build_system("cva6", parse_config("SLT"))
+        core = system.core
+        region = system.layout.context_region
+        before = system.timeline.core_cycles
+        core._mem_time(region.base, is_store=False, issue=10)
+        assert system.timeline.core_cycles == before + 1
+
+
+class TestScoreboardModel:
+    def test_csr_cost_above_alu(self):
+        assert CVA6.PARAMS.csr_cycles > 1
+
+    def test_mispredict_penalty_configured(self):
+        assert CVA6.PARAMS.has_branch_predictor
+        assert CVA6.PARAMS.branch_mispredict_penalty >= 4
+
+    def test_alternating_branch_pays_penalties(self):
+        src = """
+    li   s0, 30
+    li   s1, 0
+loop:
+    andi t0, s0, 1
+    beqz t0, even
+    addi s1, s1, 1
+even:
+    addi s0, s0, -1
+    bnez s0, loop
+"""
+        system = run_fragment(src, core="cva6")
+        assert system.core.stats.mispredicts > 3

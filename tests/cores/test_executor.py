@@ -1,0 +1,254 @@
+"""Functional instruction semantics, cross-checked against Python."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cores import CORE_CLASSES
+from repro.cores.base import _divrem, _sgn
+from tests.cores.helpers import run_regs
+
+MASK32 = 0xFFFFFFFF
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestALU:
+    def test_add_sub(self):
+        regs = run_regs("li a0, 7\nli a1, 5\nadd a2, a0, a1\nsub a3, a0, a1\n")
+        assert regs[12] == 12
+        assert regs[13] == 2
+
+    def test_sub_wraps(self):
+        regs = run_regs("li a0, 0\nli a1, 1\nsub a2, a0, a1\n")
+        assert regs[12] == MASK32
+
+    def test_logic_ops(self):
+        regs = run_regs(
+            "li a0, 0xF0\nli a1, 0x3C\n"
+            "and a2, a0, a1\nor a3, a0, a1\nxor a4, a0, a1\n")
+        assert regs[12] == 0x30
+        assert regs[13] == 0xFC
+        assert regs[14] == 0xCC
+
+    def test_shifts(self):
+        regs = run_regs(
+            "li a0, 0x80000000\nli a1, 4\n"
+            "srl a2, a0, a1\nsra a3, a0, a1\nsll a4, a1, a1\n")
+        assert regs[12] == 0x08000000
+        assert regs[13] == 0xF8000000
+        assert regs[14] == 0x40
+
+    def test_shift_amount_masked_to_5_bits(self):
+        regs = run_regs("li a0, 1\nli a1, 33\nsll a2, a0, a1\n")
+        assert regs[12] == 2
+
+    def test_immediate_shifts(self):
+        regs = run_regs("li a0, 0xFF000000\nsrai a1, a0, 8\nsrli a2, a0, 8\n")
+        assert regs[11] == 0xFFFF0000
+        assert regs[12] == 0x00FF0000
+
+    def test_slt_signed_vs_unsigned(self):
+        regs = run_regs(
+            "li a0, -1\nli a1, 1\n"
+            "slt a2, a0, a1\nsltu a3, a0, a1\n")
+        assert regs[12] == 1  # -1 < 1 signed
+        assert regs[13] == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_slti_sltiu(self):
+        regs = run_regs("li a0, -5\nslti a1, a0, 0\nsltiu a2, a0, 0\n")
+        assert regs[11] == 1
+        assert regs[12] == 0
+
+    def test_lui_auipc(self):
+        regs = run_regs("start: lui a0, 0x12345\nauipc a1, 0\n")
+        assert regs[10] == 0x12345000
+        assert regs[11] == 4  # pc of auipc
+
+    def test_x0_writes_ignored(self):
+        regs = run_regs("li t0, 99\nadd zero, t0, t0\n")
+        assert regs[0] == 0
+
+
+class TestMulDiv:
+    def test_mul(self):
+        regs = run_regs("li a0, 1000\nli a1, 1000\nmul a2, a0, a1\n")
+        assert regs[12] == 1_000_000
+
+    def test_mulh_signed(self):
+        regs = run_regs("li a0, -2\nli a1, 3\nmulh a2, a0, a1\n")
+        assert regs[12] == MASK32  # high word of -6
+
+    def test_mulhu(self):
+        regs = run_regs("li a0, 0x80000000\nli a1, 2\nmulhu a2, a0, a1\n")
+        assert regs[12] == 1
+
+    def test_div_rem(self):
+        regs = run_regs("li a0, 17\nli a1, 5\ndiv a2, a0, a1\nrem a3, a0, a1\n")
+        assert regs[12] == 3
+        assert regs[13] == 2
+
+    def test_div_negative_truncates(self):
+        regs = run_regs("li a0, -7\nli a1, 2\ndiv a2, a0, a1\nrem a3, a0, a1\n")
+        assert _sgn(regs[12]) == -3
+        assert _sgn(regs[13]) == -1
+
+    def test_div_by_zero(self):
+        regs = run_regs("li a0, 5\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\n")
+        assert regs[12] == MASK32
+        assert regs[13] == 5
+
+    def test_div_overflow(self):
+        regs = run_regs(
+            "li a0, 0x80000000\nli a1, -1\ndiv a2, a0, a1\nrem a3, a0, a1\n")
+        assert regs[12] == 0x80000000
+        assert regs[13] == 0
+
+    @given(a=u32, b=u32)
+    def test_divrem_invariant(self, a, b):
+        """For non-zero b: a == div(a,b)*b + rem(a,b)  (signed, wrapped)."""
+        if b == 0:
+            assert _divrem("div", a, b) == MASK32
+            assert _divrem("rem", a, b) == a
+            return
+        quotient = _sgn(_divrem("div", a, b) & MASK32)
+        remainder = _sgn(_divrem("rem", a, b) & MASK32)
+        assert (quotient * _sgn(b) + remainder) & MASK32 == a
+
+    @given(a=u32, b=u32)
+    def test_mul_matches_python(self, a, b):
+        assert _divrem("remu", a, b) == (a % b if b else a)
+
+
+class TestLoadsStores:
+    def test_word_round_trip(self):
+        regs = run_regs(
+            "li a0, 0x1000\nli a1, 0xCAFEBABE\nsw a1, 0(a0)\nlw a2, 0(a0)\n")
+        assert regs[12] == 0xCAFEBABE
+
+    def test_signed_byte_load(self):
+        regs = run_regs(
+            "li a0, 0x1000\nli a1, 0x80\nsb a1, 0(a0)\n"
+            "lb a2, 0(a0)\nlbu a3, 0(a0)\n")
+        assert regs[12] == (-128) & MASK32
+        assert regs[13] == 0x80
+
+    def test_signed_half_load(self):
+        regs = run_regs(
+            "li a0, 0x1000\nli a1, 0x8000\nsh a1, 0(a0)\n"
+            "lh a2, 0(a0)\nlhu a3, 0(a0)\n")
+        assert regs[12] == (-32768) & MASK32
+        assert regs[13] == 0x8000
+
+    def test_negative_offsets(self):
+        regs = run_regs(
+            "li a0, 0x1010\nli a1, 77\nsw a1, -16(a0)\nlw a2, -16(a0)\n")
+        assert regs[12] == 77
+
+
+class TestControlFlow:
+    def test_taken_and_not_taken_branches(self):
+        regs = run_regs("""
+    li   a0, 3
+    li   a1, 0
+loop:
+    addi a1, a1, 10
+    addi a0, a0, -1
+    bnez a0, loop
+    beqz a0, done
+    li   a1, 0
+done:
+""")
+        assert regs[11] == 30
+
+    def test_branch_comparisons(self):
+        regs = run_regs("""
+    li   a0, -1
+    li   a1, 1
+    li   a2, 0
+    blt  a0, a1, s1
+    j    end
+s1: addi a2, a2, 1
+    bltu a1, a0, s2
+    j    end
+s2: addi a2, a2, 1
+    bge  a1, a0, s3
+    j    end
+s3: addi a2, a2, 1
+    bgeu a0, a1, s4
+    j    end
+s4: addi a2, a2, 1
+end:
+""")
+        assert regs[12] == 4
+
+    def test_jal_links(self):
+        regs = run_regs("""
+    jal  ra, sub
+    j    end
+sub:
+    li   a0, 55
+    ret
+end:
+""")
+        assert regs[10] == 55
+
+    def test_jalr_computed_target(self):
+        regs = run_regs("""
+    la   t0, target
+    jalr ra, 0(t0)
+    j    end
+target:
+    li   a0, 11
+    j    end
+end:
+""")
+        assert regs[10] == 11
+
+    @pytest.mark.parametrize("core", sorted(CORE_CLASSES))
+    def test_same_semantics_on_all_cores(self, core):
+        src = """
+    li   s0, 0
+    li   s1, 10
+sum:
+    add  s0, s0, s1
+    addi s1, s1, -1
+    bnez s1, sum
+"""
+        regs = run_regs(src, core=core)
+        assert regs[8] == 55
+
+
+class TestCSRInstructions:
+    def test_csrrw_swap(self):
+        regs = run_regs(
+            "li a0, 0x1234\ncsrw mscratch, a0\n"
+            "li a1, 0x5678\ncsrrw a2, mscratch, a1\ncsrr a3, mscratch\n")
+        assert regs[12] == 0x1234
+        assert regs[13] == 0x5678
+
+    def test_csrrs_sets_bits(self):
+        regs = run_regs(
+            "li a0, 0x0F\ncsrw mscratch, a0\n"
+            "li a1, 0xF0\ncsrrs a2, mscratch, a1\ncsrr a3, mscratch\n")
+        assert regs[12] == 0x0F
+        assert regs[13] == 0xFF
+
+    def test_csrrc_clears_bits(self):
+        regs = run_regs(
+            "li a0, 0xFF\ncsrw mscratch, a0\n"
+            "li a1, 0x0F\ncsrrc a2, mscratch, a1\ncsrr a3, mscratch\n")
+        assert regs[13] == 0xF0
+
+    def test_csr_immediate_forms(self):
+        regs = run_regs(
+            "csrwi mscratch, 5\ncsrr a0, mscratch\n"
+            "csrsi mscratch, 2\ncsrr a1, mscratch\n"
+            "csrci mscratch, 1\ncsrr a2, mscratch\n")
+        assert regs[10] == 5
+        assert regs[11] == 7
+        assert regs[12] == 6
+
+    def test_csrrs_x0_does_not_write(self):
+        regs = run_regs(
+            "csrwi mscratch, 9\ncsrr a0, mscratch\ncsrr a1, mscratch\n")
+        assert regs[10] == regs[11] == 9

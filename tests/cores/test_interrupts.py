@@ -1,0 +1,209 @@
+"""Interrupt sources, trap entry/exit, and latency recording."""
+
+import pytest
+
+from repro.cores.clint import Clint
+from repro.errors import SimulationError
+from repro.isa import csr as csrmod
+from tests.cores.helpers import run_fragment
+
+TRAP_SETUP = """
+    la   t0, handler
+    csrw mtvec, t0
+    li   t0, 0x888
+    csrw mie, t0
+    csrsi mstatus, 8
+"""
+
+
+class TestClintModel:
+    def _clint(self, **kwargs):
+        class _FakeCore:
+            cycle = 0
+        clint = Clint(**kwargs)
+        clint.attach(_FakeCore())
+        return clint
+
+    def test_timer_pending_after_period(self):
+        clint = self._clint(tick_period=100)
+        clint._core.cycle = 99
+        assert clint.pending(99, 0xFFF) is None
+        assert clint.pending(100, 0xFFF) == (csrmod.CAUSE_MTI, 100)
+
+    def test_timer_masked_by_mie(self):
+        clint = self._clint(tick_period=10)
+        assert clint.pending(50, 0) is None
+
+    def test_priority_external_over_software_over_timer(self):
+        clint = self._clint(tick_period=10, external_events=[5])
+        clint.write_mmio(0x2000000, 1)  # msip
+        cause, _ = clint.pending(50, 0xFFF)
+        assert cause == csrmod.CAUSE_MEI
+        clint.acknowledge(csrmod.CAUSE_MEI, 50)
+        cause, _ = clint.pending(50, 0xFFF)
+        assert cause == csrmod.CAUSE_MSI
+        clint.acknowledge(csrmod.CAUSE_MSI, 50)
+        cause, _ = clint.pending(50, 0xFFF)
+        assert cause == csrmod.CAUSE_MTI
+
+    def test_autoreset_rearms_timer(self):
+        clint = self._clint(tick_period=100, autoreset=True)
+        clint.acknowledge(csrmod.CAUSE_MTI, 150)
+        assert clint.mtimecmp == 250
+
+    def test_manual_reset_required_without_autoreset(self):
+        clint = self._clint(tick_period=100)
+        clint.acknowledge(csrmod.CAUSE_MTI, 150)
+        assert clint.mtimecmp == 100  # unchanged: software must update
+
+    def test_external_trigger_cycle_preserved(self):
+        clint = self._clint(external_events=[30])
+        assert clint.pending(100, 0xFFF) == (csrmod.CAUSE_MEI, 30)
+
+    def test_unknown_mmio_rejected(self):
+        clint = self._clint()
+        with pytest.raises(SimulationError):
+            clint.read_mmio(0x2000004)
+
+
+class TestTrapFlow:
+    def test_software_interrupt_taken(self):
+        src = TRAP_SETUP + """
+    li   t0, 0x2000000
+    li   t1, 1
+    sw   t1, 0(t0)        # raise msip
+    li   a0, 1            # runs after mret
+    j    end
+handler:
+    li   a1, 42
+    mret
+end:
+"""
+        system = run_fragment(src, tick_period=1 << 30)
+        assert system.core.regs[10] == 1
+        assert system.core.regs[11] == 42
+        assert system.core.stats.traps == 1
+        assert system.core.stats.mrets == 1
+
+    def test_latency_recorded_per_switch(self):
+        src = TRAP_SETUP + """
+    li   t0, 0x2000000
+    li   t1, 1
+    sw   t1, 0(t0)
+    j    end
+handler:
+    nop
+    nop
+    mret
+end:
+"""
+        system = run_fragment(src)
+        assert len(system.switches) == 1
+        record = system.switches[0]
+        assert record.trigger_cycle <= record.entry_cycle < record.mret_cycle
+        assert record.latency > 0
+
+    def test_timer_interrupt_and_mtimecmp_rearm(self):
+        src = TRAP_SETUP + """
+wait:
+    lw   t2, count(zero)   # will fault: use la instead
+    j    wait
+"""
+        # Simpler: count handler entries via a memory counter.
+        src = TRAP_SETUP + """
+    la   s0, count
+wait:
+    lw   t2, 0(s0)
+    li   t3, 2
+    blt  t2, t3, wait
+    j    end
+handler:
+    li   t0, 0x200BFF8    # mtime
+    lw   t1, 0(t0)
+    li   t0, 0x2004000    # mtimecmp
+    addi t1, t1, 200
+    sw   t1, 0(t0)
+    la   t4, count
+    lw   t5, 0(t4)
+    addi t5, t5, 1
+    sw   t5, 0(t4)
+    mret
+end:
+    j    halt
+count: .word 0
+halt:
+"""
+        system = run_fragment(src, tick_period=200, max_cycles=100_000)
+        assert system.core.stats.traps >= 2
+
+    def test_interrupts_masked_inside_handler(self):
+        """A pending msip during a handler must wait for mret."""
+        src = TRAP_SETUP + """
+    li   t0, 0x2000000
+    li   t1, 1
+    sw   t1, 0(t0)
+    j    end
+handler:
+    la   t2, entered
+    lw   t3, 0(t2)
+    addi t3, t3, 1
+    sw   t3, 0(t2)
+    li   t4, 2
+    bge  t3, t4, h_done   # only the first entry re-raises
+    li   t0, 0x2000000
+    li   t1, 1
+    sw   t1, 0(t0)        # re-raise inside the handler
+    li   t4, 100
+spin:
+    addi t4, t4, -1
+    bnez t4, spin
+h_done:
+    mret
+end:
+    la   t2, entered
+    lw   a0, 0(t2)
+    li   t5, 2
+    blt  a0, t5, end      # wait for second entry
+    j    fin
+entered: .word 0
+fin:
+"""
+        system = run_fragment(src, max_cycles=200_000)
+        records = system.switches
+        assert len(records) == 2
+        # The second trigger happened inside the first handler; its
+        # latency includes the masked window.
+        assert records[1].trigger_cycle < records[0].mret_cycle
+
+    def test_wfi_skips_to_timer(self):
+        src = TRAP_SETUP + """
+    wfi
+    j    end
+handler:
+    li   t0, 0x2004000
+    li   t1, 0x7FFFFFFF
+    sw   t1, 0(t0)        # push timer far away
+    mret
+end:
+"""
+        system = run_fragment(src, tick_period=5000, max_cycles=100_000)
+        assert system.core.stats.traps == 1
+        assert system.core.cycle >= 5000
+
+    def test_external_event_taken(self):
+        src = TRAP_SETUP + """
+    li   s0, 0
+loop:
+    addi s0, s0, 1
+    li   t0, 1000
+    blt  s0, t0, loop
+    j    end
+handler:
+    li   a1, 7
+    mret
+end:
+"""
+        system = run_fragment(src, external_events=[500],
+                              max_cycles=100_000)
+        assert system.core.regs[11] == 7
+        assert system.switches[0].trigger_cycle == 500

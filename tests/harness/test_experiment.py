@@ -1,0 +1,68 @@
+"""Experiment drivers: run results, suites, sweeps."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness import run_suite, run_workload, sweep
+from repro.rtosunit.config import parse_config
+from repro.workloads import yield_pingpong
+
+
+class TestRunWorkload:
+    def test_result_fields(self):
+        result = run_workload("cv32e40p", parse_config("vanilla"),
+                              yield_pingpong(4))
+        assert result.core == "cv32e40p"
+        assert result.config_name == "vanilla"
+        assert result.workload == "yield_pingpong"
+        assert result.cycles > 0
+        assert result.instret > 0
+        assert result.latencies
+        assert result.unit_stats is None  # vanilla has no unit
+
+    def test_unit_stats_present_for_accelerated(self):
+        result = run_workload("cv32e40p", parse_config("SLT"),
+                              yield_pingpong(4))
+        assert result.unit_stats is not None
+        assert result.unit_stats.words_stored > 0
+
+    def test_warmup_discarded(self):
+        workload = yield_pingpong(4)
+        result = run_workload("cv32e40p", parse_config("vanilla"), workload)
+        full = yield_pingpong(4)
+        full.warmup_switches = 0
+        result_full = run_workload("cv32e40p", parse_config("vanilla"), full)
+        assert result_full.stats.count == \
+            result.stats.count + workload.warmup_switches
+
+
+class TestRunSuite:
+    def test_suite_aggregates_all_workloads(self):
+        suite = run_suite("cv32e40p", parse_config("vanilla"), iterations=3)
+        assert len(suite.runs) == 5
+        assert suite.stats.count == sum(r.stats.count for r in suite.runs)
+
+    def test_run_named(self):
+        suite = run_suite("cv32e40p", parse_config("vanilla"), iterations=3)
+        assert suite.run_named("mutex_workload").workload == "mutex_workload"
+        with pytest.raises(SimulationError):
+            suite.run_named("bogus")
+
+    def test_custom_workload_selection(self):
+        suite = run_suite("cv32e40p", parse_config("vanilla"), iterations=3,
+                          workloads=(yield_pingpong,))
+        assert len(suite.runs) == 1
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self):
+        results = sweep(cores=("cv32e40p",), configs=("vanilla", "SLT"),
+                        iterations=2, workloads=(yield_pingpong,))
+        assert set(results) == {("cv32e40p", "vanilla"),
+                                ("cv32e40p", "SLT")}
+
+    def test_sweep_results_are_usable(self):
+        results = sweep(cores=("cv32e40p",), configs=("vanilla", "T"),
+                        iterations=2, workloads=(yield_pingpong,))
+        assert results[("cv32e40p", "T")].stats.mean < \
+            results[("cv32e40p", "vanilla")].stats.mean

@@ -1,0 +1,80 @@
+"""JSON export of results."""
+
+import json
+
+from repro.asic import AreaModel, FrequencyModel, PowerModel
+from repro.harness import run_suite, run_workload
+from repro.harness.export import (
+    area_dict,
+    fmax_dict,
+    power_dict,
+    run_dict,
+    suite_dict,
+    sweep_dict,
+    write_json,
+)
+from repro.rtosunit.config import parse_config
+from repro.workloads import yield_pingpong
+
+
+class TestRunExport:
+    def test_run_dict_fields(self):
+        run = run_workload("cv32e40p", parse_config("SLT"),
+                           yield_pingpong(3))
+        payload = run_dict(run)
+        assert payload["core"] == "cv32e40p"
+        assert payload["config"] == "SLT"
+        assert payload["stats"]["jitter"] == run.stats.jitter
+        assert payload["latencies"] == run.latencies
+        assert payload["unit"]["words_stored"] > 0
+
+    def test_vanilla_has_no_unit_section(self):
+        run = run_workload("cv32e40p", parse_config("vanilla"),
+                           yield_pingpong(3))
+        assert "unit" not in run_dict(run)
+
+    def test_everything_is_json_serialisable(self):
+        suite = run_suite("cv32e40p", parse_config("T"), iterations=2,
+                          workloads=(yield_pingpong,))
+        json.dumps(suite_dict(suite))
+        json.dumps(sweep_dict({("cv32e40p", "T"): suite}))
+
+
+class TestFigureExports:
+    def test_area(self):
+        reports = AreaModel().figure10(cores=("cva6",),
+                                       configs=("vanilla", "S"))
+        payload = area_dict(reports)
+        assert len(payload["points"]) == 2
+        json.dumps(payload)
+
+    def test_fmax(self):
+        reports = FrequencyModel().figure11(cores=("cv32e40p",),
+                                            configs=("vanilla", "SLT"))
+        payload = fmax_dict(reports)
+        assert payload["points"][1]["drop_percent"] > 0
+        json.dumps(payload)
+
+    def test_power(self):
+        model = PowerModel()
+        reports = {("cv32e40p", "SLT"): model.report(
+            "cv32e40p", parse_config("SLT"))}
+        payload = power_dict(reports)
+        assert payload["points"][0]["total_mw"] > 0
+
+
+class TestWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(str(path), {"a": [1, 2, 3]})
+        assert json.loads(path.read_text()) == {"a": [1, 2, 3]}
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "fig10.json"
+        assert main(["fig10", "--cores", "cv32e40p",
+                     "--configs", "vanilla,SLT",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert {p["config"] for p in data["points"]} == {"vanilla", "SLT"}

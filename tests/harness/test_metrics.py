@@ -1,0 +1,101 @@
+"""Latency statistics and clustering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.harness.metrics import Clusters, LatencyStats
+
+
+class TestLatencyStats:
+    def test_basic(self):
+        stats = LatencyStats.from_samples([10, 20, 30])
+        assert stats.count == 3
+        assert stats.mean == 20
+        assert stats.minimum == 10
+        assert stats.maximum == 30
+        assert stats.jitter == 20
+        assert stats.median == 20
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_samples([7])
+        assert stats.jitter == 0
+        assert stats.stdev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            LatencyStats.from_samples([])
+
+    def test_reduction(self):
+        baseline = LatencyStats.from_samples([100])
+        faster = LatencyStats.from_samples([40])
+        assert faster.reduction_vs(baseline) == pytest.approx(0.6)
+
+    def test_reduction_against_zero(self):
+        zero = LatencyStats.from_samples([0])
+        with pytest.raises(AnalysisError):
+            zero.reduction_vs(zero)
+
+    @given(samples=st.lists(st.integers(0, 10_000), min_size=1,
+                            max_size=200))
+    def test_invariants(self, samples):
+        stats = LatencyStats.from_samples(samples)
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.jitter == stats.maximum - stats.minimum
+        assert stats.count == len(samples)
+
+
+class TestClusters:
+    def test_bimodal_detection(self):
+        clusters = Clusters.split([10, 11, 12, 50, 51, 52])
+        assert clusters.is_bimodal
+        assert sorted(clusters.low) == [10, 11, 12]
+        assert sorted(clusters.high) == [50, 51, 52]
+
+    def test_unimodal_not_bimodal(self):
+        clusters = Clusters.split([10, 11, 12, 13])
+        assert not clusters.is_bimodal
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            Clusters.split([])
+
+    @given(samples=st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+    def test_partition_is_total(self, samples):
+        clusters = Clusters.split(samples)
+        assert sorted(clusters.low + clusters.high) == sorted(samples)
+
+
+class TestLatencyBreakdown:
+    def _switches(self):
+        from repro.cores.system import SwitchRecord
+
+        return [SwitchRecord(10, 14, 80), SwitchRecord(100, 105, 170)]
+
+    def test_decomposition(self):
+        from repro.harness.metrics import LatencyBreakdown
+
+        breakdown = LatencyBreakdown.from_switches(self._switches())
+        assert breakdown.response.minimum == 4
+        assert breakdown.response.maximum == 5
+        assert breakdown.isr.minimum == 65
+        assert breakdown.total.minimum == 70
+
+    def test_parts_sum_to_total(self):
+        from repro.harness.metrics import LatencyBreakdown
+
+        breakdown = LatencyBreakdown.from_switches(self._switches())
+        assert breakdown.response.mean + breakdown.isr.mean == \
+            breakdown.total.mean
+
+    def test_slt_isr_part_is_constant(self):
+        """The headline, measured precisely: under (SLT) the take->mret
+        path has zero variance; all residual jitter is response-side."""
+        from repro.harness import run_suite
+        from repro.rtosunit.config import parse_config
+
+        breakdown = run_suite("cv32e40p", parse_config("SLT"),
+                              iterations=4).breakdown
+        assert breakdown.isr.jitter == 0
+        assert breakdown.response.jitter <= 2

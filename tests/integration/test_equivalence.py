@@ -1,0 +1,94 @@
+"""Configuration equivalence: acceleration must not change semantics.
+
+The RTOSUnit changes *when* things happen, never *what* happens. Every
+configuration must produce the same task-level behaviour — same console
+output, same final memory results — on every core.
+"""
+
+import pytest
+
+from repro.kernel.tasks import KernelObjects, Semaphore, TaskSpec
+from tests.conftest import ALL_CORES, KEY_CONFIGS, build_and_run
+
+
+def _trace_objects() -> KernelObjects:
+    """Three tasks interleaving prints through yields and a semaphore."""
+    t_a = """\
+task_a:
+    li   s0, 3
+a_loop:
+    li   a0, 'a'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    la   a0, sem_hand
+    jal  k_sem_give
+    jal  k_yield
+    addi s0, s0, -1
+    bnez s0, a_loop
+    li   a0, 4
+    jal  k_delay
+    li   a0, 0
+    jal  k_halt
+"""
+    t_b = """\
+task_b:
+b_loop:
+    la   a0, sem_hand
+    jal  k_sem_take
+    li   a0, 'b'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    j    b_loop
+"""
+    t_c = """\
+task_c:
+c_loop:
+    li   a0, 1
+    jal  k_delay
+    li   a0, 'c'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    j    c_loop
+"""
+    return KernelObjects(
+        tasks=[TaskSpec("a", t_a, priority=2),
+               TaskSpec("b", t_b, priority=3),
+               TaskSpec("c", t_c, priority=2)],
+        semaphores=[Semaphore("hand", initial=0)])
+
+
+class TestCrossConfigEquivalence:
+    @pytest.mark.parametrize("core", ALL_CORES)
+    def test_same_console_output_across_configs(self, core):
+        outputs = {}
+        for config in KEY_CONFIGS:
+            system = build_and_run(core, config, _trace_objects(),
+                                   tick_period=4000,
+                                   max_cycles=10_000_000)
+            outputs[config] = system.console_text
+        reference = outputs["vanilla"]
+        assert reference  # the workload really printed something
+        for config, text in outputs.items():
+            assert text == reference, (
+                f"{core}/{config} diverged: {text!r} != {reference!r}")
+
+    def test_same_output_across_cores_vanilla(self):
+        outputs = {
+            core: build_and_run(core, "vanilla", _trace_objects(),
+                                tick_period=4000,
+                                max_cycles=10_000_000).console_text
+            for core in ALL_CORES
+        }
+        assert len(set(outputs.values())) == 1
+
+
+class TestTimingDiffersSemanticsDont:
+    def test_accelerated_config_is_faster_but_equivalent(self):
+        vanilla = build_and_run("cv32e40p", "vanilla", _trace_objects(),
+                                tick_period=4000, max_cycles=10_000_000)
+        slt = build_and_run("cv32e40p", "SLT", _trace_objects(),
+                            tick_period=4000, max_cycles=10_000_000)
+        assert slt.console_text == vanilla.console_text
+        slt_lat = [s.latency for s in slt.switches]
+        van_lat = [s.latency for s in vanilla.switches]
+        assert sum(slt_lat) / len(slt_lat) < sum(van_lat) / len(van_lat)

@@ -1,0 +1,112 @@
+"""Failure injection: prove the harness *detects* save/restore faults.
+
+A reproduction whose tests cannot catch a broken context switch proves
+nothing. These tests inject faults — corrupted context memory, a store
+FSM that drops a register — and assert the register-preservation
+workload actually fails, i.e. the test sensitivity is real. A final
+determinism test pins the whole simulation as bit-reproducible.
+"""
+
+import pytest
+
+from repro.harness import run_suite, run_workload
+from repro.kernel.builder import KernelBuilder
+from repro.rtosunit.config import parse_config
+from repro.rtosunit.unit import RTOSUnit
+from repro.workloads import yield_pingpong
+from tests.integration.test_context_switch import preservation_objects
+
+
+def _build_preservation(config_name: str):
+    builder = KernelBuilder(config=parse_config(config_name),
+                            objects=preservation_objects(rounds=10),
+                            tick_period=5000)
+    return builder, builder.build("cv32e40p")
+
+
+def _run_until_switches(system, count: int, limit: int = 1_000_000):
+    while len(system.core.switch_events) < count and not system.core.halted:
+        if system.core.cycle > limit:
+            raise AssertionError("never reached the target switch count")
+        system.core.step()
+
+
+class TestContextCorruptionDetected:
+    @pytest.mark.parametrize("config", ("SL", "SLT"))
+    def test_poisoned_context_slot_fails_preservation(self, config):
+        """Flipping a saved register in the context region must surface
+        as a preservation failure (exit 0xBAD), not pass silently."""
+        from repro.mem.regions import CONTEXT_REG_ORDER
+
+        builder, system = _build_preservation(config)
+        _run_until_switches(system, 4)
+        # Poison a *checked* register (s3) in every context slot, so the
+        # fault surfaces as a controlled preservation failure rather
+        # than a wild jump.
+        region = builder.layout.context_region
+        offset = 4 * CONTEXT_REG_ORDER.index(19)  # s3
+        for task_id in range(3):
+            addr = region.slot_addr(task_id) + offset
+            system.memory.write_word_raw(
+                addr, system.memory.read_word_raw(addr) ^ 0xFFFF)
+        exit_code = system.run(max_cycles=3_000_000)
+        assert exit_code == 0xBAD
+
+    def test_poisoned_stack_frame_fails_preservation_vanilla(self):
+        builder, system = _build_preservation("vanilla")
+        _run_until_switches(system, 4)
+        program = builder.program()
+        # Corrupt the suspended task's frame through its TCB.
+        current = system.memory.read_word_raw(
+            program.symbols["current_tcb"])
+        for symbol in ("tcb_p1", "tcb_p2"):
+            tcb = program.symbols[symbol]
+            if tcb == current:
+                continue  # the running task's frame is stale; skip it
+            frame = system.memory.read_word_raw(tcb)  # pxTopOfStack
+            value = system.memory.read_word_raw(frame + 12 * 4)
+            system.memory.write_word_raw(frame + 12 * 4, value ^ 0xA5A5)
+        exit_code = system.run(max_cycles=3_000_000)
+        assert exit_code == 0xBAD
+
+
+class TestStoreFSMFaultDetected:
+    def test_dropped_register_store_fails_preservation(self, monkeypatch):
+        """A store FSM that skips one register (an off-by-one a real RTL
+        bug could introduce) must be caught by the preservation test."""
+        original = RTOSUnit._kick_store
+
+        def faulty_kick(self, cycle):
+            original(self, cycle)
+            # Undo one register's store: zero s3's slot word.
+            from repro.mem.regions import CONTEXT_REG_ORDER
+
+            slot = self.region.slot_addr(self.current_task_id)
+            index = CONTEXT_REG_ORDER.index(19)  # s3
+            self.memory.write_word_raw(slot + 4 * index, 0)
+
+        monkeypatch.setattr(RTOSUnit, "_kick_store", faulty_kick)
+        builder, system = _build_preservation("SLT")
+        exit_code = system.run(max_cycles=3_000_000)
+        assert exit_code == 0xBAD
+
+    def test_unfaulted_baseline_passes(self):
+        _, system = _build_preservation("SLT")
+        assert system.run(max_cycles=3_000_000) == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_latencies(self):
+        first = run_workload("cv32e40p", parse_config("SPLIT"),
+                             yield_pingpong(8))
+        second = run_workload("cv32e40p", parse_config("SPLIT"),
+                              yield_pingpong(8))
+        assert first.latencies == second.latencies
+        assert first.cycles == second.cycles
+
+    def test_suite_statistics_reproducible(self):
+        stats_a = run_suite("naxriscv", parse_config("SLT"),
+                            iterations=3).stats
+        stats_b = run_suite("naxriscv", parse_config("SLT"),
+                            iterations=3).stats
+        assert stats_a == stats_b

@@ -1,0 +1,102 @@
+"""Property-based cross-configuration equivalence.
+
+Random task programs built from yields, register arithmetic, prints and
+compute loops must produce byte-identical console output under every
+RTOSUnit configuration: the accelerator changes *when*, never *what*.
+Random register traffic also stresses the save/restore paths (dirty
+bits, preloading) far beyond the hand-written tests.
+
+Blocking primitives and timer preemption are deliberately excluded here:
+their interleavings legitimately depend on timing, so equality across
+configurations is not a sound property for them (the deterministic
+handshake versions live in test_equivalence.py).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.tasks import KernelObjects, TaskSpec
+from tests.conftest import build_and_run
+
+# Callee-saved registers a random program may use freely.
+_REGS = ("s0", "s1", "s2", "s3", "s4", "s5", "a3", "a4", "t3", "t4")
+
+_op = st.one_of(
+    st.tuples(st.just("set"), st.sampled_from(_REGS),
+              st.integers(0, 2047)),
+    st.tuples(st.just("add"), st.sampled_from(_REGS),
+              st.sampled_from(_REGS)),
+    st.tuples(st.just("xor"), st.sampled_from(_REGS),
+              st.sampled_from(_REGS)),
+    st.tuples(st.just("print"), st.sampled_from(_REGS), st.just(0)),
+    st.tuples(st.just("yield"), st.just(""), st.just(0)),
+    st.tuples(st.just("spin"), st.just(""), st.integers(1, 12)),
+)
+
+_program = st.lists(_op, min_size=3, max_size=14)
+
+
+def _render(name: str, ops, halts: bool) -> str:
+    lines = [f"task_{name}:"]
+    for reg in _REGS:
+        lines.append(f"    li   {reg}, 0")
+    for index, (kind, arg, value) in enumerate(ops):
+        if kind == "set":
+            lines.append(f"    li   {arg}, {value}")
+        elif kind == "add":
+            lines.append(f"    add  {arg}, {arg}, {value}")
+        elif kind == "xor":
+            lines.append(f"    xor  {arg}, {arg}, {value}")
+        elif kind == "print":
+            lines += [
+                f"    andi a0, {arg}, 63",
+                "    addi a0, a0, 48",
+                "    li   t0, 0xFFFF0004",
+                "    sw   a0, 0(t0)",
+            ]
+        elif kind == "yield":
+            lines.append("    jal  k_yield")
+        elif kind == "spin":
+            label = f"{name}_sp{index}"
+            lines += [
+                f"    li   t1, {value}",
+                f"{label}:",
+                "    addi t1, t1, -1",
+                f"    bnez t1, {label}",
+            ]
+    if halts:
+        lines += ["    li   a0, 0", "    jal  k_halt"]
+    else:
+        lines += [f"{name}_park:", "    jal  k_yield",
+                  f"    j    {name}_park"]
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=12, deadline=None)
+@given(prog_a=_program, prog_b=_program)
+def test_random_programs_equivalent_across_configs(prog_a, prog_b):
+    body_a = _render("a", prog_a, halts=True)
+    body_b = _render("b", prog_b, halts=False)
+    objects = KernelObjects(tasks=[TaskSpec("a", body_a, priority=2),
+                                   TaskSpec("b", body_b, priority=2)])
+    reference = None
+    for config in ("vanilla", "CV32RT", "S", "SD", "SLT", "SDLOT", "SPLIT"):
+        system = build_and_run("cv32e40p", config, objects,
+                               tick_period=1 << 24,  # no preemption
+                               max_cycles=500_000)
+        if reference is None:
+            reference = system.console_text
+        else:
+            assert system.console_text == reference, config
+
+
+@settings(max_examples=6, deadline=None)
+@given(prog=_program)
+def test_random_programs_equivalent_across_cores(prog):
+    body = _render("a", prog, halts=True)
+    objects = KernelObjects(tasks=[TaskSpec("a", body, priority=2)])
+    outputs = {
+        core: build_and_run(core, "SLT", objects, tick_period=1 << 24,
+                            max_cycles=500_000).console_text
+        for core in ("cv32e40p", "cva6", "naxriscv")
+    }
+    assert len(set(outputs.values())) == 1

@@ -1,0 +1,197 @@
+"""Hardware synchronisation extension (paper §7 future work, letter Y)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.tasks import KernelObjects, Semaphore, TaskSpec
+from repro.rtosunit.config import parse_config
+from repro.rtosunit.hwsync import HardwareSync
+from repro.rtosunit.scheduler import HardwareScheduler
+from tests.conftest import build_and_run
+
+_CONSUMER = """\
+task_con:
+    li   s0, 8
+con_loop:
+    la   a0, sem_sig
+    jal  k_sem_take
+    addi s0, s0, -1
+    bnez s0, con_loop
+    li   a0, 0
+    jal  k_halt
+"""
+
+_PRODUCER = """\
+task_pro:
+pro_loop:
+    la   a0, sem_sig
+    jal  k_sem_give
+    j    pro_loop
+"""
+
+
+def _signal_objects():
+    return KernelObjects(
+        tasks=[TaskSpec("con", _CONSUMER, priority=3),
+               TaskSpec("pro", _PRODUCER, priority=1)],
+        semaphores=[Semaphore("sig", initial=0)])
+
+
+class TestConfig:
+    def test_y_requires_t(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("SY")
+        with pytest.raises(ConfigurationError):
+            parse_config("Y")
+
+    def test_names(self):
+        assert parse_config("TY").name == "TY"
+        assert parse_config("SLTY").name == "SLTY"
+        assert parse_config("SPLITY").name == "SPLITY"
+
+    def test_slot_capacity_enforced(self):
+        objects = KernelObjects(
+            tasks=[TaskSpec("t", "task_t:\nt_l:\n    j t_l\n", priority=1)],
+            semaphores=[Semaphore(f"s{i}") for i in range(5)])
+        with pytest.raises(Exception):
+            KernelBuilder(config=parse_config("TY"), objects=objects)
+
+
+class TestHardwareSyncModel:
+    def _sync(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, 2)
+        sched.add_ready(1, 1)
+        return HardwareSync(sched, slots=2), sched
+
+    def test_take_available(self):
+        sync, _ = self._sync()
+        sync.counts[0] = 1
+        assert sync.take(0, task_id=0, priority=2, cycle=0) == 1
+        assert sync.counts[0] == 0
+
+    def test_take_blocks_and_removes_from_ready(self):
+        sync, sched = self._sync()
+        assert sync.take(0, task_id=0, priority=2, cycle=0) == 0
+        assert 0 not in sched.ready_ids()
+        assert sync.blocks == 1
+
+    def test_give_wakes_highest_priority_waiter(self):
+        sync, sched = self._sync()
+        sync.take(0, task_id=1, priority=1, cycle=0)
+        sync.take(0, task_id=0, priority=2, cycle=0)
+        woken_code = sync.give(0, cycle=10)
+        assert woken_code == 2 + 1  # priority + 1
+        assert 0 in sched.ready_ids()
+        assert 1 not in sched.ready_ids()
+
+    def test_give_without_waiters_returns_zero(self):
+        sync, _ = self._sync()
+        assert sync.give(0, cycle=0) == 0
+        assert sync.counts[0] == 1
+
+    def test_bad_slot_rejected(self):
+        sync, _ = self._sync()
+        with pytest.raises(SimulationError):
+            sync.take(5, 0, 1, 0)
+        with pytest.raises(SimulationError):
+            sync.give(-1, 0)
+
+    def test_waiter_overflow(self):
+        sched = HardwareScheduler(length=8)
+        for task in range(3):
+            sched.add_ready(task, 1)
+        sync = HardwareSync(sched, slots=1, max_waiters=2)
+        sync.take(0, 0, 1, 0)
+        sync.take(0, 1, 1, 0)
+        with pytest.raises(SimulationError):
+            sync.take(0, 2, 1, 0)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("config", ("TY", "SLTY", "SPLITY"))
+    def test_semaphore_signalling(self, config):
+        system = build_and_run("cv32e40p", config, _signal_objects(),
+                               max_cycles=5_000_000)
+        sync = system.unit.hwsync
+        assert sync.takes >= 8
+        assert sync.wakes >= 1
+
+    @pytest.mark.parametrize("core", ("cva6", "naxriscv"))
+    def test_other_cores(self, core):
+        build_and_run(core, "SLTY", _signal_objects(),
+                      max_cycles=5_000_000)
+
+    def test_mutex_initial_value_seeded_by_boot(self):
+        body = """\
+task_m:
+    la   a0, sem_mux
+    jal  k_mutex_lock          # must succeed immediately (initial=1)
+    la   a0, sem_mux
+    jal  k_mutex_unlock
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("m", body, priority=2)],
+            semaphores=[Semaphore("mux", initial=1)])
+        system = build_and_run("cv32e40p", "TY", objects)
+        assert system.unit.hwsync.counts[0] == 1  # released again
+
+    def test_same_output_as_software_semaphores(self):
+        """The extension changes timing, not semantics."""
+        waiter = """\
+task_w:
+    la   a0, sem_x
+    jal  k_sem_take
+    li   a0, 'W'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    li   a0, 0
+    jal  k_halt
+"""
+        giver = """\
+task_g:
+    jal  k_yield
+    li   a0, 'G'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    la   a0, sem_x
+    jal  k_sem_give
+g_spin:
+    jal  k_yield
+    j    g_spin
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("w", waiter, priority=3),
+                   TaskSpec("g", giver, priority=2)],
+            semaphores=[Semaphore("x", initial=0)])
+        sw = build_and_run("cv32e40p", "SLT", objects)
+        hw = build_and_run("cv32e40p", "SLTY", objects)
+        assert sw.console_text == hw.console_text == "GW"
+
+    def test_hwsync_shortens_give_take_paths(self):
+        """Coordination-intensive workloads spend fewer cycles (§7)."""
+        sw = build_and_run("cv32e40p", "SLT", _signal_objects(),
+                           max_cycles=5_000_000)
+        hw = build_and_run("cv32e40p", "SLTY", _signal_objects(),
+                           max_cycles=5_000_000)
+        assert hw.core.cycle < sw.core.cycle
+
+    def test_take_timeout_panics_under_hwsync(self):
+        body = """\
+task_t:
+    la   a0, sem_x
+    li   a1, 2
+    jal  k_sem_take_timeout
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("t", body, priority=2)],
+            semaphores=[Semaphore("x", initial=0)])
+        from repro.kernel.builder import build_kernel_system
+
+        system = build_kernel_system("cv32e40p", parse_config("TY"), objects)
+        assert system.run(max_cycles=1_000_000) == 0xDEAD

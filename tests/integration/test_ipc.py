@@ -1,0 +1,301 @@
+"""Semaphore, mutex and queue semantics across configurations.
+
+These tests verify *functional* RTOS behaviour: counting semantics,
+blocking/wakeup order, FIFO message order, priority-based wakeup — all
+of which must be identical regardless of which RTOSUnit configuration
+accelerates the context switches underneath.
+"""
+
+import pytest
+
+from repro.kernel.tasks import KernelObjects, MessageQueue, Semaphore, TaskSpec
+from tests.conftest import KEY_CONFIGS, build_and_run
+
+_PUTC = """\
+putc_{n}:
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+"""
+
+
+class TestSemaphores:
+    @pytest.mark.parametrize("config", KEY_CONFIGS)
+    def test_semaphore_signalling(self, config, sem_objects):
+        system = build_and_run("cv32e40p", config, sem_objects)
+        # Consumer takes 6 times; each take requires a give.
+        assert system.core.stats.traps >= 12
+
+    def test_counting_semantics(self):
+        """Three gives before any take: the taker never blocks."""
+        giver = """\
+task_g:
+    la   a0, sem_c
+    jal  k_sem_give
+    la   a0, sem_c
+    jal  k_sem_give
+    la   a0, sem_c
+    jal  k_sem_give
+    jal  k_yield
+g_spin:
+    jal  k_yield
+    j    g_spin
+"""
+        taker = """\
+task_t:
+    jal  k_yield
+    la   a0, sem_c
+    jal  k_sem_take
+    la   a0, sem_c
+    jal  k_sem_take
+    la   a0, sem_c
+    jal  k_sem_take
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("g", giver, priority=2),
+                   TaskSpec("t", taker, priority=2)],
+            semaphores=[Semaphore("c", initial=0)])
+        build_and_run("cv32e40p", "vanilla", objects)
+
+    @pytest.mark.parametrize("config", ("vanilla", "SLT"))
+    def test_highest_priority_waiter_wakes_first(self, config):
+        """Two waiters of different priority: give wakes the higher one,
+        which prints first."""
+        waiter = """\
+task_{n}:
+    la   a0, sem_w
+    jal  k_sem_take
+    li   a0, '{c}'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    la   a0, sem_park
+    jal  k_sem_take       # park forever
+"""
+        giver = """\
+task_g:
+    jal  k_yield
+    jal  k_yield
+    la   a0, sem_w
+    jal  k_sem_give       # wakes hi, which preempts and prints H
+    la   a0, sem_w
+    jal  k_sem_give       # wakes lo (no preemption: lower priority)
+    li   a0, 1
+    jal  k_delay          # let lo run and print L
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("lo", waiter.format(n="lo", c="L"), priority=2),
+                   TaskSpec("hi", waiter.format(n="hi", c="H"), priority=4),
+                   TaskSpec("g", giver, priority=3)],
+            semaphores=[Semaphore("w", initial=0),
+                        Semaphore("park", initial=0)])
+        system = build_and_run("cv32e40p", config, objects)
+        assert system.console_text == "HL"
+
+
+class TestMutex:
+    @pytest.mark.parametrize("config", ("vanilla", "S", "SLT", "SPLIT"))
+    def test_mutual_exclusion(self, config):
+        """Both tasks increment a shared counter under the mutex; with a
+        yield inside the critical section, a broken mutex would lose
+        updates."""
+        body = """\
+task_{n}:
+    li   s0, 5
+{n}_loop:
+    la   a0, sem_m
+    jal  k_mutex_lock
+    la   t2, shared_counter
+    lw   s1, 0(t2)
+    jal  k_yield
+    addi s1, s1, 1
+    la   t2, shared_counter
+    sw   s1, 0(t2)
+    la   a0, sem_m
+    jal  k_mutex_unlock
+    addi s0, s0, -1
+    bnez s0, {n}_loop
+{end}
+"""
+        end1 = """\
+    la   t2, done_flag
+    li   t3, 1
+    sw   t3, 0(t2)
+m1_spin:
+    jal  k_yield
+    j    m1_spin
+"""
+        end2 = """\
+wait2:
+    la   t2, done_flag
+    lw   t3, 0(t2)
+    beqz t3, wait2_yield
+    la   t2, shared_counter
+    lw   a0, 0(t2)
+    li   t3, 10
+    bne  a0, t3, bad
+    li   a0, 0
+    jal  k_halt
+bad:
+    li   a0, 1
+    jal  k_halt
+wait2_yield:
+    jal  k_yield
+    j    wait2
+"""
+        counter_task = """\
+task_data:
+    jal  k_yield
+    j    task_data
+shared_counter: .word 0
+done_flag: .word 0
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("m1", body.format(n="m1", end=end1), priority=2),
+                   TaskSpec("m2", body.format(n="m2", end=end2), priority=2),
+                   TaskSpec("data", counter_task, priority=1)],
+            semaphores=[Semaphore("m", initial=1)])
+        build_and_run("cv32e40p", config, objects, max_cycles=5_000_000)
+
+
+class TestQueues:
+    @pytest.mark.parametrize("config", ("vanilla", "T", "SLT"))
+    def test_fifo_order_preserved(self, config):
+        """Messages 'A'..'F' arrive in order through a 2-deep queue."""
+        producer = """\
+task_pro:
+    li   s0, 'A'
+pro_loop:
+    la   a0, queue_q
+    mv   a1, s0
+    jal  k_queue_send
+    addi s0, s0, 1
+    li   t0, 'F'
+    bge  t0, s0, pro_loop
+pro_spin:
+    jal  k_yield
+    j    pro_spin
+"""
+        consumer = """\
+task_con:
+    li   s0, 6
+con_loop:
+    la   a0, queue_q
+    jal  k_queue_recv
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    addi s0, s0, -1
+    bnez s0, con_loop
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("pro", producer, priority=2),
+                   TaskSpec("con", consumer, priority=2)],
+            queues=[MessageQueue("q", capacity=2)])
+        system = build_and_run("cv32e40p", config, objects,
+                               max_cycles=5_000_000)
+        assert system.console_text == "ABCDEF"
+
+    def test_producer_blocks_on_full_queue(self):
+        """Capacity-1 queue: the producer must block after one send."""
+        producer = """\
+task_pro:
+    la   a0, queue_q
+    li   a1, 1
+    jal  k_queue_send
+    la   a0, queue_q
+    li   a1, 2
+    jal  k_queue_send
+    la   t0, sent_two
+    li   t1, 1
+    sw   t1, 0(t0)
+pro_spin:
+    jal  k_yield
+    j    pro_spin
+sent_two: .word 0
+"""
+        consumer = """\
+task_con:
+    jal  k_yield
+    la   t0, sent_two
+    lw   t1, 0(t0)
+    bnez t1, con_bad       # producer must still be blocked
+    la   a0, queue_q
+    jal  k_queue_recv
+    jal  k_yield
+    la   t0, sent_two
+    lw   t1, 0(t0)
+    beqz t1, con_bad       # after a recv the producer completed
+    li   a0, 0
+    jal  k_halt
+con_bad:
+    li   a0, 1
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("pro", producer, priority=2),
+                   TaskSpec("con", consumer, priority=2)],
+            queues=[MessageQueue("q", capacity=1)])
+        build_and_run("cv32e40p", "vanilla", objects)
+
+
+class TestDelays:
+    @pytest.mark.parametrize("config", ("vanilla", "T", "SLT"))
+    def test_delay_duration_respected(self, config):
+        """A 3-tick delay resumes between 2 and 4 tick periods later."""
+        body = """\
+task_d:
+    li   t0, 0x200BFF8
+    lw   s0, 0(t0)         # mtime before
+    li   a0, 3
+    jal  k_delay
+    li   t0, 0x200BFF8
+    lw   s1, 0(t0)         # mtime after
+    sub  a0, s1, s0
+    li   t1, 2000          # at least 2 periods of 1000
+    blt  a0, t1, d_bad
+    li   t1, 4200
+    bgt  a0, t1, d_bad
+    li   a0, 0
+    jal  k_halt
+d_bad:
+    li   a0, 1
+    jal  k_halt
+"""
+        objects = KernelObjects(tasks=[TaskSpec("d", body, priority=2)])
+        build_and_run("cv32e40p", config, objects, tick_period=1000,
+                      max_cycles=2_000_000)
+
+    @pytest.mark.parametrize("config", ("vanilla", "SLT"))
+    def test_delayed_tasks_wake_in_order(self, config):
+        """Tasks delaying 1, 2, 3 ticks print in wake order."""
+        body = """\
+task_{n}:
+    li   a0, {ticks}
+    jal  k_delay
+    li   a0, '{c}'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+{n}_spin:
+    jal  k_yield
+    j    {n}_spin
+"""
+        main = """\
+task_main:
+    li   a0, 5
+    jal  k_delay
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(tasks=[
+            TaskSpec("d3", body.format(n="d3", ticks=3, c="3"), priority=2),
+            TaskSpec("d1", body.format(n="d1", ticks=1, c="1"), priority=2),
+            TaskSpec("d2", body.format(n="d2", ticks=2, c="2"), priority=2),
+            TaskSpec("main", main, priority=3),
+        ])
+        system = build_and_run("cv32e40p", config, objects,
+                               tick_period=2000, max_cycles=3_000_000)
+        assert system.console_text == "123"

@@ -1,0 +1,134 @@
+"""Latency-shape assertions mirroring the paper's §6.1 findings.
+
+These are the repository's "does the reproduction hold" tests: orderings
+and relative magnitudes, not absolute cycle counts (our substrate is a
+cycle-level simulator, not the authors' RTL testbench).
+"""
+
+import pytest
+
+from repro.harness import run_suite
+from repro.rtosunit.config import parse_config
+
+_ITER = 6
+
+
+@pytest.fixture(scope="module")
+def cv32_suites():
+    configs = ("vanilla", "CV32RT", "S", "SL", "T", "ST", "SLT",
+               "SDLO", "SDLOT", "SPLIT")
+    return {name: run_suite("cv32e40p", parse_config(name),
+                            iterations=_ITER)
+            for name in configs}
+
+
+class TestMeanLatencyOrdering:
+    def test_every_rtosunit_config_beats_vanilla(self, cv32_suites):
+        vanilla = cv32_suites["vanilla"].stats.mean
+        for name, suite in cv32_suites.items():
+            if name == "vanilla":
+                continue
+            assert suite.stats.mean < vanilla, name
+
+    def test_s_beats_cv32rt(self, cv32_suites):
+        """§6.1: (S) overlaps the *entire* save, CV32RT only half."""
+        assert cv32_suites["S"].stats.mean < \
+            cv32_suites["CV32RT"].stats.mean
+
+    def test_cv32rt_reduction_is_modest(self, cv32_suites):
+        """CV32RT achieves only 3–12 % mean reduction (paper)."""
+        reduction = cv32_suites["CV32RT"].stats.reduction_vs(
+            cv32_suites["vanilla"].stats)
+        assert 0.02 <= reduction <= 0.15
+
+    def test_s_reduction_range(self, cv32_suites):
+        """(S) yields 17–27 % in the paper; allow a small margin."""
+        reduction = cv32_suites["S"].stats.reduction_vs(
+            cv32_suites["vanilla"].stats)
+        assert 0.12 <= reduction <= 0.32
+
+    def test_progressive_offload_monotonic(self, cv32_suites):
+        """vanilla > S > SL > SLT and vanilla > T > ST > SLT."""
+        means = {n: cv32_suites[n].stats.mean for n in cv32_suites}
+        assert means["vanilla"] > means["S"] > means["SL"] > means["SLT"]
+        assert means["vanilla"] > means["T"] > means["ST"] >= means["SLT"]
+
+    def test_slt_reduction_is_large(self, cv32_suites):
+        reduction = cv32_suites["SLT"].stats.reduction_vs(
+            cv32_suites["vanilla"].stats)
+        assert reduction > 0.45
+
+    def test_sdlo_matches_sl(self, cv32_suites):
+        """§6.1: without HW scheduling, dirty bits + omission show no
+        improvement over (SL) — scheduling dominates, not bandwidth."""
+        sl = cv32_suites["SL"].stats.mean
+        sdlo = cv32_suites["SDLO"].stats.mean
+        assert abs(sdlo - sl) / sl < 0.05
+
+    def test_split_has_lowest_minimum(self, cv32_suites):
+        """Preloading achieves the fastest individual switches."""
+        split_min = cv32_suites["SPLIT"].stats.minimum
+        assert split_min <= min(s.stats.minimum
+                                for n, s in cv32_suites.items()
+                                if n != "SPLIT")
+
+
+class TestJitter:
+    def test_t_slashes_jitter(self, cv32_suites):
+        """§6.1: scheduling offload reduces CV32E40P jitter by >90 %."""
+        vanilla = cv32_suites["vanilla"].stats.jitter
+        hw_sched = cv32_suites["T"].stats.jitter
+        assert hw_sched < vanilla * 0.1
+
+    def test_slt_nearly_eliminates_jitter(self, cv32_suites):
+        """§6.1/§7: (SLT) eliminates jitter entirely on CV32E40P."""
+        assert cv32_suites["SLT"].stats.jitter <= 2
+
+    def test_store_only_keeps_vanilla_jitter(self, cv32_suites):
+        """(S) accelerates storing, but the variable-latency software
+        scheduler still dominates the jitter."""
+        assert cv32_suites["S"].stats.jitter > \
+            cv32_suites["SLT"].stats.jitter * 10
+
+    def test_dirty_bits_trade_jitter_for_mean(self, cv32_suites):
+        """(SDLOT) reduces the mean below (SLT) at increased jitter."""
+        assert cv32_suites["SDLOT"].stats.mean < \
+            cv32_suites["SLT"].stats.mean
+        assert cv32_suites["SDLOT"].stats.jitter >= \
+            cv32_suites["SLT"].stats.jitter
+
+
+class TestPreloadBimodality:
+    def test_split_is_bimodal(self, cv32_suites):
+        """§6.1: results fall into a fast (hit) and slow (miss) cluster."""
+        from repro.harness.metrics import Clusters
+
+        samples = cv32_suites["SPLIT"].all_latencies
+        clusters = Clusters.split(samples)
+        assert clusters.low and clusters.high
+
+    def test_hits_save_tens_of_cycles(self, cv32_suites):
+        slt_min = cv32_suites["SLT"].stats.minimum
+        split_min = cv32_suites["SPLIT"].stats.minimum
+        assert 10 <= slt_min - split_min <= 60
+
+
+class TestOtherCores:
+    @pytest.mark.parametrize("core", ("cva6", "naxriscv"))
+    def test_slt_wins_and_jitter_collapses(self, core):
+        vanilla = run_suite(core, parse_config("vanilla"),
+                            iterations=4).stats
+        slt = run_suite(core, parse_config("SLT"), iterations=4).stats
+        assert slt.mean < vanilla.mean * 0.7
+        # §6.1: jitter reduced by up to 88 % on CVA6/NaxRiscv; the rest
+        # comes from caches and speculation the unit cannot control.
+        assert slt.jitter < vanilla.jitter * 0.2
+        assert slt.jitter > 0  # not fully eliminated on complex cores
+
+    def test_naxriscv_s_gain_is_small(self):
+        """The paper's weakest (S) result is on the OoO core."""
+        vanilla = run_suite("naxriscv", parse_config("vanilla"),
+                            iterations=4).stats
+        s_cfg = run_suite("naxriscv", parse_config("S"),
+                          iterations=4).stats
+        assert 0.0 < s_cfg.reduction_vs(vanilla) < 0.15

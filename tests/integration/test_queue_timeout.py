@@ -1,0 +1,98 @@
+"""Queue receive with timeout."""
+
+import pytest
+
+from repro.kernel.tasks import KernelObjects, MessageQueue, TaskSpec
+from tests.conftest import build_and_run
+
+_RECEIVER = """\
+task_rx:
+    la   a0, queue_q
+    li   a1, 2
+    jal  k_queue_recv_timeout
+    bnez a1, rx_bad            # empty queue: must time out
+    li   t0, 0xFFFF0004
+    li   a0, 'T'
+    sw   a0, 0(t0)
+    la   t0, go_flag
+    li   t1, 1
+    sw   t1, 0(t0)
+    la   a0, queue_q
+    li   a1, 50
+    jal  k_queue_recv_timeout
+    beqz a1, rx_bad            # sender delivered: must succeed
+    li   t1, 0x77
+    bne  a0, t1, rx_bad        # with the right payload
+    li   t0, 0xFFFF0004
+    li   a0, 'K'
+    sw   a0, 0(t0)
+    li   a0, 0
+    jal  k_halt
+rx_bad:
+    li   a0, 1
+    jal  k_halt
+go_flag: .word 0
+"""
+
+_SENDER = """\
+task_tx:
+tx_wait:
+    la   t0, go_flag
+    lw   t1, 0(t0)
+    bnez t1, tx_send
+    jal  k_yield
+    j    tx_wait
+tx_send:
+    la   a0, queue_q
+    li   a1, 0x77
+    jal  k_queue_send
+tx_spin:
+    jal  k_yield
+    j    tx_spin
+"""
+
+
+def _objects():
+    return KernelObjects(
+        tasks=[TaskSpec("rx", _RECEIVER, priority=3),
+               TaskSpec("tx", _SENDER, priority=2)],
+        queues=[MessageQueue("q", capacity=2)])
+
+
+class TestQueueRecvTimeout:
+    @pytest.mark.parametrize("config",
+                             ("vanilla", "SL", "T", "SLT", "SLTY"))
+    def test_timeout_then_delivery(self, config):
+        system = build_and_run("cv32e40p", config, _objects(),
+                               tick_period=1000, max_cycles=5_000_000)
+        assert system.console_text == "TK"
+
+    @pytest.mark.parametrize("core", ("cva6", "naxriscv"))
+    def test_other_cores(self, core):
+        system = build_and_run(core, "SLT", _objects(),
+                               tick_period=1000, max_cycles=5_000_000)
+        assert system.console_text == "TK"
+
+    def test_nonblocking_when_data_present(self):
+        body = """\
+task_f:
+    la   a0, queue_q
+    li   a1, 5
+    jal  k_queue_send
+    la   a0, queue_q
+    li   a1, 3
+    jal  k_queue_recv_timeout
+    beqz a1, f_bad
+    li   t1, 5
+    bne  a0, t1, f_bad
+    li   a0, 0
+    jal  k_halt
+f_bad:
+    li   a0, 1
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("f", body, priority=2)],
+            queues=[MessageQueue("q", capacity=2)])
+        system = build_and_run("cv32e40p", "vanilla", objects)
+        assert system.core.stats.traps <= 2  # never blocked

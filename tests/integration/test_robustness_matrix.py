@@ -1,0 +1,38 @@
+"""The full robustness matrix: mixed_stress on every core × config.
+
+`mixed_stress` exercises every kernel service at once (semaphores,
+queues, delays, yields, timer preemption) with the hardware lists at
+capacity; running it across the whole design space is the broadest
+single correctness statement in the suite.
+"""
+
+import pytest
+
+from repro.harness import run_workload
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+from repro.workloads import mixed_stress
+
+_EXTENDED = tuple(EVALUATED_CONFIGS) + ("TY", "SLTY", "SPLITY")
+
+
+@pytest.mark.parametrize("config", _EXTENDED)
+def test_cv32e40p_matrix(config):
+    result = run_workload("cv32e40p", parse_config(config),
+                          mixed_stress(6))
+    assert result.stats.count > 50
+
+
+@pytest.mark.parametrize("config", ("CV32RT", "S", "SL", "T", "SLT",
+                                    "SDLOT", "SPLIT", "SLTY"))
+@pytest.mark.parametrize("core", ("cva6", "naxriscv"))
+def test_complex_core_matrix(core, config):
+    result = run_workload(core, parse_config(config), mixed_stress(6))
+    assert result.stats.count > 50
+
+
+def test_matrix_totals_are_plausible():
+    """Accelerated configs complete the same workload in fewer cycles."""
+    vanilla = run_workload("cv32e40p", parse_config("vanilla"),
+                           mixed_stress(6))
+    slt = run_workload("cv32e40p", parse_config("SLT"), mixed_stress(6))
+    assert slt.cycles < vanilla.cycles

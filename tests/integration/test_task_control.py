@@ -1,0 +1,107 @@
+"""Task start/suspend control (vTaskSuspend/vTaskResume equivalents)."""
+
+import pytest
+
+from repro.kernel.tasks import KernelObjects, TaskSpec
+from tests.conftest import build_and_run
+
+_STARTER = """\
+task_main:
+    li   a0, 'M'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    la   a0, tcb_dorm
+    jal  k_task_start
+    jal  k_yield
+    li   a0, 0
+    jal  k_halt
+"""
+
+_DORMANT = """\
+task_dorm:
+    li   a0, 'D'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+dorm_park:
+    jal  k_yield
+    j    dorm_park
+"""
+
+
+class TestTaskStart:
+    @pytest.mark.parametrize("config", ("vanilla", "S", "SLT", "SLTY"))
+    def test_dormant_task_runs_after_start(self, config):
+        objects = KernelObjects(tasks=[
+            TaskSpec("main", _STARTER, priority=2),
+            TaskSpec("dorm", _DORMANT, priority=2, auto_ready=False)])
+        system = build_and_run("cv32e40p", config, objects)
+        assert system.console_text == "MD"
+
+    def test_dormant_task_never_runs_without_start(self):
+        no_start = """\
+task_main:
+    jal  k_yield
+    jal  k_yield
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(tasks=[
+            TaskSpec("main", no_start, priority=2),
+            TaskSpec("dorm", _DORMANT, priority=2, auto_ready=False)])
+        system = build_and_run("cv32e40p", "vanilla", objects)
+        assert "D" not in system.console_text
+
+    def test_start_is_idempotent(self):
+        double_start = """\
+task_main:
+    la   a0, tcb_dorm
+    jal  k_task_start
+    la   a0, tcb_dorm
+    jal  k_task_start
+    jal  k_yield
+    jal  k_yield
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(tasks=[
+            TaskSpec("main", double_start, priority=2),
+            TaskSpec("dorm", _DORMANT, priority=2, auto_ready=False)])
+        system = build_and_run("cv32e40p", "SLT", objects)
+        assert system.console_text.count("D") == 1
+
+
+class TestSuspendResume:
+    @pytest.mark.parametrize("config", ("vanilla", "SLT"))
+    def test_suspended_task_stops_until_restarted(self, config):
+        worker = """\
+task_w:
+    li   a0, 'a'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    jal  k_task_suspend_self
+    li   a0, 'b'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+w_park:
+    jal  k_yield
+    j    w_park
+"""
+        controller = """\
+task_c:
+    jal  k_yield
+    li   a0, '1'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    la   a0, tcb_w
+    jal  k_task_start
+    jal  k_yield
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(tasks=[
+            TaskSpec("w", worker, priority=2),
+            TaskSpec("c", controller, priority=2)])
+        system = build_and_run("cv32e40p", config, objects)
+        # Worker prints 'a', suspends; controller prints '1', resumes it;
+        # worker prints 'b'.
+        assert system.console_text == "a1b"

@@ -1,0 +1,70 @@
+"""Preemptive time slicing: fairness among equal-priority tasks (Fig. 2a/b)."""
+
+import pytest
+
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.tasks import KernelObjects, TaskSpec
+from repro.rtosunit.config import parse_config
+
+_WORKER = """\
+task_{n}:
+{n}_loop:
+    la   t0, counter_{n}
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+    j    {n}_loop
+counter_{n}: .word 0
+"""
+
+_SUPERVISOR = """\
+task_sup:
+    li   s0, 30
+sup_loop:
+    li   a0, 1
+    jal  k_delay
+    addi s0, s0, -1
+    bnez s0, sup_loop
+    li   a0, 0
+    jal  k_halt
+"""
+
+
+def _run(config_name: str, workers: int = 3, tick: int = 1500):
+    objects = KernelObjects(
+        tasks=[TaskSpec(f"w{i}", _WORKER.format(n=f"w{i}"), priority=1)
+               for i in range(workers)]
+        + [TaskSpec("sup", _SUPERVISOR, priority=2)])
+    builder = KernelBuilder(config=parse_config(config_name),
+                            objects=objects, tick_period=tick)
+    system = builder.build("cv32e40p")
+    program = builder.program()
+    exit_code = system.run(max_cycles=10_000_000)
+    assert exit_code == 0
+    counters = [system.memory.read_word_raw(
+        program.symbols[f"counter_w{i}"]) for i in range(workers)]
+    return counters
+
+
+class TestRoundRobinFairness:
+    @pytest.mark.parametrize("config", ("vanilla", "S", "T", "SLT"))
+    def test_all_equal_priority_tasks_progress(self, config):
+        counters = _run(config)
+        assert all(count > 0 for count in counters), counters
+
+    @pytest.mark.parametrize("config", ("vanilla", "SLT"))
+    def test_progress_is_roughly_fair(self, config):
+        """Round-robin time slicing spreads CPU time within ~35 %."""
+        counters = _run(config)
+        assert min(counters) > 0.65 * max(counters), counters
+
+    def test_no_starvation_with_many_workers(self):
+        counters = _run("SLT", workers=5, tick=1000)
+        assert all(count > 0 for count in counters), counters
+
+    def test_higher_priority_preempts_on_wake(self):
+        """The supervisor (higher priority) always runs when its delay
+        expires — CPU-bound lower-priority tasks cannot block it."""
+        # Completing _run at all proves this: the supervisor's 30 delays
+        # elapsed under permanent CPU pressure from the workers.
+        _run("vanilla", workers=3)

@@ -1,0 +1,167 @@
+"""Blocking with timeout (§3: the first event — wake or expiry — wins)."""
+
+import pytest
+
+from repro.kernel.tasks import KernelObjects, Semaphore, TaskSpec
+from tests.conftest import build_and_run
+
+_TAKER = """\
+task_tk:
+    li   s2, 2
+tk_timeouts:
+    la   a0, sem_x
+    li   a1, 2
+    jal  k_sem_take_timeout
+    bnez a0, tk_bad          # nothing given yet: must time out
+    li   a0, 'T'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    addi s2, s2, -1
+    bnez s2, tk_timeouts
+    la   t0, ready_flag
+    li   t1, 1
+    sw   t1, 0(t0)
+    la   a0, sem_x
+    li   a1, 50
+    jal  k_sem_take_timeout
+    beqz a0, tk_bad          # the giver gave: must succeed
+    li   a0, 'K'
+    li   t0, 0xFFFF0004
+    sw   a0, 0(t0)
+    li   a0, 0
+    jal  k_halt
+tk_bad:
+    li   a0, 1
+    jal  k_halt
+ready_flag: .word 0
+"""
+
+_GIVER = """\
+task_gv:
+gv_wait:
+    la   t0, ready_flag
+    lw   t1, 0(t0)
+    bnez t1, gv_give
+    jal  k_yield
+    j    gv_wait
+gv_give:
+    la   a0, sem_x
+    jal  k_sem_give
+gv_spin:
+    jal  k_yield
+    j    gv_spin
+"""
+
+
+def _objects():
+    return KernelObjects(
+        tasks=[TaskSpec("tk", _TAKER, priority=3),
+               TaskSpec("gv", _GIVER, priority=2)],
+        semaphores=[Semaphore("x", initial=0)])
+
+
+class TestSemTakeTimeout:
+    @pytest.mark.parametrize("config",
+                             ("vanilla", "S", "SL", "T", "SLT", "SPLIT"))
+    def test_timeout_then_success(self, config):
+        system = build_and_run("cv32e40p", config, _objects(),
+                               tick_period=1000, max_cycles=5_000_000)
+        assert system.console_text == "TTK"
+
+    @pytest.mark.parametrize("core", ("cva6", "naxriscv"))
+    def test_other_cores(self, core):
+        system = build_and_run(core, "SLT", _objects(),
+                               tick_period=1000, max_cycles=5_000_000)
+        assert system.console_text == "TTK"
+
+    def test_timeout_duration_roughly_matches(self):
+        """A 3-tick timed wait resumes after ~3 tick periods."""
+        body = """\
+task_w:
+    li   t0, 0x200BFF8
+    lw   s0, 0(t0)
+    la   a0, sem_never
+    li   a1, 3
+    jal  k_sem_take_timeout
+    bnez a0, w_bad
+    li   t0, 0x200BFF8
+    lw   s1, 0(t0)
+    sub  a0, s1, s0
+    li   t1, 2000
+    blt  a0, t1, w_bad
+    li   t1, 4200
+    bgt  a0, t1, w_bad
+    li   a0, 0
+    jal  k_halt
+w_bad:
+    li   a0, 1
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("w", body, priority=2)],
+            semaphores=[Semaphore("never", initial=0)])
+        build_and_run("cv32e40p", "vanilla", objects, tick_period=1000,
+                      max_cycles=2_000_000)
+
+    def test_immediate_success_skips_blocking(self):
+        """With count available, the timeout path is never entered."""
+        body = """\
+task_f:
+    la   a0, sem_full
+    li   a1, 1
+    jal  k_sem_take_timeout
+    beqz a0, f_bad
+    li   a0, 0
+    jal  k_halt
+f_bad:
+    li   a0, 1
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("f", body, priority=2)],
+            semaphores=[Semaphore("full", initial=1)])
+        system = build_and_run("cv32e40p", "SLT", objects)
+        # No tick needed: the take completed without a single block.
+        assert system.core.stats.traps <= 2
+
+    def test_two_waiters_one_times_out(self):
+        """Two timed waiters, one give: higher priority gets the token,
+        the other times out."""
+        waiter = """\
+task_{n}:
+    la   a0, sem_one
+    li   a1, 4
+    jal  k_sem_take_timeout
+    li   t0, 0xFFFF0004
+    beqz a0, {n}_to
+    li   a0, '{ok}'
+    sw   a0, 0(t0)
+    j    {n}_park
+{n}_to:
+    li   a0, '{to}'
+    sw   a0, 0(t0)
+{n}_park:
+    la   a0, sem_park
+    jal  k_sem_take
+"""
+        giver = """\
+task_g:
+    jal  k_yield
+    la   a0, sem_one
+    jal  k_sem_give
+    li   a0, 8
+    jal  k_delay
+    li   a0, 0
+    jal  k_halt
+"""
+        objects = KernelObjects(
+            tasks=[TaskSpec("hi", waiter.format(n="hi", ok="H", to="h"),
+                            priority=4),
+                   TaskSpec("lo", waiter.format(n="lo", ok="L", to="l"),
+                            priority=2),
+                   TaskSpec("g", giver, priority=3)],
+            semaphores=[Semaphore("one", initial=0),
+                        Semaphore("park", initial=0)])
+        system = build_and_run("cv32e40p", "vanilla", objects,
+                               tick_period=1000, max_cycles=5_000_000)
+        assert sorted(system.console_text) == ["H", "l"]

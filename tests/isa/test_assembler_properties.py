@@ -1,0 +1,94 @@
+"""Property-based assembler tests: layout stability, expression algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import _ExprEvaluator, assemble
+from repro.isa.encoding import decode
+
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+
+class TestExpressionEvaluator:
+    @given(a=st.integers(-10_000, 10_000), b=st.integers(-10_000, 10_000))
+    def test_addition_matches_python(self, a, b):
+        ev = _ExprEvaluator({})
+        assert ev.eval(f"({a}) + ({b})") == a + b
+
+    @given(a=st.integers(0, 0xFFFF), s=st.integers(0, 15))
+    def test_shifts_match_python(self, a, s):
+        ev = _ExprEvaluator({})
+        assert ev.eval(f"{a} << {s}") == a << s
+        assert ev.eval(f"{a} >> {s}") == a >> s
+
+    @given(a=st.integers(0, 0xFFFFFFFF))
+    def test_hi_lo_reconstruct(self, a):
+        """%hi/%lo must satisfy (hi << 12) + sext(lo) == value (mod 2^32)."""
+        ev = _ExprEvaluator({"V": a})
+        hi = ev.eval("%hi(V)")
+        lo = ev.eval("%lo(V)")
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == a
+        assert -2048 <= lo <= 2047
+        assert 0 <= hi <= 0xFFFFF
+
+    @given(value=st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_symbols_resolve(self, value):
+        ev = _ExprEvaluator({"sym": value})
+        assert ev.eval("sym") == value
+        assert ev.eval("sym + 1") == value + 1
+
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+    def test_bitwise_matches_python(self, a, b):
+        ev = _ExprEvaluator({})
+        assert ev.eval(f"{a} & {b}") == a & b
+        assert ev.eval(f"{a} | {b}") == a | b
+        assert ev.eval(f"{a} ^ {b}") == a ^ b
+
+
+class TestLiConstruction:
+    @settings(max_examples=200)
+    @given(value=st.integers(0, 0xFFFFFFFF))
+    def test_li_materialises_any_32bit_value(self, value):
+        program = assemble(f"li a0, {value:#x}\n")
+        words = [program.words[a] for a in sorted(program.words)]
+        if len(words) == 1:
+            instr = decode(words[0], 0)
+            assert instr.imm & 0xFFFFFFFF == value or instr.imm == value
+            return
+        hi = decode(words[0], 0)
+        lo = decode(words[1], 4)
+        assert ((hi.imm << 12) + lo.imm) & 0xFFFFFFFF == value
+
+
+class TestLayoutStability:
+    @settings(max_examples=50, deadline=None)
+    @given(blocks=st.lists(st.tuples(identifier, st.integers(0, 5)),
+                           min_size=2, max_size=6,
+                           unique_by=lambda pair: pair[0]))
+    def test_forward_and_backward_references_agree(self, blocks):
+        """Jump targets resolve identically regardless of direction."""
+        labels = [label for label, _ in blocks]
+        lines = []
+        for label, pad in blocks:
+            lines.append(f"{label}:")
+            lines.extend(["    nop"] * pad)
+        # jump from the end back to each label, and from start forward
+        source = f"    j {labels[-1]}\n" + "\n".join(lines) + "\n"
+        for label in labels:
+            source += f"    j {label}\n"
+        program = assemble(source)
+        addresses = sorted(program.words)
+        for addr in addresses:
+            instr = decode(program.words[addr], addr)
+            if instr.mnemonic == "jal":
+                target = addr + instr.imm
+                assert target in program.symbols.values()
+
+    @settings(max_examples=50, deadline=None)
+    @given(words=st.lists(st.integers(0, 0xFFFFFFFF), min_size=1,
+                          max_size=8))
+    def test_data_words_round_trip(self, words):
+        source = "data:\n" + "\n".join(
+            f"    .word {w:#x}" for w in words) + "\n"
+        program = assemble(source, origin=0x100)
+        for index, word in enumerate(words):
+            assert program.words[0x100 + 4 * index] == word

@@ -1,0 +1,92 @@
+"""CSR file semantics: trap entry/exit, bit ops, interrupt enables."""
+
+from repro.isa.csr import (
+    CAUSE_MSI,
+    CAUSE_MTI,
+    CSRFile,
+    MEPC,
+    MCAUSE,
+    MSTATUS,
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    MTVEC,
+)
+
+
+class TestBasicAccess:
+    def test_unmodelled_csr_reads_zero(self):
+        assert CSRFile().read(0x7C0) == 0
+
+    def test_write_read(self):
+        csr = CSRFile()
+        csr.write(MEPC, 0x1234)
+        assert csr.read(MEPC) == 0x1234
+
+    def test_write_masks_to_32_bits(self):
+        csr = CSRFile()
+        csr.write(MEPC, 0x1_0000_0004)
+        assert csr.read(MEPC) == 4
+
+    def test_set_clear_bits(self):
+        csr = CSRFile()
+        csr.set_bits(MSTATUS, 0x88)
+        assert csr.read(MSTATUS) & 0x88 == 0x88
+        csr.clear_bits(MSTATUS, 0x8)
+        assert csr.read(MSTATUS) & 0x8 == 0
+
+    def test_snapshot_is_a_copy(self):
+        csr = CSRFile()
+        snap = csr.snapshot()
+        csr.write(MEPC, 1)
+        assert snap.get(MEPC, 0) == 0
+
+
+class TestTrapEntryExit:
+    def test_entry_masks_interrupts(self):
+        csr = CSRFile()
+        csr.set_bits(MSTATUS, MSTATUS_MIE)
+        csr.enter_trap(CAUSE_MTI, pc=0x80, mtvec_target=0x10)
+        assert not csr.mie_global
+
+    def test_entry_saves_pc_and_cause(self):
+        csr = CSRFile()
+        target = csr.enter_trap(CAUSE_MSI, pc=0x1234, mtvec_target=0x40)
+        assert target == 0x40
+        assert csr.read(MEPC) == 0x1234
+        assert csr.read(MCAUSE) == CAUSE_MSI
+
+    def test_entry_preserves_previous_mie_in_mpie(self):
+        csr = CSRFile()
+        csr.set_bits(MSTATUS, MSTATUS_MIE)
+        csr.enter_trap(CAUSE_MTI, 0, 0)
+        assert csr.read(MSTATUS) & MSTATUS_MPIE
+
+    def test_exit_restores_interrupt_enable(self):
+        csr = CSRFile()
+        csr.set_bits(MSTATUS, MSTATUS_MIE)
+        csr.enter_trap(CAUSE_MTI, pc=0x80, mtvec_target=0)
+        resume = csr.leave_trap()
+        assert resume == 0x80
+        assert csr.mie_global
+
+    def test_exit_with_interrupts_previously_off(self):
+        csr = CSRFile()
+        csr.clear_bits(MSTATUS, MSTATUS_MIE)
+        csr.enter_trap(CAUSE_MTI, pc=0x80, mtvec_target=0)
+        csr.leave_trap()
+        assert not csr.mie_global
+
+    def test_nested_semantics_round_trip(self):
+        """enter → leave must be the identity on the MIE bit."""
+        for initially_on in (False, True):
+            csr = CSRFile()
+            if initially_on:
+                csr.set_bits(MSTATUS, MSTATUS_MIE)
+            csr.enter_trap(CAUSE_MTI, 0x44, 0)
+            csr.leave_trap()
+            assert csr.mie_global == initially_on
+
+    def test_mtvec_usage(self):
+        csr = CSRFile()
+        csr.write(MTVEC, 0x200)
+        assert csr.enter_trap(CAUSE_MTI, 0, csr.read(MTVEC)) == 0x200

@@ -1,0 +1,47 @@
+"""Disassembler formatting sanity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instr
+
+
+class TestFormatting:
+    def test_r_type(self):
+        assert disassemble(encode(Instr("add", rd=10, rs1=11, rs2=12))) == \
+            "add a0, a1, a2"
+
+    def test_load(self):
+        text = disassemble(encode(Instr("lw", rd=5, rs1=2, imm=-4)))
+        assert text == "lw t0, -4(sp)"
+
+    def test_store(self):
+        text = disassemble(encode(Instr("sw", rs1=2, rs2=8, imm=12)))
+        assert text == "sw s0, 12(sp)"
+
+    def test_branch_shows_target(self):
+        word = encode(Instr("beq", rs1=1, rs2=2, imm=8))
+        assert "0x108" in disassemble(word, addr=0x100)
+
+    def test_csr_by_name(self):
+        text = disassemble(encode(Instr("csrrw", rd=0, rs1=5, csr=0x300)))
+        assert "mstatus" in text
+
+    def test_custom(self):
+        text = disassemble(encode(Instr("custom.add_ready", rs1=10, rs2=11)))
+        assert text == "add_ready a0, a1"
+
+    def test_system(self):
+        assert disassemble(encode(Instr("mret"))) == "mret"
+
+
+@given(word=st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_disassemble_total_on_valid_words(word):
+    try:
+        text = disassemble(word)
+    except DecodeError:
+        return
+    assert isinstance(text, str) and text

@@ -1,0 +1,204 @@
+"""Instruction encode/decode, including property-based round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.isa.custom import CUSTOM0_OPCODE, CustomOp
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import FMT_B, FMT_J, SPECS, Instr
+
+
+def roundtrip(instr: Instr) -> Instr:
+    return decode(encode(instr), addr=instr.addr)
+
+
+class TestBasicEncodings:
+    def test_addi(self):
+        # addi a0, a1, 42 — reference encoding
+        word = encode(Instr("addi", rd=10, rs1=11, imm=42))
+        assert word == 0x02A58513
+
+    def test_nop_encoding(self):
+        assert encode(Instr("addi", rd=0, rs1=0, imm=0)) == 0x00000013
+
+    def test_lui(self):
+        word = encode(Instr("lui", rd=5, imm=0x12345))
+        instr = decode(word)
+        assert instr.mnemonic == "lui"
+        assert instr.rd == 5
+        assert instr.imm == 0x12345
+
+    def test_negative_immediate(self):
+        instr = roundtrip(Instr("addi", rd=1, rs1=2, imm=-1))
+        assert instr.imm == -1
+
+    def test_store_offset_split(self):
+        instr = roundtrip(Instr("sw", rs1=2, rs2=8, imm=-4))
+        assert instr.imm == -4
+        assert instr.rs1 == 2
+        assert instr.rs2 == 8
+
+    def test_branch_offset(self):
+        instr = roundtrip(Instr("beq", rs1=1, rs2=2, imm=-8, addr=0x100))
+        assert instr.imm == -8
+        assert instr.fmt == FMT_B
+
+    def test_jal_offset(self):
+        instr = roundtrip(Instr("jal", rd=1, imm=0x1000, addr=0))
+        assert instr.imm == 0x1000
+        assert instr.fmt == FMT_J
+
+    def test_mret(self):
+        assert decode(encode(Instr("mret"))).mnemonic == "mret"
+
+    def test_wfi(self):
+        assert decode(encode(Instr("wfi"))).mnemonic == "wfi"
+
+    def test_csrrw(self):
+        instr = roundtrip(Instr("csrrw", rd=3, rs1=4, csr=0x341))
+        assert instr.csr == 0x341
+        assert instr.rd == 3
+        assert instr.rs1 == 4
+
+    def test_csrrwi(self):
+        instr = roundtrip(Instr("csrrwi", rd=0, imm=8, csr=0x300))
+        assert instr.imm == 8
+        assert instr.csr == 0x300
+
+    def test_shift_amounts(self):
+        for mnemonic in ("slli", "srli", "srai"):
+            instr = roundtrip(Instr(mnemonic, rd=1, rs1=2, imm=31))
+            assert instr.imm == 31, mnemonic
+
+    def test_srai_vs_srli_disambiguation(self):
+        srai = encode(Instr("srai", rd=1, rs1=2, imm=4))
+        srli = encode(Instr("srli", rd=1, rs1=2, imm=4))
+        assert srai != srli
+        assert decode(srai).mnemonic == "srai"
+        assert decode(srli).mnemonic == "srli"
+
+
+class TestCustomEncodings:
+    def test_custom_opcode(self):
+        word = encode(Instr("custom.add_ready", rs1=10, rs2=11))
+        assert word & 0x7F == CUSTOM0_OPCODE
+
+    @pytest.mark.parametrize("op", list(CustomOp))
+    def test_custom_roundtrip(self, op):
+        mnemonic = f"custom.{op.name.lower()}"
+        instr = Instr(mnemonic, rd=5 if op == CustomOp.GET_HW_SCHED else 0,
+                      rs1=10, rs2=11)
+        decoded = decode(encode(instr))
+        assert decoded.mnemonic == mnemonic
+
+    def test_funct3_selects_operation(self):
+        for op in CustomOp:
+            word = CUSTOM0_OPCODE | (int(op) << 12)
+            decoded = decode(word)
+            assert decoded.mnemonic == f"custom.{op.name.lower()}"
+
+    def test_extension_funct3_values_decode(self):
+        """funct3 6/7 are the §7 hardware-sync extension instructions."""
+        assert decode(CUSTOM0_OPCODE | (6 << 12)).mnemonic == \
+            "custom.sem_take"
+        assert decode(CUSTOM0_OPCODE | (7 << 12)).mnemonic == \
+            "custom.sem_give"
+
+    def test_get_hw_sched_writes_rd(self):
+        word = encode(Instr("custom.get_hw_sched", rd=10))
+        decoded = decode(word)
+        assert decoded.rd == 10
+
+    def test_switch_rf_has_no_operands(self):
+        decoded = decode(encode(Instr("custom.switch_rf")))
+        assert decoded.rd == decoded.rs1 == decoded.rs2 == 0
+
+
+class TestDecodeErrors:
+    def test_all_zero_word(self):
+        with pytest.raises(DecodeError):
+            decode(0)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0x7F)
+
+    def test_unknown_system(self):
+        with pytest.raises(DecodeError):
+            decode(0x10000073)  # imm12=0x100 is not ecall/ebreak/mret/wfi
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(DecodeError):
+            encode(Instr("addi", rd=1, rs1=1, imm=4096))
+
+    def test_misaligned_branch_rejected(self):
+        with pytest.raises(DecodeError):
+            encode(Instr("beq", rs1=0, rs2=0, imm=3))
+
+
+_R_TYPE = sorted(m for m, s in SPECS.items() if s.fmt == "R")
+_I_ARITH = ["addi", "slti", "sltiu", "xori", "ori", "andi"]
+_LOADS = ["lb", "lh", "lw", "lbu", "lhu"]
+_STORES = ["sb", "sh", "sw"]
+_BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+class TestRoundTripProperties:
+    @given(m=st.sampled_from(_R_TYPE), rd=regs, rs1=regs, rs2=regs)
+    def test_r_type(self, m, rd, rs1, rs2):
+        instr = roundtrip(Instr(m, rd=rd, rs1=rs1, rs2=rs2))
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.rs2) == \
+            (m, rd, rs1, rs2)
+
+    @given(m=st.sampled_from(_I_ARITH), rd=regs, rs1=regs, imm=imm12)
+    def test_i_type(self, m, rd, rs1, imm):
+        instr = roundtrip(Instr(m, rd=rd, rs1=rs1, imm=imm))
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.imm) == \
+            (m, rd, rs1, imm)
+
+    @given(m=st.sampled_from(_LOADS), rd=regs, rs1=regs, imm=imm12)
+    def test_loads(self, m, rd, rs1, imm):
+        instr = roundtrip(Instr(m, rd=rd, rs1=rs1, imm=imm))
+        assert (instr.rd, instr.rs1, instr.imm) == (rd, rs1, imm)
+
+    @given(m=st.sampled_from(_STORES), rs1=regs, rs2=regs, imm=imm12)
+    def test_stores(self, m, rs1, rs2, imm):
+        instr = roundtrip(Instr(m, rs1=rs1, rs2=rs2, imm=imm))
+        assert (instr.rs1, instr.rs2, instr.imm) == (rs1, rs2, imm)
+
+    @given(m=st.sampled_from(_BRANCHES), rs1=regs, rs2=regs,
+           imm=st.integers(min_value=-2048, max_value=2047))
+    def test_branches(self, m, rs1, rs2, imm):
+        offset = imm * 2  # branch offsets are even
+        instr = roundtrip(Instr(m, rs1=rs1, rs2=rs2, imm=offset))
+        assert (instr.rs1, instr.rs2, instr.imm) == (rs1, rs2, offset)
+
+    @given(rd=regs, imm=st.integers(min_value=-(1 << 19),
+                                    max_value=(1 << 19) - 1))
+    def test_jal(self, rd, imm):
+        offset = imm * 2
+        instr = roundtrip(Instr("jal", rd=rd, imm=offset))
+        assert (instr.rd, instr.imm) == (rd, offset)
+
+    @given(rd=regs, imm=st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_lui_auipc(self, rd, imm):
+        for m in ("lui", "auipc"):
+            instr = roundtrip(Instr(m, rd=rd, imm=imm))
+            assert (instr.rd, instr.imm) == (rd, imm)
+
+    @given(word=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_decode_never_crashes_unexpectedly(self, word):
+        try:
+            instr = decode(word)
+        except DecodeError:
+            return
+        # Whatever decodes must re-encode to a word that decodes to the
+        # same instruction (fields may normalise, e.g. unused bits drop).
+        again = decode(encode(instr))
+        assert again.mnemonic == instr.mnemonic
+        assert (again.rd, again.rs1, again.rs2) == \
+            (instr.rd, instr.rs1, instr.rs2)

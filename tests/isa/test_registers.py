@@ -1,0 +1,78 @@
+"""Register naming and context-register bookkeeping."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.registers import (
+    ABI_NAMES,
+    CONTEXT_SAVED_REGS,
+    CONTEXT_SLOT_WORDS,
+    CONTEXT_WORDS,
+    reg_name,
+    reg_num,
+)
+
+
+class TestNames:
+    def test_all_32_registers_named(self):
+        assert len(ABI_NAMES) == 32
+
+    def test_zero_register(self):
+        assert reg_num("zero") == 0
+        assert reg_num("x0") == 0
+
+    def test_abi_aliases(self):
+        assert reg_num("sp") == 2
+        assert reg_num("ra") == 1
+        assert reg_num("gp") == 3
+        assert reg_num("tp") == 4
+
+    def test_fp_is_s0(self):
+        assert reg_num("fp") == reg_num("s0") == 8
+
+    def test_numeric_spelling(self):
+        for num in range(32):
+            assert reg_num(f"x{num}") == num
+
+    def test_case_insensitive(self):
+        assert reg_num("SP") == 2
+        assert reg_num("A0") == 10
+
+    def test_round_trip(self):
+        for num in range(32):
+            assert reg_num(reg_name(num)) == num
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(AssemblerError):
+            reg_num("x32")
+        with pytest.raises(AssemblerError):
+            reg_num("bogus")
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            reg_name(32)
+        with pytest.raises(AssemblerError):
+            reg_name(-1)
+
+
+class TestContextRegisters:
+    def test_29_saved_registers(self):
+        """The paper: 29 GPRs must be preserved (x0, gp, tp excluded)."""
+        assert len(CONTEXT_SAVED_REGS) == 29
+
+    def test_excluded_registers(self):
+        assert 0 not in CONTEXT_SAVED_REGS
+        assert 3 not in CONTEXT_SAVED_REGS  # gp
+        assert 4 not in CONTEXT_SAVED_REGS  # tp
+
+    def test_context_is_31_words(self):
+        """29 GPRs + mstatus + mepc (paper §3)."""
+        assert CONTEXT_WORDS == 31
+
+    def test_slot_overprovisioned_to_32(self):
+        """§4.2: 32-word chunks so the address is just id << 7."""
+        assert CONTEXT_SLOT_WORDS == 32
+        assert CONTEXT_SLOT_WORDS * 4 == 128
+
+    def test_saved_registers_sorted_unique(self):
+        assert list(CONTEXT_SAVED_REGS) == sorted(set(CONTEXT_SAVED_REGS))

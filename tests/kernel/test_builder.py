@@ -1,0 +1,184 @@
+"""Kernel builder: source generation, static data initialisation."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.layout import (
+    FRAME_BYTES,
+    FRAME_MEPC,
+    FRAME_MSTATUS,
+    INITIAL_MSTATUS,
+    NODE_SIZE,
+    TCB_PRIORITY,
+    TCB_STATE_NODE,
+    TCB_TASK_ID,
+    TCB_TOP_OF_STACK,
+)
+from repro.kernel.tasks import KernelObjects, MessageQueue, Semaphore, TaskSpec
+from repro.mem.regions import MemoryLayout
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+
+_BODY = "task_{n}:\n{n}_loop:\n    jal  k_yield\n    j    {n}_loop\n"
+
+
+def make_objects(names=("a", "b"), priorities=None):
+    priorities = priorities or [1] * len(names)
+    return KernelObjects(tasks=[
+        TaskSpec(n, _BODY.format(n=n), priority=p)
+        for n, p in zip(names, priorities)])
+
+
+class TestSourceGeneration:
+    @pytest.mark.parametrize("config_name", EVALUATED_CONFIGS)
+    def test_assembles_for_every_config(self, config_name):
+        builder = KernelBuilder(config=parse_config(config_name),
+                                objects=make_objects())
+        program = builder.program()
+        assert "isr_entry" in program.symbols
+        assert "_start" in program.symbols
+
+    def test_idle_task_appended(self):
+        builder = KernelBuilder(config=parse_config("vanilla"),
+                                objects=make_objects())
+        assert builder.tasks[-1].name == "idle"
+        assert builder.tasks[-1].priority == 0
+
+    def test_reserved_idle_name_rejected(self):
+        objects = KernelObjects(tasks=[TaskSpec("idle", _BODY.format(n="idle"),
+                                                priority=1)])
+        with pytest.raises(KernelError):
+            KernelBuilder(config=parse_config("vanilla"), objects=objects)
+
+    def test_hw_list_capacity_enforced(self):
+        names = [f"t{i}" for i in range(9)]
+        with pytest.raises(KernelError):
+            KernelBuilder(config=parse_config("SLT"),
+                          objects=make_objects(names))
+
+    def test_sw_config_has_scheduler_code(self):
+        source = KernelBuilder(config=parse_config("vanilla"),
+                               objects=make_objects()).source()
+        assert "switch_context_sw:" in source
+        assert "tick_handler:" in source
+
+    def test_hw_sched_config_omits_sw_scheduler(self):
+        source = KernelBuilder(config=parse_config("SLT"),
+                               objects=make_objects()).source()
+        assert "switch_context_sw:" not in source
+        assert "get_hw_sched" in source
+
+    def test_custom_ext_handler_included(self):
+        objects = make_objects()
+        objects.ext_handler = "ext_irq_handler:\n    li a5, 9\n    ret\n"
+        source = KernelBuilder(config=parse_config("vanilla"),
+                               objects=objects).source()
+        assert "li a5, 9" in source
+
+
+class TestStaticData:
+    def _load(self, config_name, objects=None, layout=None):
+        from repro.cores import CV32E40P
+        from repro.cores.system import System
+
+        builder = KernelBuilder(config=parse_config(config_name),
+                                objects=objects or make_objects(),
+                                layout=layout or MemoryLayout())
+        program = builder.program()
+        system = System(CV32E40P, builder.config, layout=builder.layout)
+        system.load(program)
+        return builder, program, system.memory
+
+    def test_tcb_fields(self):
+        builder, program, mem = self._load("vanilla")
+        tcb = program.symbols["tcb_a"]
+        assert mem.read_word_raw(tcb + TCB_TASK_ID) == 0
+        assert mem.read_word_raw(tcb + TCB_PRIORITY) == 1
+        top = mem.read_word_raw(tcb + TCB_TOP_OF_STACK)
+        assert top == builder.layout.stack_top(0) - FRAME_BYTES
+
+    def test_initial_stack_frame(self):
+        _, program, mem = self._load("vanilla")
+        tcb = program.symbols["tcb_b"]
+        frame = mem.read_word_raw(tcb + TCB_TOP_OF_STACK)
+        assert mem.read_word_raw(frame + FRAME_MSTATUS) == INITIAL_MSTATUS
+        assert mem.read_word_raw(frame + FRAME_MEPC) == \
+            program.symbols["task_b"]
+
+    def test_region_slots_for_store_config(self):
+        builder, program, mem = self._load("S")
+        region = builder.layout.context_region
+        slot = region.slot_addr(0)
+        assert mem.read_word_raw(slot + FRAME_MEPC) == \
+            program.symbols["task_a"]
+        assert mem.read_word_raw(slot + FRAME_MSTATUS) == INITIAL_MSTATUS
+        # sp sits at frame index 1 (x2 is second in the save order).
+        assert mem.read_word_raw(slot + 4) == builder.layout.stack_top(0)
+
+    def test_ready_list_static_chains(self):
+        _, program, mem = self._load("vanilla")
+        ready1 = program.symbols["ready_lists"] + 1 * NODE_SIZE
+        node_a = program.symbols["tcb_a"] + TCB_STATE_NODE
+        node_b = program.symbols["tcb_b"] + TCB_STATE_NODE
+        assert mem.read_word_raw(ready1) == node_a          # head
+        assert mem.read_word_raw(node_a) == node_b          # a.next
+        assert mem.read_word_raw(node_b) == ready1          # b.next = sentinel
+        assert mem.read_word_raw(ready1 + 12) == 2          # count
+
+    def test_hw_config_nodes_detached(self):
+        _, program, mem = self._load("SLT")
+        node_a = program.symbols["tcb_a"] + TCB_STATE_NODE
+        assert mem.read_word_raw(node_a + 12) == 0  # owner 0
+
+    def test_current_tcb_is_highest_priority_first(self):
+        objects = make_objects(("lo", "hi", "lo2"), priorities=[1, 3, 1])
+        _, program, mem = self._load("vanilla", objects=objects)
+        current = mem.read_word_raw(program.symbols["current_tcb"])
+        assert current == program.symbols["tcb_hi"]
+
+    def test_task_table_order(self):
+        _, program, mem = self._load("T")
+        table = program.symbols["task_table"]
+        assert mem.read_word_raw(table) == program.symbols["tcb_a"]
+        assert mem.read_word_raw(table + 4) == program.symbols["tcb_b"]
+        assert mem.read_word_raw(table + 8) == program.symbols["tcb_idle"]
+
+    def test_semaphore_initialised(self):
+        objects = make_objects()
+        objects.semaphores.append(Semaphore("lock", initial=1))
+        _, program, mem = self._load("vanilla", objects=objects)
+        sem = program.symbols["sem_lock"]
+        assert mem.read_word_raw(sem) == 1
+        assert mem.read_word_raw(sem + 4) == sem + 4  # empty waiters
+
+    def test_queue_initialised(self):
+        objects = make_objects()
+        objects.queues.append(MessageQueue("q", capacity=3))
+        _, program, mem = self._load("vanilla", objects=objects)
+        queue = program.symbols["queue_q"]
+        assert mem.read_word_raw(queue + 12) == 3  # capacity
+        assert mem.read_word_raw(queue + 16) == \
+            program.symbols["queue_q_buf"]
+
+
+class TestTaskSpecValidation:
+    def test_missing_label_rejected(self):
+        with pytest.raises(KernelError):
+            TaskSpec("x", "nop\n")
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(KernelError):
+            TaskSpec("x", "task_x:\n    nop\n", priority=8)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(KernelError):
+            TaskSpec("has space", "task_has space:\n")
+
+    def test_duplicate_names_rejected(self):
+        objects = KernelObjects(tasks=[
+            TaskSpec("x", "task_x:\n    nop\n"),
+            TaskSpec("x", "task_x:\n    nop\n")])
+        builder = KernelBuilder(config=parse_config("vanilla"),
+                                objects=objects, include_idle=False)
+        with pytest.raises(KernelError):
+            builder.program()

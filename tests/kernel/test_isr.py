@@ -1,0 +1,110 @@
+"""ISR structure per configuration (paper Fig. 4).
+
+These tests pin the *shape* of each generated ISR: which phases run in
+software, which custom instructions appear, and in which order — the
+essence of the paper's configuration ladder.
+"""
+
+import pytest
+
+from repro.kernel.isr import isr_asm
+from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
+
+
+def isr(config_name: str) -> str:
+    return isr_asm(parse_config(config_name))
+
+
+class TestVanilla:
+    def test_saves_and_restores_in_software(self):
+        text = isr("vanilla")
+        assert "addi sp, sp, -FRAME_BYTES" in text
+        assert "FRAME_MSTATUS(sp)" in text
+        assert text.strip().endswith("mret")
+
+    def test_runs_software_tick_and_scheduler(self):
+        text = isr("vanilla")
+        assert "jal  tick_handler" in text
+        assert "jal  switch_context_sw" in text
+
+    def test_no_custom_instructions(self):
+        text = isr("vanilla")
+        for mnemonic in ("set_context_id", "get_hw_sched", "switch_rf",
+                         "add_ready"):
+            assert mnemonic not in text
+
+
+class TestCV32RT:
+    def test_saves_only_half_in_software(self):
+        vanilla_stores = isr("vanilla").count("sw   ")
+        cv32rt_stores = isr("CV32RT").count("sw   ")
+        # 16 of the 28 register stores disappear (hardware snapshot).
+        assert vanilla_stores - cv32rt_stores == 16
+
+    def test_full_software_restore(self):
+        assert isr("CV32RT").count("lw   ") == isr("vanilla").count("lw   ")
+
+
+class TestStoreConfigs:
+    @pytest.mark.parametrize("name", ("S", "SD"))
+    def test_no_software_save_but_software_restore(self, name):
+        text = isr(name)
+        assert "addi sp, sp, -FRAME_BYTES" not in text
+        assert "li   sp, ISR_STACK_TOP" in text
+        assert "set_context_id" in text
+        assert "switch_rf" in text
+        assert "csrr t6, mscratch" in text  # region restore
+
+    @pytest.mark.parametrize("name", ("SL", "SDLO"))
+    def test_hardware_restore_drops_switch_rf(self, name):
+        text = isr(name)
+        assert "set_context_id" in text
+        assert "switch_rf" not in text
+        assert "mscratch" not in text
+        assert text.strip().endswith("mret")
+
+
+class TestSchedConfigs:
+    def test_t_keeps_software_context_handling(self):
+        text = isr("T")
+        assert "addi sp, sp, -FRAME_BYTES" in text
+        assert "get_hw_sched" in text
+        assert "jal  tick_handler" not in text  # hardware handles ticks
+        assert "switch_context_sw" not in text
+
+    @pytest.mark.parametrize("name", ("ST", "SDT"))
+    def test_st_uses_switch_rf(self, name):
+        text = isr(name)
+        assert "get_hw_sched" in text
+        assert "switch_rf" in text
+
+    @pytest.mark.parametrize("name", ("SLT", "SDLOT", "SPLIT"))
+    def test_full_offload_isr_is_minimal(self, name):
+        """Fig. 4 (g): the ISR merely updates currentTCB."""
+        text = isr(name)
+        instructions = [line for line in text.splitlines()
+                        if line.startswith("    ")]
+        assert len(instructions) < 16
+        assert "get_hw_sched" in text
+        assert "current_tcb" in text
+        assert "tick_handler" not in text
+        assert "FRAME_BYTES" not in text
+
+    def test_every_config_handles_external_interrupts(self):
+        for name in EVALUATED_CONFIGS:
+            if name == "vanilla":
+                continue
+            assert "ext_irq_handler" in isr(name), name
+
+
+class TestMonotoneShrinkage:
+    def test_isr_shrinks_as_features_move_to_hardware(self):
+        """The paper's Fig. 4 narrative: each offload shortens the ISR."""
+        def size(name):
+            return sum(1 for line in isr(name).splitlines()
+                       if line.startswith("    "))
+        # (Vanilla's tick/scheduler work lives in subroutines, so static
+        # ISR size compares the context-handling shells.)
+        assert size("vanilla") > size("CV32RT") > size("SL")
+        assert size("T") > size("ST") > size("SLT")
+        assert size("SLT") < 16

@@ -1,0 +1,63 @@
+"""Kernel layout constants and the .equ mirror."""
+
+from repro.kernel.layout import (
+    CONTEXT_OFFSETS,
+    FRAME_BYTES,
+    FRAME_MEPC,
+    FRAME_MSTATUS,
+    INITIAL_MSTATUS,
+    MAX_PRIORITIES,
+    NODE_SIZE,
+    TCB_EVENT_NODE,
+    TCB_SIZE,
+    TCB_STATE_NODE,
+    equates,
+)
+from repro.mem.regions import CONTEXT_REG_ORDER, MemoryLayout
+
+
+class TestFrameLayout:
+    def test_frame_holds_31_words(self):
+        assert FRAME_BYTES == 31 * 4
+
+    def test_csrs_after_gprs(self):
+        assert FRAME_MSTATUS == 29 * 4
+        assert FRAME_MEPC == 30 * 4
+
+    def test_offsets_cover_all_context_registers(self):
+        assert set(CONTEXT_OFFSETS) == set(CONTEXT_REG_ORDER)
+        assert sorted(CONTEXT_OFFSETS.values()) == [
+            4 * i for i in range(29)]
+
+    def test_initial_mstatus_enables_interrupts_after_mret(self):
+        assert INITIAL_MSTATUS & 0x80  # MPIE set
+
+
+class TestStructLayout:
+    def test_nodes_fit_in_tcb(self):
+        assert TCB_STATE_NODE + NODE_SIZE <= TCB_EVENT_NODE
+        assert TCB_EVENT_NODE + NODE_SIZE <= TCB_SIZE
+
+    def test_priorities(self):
+        assert MAX_PRIORITIES == 8
+
+
+class TestEquates:
+    def test_equates_parse_and_match(self):
+        text = equates(MemoryLayout(), tick_period=777)
+        values = {}
+        for line in text.splitlines():
+            assert line.startswith(".equ ")
+            name, _, value = line[5:].partition(",")
+            values[name.strip()] = int(value.strip(), 0)
+        assert values["TICK_PERIOD"] == 777
+        assert values["FRAME_BYTES"] == FRAME_BYTES
+        assert values["TCB_STATE_NODE"] == TCB_STATE_NODE
+        assert values["MAX_PRIORITIES"] == MAX_PRIORITIES
+        for reg, offset in CONTEXT_OFFSETS.items():
+            assert values[f"FRAME_X{reg}"] == offset
+
+    def test_context_base_matches_layout(self):
+        layout = MemoryLayout(context_base=0x70000)
+        text = equates(layout, tick_period=1)
+        assert ".equ CONTEXT_BASE, 0x70000" in text

@@ -1,0 +1,159 @@
+"""The assembly list primitives, exercised by real simulation."""
+
+from repro.cores import CV32E40P
+from repro.cores.system import System
+from repro.isa.assembler import assemble
+from repro.kernel.layout import LIST_SENTINEL_VALUE, NODE_NEXT, NODE_OWNER, NODE_PREV, NODE_VALUE
+from repro.kernel.lists import LIST_ASM
+from repro.rtosunit.config import parse_config
+
+_PRELUDE = """
+.equ NODE_NEXT, 0
+.equ NODE_PREV, 4
+.equ NODE_VALUE, 8
+.equ NODE_OWNER, 12
+.equ LIST_COUNT, 12
+.equ LIST_SCAN_BOUND, 16
+.equ HALT, 0xFFFF0000
+
+_start:
+    li   sp, 0x8000
+"""
+
+_DATA = f"""
+.org 0x4000
+list: .word list, list, {LIST_SENTINEL_VALUE:#x}, 0
+node_a: .word 0, 0, 0, 0
+node_b: .word 0, 0, 0, 0
+node_c: .word 0, 0, 0, 0
+"""
+
+
+def run_list_program(body: str):
+    source = (_PRELUDE + body
+              + "\n    li t6, HALT\n    sw zero, 0(t6)\n"
+              + LIST_ASM + _DATA)
+    system = System(CV32E40P, parse_config("vanilla"))
+    program = assemble(source)
+    system.load(program)
+    system.run(max_cycles=100_000)
+    mem = system.memory
+
+    def node(name):
+        base = program.symbols[name]
+        return {
+            "next": mem.read_word_raw(base + NODE_NEXT),
+            "prev": mem.read_word_raw(base + NODE_PREV),
+            "value": mem.read_word_raw(base + NODE_VALUE),
+            "owner": mem.read_word_raw(base + NODE_OWNER),
+        }
+
+    return program.symbols, node
+
+
+class TestInsertTail:
+    def test_single_insert(self):
+        symbols, node = run_list_program("""
+    la   a0, list
+    la   a1, node_a
+    jal  list_insert_tail
+""")
+        lst, a = symbols["list"], symbols["node_a"]
+        assert node("list")["next"] == a
+        assert node("list")["prev"] == a
+        assert node("node_a") == {"next": lst, "prev": lst, "value": 0,
+                                  "owner": lst}
+        assert node("list")["owner"] == 1  # count
+
+    def test_two_inserts_keep_order(self):
+        symbols, node = run_list_program("""
+    la   a0, list
+    la   a1, node_a
+    jal  list_insert_tail
+    la   a0, list
+    la   a1, node_b
+    jal  list_insert_tail
+""")
+        lst = symbols["list"]
+        a, b = symbols["node_a"], symbols["node_b"]
+        assert node("list")["next"] == a
+        assert node("node_a")["next"] == b
+        assert node("node_b")["next"] == lst
+        assert node("list")["owner"] == 2
+
+
+class TestRemove:
+    def test_remove_middle(self):
+        symbols, node = run_list_program("""
+    la   a0, list
+    la   a1, node_a
+    jal  list_insert_tail
+    la   a0, list
+    la   a1, node_b
+    jal  list_insert_tail
+    la   a0, list
+    la   a1, node_c
+    jal  list_insert_tail
+    la   a0, node_b
+    jal  list_remove
+""")
+        a, c = symbols["node_a"], symbols["node_c"]
+        assert node("node_a")["next"] == c
+        assert node("node_c")["prev"] == a
+        assert node("node_b")["owner"] == 0
+        assert node("list")["owner"] == 2
+
+    def test_remove_only_element_empties_list(self):
+        symbols, node = run_list_program("""
+    la   a0, list
+    la   a1, node_a
+    jal  list_insert_tail
+    la   a0, node_a
+    jal  list_remove
+""")
+        lst = symbols["list"]
+        assert node("list")["next"] == lst
+        assert node("list")["prev"] == lst
+        assert node("list")["owner"] == 0
+
+
+class TestInsertSorted:
+    def test_ascending_order(self):
+        symbols, node = run_list_program("""
+    la   a1, node_b
+    li   t3, 20
+    sw   t3, NODE_VALUE(a1)
+    la   a0, list
+    jal  list_insert_sorted
+    la   a1, node_a
+    li   t3, 10
+    sw   t3, NODE_VALUE(a1)
+    la   a0, list
+    jal  list_insert_sorted
+    la   a1, node_c
+    li   t3, 15
+    sw   t3, NODE_VALUE(a1)
+    la   a0, list
+    jal  list_insert_sorted
+""")
+        a, b, c = (symbols[f"node_{x}"] for x in "abc")
+        assert node("list")["next"] == a       # 10
+        assert node("node_a")["next"] == c     # 15
+        assert node("node_c")["next"] == b     # 20
+
+    def test_equal_values_fifo(self):
+        symbols, node = run_list_program("""
+    la   a1, node_a
+    li   t3, 5
+    sw   t3, NODE_VALUE(a1)
+    la   a0, list
+    jal  list_insert_sorted
+    la   a1, node_b
+    li   t3, 5
+    sw   t3, NODE_VALUE(a1)
+    la   a0, list
+    jal  list_insert_sorted
+""")
+        a, b = symbols["node_a"], symbols["node_b"]
+        assert node("list")["next"] == a
+        assert node("node_a")["next"] == b

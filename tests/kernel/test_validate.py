@@ -1,0 +1,108 @@
+"""The task-body linter."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.tasks import KernelObjects, TaskSpec
+from repro.kernel.validate import lint_task, lint_objects, require_clean
+
+
+def issues_for(body: str, name: str = "t"):
+    return lint_task(name, f"task_{name}:\n{body}")
+
+
+class TestLintRules:
+    def test_clean_body_passes(self):
+        body = """\
+    li   s0, 5
+t_loop:
+    jal  k_yield
+    addi s0, s0, -1
+    bnez s0, t_loop
+    li   a0, 0
+    jal  k_halt
+"""
+        assert issues_for(body) == []
+
+    def test_mret_flagged(self):
+        issues = issues_for("    mret\n")
+        assert any(i.code == "task-mret" for i in issues)
+
+    def test_scheduler_custom_instructions_flagged(self):
+        for line in ("    get_hw_sched a0", "    switch_rf",
+                     "    add_ready a0, a1", "    set_context_id a0",
+                     "    rm_task a0", "    add_delay a0, a1"):
+            issues = issues_for(line + "\n")
+            assert any(i.code == "task-custom" for i in issues), line
+
+    def test_hwsync_instructions_allowed(self):
+        """sem_take/sem_give are task-issueable (the API uses them)."""
+        assert issues_for("    sem_take t0, t2\n") == []
+
+    def test_gp_tp_writes_flagged(self):
+        assert any(i.code == "static-reg"
+                   for i in issues_for("    li   gp, 0x1000\n"))
+        assert any(i.code == "static-reg"
+                   for i in issues_for("    mv   tp, a0\n"))
+
+    def test_gp_reads_allowed(self):
+        assert issues_for("    mv   a0, gp\n") == []
+        assert issues_for("    sw   gp, 0(a0)\n") == []
+
+    def test_sp_rebase_flagged(self):
+        assert any(i.code == "sp-rebase"
+                   for i in issues_for("    li   sp, 0x9000\n"))
+
+    def test_sp_adjust_allowed(self):
+        assert issues_for("    addi sp, sp, -16\n") == []
+
+    def test_undefined_local_label_flagged(self):
+        issues = issues_for("    j    t_nowhere\n")
+        assert any(i.code == "undefined-label" for i in issues)
+
+    def test_kernel_symbols_not_flagged(self):
+        assert issues_for("    jal  k_yield\n    j    other_task\n") == []
+
+    def test_issue_rendering(self):
+        issue = issues_for("    mret\n")[0]
+        assert "task-mret" in str(issue)
+        assert ":2:" in str(issue)
+
+
+class TestBuilderIntegration:
+    def _objects(self, body):
+        return KernelObjects(tasks=[TaskSpec("bad", body, priority=1)])
+
+    def test_builder_rejects_bad_tasks(self):
+        body = "task_bad:\n    switch_rf\nbad_l:\n    j bad_l\n"
+        with pytest.raises(KernelError, match="task-custom"):
+            KernelBuilder(config=__import__("repro.rtosunit.config",
+                                            fromlist=["parse_config"])
+                          .parse_config("vanilla"),
+                          objects=self._objects(body))
+
+    def test_builder_can_skip_validation(self):
+        from repro.rtosunit.config import parse_config
+
+        body = "task_bad:\n    mret\nbad_l:\n    j bad_l\n"
+        builder = KernelBuilder(config=parse_config("vanilla"),
+                                objects=self._objects(body),
+                                validate=False)
+        builder.program()  # assembles fine; semantics are the user's risk
+
+    def test_lint_objects_covers_all_tasks(self):
+        objects = KernelObjects(tasks=[
+            TaskSpec("a", "task_a:\n    mret\na_l:\n    j a_l\n",
+                     priority=1),
+            TaskSpec("b", "task_b:\n    li gp, 1\nb_l:\n    j b_l\n",
+                     priority=1)])
+        issues = lint_objects(objects)
+        assert {issue.task for issue in issues} == {"a", "b"}
+
+    def test_require_clean_message_lists_issues(self):
+        objects = KernelObjects(tasks=[
+            TaskSpec("x", "task_x:\n    mret\nx_l:\n    j x_l\n",
+                     priority=1)])
+        with pytest.raises(KernelError, match="x:2"):
+            require_clean(objects)

@@ -1,0 +1,99 @@
+"""Functional memory: RAM access, alignment, MMIO routing."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.memory import HALT_ADDR, MSIP_ADDR, Memory, is_mmio
+
+
+class _RecordingMMIO:
+    def __init__(self):
+        self.writes = []
+
+    def read_mmio(self, addr):
+        return 0x5A
+
+    def write_mmio(self, addr, value):
+        self.writes.append((addr, value))
+
+
+class TestRAM:
+    def test_initially_zero(self):
+        assert Memory(size=64).read(0, 4) == 0
+
+    def test_word_round_trip(self):
+        mem = Memory(size=64)
+        mem.write(8, 0xDEADBEEF, 4)
+        assert mem.read(8, 4) == 0xDEADBEEF
+
+    def test_little_endian_bytes(self):
+        mem = Memory(size=64)
+        mem.write(0, 0x11223344, 4)
+        assert mem.read(0, 1) == 0x44
+        assert mem.read(3, 1) == 0x11
+
+    def test_halfword(self):
+        mem = Memory(size=64)
+        mem.write(4, 0xABCD, 2)
+        assert mem.read(4, 2) == 0xABCD
+
+    def test_byte_write_preserves_neighbours(self):
+        mem = Memory(size=64)
+        mem.write(0, 0xFFFFFFFF, 4)
+        mem.write(1, 0, 1)
+        assert mem.read(0, 4) == 0xFFFF00FF
+
+    def test_write_masks_value(self):
+        mem = Memory(size=64)
+        mem.write(0, 0x1FF, 1)
+        assert mem.read(0, 1) == 0xFF
+
+    def test_out_of_range_rejected(self):
+        mem = Memory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.read(64, 4)
+        with pytest.raises(MemoryError_):
+            mem.write(62, 0, 4)
+
+    def test_misaligned_rejected(self):
+        mem = Memory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.read(2, 4)
+        with pytest.raises(MemoryError_):
+            mem.write(1, 0, 2)
+
+    def test_load_program(self):
+        mem = Memory(size=64)
+        mem.load_program({0: 0x13, 8: 0xFF})
+        assert mem.read_word_raw(0) == 0x13
+        assert mem.read_word_raw(8) == 0xFF
+
+
+class TestMMIO:
+    def test_is_mmio(self):
+        assert is_mmio(HALT_ADDR)
+        assert is_mmio(MSIP_ADDR)
+        assert not is_mmio(0x1000)
+
+    def test_mmio_write_routed(self):
+        mem = Memory(size=64)
+        mem.clint = _RecordingMMIO()
+        mem.write(HALT_ADDR, 7, 4)
+        assert mem.clint.writes == [(HALT_ADDR, 7)]
+
+    def test_mmio_read_routed(self):
+        mem = Memory(size=64)
+        mem.clint = _RecordingMMIO()
+        assert mem.read(MSIP_ADDR, 4) == 0x5A
+
+    def test_mmio_without_handler_rejected(self):
+        mem = Memory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.read(MSIP_ADDR, 4)
+        with pytest.raises(MemoryError_):
+            mem.write(MSIP_ADDR, 1, 4)
+
+    def test_raw_access_bypasses_mmio_check_only_for_ram(self):
+        mem = Memory(size=64)
+        mem.write_word_raw(0, 5)
+        assert mem.read_word_raw(0) == 5

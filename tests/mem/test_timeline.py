@@ -1,0 +1,109 @@
+"""Memory-port arbitration timeline (core priority, §4.2 opt. 2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.timeline import MemoryTimeline
+
+
+class TestConsumeFree:
+    def test_all_free(self):
+        timeline = MemoryTimeline()
+        assert timeline.consume_free(10, 3) == 12
+
+    def test_skips_core_busy_cycles(self):
+        timeline = MemoryTimeline()
+        for cycle in (10, 11, 12):
+            timeline.mark_core_busy(cycle)
+        # Free cycles from 10: 13, 14, 15.
+        assert timeline.consume_free(10, 3) == 15
+
+    def test_interleaved_busy(self):
+        timeline = MemoryTimeline()
+        for cycle in (5, 7, 9):
+            timeline.mark_core_busy(cycle)
+        # Free: 4(no, start=5) → 6, 8, 10.
+        assert timeline.consume_free(5, 3) == 10
+
+    def test_zero_count(self):
+        timeline = MemoryTimeline()
+        assert timeline.consume_free(5, 0) == 4
+
+    def test_sequential_consumption_is_monotonic(self):
+        timeline = MemoryTimeline()
+        first = timeline.consume_free(0, 5)
+        second = timeline.consume_free(0, 5)
+        assert second > first
+
+    def test_busy_before_start_ignored(self):
+        timeline = MemoryTimeline()
+        timeline.mark_core_busy(1)
+        timeline.mark_core_busy(2)
+        assert timeline.consume_free(10, 2) == 11
+
+    def test_counters(self):
+        timeline = MemoryTimeline()
+        timeline.mark_core_busy(0)
+        timeline.consume_free(0, 2)
+        assert timeline.core_cycles == 1
+        assert timeline.unit_cycles == 2
+
+    def test_reset(self):
+        timeline = MemoryTimeline()
+        timeline.mark_core_busy(3)
+        timeline.consume_free(0, 1)
+        timeline.reset()
+        assert timeline.consume_free(0, 1) == 0
+
+
+class TestConsumeFreeUntil:
+    def test_fits_before_deadline(self):
+        timeline = MemoryTimeline()
+        assert timeline.consume_free_until(0, 3, deadline=10) == 2
+
+    def test_deadline_hit_returns_none(self):
+        timeline = MemoryTimeline()
+        assert timeline.consume_free_until(0, 10, deadline=4) is None
+
+    def test_deadline_stops_scan_at_deadline(self):
+        timeline = MemoryTimeline()
+        assert timeline.consume_free_until(0, 100, deadline=4) is None
+        # Subsequent consumption starts no earlier than the deadline.
+        assert timeline.consume_free(0, 1) >= 4
+
+    def test_busy_cycles_do_not_count(self):
+        timeline = MemoryTimeline()
+        for cycle in range(5):
+            timeline.mark_core_busy(cycle)
+        assert timeline.consume_free_until(0, 1, deadline=4) is None
+
+    def test_exact_fit_on_deadline(self):
+        timeline = MemoryTimeline()
+        assert timeline.consume_free_until(0, 5, deadline=4) == 4
+
+
+class TestProperties:
+    @given(busy=st.lists(st.integers(min_value=0, max_value=200),
+                         max_size=50),
+           start=st.integers(min_value=0, max_value=100),
+           count=st.integers(min_value=1, max_value=50))
+    def test_completion_never_on_busy_cycle(self, busy, start, count):
+        timeline = MemoryTimeline()
+        busy_sorted = sorted(busy)
+        for cycle in busy_sorted:
+            timeline.mark_core_busy(cycle)
+        done = timeline.consume_free(start, count)
+        assert done not in busy_sorted
+        assert done >= start
+
+    @given(busy=st.lists(st.integers(min_value=0, max_value=100),
+                         unique=True, max_size=40),
+           count=st.integers(min_value=1, max_value=20))
+    def test_completion_matches_reference_model(self, busy, count):
+        """Completion equals the count-th non-busy cycle from 0."""
+        timeline = MemoryTimeline()
+        for cycle in sorted(busy):
+            timeline.mark_core_busy(cycle)
+        done = timeline.consume_free(0, count)
+        free = [c for c in range(0, done + 1) if c not in set(busy)]
+        assert len(free) == count
+        assert free[-1] == done

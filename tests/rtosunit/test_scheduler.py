@@ -1,0 +1,240 @@
+"""Hardware scheduler semantics (§4.4, Fig. 5), incl. a model check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.rtosunit.scheduler import HardwareScheduler
+
+
+class TestReadyList:
+    def test_priority_order(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, priority=1)
+        sched.add_ready(1, priority=3)
+        sched.add_ready(2, priority=2)
+        assert sched.ready_ids() == [1, 2, 0]
+
+    def test_fifo_within_priority(self):
+        sched = HardwareScheduler(length=8)
+        for task in (0, 1, 2):
+            sched.add_ready(task, priority=2)
+        assert sched.ready_ids() == [0, 1, 2]
+
+    def test_get_next_round_robin(self):
+        """The running task rotates to the tail of its priority class."""
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, priority=1)
+        sched.add_ready(1, priority=1)
+        task, _ = sched.get_next(current_task_id=0)
+        assert task == 1
+        task, _ = sched.get_next(current_task_id=1)
+        assert task == 0
+
+    def test_get_next_prefers_higher_priority(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, priority=1)
+        sched.add_ready(1, priority=1)
+        sched.add_ready(9, priority=5)
+        task, _ = sched.get_next(current_task_id=0)
+        assert task == 9
+
+    def test_get_next_when_current_removed(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, priority=1)
+        sched.add_ready(1, priority=1)
+        sched.rm_task(0)
+        task, _ = sched.get_next(current_task_id=0)
+        assert task == 1
+
+    def test_single_task_reselected(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(3, priority=0)
+        task, _ = sched.get_next(current_task_id=3)
+        assert task == 3
+
+    def test_empty_get_raises(self):
+        with pytest.raises(SimulationError):
+            HardwareScheduler(length=8).get_next()
+
+    def test_overflow_raises_and_flags(self):
+        sched = HardwareScheduler(length=2)
+        sched.add_ready(0, 1)
+        sched.add_ready(1, 1)
+        with pytest.raises(SimulationError):
+            sched.add_ready(2, 1)
+        assert sched.overflowed
+
+
+class TestDelayList:
+    def test_delay_expiry_moves_to_ready(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_delay(5, priority=2, delay=2)
+        assert sched.on_tick() == 0
+        assert sched.on_tick() == 1
+        assert sched.ready_ids() == [5]
+        assert sched.delayed_ids() == []
+
+    def test_delay_ordering_by_remaining(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_delay(0, priority=1, delay=5)
+        sched.add_delay(1, priority=1, delay=2)
+        assert sched.delayed_ids() == [1, 0]
+
+    def test_delay_tie_broken_by_priority(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_delay(0, priority=1, delay=3)
+        sched.add_delay(1, priority=4, delay=3)
+        assert sched.delayed_ids() == [1, 0]
+
+    def test_simultaneous_release_priority_order(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_delay(0, priority=1, delay=1)
+        sched.add_delay(1, priority=3, delay=1)
+        assert sched.on_tick() == 2
+        assert sched.ready_ids() == [1, 0]
+
+    def test_released_task_keeps_priority(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(9, priority=2)
+        sched.add_delay(1, priority=4, delay=1)
+        sched.on_tick()
+        assert sched.ready_ids()[0] == 1
+
+    def test_non_positive_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            HardwareScheduler(length=8).add_delay(0, priority=1, delay=0)
+
+    def test_rm_task_clears_both_lists(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, 1)
+        sched.add_delay(1, 1, 5)
+        sched.rm_task(0)
+        sched.rm_task(1)
+        assert sched.ready_ids() == []
+        assert sched.delayed_ids() == []
+
+
+class TestSettleTiming:
+    def test_get_stalls_until_sorted(self):
+        """A GET right after an insert waits for the bubble sort."""
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, priority=1, cycle=100)
+        _, ready_cycle = sched.get_next(cycle=101, current_task_id=None)
+        assert ready_cycle == 108  # 100 + list length
+
+    def test_get_after_settle_is_immediate(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, priority=1, cycle=100)
+        _, ready_cycle = sched.get_next(cycle=150, current_task_id=None)
+        assert ready_cycle == 150
+
+    def test_settle_scales_with_length(self):
+        sched = HardwareScheduler(length=64)
+        sched.add_ready(0, priority=1, cycle=0)
+        _, ready_cycle = sched.get_next(cycle=0, current_task_id=None)
+        assert ready_cycle == 64
+
+
+class TestPreloadPrediction:
+    def test_peek_next_skips_current(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, 1)
+        sched.add_ready(1, 1)
+        assert sched.peek_next(current_task_id=0) == 1
+
+    def test_peek_next_alone(self):
+        sched = HardwareScheduler(length=8)
+        sched.add_ready(0, 1)
+        assert sched.peek_next(current_task_id=0) == 0
+
+    def test_peek_next_empty(self):
+        assert HardwareScheduler(length=8).peek_next(0) is None
+
+
+class _ModelScheduler:
+    """Reference model: plain Python lists, FreeRTOS semantics."""
+
+    def __init__(self):
+        self.ready = []   # (priority, seq, task)
+        self.delayed = {}  # task -> (priority, remaining)
+        self.seq = 0
+
+    def add_ready(self, task, priority):
+        self.seq += 1
+        self.ready.append((priority, self.seq, task))
+
+    def add_delay(self, task, priority, delay):
+        self.delayed[task] = (priority, delay)
+
+    def rm_task(self, task):
+        self.ready = [e for e in self.ready if e[2] != task]
+        self.delayed.pop(task, None)
+
+    def tick(self):
+        still_waiting = {}
+        for task, (priority, remaining) in sorted(
+                self.delayed.items(),
+                key=lambda kv: (kv[1][1], -kv[1][0], kv[0])):
+            if remaining - 1 <= 0:
+                self.add_ready(task, priority)
+            else:
+                still_waiting[task] = (priority, remaining - 1)
+        self.delayed = still_waiting
+
+    def get_next(self, current):
+        for index, (priority, _, task) in enumerate(
+                sorted(self.ready, key=lambda e: (-e[0], e[1]))):
+            del index
+            if task == current:
+                self.ready = [e for e in self.ready if e[2] != task]
+                self.add_ready(task, priority)
+                break
+        ordered = sorted(self.ready, key=lambda e: (-e[0], e[1]))
+        return ordered[0][2]
+
+
+_ops = st.lists(st.tuples(st.sampled_from(["ready", "delay", "rm", "tick",
+                                           "get"]),
+                          st.integers(0, 5),   # task
+                          st.integers(0, 7),   # priority
+                          st.integers(1, 4)),  # delay
+                max_size=40)
+
+
+class TestAgainstModel:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_ops)
+    def test_matches_reference_model(self, ops):
+        real = HardwareScheduler(length=16)
+        model = _ModelScheduler()
+        current = None
+        in_real = set()
+        delayed = set()
+        for op, task, priority, delay in ops:
+            if op == "ready" and task not in in_real | delayed:
+                real.add_ready(task, priority)
+                model.add_ready(task, priority)
+                in_real.add(task)
+            elif op == "delay" and task not in in_real | delayed:
+                real.add_delay(task, priority, delay)
+                model.add_delay(task, priority, delay)
+                delayed.add(task)
+            elif op == "rm":
+                real.rm_task(task)
+                model.rm_task(task)
+                in_real.discard(task)
+                delayed.discard(task)
+            elif op == "tick":
+                real.on_tick()
+                model.tick()
+                in_real |= {t for t in delayed
+                            if t in real.ready_ids()}
+                delayed -= in_real
+            elif op == "get" and in_real:
+                got = real.get_next(current_task_id=current)[0]
+                expected = model.get_next(current)
+                assert got == expected
+                current = got
+            assert set(real.ready_ids()) == {e[2] for e in model.ready}
+            assert set(real.delayed_ids()) == set(model.delayed)

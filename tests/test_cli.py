@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("table1", "fig9", "fig10", "fig11", "fig12",
+                        "fig13", "wcet", "run", "asm"):
+            assert command in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SWITCH_RF" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--workload", "yield_pingpong",
+                     "--config", "SLT", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "switches=" in out
+
+    def test_wcet_single_config(self, capsys):
+        assert main(["wcet", "--config", "SLT"]) == 0
+        assert "SLT" in capsys.readouterr().out
+
+    def test_fig10_subset(self, capsys):
+        assert main(["fig10", "--cores", "cv32e40p",
+                     "--configs", "vanilla,SLT"]) == 0
+        out = capsys.readouterr().out
+        assert "mm2" in out
+
+    def test_fig11_subset(self, capsys):
+        assert main(["fig11", "--cores", "cva6",
+                     "--configs", "vanilla,S"]) == 0
+        assert "GHz" in capsys.readouterr().out
+
+    def test_fig12(self, capsys):
+        assert main(["fig12"]) == 0
+        assert "64" in capsys.readouterr().out
+
+    def test_fig9_small_grid(self, capsys):
+        assert main(["fig9", "--cores", "cv32e40p",
+                     "--configs", "vanilla,SLT",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jitter" in out
+        assert "WCET" in out
+
+    def test_asm_listing(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("start:\n    li a0, 1\n    add a1, a0, a0\n")
+        assert main(["asm", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "add a1, a0, a0" in out
+
+    def test_asm_symbols(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("start:\n    nop\nend:\n    nop\n")
+        assert main(["asm", str(source), "--symbols"]) == 0
+        out = capsys.readouterr().out
+        assert "start" in out and "end" in out

@@ -1,0 +1,57 @@
+"""Public API surface: imports, exports, versioning."""
+
+import importlib
+
+import pytest
+
+_PUBLIC_MODULES = (
+    "repro",
+    "repro.analysis",
+    "repro.asic",
+    "repro.cli",
+    "repro.cores",
+    "repro.harness",
+    "repro.isa",
+    "repro.kernel",
+    "repro.mem",
+    "repro.rtosunit",
+    "repro.wcet",
+    "repro.workloads",
+)
+
+
+@pytest.mark.parametrize("name", _PUBLIC_MODULES)
+def test_module_imports_cleanly(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("name", _PUBLIC_MODULES)
+def test_all_exports_exist(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", ()):
+        assert hasattr(module, export), f"{name}.{export}"
+
+
+def test_key_entry_points_callable():
+    from repro.harness import run_suite, run_workload, sweep
+    from repro.kernel import build_kernel_system
+    from repro.rtosunit.config import parse_config
+    from repro.wcet import analyze_bounds, analyze_config
+
+    for fn in (run_suite, run_workload, sweep, build_kernel_system,
+               parse_config, analyze_bounds, analyze_config):
+        assert callable(fn)

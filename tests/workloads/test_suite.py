@@ -1,0 +1,116 @@
+"""The workload suite itself: construction and semantic checks."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.harness import run_workload
+from repro.rtosunit.config import parse_config
+from repro.workloads import (
+    ALL_WORKLOADS,
+    mixed_stress,
+    RTOSBENCH_WORKLOADS,
+    delay_periodic,
+    interrupt_response,
+    mutex_workload,
+    queue_passing,
+    sem_signal,
+    workload_by_name,
+    yield_pingpong,
+)
+
+
+class TestConstruction:
+    def test_suite_composition(self):
+        assert len(RTOSBENCH_WORKLOADS) == 5
+        assert len(ALL_WORKLOADS) == 7  # + interrupt_response, mixed_stress
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_factories_build(self, factory):
+        workload = factory(5)
+        assert workload.name
+        assert workload.objects.tasks
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("mutex_workload").name == "mutex_workload"
+        with pytest.raises(KernelError):
+            workload_by_name("nope")
+
+    def test_delay_periodic_bounds(self):
+        with pytest.raises(KernelError):
+            delay_periodic(periodic_tasks=7)
+
+    def test_interrupt_response_has_events(self):
+        workload = interrupt_response(5)
+        assert len(workload.external_events) == 10
+        assert workload.objects.ext_handler
+
+
+class TestSemantics:
+    def test_yield_pingpong_switch_count(self):
+        workload = yield_pingpong(iterations=5)
+        result = run_workload("cv32e40p", parse_config("vanilla"), workload)
+        # 20 yields from a, matched by b: at least 40 switches minus warmup.
+        assert result.stats.count >= 35
+
+    def test_sem_signal_two_switches_per_round(self):
+        workload = sem_signal(iterations=5)
+        result = run_workload("cv32e40p", parse_config("vanilla"), workload)
+        assert result.stats.count >= 15
+
+    def test_mutex_workload_runs_on_all_configs(self):
+        for config in ("vanilla", "SLT", "SPLIT"):
+            workload = mutex_workload(iterations=3)
+            result = run_workload("cv32e40p", parse_config(config), workload)
+            assert result.stats.count > 5
+
+    def test_queue_passing_completes(self):
+        result = run_workload("cv32e40p", parse_config("T"),
+                              queue_passing(iterations=4))
+        assert result.stats.count > 5
+
+    def test_delay_periodic_is_tick_driven(self):
+        workload = delay_periodic(iterations=5)
+        result = run_workload("cv32e40p", parse_config("vanilla"), workload)
+        assert result.stats.count >= 10
+        # The tick path is longer than a plain yield: jitter present.
+        assert result.stats.jitter > 0
+
+    def test_interrupt_response_measures_external_path(self):
+        workload = interrupt_response(iterations=4)
+        result = run_workload("cv32e40p", parse_config("vanilla"), workload)
+        assert result.stats.count >= 6
+
+    def test_interrupt_response_improves_with_slt(self):
+        vanilla = run_workload("cv32e40p", parse_config("vanilla"),
+                               interrupt_response(iterations=4))
+        slt = run_workload("cv32e40p", parse_config("SLT"),
+                           interrupt_response(iterations=4))
+        assert slt.stats.mean < vanilla.stats.mean
+
+
+class TestMixedStress:
+    @pytest.mark.parametrize("config", ("vanilla", "SLT", "SPLIT", "SLTY"))
+    def test_runs_on_every_config(self, config):
+        result = run_workload("cv32e40p", parse_config(config),
+                              mixed_stress(6))
+        assert result.stats.count > 50
+
+    def test_fills_hardware_lists_to_capacity(self):
+        result = run_workload("cv32e40p", parse_config("SLT"),
+                              mixed_stress(6))
+        # 7 tasks + idle = the full 8-entry hardware ready list at boot.
+        assert result.unit_stats.sched_ops > 100
+
+    def test_exercises_all_services(self):
+        result = run_workload("cv32e40p", parse_config("vanilla"),
+                              mixed_stress(6))
+        assert result.core_stats.traps > 100
+
+
+class TestIterationScaling:
+    def test_more_iterations_more_samples(self):
+        small = run_workload("cv32e40p", parse_config("vanilla"),
+                             yield_pingpong(3))
+        large = run_workload("cv32e40p", parse_config("vanilla"),
+                             yield_pingpong(10))
+        assert large.stats.count > small.stats.count
