@@ -26,6 +26,7 @@ from repro.analysis import (
     format_table1,
 )
 from repro.cores import CORE_NAMES
+from repro.errors import ReproError
 from repro.rtosunit.config import EVALUATED_CONFIGS, parse_config
 
 
@@ -185,6 +186,39 @@ def _cmd_verify(args) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import (CampaignSpec, campaign_dict, format_campaign,
+                              run_campaign)
+
+    if args.quick:
+        spec = CampaignSpec.quick(seed=args.seed)
+    else:
+        spec = CampaignSpec(seed=args.seed)
+    if args.cores:
+        spec.cores = tuple(args.cores.split(","))
+    if args.configs:
+        spec.configs = tuple(args.configs.split(","))
+    if args.workloads:
+        spec.workloads = tuple(args.workloads.split(","))
+    if args.faults is not None:
+        spec.faults_per_combo = args.faults
+    progress = None
+    if args.verbose:
+        def progress(result):
+            print(f"  {result.core}/{result.config}/{result.workload}: "
+                  f"{result.fault.describe()} -> {result.outcome} "
+                  f"({result.detail})")
+    campaign = run_campaign(spec, progress=progress)
+    if args.json:
+        from repro.harness.export import write_json
+
+        write_json(args.json, campaign_dict(campaign))
+        print(f"wrote {args.json}")
+        return 0
+    print(format_campaign(campaign))
+    return 0
+
+
 def _cmd_asm(args) -> int:
     from repro.isa.assembler import assemble
     from repro.isa.disassembler import disassemble
@@ -257,6 +291,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evaluate every encoded paper claim")
     p.add_argument("--iterations", type=int, default=8)
 
+    p = sub.add_parser(
+        "faults", help="seeded fault-injection campaign + resilience table")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--quick", action="store_true",
+                   help="small fast sweep (cv32e40p, vanilla vs SLT)")
+    p.add_argument("--cores", default=None, help="comma-separated core list")
+    p.add_argument("--configs", default=None,
+                   help="comma-separated configuration list")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload list")
+    p.add_argument("--faults", type=int, default=None,
+                   help="random faults per (core, config, workload)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each fault outcome as it is classified")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write every outcome as JSON instead of the table")
+
     p = sub.add_parser("asm", help="assemble a file and dump it")
     p.add_argument("file")
     p.add_argument("--origin", type=lambda t: int(t, 0), default=0)
@@ -275,6 +326,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "verify": _cmd_verify,
     "run": _cmd_run,
+    "faults": _cmd_faults,
     "asm": _cmd_asm,
 }
 
@@ -285,6 +337,11 @@ def main(argv=None) -> int:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:  # output piped into head/less and closed
         return 0
+    except ReproError as exc:
+        # Library failures (bad config name, simulation errors, ...) are
+        # user-facing: report them without a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -141,6 +141,14 @@ class BaseCore:
         self.switch_events: list[tuple[int, int, int]] = []  # (trigger, entry, mret_done)
         #: Optional tracer (repro.cores.tracing.Tracer); None = no cost.
         self.tracer = None
+        #: Optional per-step callback ``hook(core)`` invoked before each
+        #: instruction in :meth:`run` — the fault injector and invariant
+        #: checkers of ``repro.faults`` attach here. None = no cost.
+        self.step_hook = None
+        #: Optional progress guard (repro.faults.guards.ProgressGuard)
+        #: consulted each step in :meth:`run`; raises a structured
+        #: SimulationError on livelock or budget exhaustion.
+        self.guard = None
         if unit is not None:
             unit.attach(self)
 
@@ -185,7 +193,14 @@ class BaseCore:
         while not self.halted:
             if self.cycle > max_cycles:
                 raise SimulationError(
-                    f"cycle limit {max_cycles} exceeded at pc={self.pc:#010x}")
+                    f"cycle limit {max_cycles} exceeded",
+                    pc=self.pc, cycle=self.cycle,
+                    mcause=self.csr.read(csrmod.MCAUSE),
+                    kind="cycle-budget")
+            if self.guard is not None:
+                self.guard.on_step(self)
+            if self.step_hook is not None:
+                self.step_hook(self)
             self.step()
         return self.exit_code or 0
 
@@ -423,10 +438,12 @@ class BaseCore:
             self._do_wfi()
         elif m in ("ecall", "ebreak"):
             raise SimulationError(
-                f"unexpected {m} at pc={pc:#010x} (environment calls are "
-                f"not used by the kernel; yields go through msip)")
+                f"unexpected {m} (environment calls are not used by the "
+                f"kernel; yields go through msip)",
+                pc=pc, cycle=self.cycle)
         else:
-            raise SimulationError(f"unimplemented mnemonic {m!r}")
+            raise SimulationError(f"unimplemented mnemonic {m!r}",
+                                  pc=pc, cycle=self.cycle)
 
         self.pc = next_pc
         return mem_addr, is_store, taken

@@ -3,9 +3,27 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch library failures without also swallowing programming
 errors such as ``TypeError``.
+
+:class:`SimulationError` optionally carries structured context — the
+program counter, cycle, trap cause and a rendered tail of the execution
+trace — so that cycle-budget and livelock guards (``repro.faults``), the
+core models and the fault-campaign classifier all report failures
+uniformly and machine-readably.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "AnalysisError",
+    "AssemblerError",
+    "ConfigurationError",
+    "DecodeError",
+    "FaultInjectionError",
+    "KernelError",
+    "MemoryError_",
+    "ReproError",
+    "SimulationError",
+]
 
 
 class ReproError(Exception):
@@ -39,7 +57,41 @@ class ConfigurationError(ReproError):
 
 
 class SimulationError(ReproError):
-    """Raised when simulated software traps or the simulator hits a limit."""
+    """Raised when simulated software traps or the simulator hits a limit.
+
+    ``pc``, ``cycle`` and ``mcause`` attach the architectural state at the
+    failure point; ``kind`` tags guard-raised errors (``"cycle-budget"``,
+    ``"livelock"``) so callers can classify without string matching;
+    ``trace`` is a pre-rendered tail of recent execution (one entry per
+    line). All context is optional — plain ``SimulationError("msg")``
+    raise-sites keep working unchanged.
+    """
+
+    def __init__(self, message: str, *, pc: int | None = None,
+                 cycle: int | None = None, mcause: int | None = None,
+                 kind: str | None = None, trace: str | None = None):
+        self.pc = pc
+        self.cycle = cycle
+        self.mcause = mcause
+        self.kind = kind
+        self.trace = trace
+        parts = [message]
+        context = []
+        if pc is not None:
+            context.append(f"pc={pc:#010x}")
+        if cycle is not None:
+            context.append(f"cycle={cycle}")
+        if mcause is not None:
+            context.append(f"mcause={mcause:#010x}")
+        if context:
+            parts.append(" [" + " ".join(context) + "]")
+        if trace:
+            parts.append("\nlast trace entries:\n" + trace)
+        super().__init__("".join(parts))
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault specifications or injection targets."""
 
 
 class KernelError(ReproError):

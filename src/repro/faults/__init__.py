@@ -1,0 +1,50 @@
+"""Fault injection, runtime invariant checking, and hang-proof guards.
+
+The resilience layer of the reproduction: seeded fault campaigns
+(:mod:`repro.faults.campaign`), the fault model and injector
+(:mod:`repro.faults.model`, :mod:`repro.faults.injector`), runtime
+kernel/RTOSUnit invariant checkers (:mod:`repro.faults.invariants`) and
+livelock/cycle-budget guards (:mod:`repro.faults.guards`).
+"""
+
+from repro.faults.campaign import (
+    OUTCOMES,
+    CampaignResult,
+    CampaignSpec,
+    FaultResult,
+    Signature,
+    campaign_dict,
+    format_campaign,
+    run_campaign,
+)
+from repro.faults.guards import ProgressGuard, describe_pending_interrupts
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, Violation
+from repro.faults.model import (
+    CSR_TARGETS,
+    FAULT_KINDS,
+    FaultSpec,
+    derive_seed,
+    generate_faults,
+)
+
+__all__ = [
+    "CSR_TARGETS",
+    "CampaignResult",
+    "CampaignSpec",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultResult",
+    "FaultSpec",
+    "InvariantChecker",
+    "OUTCOMES",
+    "ProgressGuard",
+    "Signature",
+    "Violation",
+    "campaign_dict",
+    "derive_seed",
+    "describe_pending_interrupts",
+    "format_campaign",
+    "generate_faults",
+    "run_campaign",
+]

@@ -1,0 +1,164 @@
+"""Fault specifications and seeded campaign fault generation.
+
+A :class:`FaultSpec` names one fault: *what* to corrupt (``kind`` +
+``target``/``bit``) and *when* (``cycle``). Specs are plain data — the
+:class:`~repro.faults.injector.FaultInjector` interprets them against a
+live system — so campaigns can be generated, logged and replayed
+deterministically from a seed.
+
+Fault kinds
+===========
+
+``reg_flip``
+    Flip ``bit`` of architectural register ``x<target>`` in the active
+    register bank (models an SEU in the register file).
+``csr_flip``
+    Flip ``bit`` of a CSR; ``target`` indexes :data:`CSR_TARGETS`.
+``mem_flip``
+    Flip ``bit`` of the RAM word at ``target`` (word-aligned; models a
+    memory SEU — in kernel data, task stacks, or the context region).
+``sched_flip``
+    Corrupt scheduler state: for hardware-scheduled configs, mutate a
+    hardware ready/delay list entry (field selected by ``bit``); for
+    software configs, flip a bit inside the kernel's ready/delay list
+    structures in memory.
+``irq_drop``
+    Lose the next timer interrupt (push ``mtimecmp`` one full period).
+``irq_duplicate``
+    Raise a spurious software interrupt (``msip``), duplicating a yield.
+``irq_delay``
+    Delay the next timer interrupt by ``bit × 64`` cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import FaultInjectionError
+from repro.isa import csr as csrmod
+
+#: All fault kinds the injector understands.
+FAULT_KINDS: tuple[str, ...] = (
+    "reg_flip", "csr_flip", "mem_flip", "sched_flip",
+    "irq_drop", "irq_duplicate", "irq_delay",
+)
+
+#: CSRs eligible for ``csr_flip``; ``target`` indexes this tuple.
+CSR_TARGETS: tuple[int, ...] = (
+    csrmod.MSTATUS, csrmod.MEPC, csrmod.MTVEC, csrmod.MIE, csrmod.MSCRATCH,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault."""
+
+    kind: str
+    cycle: int
+    target: int = 0
+    bit: int = 0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}")
+        if self.cycle < 0:
+            raise FaultInjectionError(
+                f"fault cycle must be non-negative, got {self.cycle}")
+        if not 0 <= self.bit < 32:
+            raise FaultInjectionError(
+                f"bit index {self.bit} outside a 32-bit word")
+        if self.kind == "reg_flip" and not 0 < self.target < 32:
+            raise FaultInjectionError(
+                f"reg_flip target x{self.target} is not a writable register")
+        if self.kind == "csr_flip" and not 0 <= self.target < len(CSR_TARGETS):
+            raise FaultInjectionError(
+                f"csr_flip target {self.target} outside CSR_TARGETS "
+                f"(0..{len(CSR_TARGETS) - 1})")
+        if self.kind == "mem_flip" and (self.target < 0 or self.target % 4):
+            raise FaultInjectionError(
+                f"mem_flip target {self.target:#x} is not a word address")
+
+    def describe(self) -> str:
+        """Stable one-line rendering (used in reports and logs)."""
+        if self.kind == "reg_flip":
+            what = f"x{self.target} bit {self.bit}"
+        elif self.kind == "csr_flip":
+            name = csrmod.CSR_ADDR_TO_NAME.get(CSR_TARGETS[self.target], "?")
+            what = f"{name} bit {self.bit}"
+        elif self.kind == "mem_flip":
+            what = f"[{self.target:#010x}] bit {self.bit}"
+        elif self.kind == "sched_flip":
+            what = f"entry {self.target} field {self.bit % 3}"
+        elif self.kind == "irq_delay":
+            what = f"+{self.bit * 64} cycles"
+        else:
+            what = "-"
+        note = f" ({self.note})" if self.note else ""
+        return f"{self.kind} @{self.cycle} {what}{note}"
+
+
+def derive_seed(seed: int, *parts: object) -> int:
+    """Mix *seed* with identifying parts into a stable 32-bit sub-seed.
+
+    Uses CRC32 (not ``hash``) so the result is independent of
+    ``PYTHONHASHSEED`` and identical across runs and platforms.
+    """
+    import zlib
+
+    text = ":".join(str(part) for part in parts)
+    return (seed * 0x9E3779B1 + zlib.crc32(text.encode())) & 0xFFFFFFFF
+
+
+def generate_faults(seed: int, count: int, horizon: int, *,
+                    layout=None, kinds: tuple[str, ...] = FAULT_KINDS,
+                    first_cycle: int = 500) -> list[FaultSpec]:
+    """Generate *count* random faults over cycles [first_cycle, horizon).
+
+    The same ``(seed, count, horizon, layout, kinds)`` always yields the
+    same list. ``layout`` (a :class:`repro.mem.regions.MemoryLayout`)
+    steers ``mem_flip`` targets towards interesting regions: kernel data,
+    task stacks and the context region.
+    """
+    if horizon <= first_cycle:
+        raise FaultInjectionError(
+            f"horizon {horizon} leaves no room after cycle {first_cycle}")
+    rng = random.Random(seed)
+    faults = []
+    for _ in range(count):
+        kind = rng.choice(kinds)
+        cycle = rng.randrange(first_cycle, horizon)
+        target, bit = 0, 0
+        if kind == "reg_flip":
+            target = rng.randrange(1, 32)
+            bit = rng.randrange(32)
+        elif kind == "csr_flip":
+            target = rng.randrange(len(CSR_TARGETS))
+            bit = rng.randrange(32)
+        elif kind == "mem_flip":
+            target = _mem_target(rng, layout)
+            bit = rng.randrange(32)
+        elif kind == "sched_flip":
+            target = rng.randrange(16)
+            bit = rng.randrange(32)
+        elif kind == "irq_delay":
+            bit = rng.randrange(1, 32)
+        faults.append(FaultSpec(kind=kind, cycle=cycle,
+                                target=target, bit=bit))
+    return faults
+
+
+def _mem_target(rng: random.Random, layout) -> int:
+    """A word address in one of the layout's interesting regions."""
+    if layout is None:
+        return rng.randrange(0, 1 << 18) & ~3
+    region = layout.context_region
+    base, span = rng.choice((
+        (layout.data_base, 0x2000),                  # kernel globals + TCBs
+        (layout.stack_base, layout.max_tasks * layout.stack_words * 4),
+        (region.base, region.size),                  # saved contexts
+    ))
+    return (base + rng.randrange(0, max(span // 4, 1)) * 4)

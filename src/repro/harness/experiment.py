@@ -75,17 +75,27 @@ class SuiteResult:
 
 
 def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
-                 layout: MemoryLayout | None = None) -> RunResult:
-    """Simulate one workload and return its latency distribution."""
+                 layout: MemoryLayout | None = None,
+                 guard=None) -> RunResult:
+    """Simulate one workload and return its latency distribution.
+
+    ``guard`` optionally attaches a hang-proof watchdog
+    (:class:`repro.faults.guards.ProgressGuard`); a livelocked workload
+    then fails with a structured error instead of spinning to the
+    ``max_cycles`` wall.
+    """
     builder = KernelBuilder(config=config, objects=workload.objects,
                             layout=layout or MemoryLayout(),
                             tick_period=workload.tick_period)
     system = builder.build(core, external_events=workload.external_events)
+    if guard is not None:
+        system.core.guard = guard
     exit_code = system.run(max_cycles=workload.max_cycles)
     if exit_code not in (0, 42):
         raise SimulationError(
             f"workload {workload.name} on {core}/{config.name} exited "
-            f"with {exit_code:#x}")
+            f"with {exit_code:#x}",
+            pc=system.core.pc, cycle=system.core.cycle)
     switches = system.switches[workload.warmup_switches:]
     latencies = [s.latency for s in switches]
     return RunResult(

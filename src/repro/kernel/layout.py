@@ -63,6 +63,11 @@ FRAME_BYTES = FRAME_MEPC + 4  # 31 words = 124 bytes
 #: interrupts on.
 INITIAL_MSTATUS = 0x1880
 
+#: Guard word placed at the *bottom* (lowest address) of every task stack.
+#: A task that overruns its stack tramples the canary; the runtime
+#: invariant checker (repro.faults.invariants) verifies it periodically.
+STACK_CANARY = 0xC0DE_CA4A
+
 
 def equates(layout: MemoryLayout, tick_period: int) -> str:
     """Render the shared ``.equ`` block for kernel assembly sources."""

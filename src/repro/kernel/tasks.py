@@ -21,6 +21,7 @@ from repro.kernel.layout import (
     LIST_SENTINEL_VALUE,
     MAX_PRIORITIES,
     NODE_SIZE,
+    STACK_CANARY,
     TCB_STATE_NODE,
 )
 from repro.mem.regions import MemoryLayout
@@ -191,21 +192,26 @@ def data_section(objects: KernelObjects, layout: MemoryLayout,
         ]
     lines.append("")
 
-    # Initial contexts: stack frames for software restore, region slots
-    # for hardware store configurations.
+    # Stack canaries (one guard word at the bottom of each stack) and
+    # initial contexts: stack frames for software restore, region slots
+    # for hardware store configurations. Emitted in ascending address
+    # order — canary_i < frame_i < canary_i+1 < ... < context region.
     for task_id, task in enumerate(tasks):
         stack_top = layout.stack_top(task_id)
-        entry = f"task_{task.name}"
-        if config.store:
-            slot = layout.context_region.slot_addr(task_id)
-            lines.append(f".org {slot:#x}")
-            lines.append("    .word " + ", ".join(
-                _frame_words(stack_top, entry)))
-        else:
+        bottom = layout.stack_base + task_id * layout.stack_words * 4
+        lines.append(f".org {bottom:#x}")
+        lines.append(f"stack_canary_{task.name}: .word {STACK_CANARY:#x}")
+        if not config.store:
             frame = stack_top - FRAME_BYTES
             lines.append(f".org {frame:#x}")
             lines.append("    .word " + ", ".join(
-                _frame_words(stack_top, entry)))
+                _frame_words(stack_top, f"task_{task.name}")))
+    if config.store:
+        for task_id, task in enumerate(tasks):
+            slot = layout.context_region.slot_addr(task_id)
+            lines.append(f".org {slot:#x}")
+            lines.append("    .word " + ", ".join(
+                _frame_words(layout.stack_top(task_id), f"task_{task.name}")))
     return "\n".join(lines) + "\n"
 
 

@@ -76,6 +76,17 @@ class Memory:
         self._check(addr, 4)
         self.data[addr:addr + 4] = (value & MASK32).to_bytes(4, "little")
 
+    def flip_bit(self, addr: int, bit: int) -> int:
+        """Flip one bit of a RAM word (fault injection; no MMIO, no timing).
+
+        Returns the new word value.
+        """
+        if not 0 <= bit < 32:
+            raise MemoryError_(f"bit index {bit} outside a 32-bit word")
+        word = self.read_word_raw(addr) ^ (1 << bit)
+        self.write_word_raw(addr, word)
+        return word
+
     # -- CPU-visible access ----------------------------------------------------
 
     def read(self, addr: int, size: int) -> int:

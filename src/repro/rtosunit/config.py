@@ -133,12 +133,27 @@ class RTOSUnitConfig:
         return self.name
 
 
+def _suggest(name: str) -> str:
+    """The nearest valid evaluated configuration name, as a message tail."""
+    import difflib
+
+    matches = difflib.get_close_matches(
+        name.strip().upper(), [c.upper() for c in EVALUATED_CONFIGS],
+        n=1, cutoff=0.0)
+    if not matches:  # pragma: no cover - cutoff=0 always matches
+        return ""
+    by_upper = {c.upper(): c for c in EVALUATED_CONFIGS}
+    return f"; did you mean {by_upper[matches[0]]!r}?"
+
+
 def parse_config(name: str, list_length: int = 8) -> RTOSUnitConfig:
     """Parse a paper-style configuration name into a config object.
 
     Accepts ``vanilla``, ``CV32RT`` (case-insensitive), and letter strings
     such as ``S``, ``SL``, ``SLT``, ``SDLOT`` or ``SPLIT`` (the paper's
-    spelling of S+P+L+T; the stray ``I`` is tolerated).
+    spelling of S+P+L+T; the stray ``I`` is tolerated). Unknown letters
+    and invalid combinations raise :class:`ConfigurationError` naming the
+    offending letter/rule and suggesting the nearest evaluated config.
     """
     text = name.strip()
     lowered = text.lower()
@@ -157,12 +172,17 @@ def parse_config(name: str, list_length: int = 8) -> RTOSUnitConfig:
             continue
         field = by_letter.get(letter)
         if field is None:
-            raise ConfigurationError(f"unknown configuration letter {letter!r}"
-                                     f" in {name!r}")
+            raise ConfigurationError(
+                f"unknown configuration letter {letter!r} in {name!r} "
+                f"(valid letters: S, L, T, D, O, P, Y){_suggest(name)}")
         if flags[field]:
-            raise ConfigurationError(f"duplicate letter {letter!r} in {name!r}")
+            raise ConfigurationError(
+                f"duplicate letter {letter!r} in {name!r}{_suggest(name)}")
         flags[field] = True
-    return RTOSUnitConfig(list_length=list_length, **flags)
+    try:
+        return RTOSUnitConfig(list_length=list_length, **flags)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{exc}{_suggest(name)}") from None
 
 
 #: The configuration sweep evaluated in the paper's Figures 9, 10, 11, 13.

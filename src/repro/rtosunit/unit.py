@@ -112,6 +112,12 @@ class RTOSUnit:
         self._preload_valid = False
         self.stats = UnitStats()
         self.core = None  # attached by the core model
+        #: Optional context-lifecycle observer with
+        #: ``on_context_stored(task_id, slot_addr)`` and
+        #: ``on_context_restored(task_id, slot_addr)`` methods; the
+        #: runtime invariant checker (repro.faults.invariants) attaches
+        #: here to checksum saved contexts across save→restore.
+        self.observer = None
 
     # -- attachment ------------------------------------------------------------
 
@@ -162,6 +168,8 @@ class RTOSUnit:
             cost += self.word_cost(addr, True)
             self.stats.words_stored += 1
         self._pending.append(_Transfer("store", cycle + FSM_STARTUP_CYCLES, cost))
+        if self.observer is not None:
+            self.observer.on_context_stored(self.current_task_id, slot)
 
     def _cv32rt_snapshot(self, cycle: int) -> None:
         """CV32RT: snapshot half the RF over a dedicated memory port.
@@ -299,6 +307,10 @@ class RTOSUnit:
     def _apply_context_words(self, task_id: int) -> None:
         regs = self.core.app_bank
         slot = self.region.slot_addr(task_id)
+        if self.observer is not None:
+            # Verify before the words land in the RF: corruption of the
+            # slot between save and restore is still observable here.
+            self.observer.on_context_restored(task_id, slot)
         for index, reg in enumerate(CONTEXT_REG_ORDER):
             regs[reg] = self.memory.read_word_raw(slot + 4 * index)
         self.core.csr.write(csrmod.MSTATUS,

@@ -1,0 +1,146 @@
+"""Hang-proof guard tests, including the livelock acceptance criterion:
+a deliberately livelocked workload must terminate via the detector with a
+structured SimulationError naming the PC, cycle and recent trace."""
+
+import pytest
+
+from repro.cores import CORE_CLASSES
+from repro.cores.system import System
+from repro.errors import SimulationError
+from repro.faults import ProgressGuard, describe_pending_interrupts
+from repro.harness import run_workload
+from repro.isa.assembler import assemble
+from repro.rtosunit.config import parse_config
+from repro.workloads import yield_pingpong
+
+SPIN = "spin:\n    j spin\n"
+
+
+def _spin_system(config: str = "vanilla") -> System:
+    system = System(CORE_CLASSES["cv32e40p"], parse_config(config),
+                    tick_period=1 << 30)
+    system.load(assemble(SPIN, origin=0))
+    return system
+
+
+def test_livelocked_workload_terminates_with_structured_error():
+    system = _spin_system()
+    system.core.guard = ProgressGuard(window=2_000)
+    with pytest.raises(SimulationError) as excinfo:
+        system.run(max_cycles=10_000_000)
+    err = excinfo.value
+    assert err.kind == "livelock"
+    assert err.pc is not None
+    assert err.cycle is not None
+    assert err.mcause is not None
+    message = str(err)
+    assert "livelock" in message
+    assert f"pc={err.pc:#010x}" in message
+    assert f"cycle={err.cycle}" in message
+    assert "last trace entries" in message
+    # The trace tail renders (cycle, pc) pairs, one per line.
+    assert message.count("  cycle ") >= 2
+    assert f"pc {err.pc:#010x}" in message
+
+
+def test_livelock_error_reports_privilege_and_interrupt_state():
+    system = _spin_system()
+    system.core.guard = ProgressGuard(window=2_000)
+    with pytest.raises(SimulationError) as excinfo:
+        system.run(max_cycles=10_000_000)
+    message = str(excinfo.value)
+    assert "privilege=task" in message
+    assert "mstatus.MIE=0" in message
+    assert "mtimecmp=" in message
+    assert "msip=" in message
+
+
+def test_livelock_fires_long_before_the_cycle_wall():
+    system = _spin_system()
+    system.core.guard = ProgressGuard(window=2_000)
+    with pytest.raises(SimulationError) as excinfo:
+        system.run(max_cycles=10_000_000)
+    # Detection happens within a few windows, not at the 10M wall.
+    assert excinfo.value.cycle < 20_000
+
+
+def test_guard_cycle_budget_is_structured():
+    system = _spin_system()
+    system.core.guard = ProgressGuard(window=10 ** 9, cycle_budget=300)
+    with pytest.raises(SimulationError) as excinfo:
+        system.run(max_cycles=10_000_000)
+    err = excinfo.value
+    assert err.kind == "cycle-budget"
+    assert err.pc is not None
+    assert err.cycle is not None and err.cycle > 300
+    assert "cycle budget 300 exhausted" in str(err)
+
+
+def test_run_max_cycles_error_carries_context():
+    system = _spin_system()
+    with pytest.raises(SimulationError) as excinfo:
+        system.run(max_cycles=1_000)
+    err = excinfo.value
+    assert err.kind == "cycle-budget"
+    assert err.pc is not None
+    assert err.cycle is not None
+    assert "cycle limit 1000 exceeded" in str(err)
+
+
+class _FakeCSR:
+    mie_global = False
+
+    def read(self, addr):
+        return 0
+
+
+class _FakeStats:
+    traps = 0
+
+
+class _FakeCore:
+    """Core whose cycle counter is frozen: retires steps at one cycle."""
+
+    def __init__(self):
+        self.cycle = 4096
+        self.pc = 0x40
+        self.stats = _FakeStats()
+        self.in_isr = False
+        self.csr = _FakeCSR()
+        self.clint = None
+
+
+def test_frozen_time_livelock_detected_by_step_count():
+    guard = ProgressGuard(window=500)
+    core = _FakeCore()
+    with pytest.raises(SimulationError) as excinfo:
+        for _ in range(1_000):
+            guard.on_step(core)
+    err = excinfo.value
+    assert err.kind == "livelock"
+    assert "simulated time advanced only" in str(err)
+    assert err.pc == 0x40
+
+
+def test_trap_resets_the_watch_window():
+    guard = ProgressGuard(window=500)
+    core = _FakeCore()
+    for _ in range(400):
+        guard.on_step(core)
+        core.cycle += 1
+    core.stats.traps += 1  # kernel is alive: a trap was taken
+    for _ in range(400):
+        guard.on_step(core)
+        core.cycle += 1
+    # No exception: each window saw a trap or stayed under the bound.
+
+
+def test_describe_pending_interrupts_without_clint():
+    text = describe_pending_interrupts(_FakeCore())
+    assert "no CLINT attached" in text
+
+
+def test_healthy_workload_passes_under_guard():
+    result = run_workload("cv32e40p", parse_config("SLT"),
+                          yield_pingpong(4), guard=ProgressGuard())
+    assert result.stats.count > 0

@@ -1,0 +1,127 @@
+"""Per-kind fault application effects on a live system."""
+
+from repro.cores import CORE_CLASSES
+from repro.cores.system import System
+from repro.faults import FaultInjector, FaultSpec
+from repro.isa import csr as csrmod
+from repro.isa.assembler import assemble
+from repro.rtosunit.config import parse_config
+
+
+def _system(config: str = "vanilla") -> System:
+    system = System(CORE_CLASSES["cv32e40p"], parse_config(config),
+                    tick_period=1000)
+    system.load(assemble("spin:\n    j spin\n", origin=0))
+    return system
+
+
+def _inject(system, fault):
+    injector = FaultInjector(system, [fault])
+    injector.on_step(system.core)
+    assert injector.done
+    assert len(injector.applied) == 1
+    return injector
+
+
+def test_reg_flip_toggles_one_bit():
+    system = _system()
+    system.core.regs[5] = 0x100
+    _inject(system, FaultSpec("reg_flip", cycle=0, target=5, bit=3))
+    assert system.core.regs[5] == 0x108
+
+
+def test_csr_flip_toggles_mstatus_mie():
+    system = _system()
+    assert not system.core.csr.mie_global
+    _inject(system, FaultSpec("csr_flip", cycle=0, target=0, bit=3))
+    assert system.core.csr.mie_global
+    assert system.core.csr.read(csrmod.MSTATUS) & (1 << 3)
+
+
+def test_mem_flip_xors_ram_word():
+    system = _system()
+    addr = system.layout.data_base
+    system.memory.write_word_raw(addr, 0xA5A5_0000)
+    _inject(system, FaultSpec("mem_flip", cycle=0, target=addr, bit=16))
+    assert system.memory.read_word_raw(addr) == 0xA5A4_0000
+
+
+def test_mem_flip_out_of_range_target_is_clamped_into_ram():
+    system = _system()
+    fault = FaultSpec("mem_flip", cycle=0, target=1 << 28, bit=0)
+    injector = _inject(system, fault)
+    _, _, detail = injector.applied[0]
+    assert detail.startswith("[0x")  # applied somewhere inside RAM
+
+
+def test_irq_drop_pushes_mtimecmp_one_period():
+    system = _system()
+    before = system.clint.mtimecmp
+    _inject(system, FaultSpec("irq_drop", cycle=0))
+    assert system.clint.mtimecmp == before + system.clint.tick_period
+
+
+def test_irq_duplicate_raises_spurious_msip():
+    system = _system()
+    assert not system.clint.msip
+    _inject(system, FaultSpec("irq_duplicate", cycle=0))
+    assert system.clint.msip
+
+
+def test_irq_delay_shifts_mtimecmp():
+    system = _system()
+    before = system.clint.mtimecmp
+    _inject(system, FaultSpec("irq_delay", cycle=0, bit=5))
+    assert system.clint.mtimecmp == before + 5 * 64
+
+
+def test_sched_flip_on_empty_hw_scheduler_is_noop():
+    system = _system("SLT")
+    injector = _inject(system, FaultSpec("sched_flip", cycle=0, target=3))
+    _, _, detail = injector.applied[0]
+    assert "no entries" in detail
+
+
+def test_sched_flip_corrupts_hw_entry_and_resorts():
+    system = _system("SLT")
+    sched = system.unit.scheduler
+    sched.add_ready(1, priority=4)
+    sched.add_ready(2, priority=2)
+    injector = _inject(system, FaultSpec("sched_flip", cycle=0,
+                                         target=0, bit=0))
+    _, _, detail = injector.applied[0]
+    assert detail.startswith("hw priority")
+    # The list stays sorted (hardware resorts after the glitch latches),
+    # but one entry's priority changed.
+    priorities = [e.priority for e in sched.ready]
+    assert priorities == sorted(priorities, reverse=True)
+    assert sorted(priorities) != [2, 4]
+
+
+def test_sched_flip_without_hw_scheduler_falls_back_to_memory():
+    system = _system("vanilla")
+    symbols = {"ready_lists": system.layout.data_base,
+               "delay_list": system.layout.data_base + 0x40}
+    injector = FaultInjector(
+        system, [FaultSpec("sched_flip", cycle=0, target=2, bit=1)],
+        symbols=symbols)
+    injector.on_step(system.core)
+    _, _, detail = injector.applied[0]
+    assert detail.startswith("sw list word")
+    addr = system.layout.data_base + 8
+    assert system.memory.read_word_raw(addr) == 1 << 1
+
+
+def test_faults_apply_exactly_once_in_schedule_order():
+    system = _system()
+    faults = [FaultSpec("reg_flip", cycle=50, target=6, bit=0),
+              FaultSpec("reg_flip", cycle=10, target=7, bit=0)]
+    injector = FaultInjector(system, faults)
+    injector.on_step(system.core)  # cycle 0: nothing due yet
+    assert not injector.applied
+    system.core.cycle = 60
+    injector.on_step(system.core)
+    assert [f.cycle for _, f, _ in injector.applied] == [10, 50]
+    assert injector.done
+    injector.on_step(system.core)  # no re-application
+    assert len(injector.applied) == 2

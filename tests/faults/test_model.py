@@ -1,0 +1,87 @@
+"""FaultSpec validation and seeded fault generation determinism."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    CSR_TARGETS,
+    FAULT_KINDS,
+    FaultSpec,
+    derive_seed,
+    generate_faults,
+)
+from repro.mem.regions import MemoryLayout
+
+
+def test_every_kind_constructs():
+    for kind in FAULT_KINDS:
+        target = 4 if kind == "mem_flip" else 1
+        spec = FaultSpec(kind, cycle=1000, target=target, bit=0)
+        assert kind in spec.describe()
+        assert "@1000" in spec.describe()
+
+
+@pytest.mark.parametrize("kwargs, fragment", [
+    (dict(kind="bitrot", cycle=0), "unknown fault kind"),
+    (dict(kind="reg_flip", cycle=-1, target=1), "non-negative"),
+    (dict(kind="reg_flip", cycle=0, target=1, bit=32), "outside a 32-bit"),
+    (dict(kind="reg_flip", cycle=0, target=0), "not a writable register"),
+    (dict(kind="reg_flip", cycle=0, target=32), "not a writable register"),
+    (dict(kind="csr_flip", cycle=0, target=len(CSR_TARGETS)),
+     "outside CSR_TARGETS"),
+    (dict(kind="mem_flip", cycle=0, target=0x1001), "not a word address"),
+])
+def test_invalid_specs_raise_fault_injection_error(kwargs, fragment):
+    with pytest.raises(FaultInjectionError, match=fragment):
+        FaultSpec(**kwargs)
+
+
+def test_derive_seed_is_stable_and_mixes_parts():
+    a = derive_seed(42, "cv32e40p", "SLT", "yield_pingpong")
+    assert a == derive_seed(42, "cv32e40p", "SLT", "yield_pingpong")
+    assert 0 <= a < 1 << 32
+    assert a != derive_seed(43, "cv32e40p", "SLT", "yield_pingpong")
+    assert a != derive_seed(42, "cv32e40p", "T", "yield_pingpong")
+
+
+def test_generate_faults_is_deterministic():
+    layout = MemoryLayout()
+    first = generate_faults(1234, 20, 100_000, layout=layout)
+    second = generate_faults(1234, 20, 100_000, layout=layout)
+    assert first == second
+    other = generate_faults(1235, 20, 100_000, layout=layout)
+    assert first != other
+
+
+def test_generated_faults_are_valid_and_in_horizon():
+    layout = MemoryLayout()
+    faults = generate_faults(7, 50, 80_000, layout=layout)
+    assert len(faults) == 50
+    for fault in faults:
+        assert fault.kind in FAULT_KINDS
+        assert 500 <= fault.cycle < 80_000
+        # Constructing the dataclass already re-validated target/bit.
+
+
+def test_generate_faults_respects_kind_filter():
+    faults = generate_faults(7, 10, 10_000, kinds=("reg_flip",))
+    assert {f.kind for f in faults} == {"reg_flip"}
+
+
+def test_generate_faults_rejects_empty_horizon():
+    with pytest.raises(FaultInjectionError, match="no room"):
+        generate_faults(7, 4, 100)
+
+
+def test_mem_flip_targets_land_in_interesting_regions():
+    layout = MemoryLayout()
+    faults = generate_faults(99, 200, 50_000, layout=layout,
+                             kinds=("mem_flip",))
+    region = layout.context_region
+    stack_end = layout.stack_base + layout.max_tasks * layout.stack_words * 4
+    for fault in faults:
+        addr = fault.target
+        assert addr % 4 == 0
+        assert (layout.data_base <= addr < layout.data_base + 0x2000
+                or layout.stack_base <= addr < stack_end
+                or region.base <= addr < region.end)

@@ -1,0 +1,136 @@
+"""Error-path coverage: every failure surfaces as the right ReproError
+subclass with populated context — no bare Exception escapes."""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectionError,
+    MemoryError_,
+    ReproError,
+    SimulationError,
+)
+from repro.mem.memory import Memory
+from repro.rtosunit.config import parse_config
+
+
+# -- repro.errors shape --------------------------------------------------------
+
+
+def test_all_exports_exist_and_derive_from_repro_error():
+    assert "ReproError" in errors.__all__
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, ReproError)
+        if cls is not ReproError:
+            assert issubclass(cls, Exception)
+
+
+def test_simulation_error_context_is_attached_and_rendered():
+    err = SimulationError("boom", pc=0x1C0, cycle=1234, mcause=0x8000_0007,
+                          kind="livelock", trace="  cycle 1  pc 0x00000000")
+    assert (err.pc, err.cycle, err.mcause, err.kind) == (
+        0x1C0, 1234, 0x8000_0007, "livelock")
+    text = str(err)
+    assert "boom [pc=0x000001c0 cycle=1234 mcause=0x80000007]" in text
+    assert "last trace entries:" in text
+
+
+def test_simulation_error_plain_message_still_works():
+    err = SimulationError("plain")
+    assert str(err) == "plain"
+    assert err.pc is None and err.kind is None
+
+
+# -- out-of-range memory -------------------------------------------------------
+
+
+def test_out_of_range_read_raises_memory_error():
+    memory = Memory(size=1024)
+    with pytest.raises(MemoryError_):
+        memory.read_word_raw(2048)
+
+
+def test_misaligned_bit_flip_is_rejected():
+    memory = Memory(size=1024)
+    with pytest.raises(MemoryError_):
+        memory.flip_bit(4, 32)
+    with pytest.raises(MemoryError_):
+        memory.flip_bit(4, -1)
+
+
+def test_wild_load_during_simulation_is_memory_error():
+    from tests.cores.helpers import run_fragment
+
+    with pytest.raises(MemoryError_) as excinfo:
+        run_fragment("""
+    li   t0, 0x00800000
+    lw   t1, 0(t0)
+""")
+    assert isinstance(excinfo.value, ReproError)
+
+
+# -- exhausted cycle budget ----------------------------------------------------
+
+
+def test_exhausted_cycle_budget_is_structured_simulation_error():
+    from repro.cores import CORE_CLASSES
+    from repro.cores.system import System
+    from repro.isa.assembler import assemble
+
+    system = System(CORE_CLASSES["cv32e40p"], parse_config("vanilla"),
+                    tick_period=1 << 30)
+    system.load(assemble("spin:\n    j spin\n", origin=0))
+    with pytest.raises(SimulationError) as excinfo:
+        system.run(max_cycles=500)
+    err = excinfo.value
+    assert err.kind == "cycle-budget"
+    assert err.pc is not None
+    assert err.cycle is not None and err.cycle > 500
+    assert "pc=0x" in str(err)
+
+
+# -- invalid configurations ----------------------------------------------------
+
+
+def test_unknown_config_letter_is_named_and_suggested():
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_config("SLX")
+    message = str(excinfo.value)
+    assert "'X'" in message
+    assert "'SLX'" in message
+    assert "valid letters" in message
+    assert "did you mean" in message
+
+
+def test_duplicate_config_letter_is_rejected():
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_config("SLL")
+    assert "duplicate" in str(excinfo.value)
+
+
+def test_invalid_combination_gets_a_suggestion():
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_config("LO")  # load without store is invalid
+    assert "did you mean" in str(excinfo.value)
+
+
+def test_suggestion_names_a_real_evaluated_config():
+    from repro.rtosunit.config import EVALUATED_CONFIGS
+
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_config("SLQ")
+    message = str(excinfo.value)
+    assert any(f"{name!r}" in message for name in EVALUATED_CONFIGS)
+
+
+# -- fault specs ---------------------------------------------------------------
+
+
+def test_bad_fault_spec_is_fault_injection_error():
+    from repro.faults import FaultSpec
+
+    with pytest.raises(FaultInjectionError):
+        FaultSpec("gamma_ray", cycle=0)
+    assert issubclass(FaultInjectionError, ReproError)
