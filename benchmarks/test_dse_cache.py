@@ -1,0 +1,60 @@
+"""Meta-benchmark: warm-cache DSE re-run vs cold full-grid sweep.
+
+Not a paper figure — this pins down the value of the content-addressed
+result cache: re-running the full paper grid (3 cores x 12 configs x
+5 workloads) against a warm cache must be at least an order of
+magnitude faster than simulating it cold. Timings land in
+``BENCH_dse.json`` at the repo root for EXPERIMENTS.md.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.dse import DSEExecutor, ResultCache, build_grid
+from repro.rtosunit.config import EVALUATED_CONFIGS
+from repro.cores import CORE_NAMES
+from repro.workloads import workload_names
+
+from benchmarks.conftest import publish
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+ITERATIONS = 2
+SEED = 42
+
+
+def _timed_sweep(points, cache_dir):
+    cache = ResultCache(cache_dir)
+    start = time.perf_counter()
+    runs = DSEExecutor(cache=cache).run(points)
+    return time.perf_counter() - start, cache, runs
+
+
+def test_warm_cache_rerun_is_10x_faster(tmp_path):
+    points = build_grid(cores=CORE_NAMES, configs=EVALUATED_CONFIGS,
+                        workloads=workload_names(suite_only=True),
+                        iterations=ITERATIONS, seed=SEED)
+    cold_s, cold_cache, cold_runs = _timed_sweep(points, tmp_path / "cache")
+    warm_s, warm_cache, warm_runs = _timed_sweep(points, tmp_path / "cache")
+
+    assert cold_cache.stats.misses == len(points)
+    assert warm_cache.stats.hits == len(points)
+    for point in points:
+        assert warm_runs[point].latencies == cold_runs[point].latencies
+
+    speedup = cold_s / warm_s
+    record = {
+        "grid_points": len(points),
+        "iterations": ITERATIONS,
+        "seed": SEED,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "speedup": round(speedup, 1),
+        "cold_cache": cold_cache.stats.as_dict(),
+        "warm_cache": warm_cache.stats.as_dict(),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    publish("bench_dse_cache", json.dumps(record, indent=2, sort_keys=True))
+    assert speedup >= 10.0, (
+        f"warm cache re-run only {speedup:.1f}x faster "
+        f"(cold {cold_s:.2f}s, warm {warm_s:.2f}s)")

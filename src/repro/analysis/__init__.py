@@ -15,6 +15,7 @@ from repro.analysis.reporting import (
     format_fig11,
     format_fig12,
     format_fig13,
+    format_frontier,
     format_table,
     format_table1,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "format_fig11",
     "format_fig12",
     "format_fig13",
+    "format_frontier",
     "format_table",
     "format_table1",
 ]

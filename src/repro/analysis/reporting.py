@@ -88,3 +88,38 @@ def format_fig13(reports: Mapping) -> str:
             for (core, config), r in reports.items()]
     return format_table(
         ("core", "config", "total [mW]", "added [mW]", "increase"), rows)
+
+
+def format_frontier(points, objectives) -> str:
+    """The DSE Pareto table: every design point, verdict and dominator.
+
+    ``points`` are annotated :class:`repro.dse.frontier.DesignPoint`
+    objects; ``objectives`` the metric subset dominance was computed
+    over. Dominated rows name their strongest dominator and the area
+    delta to it ("SPLIT dominates S at -0.9% area").
+    """
+    from repro.dse.frontier import OBJECTIVES
+
+    by_key = {(p.core, p.config): p for p in points}
+    rows = []
+    for point in points:
+        if point.on_frontier:
+            verdict = "non-dominated"
+        else:
+            dominator = by_key[(point.core, point.dominated_by)]
+            delta = dominator.metrics["area"] - point.metrics["area"]
+            verdict = f"dominated by {point.dominated_by} ({delta:+.1f}% area)"
+        rows.append((
+            point.core, point.config,
+            f"{point.metrics['latency']:.1f}",
+            f"{point.metrics['jitter']:.0f}",
+            f"{point.metrics['area']:+.2f}",
+            f"{point.metrics['fmax']:.2f}",
+            f"{point.metrics['power']:.2f}",
+            verdict,
+        ))
+    header = ("core", "config") + tuple(
+        heading for heading, _ in OBJECTIVES.values()) + ("frontier",)
+    title = ("Pareto frontier over objectives: "
+             + ", ".join(objectives) + " (lower is better)")
+    return title + "\n\n" + format_table(header, rows)

@@ -15,6 +15,28 @@ from repro.asic.frequency import FrequencyModel, fmax_report
 from repro.asic.power import PowerModel, power_report
 from repro.asic.technology import CORE_BASELINES, Technology, TECH_22NM
 
+
+def cost_summary(core: str, config, run=None,
+                 area_model: AreaModel | None = None,
+                 freq_model: FrequencyModel | None = None,
+                 power_model: PowerModel | None = None) -> dict:
+    """All ASIC costs of one design point, as the DSE frontier needs them.
+
+    ``run`` optionally supplies ``mutex_workload`` activity counters for
+    the power model (without it the activity term is zero, exactly as in
+    :class:`PowerModel`). Returns area overhead [%], fmax drop [%] and
+    added power [mW] — all "lower is better".
+    """
+    area_model = area_model or AreaModel()
+    freq_model = freq_model or FrequencyModel()
+    power_model = power_model or PowerModel(area_model=area_model)
+    return {
+        "area": area_model.report(core, config).overhead_percent,
+        "fmax_drop": freq_model.report(core, config).drop_percent,
+        "power": power_model.report(core, config, run=run).added_mw,
+    }
+
+
 __all__ = [
     "AreaModel",
     "AreaReport",
@@ -24,6 +46,7 @@ __all__ = [
     "TECH_22NM",
     "Technology",
     "area_report",
+    "cost_summary",
     "fmax_report",
     "list_length_sweep",
     "power_report",

@@ -20,6 +20,9 @@ from repro.rtosunit.config import EVALUATED_CONFIGS, RTOSUnitConfig, parse_confi
 
 _NOISE_AMPLITUDE = 0.004
 
+#: The scheduler list lengths swept in Figure 12 (0 = unmodified core).
+FIG12_LENGTHS: tuple[int, ...] = (0, 2, 4, 8, 16, 24, 32, 48, 64)
+
 
 def _heuristics_noise(core: str, config: str) -> float:
     """Deterministic pseudo-noise in [-amplitude, +amplitude]."""
@@ -97,7 +100,7 @@ class AreaModel:
         }
 
     def list_scaling(self, core: str = "cv32e40p",
-                     lengths=(0, 2, 4, 8, 16, 24, 32, 48, 64)):
+                     lengths=FIG12_LENGTHS):
         """Figure 12: absolute area of (T) across list lengths.
 
         Length 0 denotes the unmodified core.

@@ -3,9 +3,11 @@
 Examples::
 
     python -m repro table1
-    python -m repro fig9 --cores cv32e40p --iterations 10
+    python -m repro fig9 --cores cv32e40p --iterations 10 --jobs 4
     python -m repro fig10
     python -m repro wcet --config SLT
+    python -m repro dse --jobs 4 --cache-dir .dse-cache \
+        --objectives latency,area
     python -m repro run --core naxriscv --config SPLIT \
         --workload mutex_workload
     python -m repro asm program.s --symbols
@@ -48,8 +50,14 @@ def _cmd_fig9(args) -> int:
 
     cores = args.cores.split(",")
     configs = args.configs.split(",")
+    cache = None
+    if args.cache_dir:
+        from repro.dse import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     results = sweep(cores=cores, configs=configs,
-                    iterations=args.iterations)
+                    iterations=args.iterations, seed=args.seed,
+                    jobs=args.jobs, cache=cache)
     if args.json:
         from repro.harness.export import sweep_dict, write_json
 
@@ -101,11 +109,27 @@ def _cmd_fig11(args) -> int:
     return 0
 
 
-def _cmd_fig12(args) -> int:
+def _fig12_point(task):
+    """Pool worker: one (core, list length) area datapoint."""
     from repro.asic import AreaModel
 
+    core, length = task
     model = AreaModel()
-    points = model.list_scaling(args.core)
+    if length == 0:
+        return (0, model.baselines[core].area_kge)
+    config = parse_config("T", list_length=length)
+    return (length, model.report(core, config).total_kge)
+
+
+def _cmd_fig12(args) -> int:
+    from repro.asic import AreaModel
+    from repro.asic.area import FIG12_LENGTHS
+    from repro.dse import parallel_map
+
+    model = AreaModel()
+    points = parallel_map(_fig12_point,
+                          [(args.core, length) for length in FIG12_LENGTHS],
+                          jobs=args.jobs)
     print(format_fig12(points, model.baselines[args.core].area_kge))
     return 0
 
@@ -127,16 +151,23 @@ def _cmd_fig13(args) -> int:
     return 0
 
 
-def _cmd_wcet(args) -> int:
+def _wcet_point(task):
+    """Pool worker: WCET analysis of one configuration."""
     from repro.wcet import analyze_config
+
+    name, delayed_tasks = task
+    result = analyze_config(parse_config(name), delayed_tasks=delayed_tasks)
+    return (name, result.wcet_cycles, result.paths_explored)
+
+
+def _cmd_wcet(args) -> int:
+    from repro.dse import parallel_map
 
     configs = (args.config.split(",") if args.config
                else list(EVALUATED_CONFIGS))
-    rows = []
-    for name in configs:
-        result = analyze_config(parse_config(name),
-                                delayed_tasks=args.delayed_tasks)
-        rows.append((name, result.wcet_cycles, result.paths_explored))
+    rows = parallel_map(_wcet_point,
+                        [(name, args.delayed_tasks) for name in configs],
+                        jobs=args.jobs)
     print(format_table(("config", "WCET [cycles]", "paths"), rows))
     return 0
 
@@ -208,7 +239,7 @@ def _cmd_faults(args) -> int:
             print(f"  {result.core}/{result.config}/{result.workload}: "
                   f"{result.fault.describe()} -> {result.outcome} "
                   f"({result.detail})")
-    campaign = run_campaign(spec, progress=progress)
+    campaign = run_campaign(spec, progress=progress, jobs=args.jobs)
     if args.json:
         from repro.harness.export import write_json
 
@@ -216,6 +247,80 @@ def _cmd_faults(args) -> int:
         print(f"wrote {args.json}")
         return 0
     print(format_campaign(campaign))
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    from repro.analysis import format_frontier
+    from repro.dse import (
+        DSEExecutor,
+        ProgressMeter,
+        ResultCache,
+        SweepManifest,
+        annotate_pareto,
+        build_grid,
+        evaluate_grid,
+        frontier_dict,
+        group_suites,
+        parse_objectives,
+    )
+    from repro.workloads import workload_names
+
+    objectives = parse_objectives(args.objectives)
+    cores = args.cores.split(",")
+    configs = args.configs.split(",")
+    workloads = (args.workloads.split(",") if args.workloads
+                 else list(workload_names(suite_only=True)))
+    points = build_grid(cores=cores, configs=configs, workloads=workloads,
+                        iterations=args.iterations, seed=args.seed)
+    cache = manifest = None
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+        if args.resume:
+            manifest = SweepManifest(cache.root / "manifest.json")
+            done = manifest.done_count(points)
+            if done:
+                print(f"resume: {done}/{len(points)} grid points already "
+                      f"complete")
+    elif args.resume:
+        print("error: --resume needs --cache-dir", file=sys.stderr)
+        return 2
+    meter = ProgressMeter(len(points), enabled=not args.no_progress)
+    executor = DSEExecutor(jobs=args.jobs, retries=args.retries,
+                           timeout=args.timeout, cache=cache,
+                           manifest=manifest, progress=meter.update)
+    runs = executor.run(points)
+    meter.finish()
+    suites = group_suites(points, runs)
+    design_points = annotate_pareto(evaluate_grid(suites),
+                                    objectives=objectives)
+    cache_stats = (cache.stats.as_dict() if cache is not None
+                   else {"hits": 0, "misses": 0, "stores": 0,
+                         "invalidated": 0, "hit_rate": 0.0})
+    if args.json:
+        from repro.harness.export import sweep_dict, write_json
+
+        write_json(args.json, {
+            "meta": {
+                "cores": cores, "configs": configs, "workloads": workloads,
+                "iterations": args.iterations, "seed": args.seed,
+                "objectives": list(objectives),
+            },
+            "sweep": sweep_dict(suites),
+            "frontier": frontier_dict(design_points, objectives),
+            "cache": cache_stats,
+        })
+        print(f"wrote {args.json}")
+    else:
+        print(format_frontier(design_points, objectives))
+    print(f"\ngrid: {len(points)} runs "
+          f"({len(cores)} cores x {len(configs)} configs x "
+          f"{len(workloads)} workloads)")
+    if cache is not None:
+        print(f"cache: {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses, "
+              f"{cache_stats['invalidated']} invalidated "
+              f"(hit rate {cache_stats['hit_rate'] * 100.0:.1f}%)")
     return 0
 
 
@@ -251,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig9", help="Figure 9: latency/jitter sweep")
     _add_grid_args(p)
     p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed recorded on every run")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool workers for the grid")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="reuse/populate a DSE result cache")
     p.add_argument("--chart", action="store_true",
                    help="draw ASCII bars instead of the table")
     p.add_argument("--json", default=None, metavar="FILE",
@@ -263,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_args(p)
     p = sub.add_parser("fig12", help="Figure 12: list-length area scaling")
     p.add_argument("--core", default="cv32e40p")
+    p.add_argument("--jobs", type=int, default=1)
     p = sub.add_parser("fig13", help="Figure 13: power on mutex_workload")
     _add_grid_args(p)
     p.add_argument("--iterations", type=int, default=6)
@@ -271,6 +383,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default=None,
                    help="comma-separated configs (default: all)")
     p.add_argument("--delayed-tasks", type=int, default=8)
+    p.add_argument("--jobs", type=int, default=1)
+
+    p = sub.add_parser(
+        "dse", help="design-space co-exploration + Pareto frontier")
+    _add_grid_args(p)
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload list (default: the "
+                        "RTOSBench suite)")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool workers for the grid")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache directory")
+    p.add_argument("--resume", action="store_true",
+                   help="checkpoint/resume via the cache manifest")
+    p.add_argument("--objectives", default="latency,jitter",
+                   help="comma-separated Pareto objectives "
+                        "(latency, jitter, area, fmax, power)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per failed grid task")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="stall watchdog in seconds (parallel runs)")
+    p.add_argument("--no-progress", action="store_true",
+                   help="suppress the runs/s + ETA telemetry line")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write sweep + frontier + cache stats as JSON")
 
     p = sub.add_parser("run", help="run one workload")
     p.add_argument("--core", default="cv32e40p", choices=CORE_NAMES)
@@ -303,6 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated workload list")
     p.add_argument("--faults", type=int, default=None,
                    help="random faults per (core, config, workload)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool workers for the per-fault runs "
+                        "(golden runs stay serial)")
     p.add_argument("--verbose", action="store_true",
                    help="print each fault outcome as it is classified")
     p.add_argument("--json", default=None, metavar="FILE",
@@ -323,6 +465,7 @@ _COMMANDS = {
     "fig12": _cmd_fig12,
     "fig13": _cmd_fig13,
     "wcet": _cmd_wcet,
+    "dse": _cmd_dse,
     "trace": _cmd_trace,
     "verify": _cmd_verify,
     "run": _cmd_run,

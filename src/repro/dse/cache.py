@@ -1,0 +1,198 @@
+"""Content-addressed result cache and sweep checkpoints.
+
+Every cache entry is one JSON file addressed by a fingerprint of
+*everything that determines the run's outcome*:
+
+``key = sha256(schema, source fingerprint, core, config, workload,
+iterations, seed)``
+
+The source fingerprint hashes the bytes of every ``repro`` module, so
+editing any model invalidates exactly the runs it could have changed —
+there is no mtime heuristic and no TTL. Entries are also named by their
+*logical* point (``cv32e40p-SLT-yield_pingpong-i10-s42``); when a lookup
+misses but a stale file for the same logical point exists (old source
+version), it is removed and counted as an invalidation.
+
+:class:`SweepManifest` is the resume checkpoint: it records the grid and
+which points have completed, so ``python -m repro dse --resume`` can
+report and skip finished work even across interrupted runs (the cache
+holds the actual results; the manifest holds the accounting).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.errors import ExplorationError
+
+_FINGERPRINT: str | None = None
+
+
+def source_fingerprint() -> str:
+    """Digest of the ``repro`` package sources (content, not mtimes)."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "invalidated": self.invalidated,
+                "hit_rate": self.hit_rate}
+
+
+class ResultCache:
+    """On-disk JSON cache of grid-point results.
+
+    ``fingerprint`` defaults to the live source fingerprint; tests pass
+    an explicit value to exercise invalidation.
+    """
+
+    SCHEMA = 2
+
+    def __init__(self, root, fingerprint: str | None = None):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint or source_fingerprint()
+        self.stats = CacheStats()
+
+    # -- addressing ----------------------------------------------------------
+
+    def key(self, point) -> str:
+        identity = dict(point.as_dict(), schema=self.SCHEMA,
+                        fingerprint=self.fingerprint)
+        blob = json.dumps(identity, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _logical(self, point) -> str:
+        return (f"{point.core}-{point.config}-{point.workload}"
+                f"-i{point.iterations}-s{point.seed}")
+
+    def path(self, point) -> pathlib.Path:
+        return self.root / f"{self._logical(point)}.{self.key(point)[:16]}.json"
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, point) -> dict | None:
+        """The cached run payload, or ``None`` (miss) — with accounting."""
+        path = self.path(point)
+        if path.exists():
+            try:
+                entry = json.loads(path.read_text())
+                if entry.get("key") != self.key(point):
+                    raise ValueError("key mismatch")
+                payload = entry["run"]
+            except (ValueError, KeyError, OSError):
+                # Corrupt or mislabelled entry: drop it, count it, miss.
+                path.unlink(missing_ok=True)
+                self.stats.invalidated += 1
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return payload
+        # Stale entries for the same logical point (older source
+        # fingerprint / schema) can never hit again: reap and account.
+        stale = sorted(self.root.glob(f"{self._logical(point)}.*.json"))
+        for old in stale:
+            old.unlink(missing_ok=True)
+            self.stats.invalidated += 1
+        self.stats.misses += 1
+        return None
+
+    def put(self, point, payload: dict) -> None:
+        """Store one run payload atomically (write-to-temp, rename)."""
+        entry = {
+            "schema": self.SCHEMA,
+            "key": self.key(point),
+            "fingerprint": self.fingerprint,
+            "point": point.as_dict(),
+            "run": payload,
+        }
+        path = self.path(point)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json")
+                   if not _.name.startswith("manifest"))
+
+
+class SweepManifest:
+    """Checkpoint of one sweep: the grid and which points are done.
+
+    ``begin()`` resets the manifest whenever the grid changes, so a
+    manifest never claims completion for points of a different sweep.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self.data = {"grid": [], "done": []}
+        if self.path.exists():
+            try:
+                self.data = json.loads(self.path.read_text())
+                if not isinstance(self.data.get("done"), list):
+                    raise ValueError("malformed manifest")
+            except (ValueError, OSError) as exc:
+                raise ExplorationError(
+                    f"corrupt sweep manifest {self.path}: {exc}; delete it "
+                    f"to start over") from exc
+
+    @staticmethod
+    def point_id(point) -> str:
+        return (f"{point.core}/{point.config}/{point.workload}"
+                f"@i{point.iterations}s{point.seed}")
+
+    def begin(self, points) -> None:
+        grid = [self.point_id(point) for point in points]
+        if self.data.get("grid") != grid:
+            self.data = {"grid": grid, "done": []}
+            self._save()
+
+    def mark_done(self, point) -> None:
+        pid = self.point_id(point)
+        if pid not in self.data["done"]:
+            self.data["done"].append(pid)
+            self._save()
+
+    def done_count(self, points) -> int:
+        done = set(self.data["done"])
+        return sum(1 for point in points if self.point_id(point) in done)
+
+    def _save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self.data, indent=2) + "\n")
+        os.replace(tmp, self.path)

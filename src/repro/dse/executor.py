@@ -1,0 +1,231 @@
+"""Parallel grid execution with retry, timeout and deterministic ordering.
+
+The executor is the workhorse of the co-exploration engine: it fans a
+(core × configuration × workload) grid out over a
+:class:`concurrent.futures.ProcessPoolExecutor`, consults the result
+cache before spending any simulation time, and hands results back keyed
+and ordered by *grid position* — never by completion order — so a
+parallel sweep exports byte-identically to a serial one.
+
+Two entry points:
+
+* :func:`parallel_map` — a generic order-preserving map with per-task
+  retry and timeout, also used by the WCET, Fig. 12 and fault-campaign
+  CLI paths;
+* :class:`DSEExecutor` — the cache-aware grid runner behind
+  :func:`repro.harness.sweep` and ``python -m repro dse``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import asdict, dataclass
+
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One (core, configuration, workload) cell of the exploration grid.
+
+    ``seed`` is the *base* seed of the sweep; the per-run seed is
+    derived from it and the grid position inside the worker (see
+    :func:`repro.harness.experiment.derive_point_seed`).
+    """
+
+    core: str
+    config: str
+    workload: str
+    iterations: int = 10
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.core}/{self.config}/{self.workload}"
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def build_grid(cores, configs, workloads, iterations: int = 10,
+               seed: int = 0) -> list:
+    """The full exploration grid, in canonical (deterministic) order."""
+    return [
+        GridPoint(core=core, config=config, workload=workload,
+                  iterations=iterations, seed=seed)
+        for core in cores
+        for config in configs
+        for workload in workloads
+    ]
+
+
+def execute_point(point: GridPoint):
+    """Run one grid point; the process-pool worker function.
+
+    Rebuilds the workload by name so the argument stays a small
+    picklable dataclass; returns the full :class:`RunResult` (all its
+    fields are plain dataclasses, so it pickles back intact).
+    """
+    from repro.harness.experiment import derive_point_seed, run_workload
+    from repro.rtosunit.config import parse_config
+    from repro.workloads import workload_by_name
+
+    workload = workload_by_name(point.workload, iterations=point.iterations)
+    return run_workload(
+        point.core, parse_config(point.config), workload,
+        seed=derive_point_seed(point.seed, point.core, point.config,
+                               point.workload))
+
+
+def parallel_map(worker, items, jobs: int = 1, timeout: float | None = None,
+                 retries: int = 1, on_result=None) -> list:
+    """Order-preserving map with optional process-pool fan-out.
+
+    ``jobs <= 1`` runs in-process (no pickling constraints). Otherwise
+    each item is submitted to a pool of ``jobs`` workers; a task that
+    raises or exceeds ``timeout`` seconds is resubmitted up to
+    ``retries`` extra times before the whole map fails with
+    :class:`ExplorationError`. ``on_result(index, result)`` fires once
+    per completed item (in completion order) for progress telemetry.
+    Results come back in item order regardless of completion order.
+    """
+    items = list(items)
+    if jobs <= 1:
+        results = []
+        for index, item in enumerate(items):
+            result = _attempt_serial(worker, item, index, retries)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+    results = [None] * len(items)
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(worker, item): index
+                   for index, item in enumerate(items)}
+        attempts = {index: 1 for index in range(len(items))}
+        while futures:
+            done, _ = concurrent.futures.wait(
+                futures, timeout=timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            if not done:  # nothing finished within the per-task timeout
+                for future, index in list(futures.items()):
+                    del futures[future]
+                    future.cancel()
+                    _resubmit(pool, worker, items, futures, attempts, index,
+                              retries, reason="timeout")
+                continue
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    _resubmit(pool, worker, items, futures, attempts, index,
+                              retries, reason=f"{type(exc).__name__}: {exc}")
+                    continue
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+    return results
+
+
+def _attempt_serial(worker, item, index: int, retries: int):
+    last = None
+    for _ in range(retries + 1):
+        try:
+            return worker(item)
+        except Exception as exc:  # noqa: BLE001 - wrapped below
+            last = exc
+    raise ExplorationError(
+        f"grid task {index} failed after {retries + 1} attempts: "
+        f"{type(last).__name__}: {last}") from last
+
+
+def _resubmit(pool, worker, items, futures, attempts, index: int,
+              retries: int, reason: str) -> None:
+    if attempts[index] > retries:
+        raise ExplorationError(
+            f"grid task {index} ({items[index]!r}) failed after "
+            f"{attempts[index]} attempts: {reason}")
+    attempts[index] += 1
+    futures[pool.submit(worker, items[index])] = index
+
+
+class DSEExecutor:
+    """Cache-aware, pool-backed runner for exploration grids.
+
+    ``progress`` is an optional callable receiving
+    ``(point, result, from_cache)`` once per completed grid point;
+    ``manifest`` an optional
+    :class:`repro.dse.cache.SweepManifest` checkpointed after every
+    completion so an interrupted sweep can resume.
+    """
+
+    def __init__(self, jobs: int = 1, retries: int = 1,
+                 timeout: float | None = None, cache=None, manifest=None,
+                 progress=None):
+        self.jobs = jobs
+        self.retries = retries
+        self.timeout = timeout
+        self.cache = cache
+        self.manifest = manifest
+        self.progress = progress
+
+    def run(self, points) -> dict:
+        """Execute (or recall) every grid point; returns point → RunResult.
+
+        The returned dict iterates in grid order regardless of cache
+        state or completion order.
+        """
+        from repro.harness.export import load_run, run_dict
+
+        points = list(points)
+        if self.manifest is not None:
+            self.manifest.begin(points)
+        results = {}
+        pending = []
+        for point in points:
+            payload = (self.cache.get(point) if self.cache is not None
+                       else None)
+            if payload is not None:
+                results[point] = load_run(payload)
+                self._complete(point, results[point], from_cache=True)
+            else:
+                pending.append(point)
+
+        def on_result(index, run):
+            point = pending[index]
+            if self.cache is not None:
+                self.cache.put(point, run_dict(run))
+            self._complete(point, run, from_cache=False)
+
+        executed = parallel_map(execute_point, pending, jobs=self.jobs,
+                                timeout=self.timeout, retries=self.retries,
+                                on_result=on_result)
+        for point, run in zip(pending, executed):
+            results[point] = run
+        return {point: results[point] for point in points}
+
+    def _complete(self, point, run, from_cache: bool) -> None:
+        if self.manifest is not None:
+            self.manifest.mark_done(point)
+        if self.progress is not None:
+            self.progress(point, run, from_cache)
+
+
+def group_suites(points, runs: dict) -> dict:
+    """Regroup executor results into the classic sweep shape.
+
+    ``(core, config) -> SuiteResult`` with runs in grid (workload)
+    order, matching what the serial nested loops used to build.
+    """
+    from repro.harness.experiment import SuiteResult
+    from repro.rtosunit.config import parse_config
+
+    suites: dict = {}
+    for point in points:
+        key = (point.core, point.config)
+        if key not in suites:
+            suites[key] = SuiteResult(core=point.core,
+                                      config=parse_config(point.config))
+        suites[key].runs.append(runs[point])
+    return suites

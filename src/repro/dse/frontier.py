@@ -1,0 +1,142 @@
+"""Pareto-front analysis over the co-exploration grid.
+
+Combines per-design-point *benefit* (mean context-switch latency and
+jitter from the Fig. 9 sweep) with *cost* (Fig. 10 area overhead,
+Fig. 11 fmax drop, Fig. 13 added power) into one metric vector per
+(core, configuration), then computes the Pareto-optimal set under a
+chosen objective subset and annotates every dominated point with the
+configuration that dominates it — the "SPLIT dominates S on CV32E40P"
+statements the paper's frontier discussion is built from.
+
+All metrics are oriented so that **lower is better** (fmax enters as
+the *drop* relative to the unmodified core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Metric key -> (table heading, description); canonical column order.
+OBJECTIVES: dict[str, tuple[str, str]] = {
+    "latency": ("latency[cyc]", "mean context-switch latency (Fig. 9)"),
+    "jitter": ("jitter[cyc]", "max-min latency spread (Fig. 9)"),
+    "area": ("area[+%]", "area overhead vs unmodified core (Fig. 10)"),
+    "fmax": ("fmax[-%]", "maximum-frequency drop (Fig. 11)"),
+    "power": ("power[+mW]", "added power on mutex_workload (Fig. 13)"),
+}
+
+DEFAULT_OBJECTIVES: tuple[str, ...] = ("latency", "jitter")
+
+
+def parse_objectives(text: str) -> tuple[str, ...]:
+    """Validate a comma-separated objective list against the catalogue."""
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not names:
+        raise ConfigurationError("no objectives given")
+    for name in names:
+        if name not in OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown objective {name!r} "
+                f"(valid: {', '.join(OBJECTIVES)})")
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate objective in {text!r}")
+    return names
+
+
+@dataclass
+class DesignPoint:
+    """One (core, configuration) with its full metric vector."""
+
+    core: str
+    config: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Name of a dominating configuration (None on the Pareto front).
+    dominated_by: str | None = None
+
+    @property
+    def on_frontier(self) -> bool:
+        return self.dominated_by is None
+
+
+def evaluate_grid(results, area_model=None, freq_model=None,
+                  power_model=None) -> list[DesignPoint]:
+    """Metric vectors for a sweep (``(core, config) -> SuiteResult``).
+
+    The power model consumes the sweep's own ``mutex_workload`` run when
+    the grid includes it (the paper's §6.3 methodology); otherwise the
+    activity term is zero and power is the area-driven floor.
+    """
+    from repro.asic import cost_summary
+    from repro.rtosunit.config import parse_config
+
+    points = []
+    for (core, config_name), suite in results.items():
+        mutex_run = None
+        for run in suite.runs:
+            if run.workload == "mutex_workload":
+                mutex_run = run
+                break
+        costs = cost_summary(core, parse_config(config_name), run=mutex_run,
+                             area_model=area_model, freq_model=freq_model,
+                             power_model=power_model)
+        stats = suite.stats
+        points.append(DesignPoint(core=core, config=config_name, metrics={
+            "latency": stats.mean,
+            "jitter": float(stats.jitter),
+            "area": costs["area"],
+            "fmax": costs["fmax_drop"],
+            "power": costs["power"],
+        }))
+    return points
+
+
+def dominates(a: DesignPoint, b: DesignPoint, objectives) -> bool:
+    """True if *a* is no worse than *b* everywhere and better somewhere."""
+    return (all(a.metrics[o] <= b.metrics[o] for o in objectives)
+            and any(a.metrics[o] < b.metrics[o] for o in objectives))
+
+
+def annotate_pareto(points: list[DesignPoint],
+                    objectives=DEFAULT_OBJECTIVES) -> list[DesignPoint]:
+    """Mark every point dominated/non-dominated within its core.
+
+    A dominated point is annotated with its *strongest* dominator — the
+    dominating configuration with the best (lexicographically smallest)
+    objective vector, ties broken by name for determinism.
+    """
+    for name in objectives:
+        if name not in OBJECTIVES:
+            raise ConfigurationError(f"unknown objective {name!r}")
+    by_core: dict[str, list[DesignPoint]] = {}
+    for point in points:
+        by_core.setdefault(point.core, []).append(point)
+    for peers in by_core.values():
+        for point in peers:
+            dominators = [q for q in peers
+                          if q is not point and dominates(q, point, objectives)]
+            if dominators:
+                best = min(dominators, key=lambda q: (
+                    tuple(q.metrics[o] for o in objectives), q.config))
+                point.dominated_by = best.config
+            else:
+                point.dominated_by = None
+    return points
+
+
+def frontier_dict(points: list[DesignPoint], objectives) -> dict:
+    """JSON-ready frontier: every point, its metrics and its verdict."""
+    return {
+        "objectives": list(objectives),
+        "points": [
+            {
+                "core": point.core,
+                "config": point.config,
+                "metrics": {k: point.metrics[k] for k in OBJECTIVES},
+                "dominated_by": point.dominated_by,
+                "on_frontier": point.on_frontier,
+            }
+            for point in points
+        ],
+    }

@@ -1,0 +1,58 @@
+"""Progress/throughput telemetry for long sweeps.
+
+One carriage-return status line on stderr — runs/s, cache hit share and
+ETA — refreshed per completed grid point, plus a final summary. Timing
+never reaches result payloads, so telemetry cannot break byte-identical
+exports.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(int(seconds), 0)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressMeter:
+    """Streaming progress display for an N-point grid."""
+
+    def __init__(self, total: int, stream=None, enabled: bool = True,
+                 clock=time.monotonic):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.clock = clock
+        self.start = clock()
+        self.done = 0
+        self.cache_hits = 0
+
+    def update(self, point=None, result=None, from_cache: bool = False):
+        """Record one completion; signature matches the executor hook."""
+        self.done += 1
+        if from_cache:
+            self.cache_hits += 1
+        if self.enabled:
+            self.stream.write("\r" + self.status_line())
+            self.stream.flush()
+
+    def status_line(self) -> str:
+        elapsed = max(self.clock() - self.start, 1e-9)
+        rate = self.done / elapsed
+        remaining = self.total - self.done
+        eta = _format_eta(remaining / rate) if rate > 0 else "?"
+        hit_pct = 100.0 * self.cache_hits / self.done if self.done else 0.0
+        return (f"dse: {self.done}/{self.total} runs | {rate:.1f} runs/s | "
+                f"cache {hit_pct:.0f}% hit | ETA {eta}")
+
+    def finish(self) -> None:
+        if self.enabled and self.done:
+            self.stream.write("\r" + self.status_line() + "\n")
+            self.stream.flush()

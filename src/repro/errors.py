@@ -18,6 +18,7 @@ __all__ = [
     "AssemblerError",
     "ConfigurationError",
     "DecodeError",
+    "ExplorationError",
     "FaultInjectionError",
     "KernelError",
     "MemoryError_",
@@ -100,3 +101,12 @@ class KernelError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised by the WCET analyzer when a bound cannot be established."""
+
+
+class ExplorationError(ReproError):
+    """Raised by the design-space exploration engine (``repro.dse``).
+
+    Covers grid-task failures that persist through the retry budget,
+    per-task timeouts, and corrupt cache/checkpoint state that cannot be
+    recovered by invalidation.
+    """

@@ -211,9 +211,63 @@ def _targeted_faults(layout, horizon: int) -> list[FaultSpec]:
     ]
 
 
-def run_campaign(spec: CampaignSpec, progress=None) -> CampaignResult:
-    """Execute the full sweep; deterministic for a given *spec*."""
+@dataclass(frozen=True)
+class _FaultTask:
+    """One faulted run, fully specified by picklable values.
+
+    Carries everything a pool worker needs to rebuild the combination
+    from scratch (config/workload by name) and classify the outcome
+    against the golden signature.
+    """
+
+    core: str
+    config: str
+    workload: str
+    iterations: int
+    fault: FaultSpec
+    budget: int
+    window: int
+    check_interval: int
+    golden: Signature
+
+
+def run_fault_task(task: _FaultTask, prebuilt=None) -> FaultResult:
+    """Execute and classify one faulted run; the ``--jobs`` pool worker.
+
+    ``prebuilt`` optionally supplies ``(config, workload, builder,
+    program)`` so the serial path can reuse one assembly per combination;
+    workers rebuild them deterministically from the task instead.
+    """
+    if prebuilt is not None:
+        config, workload, builder, program = prebuilt
+    else:
+        config = parse_config(task.config)
+        workload = workload_by_name(task.workload, iterations=task.iterations)
+        builder = KernelBuilder(config=config, objects=workload.objects,
+                                tick_period=workload.tick_period)
+        program = builder.program()
+    signature, checker, error = _run_faulted(
+        task.core, config, workload, program, builder, [task.fault],
+        task.budget, task.window, task.check_interval)
+    outcome, detail = _classify(signature, checker, error, task.golden)
+    return FaultResult(core=task.core, config=task.config,
+                       workload=task.workload, fault=task.fault,
+                       outcome=outcome, detail=detail)
+
+
+def run_campaign(spec: CampaignSpec, progress=None,
+                 jobs: int = 1) -> CampaignResult:
+    """Execute the full sweep; deterministic for a given *spec*.
+
+    The golden (fault-free) reference runs stay serial; with
+    ``jobs > 1`` the per-fault replays fan out over the
+    :func:`repro.dse.executor.parallel_map` process pool. Results are
+    appended in grid order either way, so the campaign table and JSON
+    are byte-identical across ``jobs``.
+    """
     campaign = CampaignResult(seed=spec.seed)
+    tasks: list[_FaultTask] = []
+    prebuilt = []
     for core_name in spec.cores:
         for config_name in spec.configs:
             config = parse_config(config_name)
@@ -235,17 +289,25 @@ def run_campaign(spec: CampaignSpec, progress=None) -> CampaignResult:
                 if spec.targeted:
                     faults = faults + _targeted_faults(builder.layout, horizon)
                 for fault in faults:
-                    signature, checker, error = _run_faulted(
-                        core_name, config, workload, program, builder,
-                        [fault], budget, spec.window, spec.check_interval)
-                    outcome, detail = _classify(signature, checker, error,
-                                                golden)
-                    campaign.results.append(FaultResult(
+                    tasks.append(_FaultTask(
                         core=core_name, config=config_name,
-                        workload=workload_name, fault=fault,
-                        outcome=outcome, detail=detail))
-                    if progress is not None:
-                        progress(campaign.results[-1])
+                        workload=workload_name, iterations=spec.iterations,
+                        fault=fault, budget=budget, window=spec.window,
+                        check_interval=spec.check_interval, golden=golden))
+                    prebuilt.append((config, workload, builder, program))
+    if jobs <= 1:
+        for task, built in zip(tasks, prebuilt):
+            campaign.results.append(run_fault_task(task, prebuilt=built))
+            if progress is not None:
+                progress(campaign.results[-1])
+    else:
+        from repro.dse.executor import parallel_map
+
+        campaign.results.extend(parallel_map(run_fault_task, tasks,
+                                             jobs=jobs))
+        if progress is not None:
+            for result in campaign.results:
+                progress(result)
     return campaign
 
 

@@ -1,6 +1,10 @@
 """Measurement harness: run workloads, collect latency distributions."""
 
 from repro.harness.export import (
+    SWEEP_SCHEMA,
+    load_run,
+    load_suite,
+    load_sweep,
     run_dict,
     suite_dict,
     sweep_dict,
@@ -9,6 +13,7 @@ from repro.harness.export import (
 from repro.harness.experiment import (
     RunResult,
     SuiteResult,
+    derive_point_seed,
     run_suite,
     run_workload,
     sweep,
@@ -18,6 +23,11 @@ from repro.harness.metrics import LatencyBreakdown, LatencyStats
 __all__ = [
     "LatencyBreakdown",
     "LatencyStats",
+    "SWEEP_SCHEMA",
+    "derive_point_seed",
+    "load_run",
+    "load_suite",
+    "load_sweep",
     "run_dict",
     "suite_dict",
     "sweep_dict",

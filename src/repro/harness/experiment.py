@@ -1,7 +1,18 @@
-"""Experiment drivers: one workload, the whole suite, or a full sweep."""
+"""Experiment drivers: one workload, the whole suite, or a full sweep.
+
+Every run carries an explicit ``seed``. The cycle simulation itself is
+deterministic, so the seed never perturbs latencies; it exists so that
+(a) stochastic workload variants have a single well-defined entropy
+source, (b) the DSE result cache can address runs content-wise, and
+(c) serial and parallel executions of the same grid derive identical
+per-run seeds from the *grid position* rather than from execution
+order — which is what makes ``--jobs 1`` and ``--jobs N`` exports
+byte-identical.
+"""
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.cores import CORE_NAMES
@@ -11,6 +22,18 @@ from repro.kernel.builder import KernelBuilder
 from repro.mem.regions import MemoryLayout
 from repro.rtosunit.config import EVALUATED_CONFIGS, RTOSUnitConfig, parse_config
 from repro.workloads import RTOSBENCH_WORKLOADS, Workload
+
+
+def derive_point_seed(seed: int, core: str, config_name: str,
+                      workload_name: str) -> int:
+    """Stable 32-bit per-run seed for one grid point.
+
+    CRC32-based (not ``hash``) so it is independent of
+    ``PYTHONHASHSEED``, the execution order, and the process that
+    computes it — the anchor of serial/parallel byte-identity.
+    """
+    text = f"{core}:{config_name}:{workload_name}"
+    return (seed * 0x9E3779B1 + zlib.crc32(text.encode())) & 0xFFFFFFFF
 
 
 @dataclass
@@ -27,6 +50,7 @@ class RunResult:
     instret: int
     core_stats: object
     unit_stats: object | None
+    seed: int = 0
 
     @property
     def config_name(self) -> str:
@@ -76,13 +100,14 @@ class SuiteResult:
 
 def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
                  layout: MemoryLayout | None = None,
-                 guard=None) -> RunResult:
+                 guard=None, seed: int = 0) -> RunResult:
     """Simulate one workload and return its latency distribution.
 
     ``guard`` optionally attaches a hang-proof watchdog
     (:class:`repro.faults.guards.ProgressGuard`); a livelocked workload
     then fails with a structured error instead of spinning to the
-    ``max_cycles`` wall.
+    ``max_cycles`` wall. ``seed`` is recorded on the result and keys the
+    DSE cache; the simulation itself is deterministic.
     """
     builder = KernelBuilder(config=config, objects=workload.objects,
                             layout=layout or MemoryLayout(),
@@ -109,27 +134,73 @@ def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
         instret=system.core.stats.instret,
         core_stats=system.core.stats,
         unit_stats=system.unit.stats if system.unit else None,
+        seed=seed,
     )
 
 
 def run_suite(core: str, config: RTOSUnitConfig, iterations: int = 20,
-              workloads=None) -> SuiteResult:
-    """Run all (or the given) workload factories for one design point."""
+              workloads=None, seed: int = 0) -> SuiteResult:
+    """Run all (or the given) workload factories for one design point.
+
+    Each run's seed is derived from (*seed*, grid position) via
+    :func:`derive_point_seed`, never from execution order.
+    """
     factories = workloads or RTOSBENCH_WORKLOADS
     suite = SuiteResult(core=core, config=config)
     for factory in factories:
         workload = factory(iterations) if callable(factory) else factory
-        suite.runs.append(run_workload(core, config, workload))
+        suite.runs.append(run_workload(
+            core, config, workload,
+            seed=derive_point_seed(seed, core, config.name, workload.name)))
     return suite
 
 
+def _grid_workload_names(workloads, iterations: int) -> list[str] | None:
+    """Names of *workloads* if they are executor-reconstructible.
+
+    The process-pool executor rebuilds workloads by name inside worker
+    processes, which only works for the registered factories. Returns
+    ``None`` for ad-hoc factories or prebuilt :class:`Workload`
+    instances — the sweep then falls back to the in-process path.
+    """
+    from repro.workloads import ALL_WORKLOADS
+
+    if workloads is None:
+        return [factory(iterations).name for factory in RTOSBENCH_WORKLOADS]
+    names = []
+    for factory in workloads:
+        if not callable(factory) or factory not in ALL_WORKLOADS:
+            return None
+        names.append(factory(iterations).name)
+    return names
+
+
 def sweep(cores=CORE_NAMES, configs=EVALUATED_CONFIGS, iterations: int = 20,
-          workloads=None) -> dict[tuple[str, str], SuiteResult]:
-    """The full Fig. 9 grid: every core × every configuration."""
-    results: dict[tuple[str, str], SuiteResult] = {}
-    for core in cores:
-        for config_name in configs:
-            config = parse_config(config_name)
-            results[(core, config_name)] = run_suite(
-                core, config, iterations=iterations, workloads=workloads)
-    return results
+          workloads=None, seed: int = 0, jobs: int = 1, cache=None,
+          progress=None) -> dict[tuple[str, str], SuiteResult]:
+    """The full Fig. 9 grid: every core × every configuration.
+
+    Routed through the :mod:`repro.dse` executor: ``jobs`` fans the grid
+    out over a process pool, ``cache`` (a
+    :class:`repro.dse.cache.ResultCache`) makes warm re-runs
+    near-instant, and ``progress`` receives one
+    ``(point, result, from_cache)`` call per completed grid point.
+    Results are keyed and ordered by grid position regardless of
+    completion order, so exports are byte-identical across ``jobs``.
+    """
+    names = _grid_workload_names(workloads, iterations)
+    if names is None:  # ad-hoc workloads: in-process fallback
+        return {
+            (core, config_name): run_suite(
+                core, parse_config(config_name), iterations=iterations,
+                workloads=workloads, seed=seed)
+            for core in cores
+            for config_name in configs
+        }
+    from repro.dse.executor import DSEExecutor, build_grid, group_suites
+
+    points = build_grid(cores=cores, configs=configs, workloads=names,
+                        iterations=iterations, seed=seed)
+    runs = DSEExecutor(jobs=jobs, cache=cache,
+                       progress=progress).run(points)
+    return group_suites(points, runs)

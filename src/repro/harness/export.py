@@ -3,6 +3,13 @@
 ``python -m repro fig9 --json out.json`` (and programmatic use) dumps
 everything a plotting pipeline needs — per-run latency samples, summary
 statistics, activity counters, and the ASIC figures — as plain JSON.
+
+The run/suite/sweep dictionaries double as the *storage schema* of the
+DSE result cache and its checkpoint manifests: :func:`load_run`,
+:func:`load_suite` and :func:`load_sweep` are exact inverses, i.e.
+``run_dict(load_run(run_dict(r))) == run_dict(r)`` byte-for-byte after
+JSON encoding. Only ``core_stats`` (internal activity counters not part
+of the schema) is dropped on the way through.
 """
 
 from __future__ import annotations
@@ -13,6 +20,9 @@ from typing import Mapping
 
 from repro.harness.experiment import RunResult, SuiteResult
 from repro.harness.metrics import LatencyStats
+
+#: Version tag of the sweep/run JSON schema (bump on breaking change).
+SWEEP_SCHEMA = 2
 
 
 def stats_dict(stats: LatencyStats) -> dict:
@@ -32,7 +42,10 @@ def run_dict(run: RunResult) -> dict:
         "core": run.core,
         "config": run.config_name,
         "workload": run.workload,
+        "seed": run.seed,
         "latencies": run.latencies,
+        "switches": [[s.trigger_cycle, s.entry_cycle, s.mret_cycle]
+                     for s in run.switches],
         "stats": stats_dict(run.stats),
         "cycles": run.cycles,
         "instructions": run.instret,
@@ -54,7 +67,55 @@ def suite_dict(suite: SuiteResult) -> dict:
 def sweep_dict(results: Mapping) -> dict:
     """Serialise a Fig. 9 sweep (``(core, config) -> SuiteResult``)."""
     return {
+        "schema": SWEEP_SCHEMA,
         "points": [suite_dict(suite) for suite in results.values()],
+    }
+
+
+def load_run(payload: Mapping) -> RunResult:
+    """Inverse of :func:`run_dict`.
+
+    Statistics are recomputed from the stored samples (bit-identical to
+    the originals — same inputs, same algorithm); ``core_stats`` is not
+    part of the schema and loads as ``None``.
+    """
+    from repro.cores.system import SwitchRecord
+    from repro.rtosunit.config import parse_config
+    from repro.rtosunit.unit import UnitStats
+
+    latencies = list(payload["latencies"])
+    unit = payload.get("unit")
+    return RunResult(
+        core=payload["core"],
+        config=parse_config(payload["config"]),
+        workload=payload["workload"],
+        latencies=latencies,
+        stats=LatencyStats.from_samples(latencies),
+        switches=[SwitchRecord(*record) for record in payload["switches"]],
+        cycles=payload["cycles"],
+        instret=payload["instructions"],
+        core_stats=None,
+        unit_stats=UnitStats(**unit) if unit is not None else None,
+        seed=payload.get("seed", 0),
+    )
+
+
+def load_suite(payload: Mapping) -> SuiteResult:
+    """Inverse of :func:`suite_dict`."""
+    from repro.rtosunit.config import parse_config
+
+    return SuiteResult(
+        core=payload["core"],
+        config=parse_config(payload["config"]),
+        runs=[load_run(run) for run in payload["runs"]],
+    )
+
+
+def load_sweep(payload: Mapping) -> dict:
+    """Inverse of :func:`sweep_dict`: ``(core, config) -> SuiteResult``."""
+    return {
+        (point["core"], point["config"]): load_suite(point)
+        for point in payload["points"]
     }
 
 

@@ -102,6 +102,16 @@ class RTOSUnitConfig:
         return self.sched
 
     @property
+    def features(self) -> tuple[str, ...]:
+        """The enabled paper letters, in canonical order (DSE metadata)."""
+        if self.cv32rt:
+            return ("CV32RT",)
+        pairs = (("S", self.store), ("P", self.preload), ("D", self.dirty),
+                 ("L", self.load), ("O", self.omit), ("T", self.sched),
+                 ("Y", self.hwsync))
+        return tuple(letter for letter, enabled in pairs if enabled)
+
+    @property
     def name(self) -> str:
         """Paper-style letter name, e.g. ``SLT``, ``SDLOT``, ``SPLIT``."""
         if self.cv32rt:

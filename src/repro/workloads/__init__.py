@@ -20,6 +20,7 @@ from repro.workloads.suite import (
     queue_passing,
     sem_signal,
     workload_by_name,
+    workload_names,
     yield_pingpong,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "queue_passing",
     "sem_signal",
     "workload_by_name",
+    "workload_names",
     "yield_pingpong",
 ]

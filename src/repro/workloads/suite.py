@@ -349,3 +349,9 @@ def workload_by_name(name: str, iterations: int = 20) -> Workload:
         if workload.name == name:
             return workload
     raise KernelError(f"unknown workload {name!r}")
+
+
+def workload_names(suite_only: bool = False) -> tuple[str, ...]:
+    """The registered workload names, in suite order (DSE grid axis)."""
+    factories = RTOSBENCH_WORKLOADS if suite_only else ALL_WORKLOADS
+    return tuple(factory(1).name for factory in factories)

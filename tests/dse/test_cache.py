@@ -1,0 +1,100 @@
+"""Content-addressed cache: hits, misses, invalidation, checkpoints."""
+
+import json
+
+import pytest
+
+from repro.dse import GridPoint, ResultCache, SweepManifest, source_fingerprint
+from repro.errors import ExplorationError
+
+POINT = GridPoint("cv32e40p", "SLT", "yield_pingpong", iterations=2, seed=1)
+PAYLOAD = {"core": "cv32e40p", "config": "SLT", "latencies": [69, 70]}
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 16
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(POINT) is None
+        cache.put(POINT, PAYLOAD)
+        assert cache.get(POINT) == PAYLOAD
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_key_depends_on_every_axis(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key(POINT)
+        for other in (
+            GridPoint("cva6", "SLT", "yield_pingpong", 2, 1),
+            GridPoint("cv32e40p", "T", "yield_pingpong", 2, 1),
+            GridPoint("cv32e40p", "SLT", "sem_signal", 2, 1),
+            GridPoint("cv32e40p", "SLT", "yield_pingpong", 3, 1),
+            GridPoint("cv32e40p", "SLT", "yield_pingpong", 2, 2),
+        ):
+            assert cache.key(other) != base
+
+    def test_source_change_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="aaaa")
+        old.put(POINT, PAYLOAD)
+        new = ResultCache(tmp_path, fingerprint="bbbb")
+        assert new.get(POINT) is None
+        assert new.stats.invalidated == 1
+        assert len(list(tmp_path.glob("*.json"))) == 0
+
+    def test_corrupt_entry_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, PAYLOAD)
+        cache.path(POINT).write_text("not json{")
+        assert cache.get(POINT) is None
+        assert cache.stats.invalidated == 1
+        assert not cache.path(POINT).exists()
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(POINT, PAYLOAD)
+        assert len(cache) == 1
+
+
+class TestSweepManifest:
+    def test_checkpoint_and_resume(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = SweepManifest(path)
+        points = [POINT, GridPoint("cva6", "SLT", "yield_pingpong", 2, 1)]
+        manifest.begin(points)
+        manifest.mark_done(points[0])
+        # A fresh process resuming the same grid sees the checkpoint.
+        resumed = SweepManifest(path)
+        resumed.begin(points)
+        assert resumed.done_count(points) == 1
+
+    def test_grid_change_resets(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = SweepManifest(path)
+        manifest.begin([POINT])
+        manifest.mark_done(POINT)
+        other_grid = [GridPoint("cva6", "T", "sem_signal", 2, 1)]
+        resumed = SweepManifest(path)
+        resumed.begin(other_grid)
+        assert resumed.done_count(other_grid) == 0
+
+    def test_mark_done_is_idempotent(self, tmp_path):
+        manifest = SweepManifest(tmp_path / "m.json")
+        manifest.begin([POINT])
+        manifest.mark_done(POINT)
+        manifest.mark_done(POINT)
+        assert json.loads((tmp_path / "m.json").read_text())["done"] == \
+            [SweepManifest.point_id(POINT)]
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{broken")
+        with pytest.raises(ExplorationError, match="corrupt sweep manifest"):
+            SweepManifest(path)

@@ -1,0 +1,122 @@
+"""Grid construction, parallel_map semantics, executor determinism."""
+
+import pathlib
+
+import pytest
+
+from repro.dse import (
+    DSEExecutor,
+    GridPoint,
+    build_grid,
+    execute_point,
+    group_suites,
+    parallel_map,
+)
+from repro.errors import ExplorationError
+from repro.harness.experiment import derive_point_seed
+
+
+def _double(value):
+    return value * 2
+
+
+def _boom(_value):
+    raise RuntimeError("boom")
+
+
+def _fail_once(arg):
+    """Worker that fails while its marker file exists (consuming it)."""
+    value, marker_dir = arg
+    marker = pathlib.Path(marker_dir) / f"fail-{value}"
+    if marker.exists():
+        marker.unlink()
+        raise RuntimeError("flaky")
+    return value * 10
+
+
+class TestGrid:
+    def test_canonical_order(self):
+        points = build_grid(cores=("a", "b"), configs=("x",),
+                            workloads=("w1", "w2"), iterations=3, seed=9)
+        assert [p.label for p in points] == [
+            "a/x/w1", "a/x/w2", "b/x/w1", "b/x/w2"]
+        assert all(p.iterations == 3 and p.seed == 9 for p in points)
+
+    def test_points_are_hashable_and_serialisable(self):
+        point = GridPoint("cv32e40p", "SLT", "yield_pingpong", 2, 1)
+        assert {point: 1}[point] == 1
+        assert point.as_dict()["config"] == "SLT"
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_double, [3, 1, 2], jobs=1) == [6, 2, 4]
+
+    def test_parallel_preserves_order(self):
+        assert parallel_map(_double, list(range(8)), jobs=2) == \
+            [v * 2 for v in range(8)]
+
+    def test_serial_retry_then_fail(self):
+        with pytest.raises(ExplorationError, match="after 2 attempts"):
+            parallel_map(_boom, [1], jobs=1, retries=1)
+
+    def test_serial_on_result_hook(self):
+        seen = []
+        parallel_map(_double, [5, 6], jobs=1,
+                     on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 10), (1, 12)]
+
+    def test_parallel_retry_recovers(self, tmp_path):
+        for value in (1, 2):
+            (tmp_path / f"fail-{value}").touch()
+        results = parallel_map(_fail_once,
+                               [(v, str(tmp_path)) for v in (1, 2, 3)],
+                               jobs=2, retries=1)
+        assert results == [10, 20, 30]
+
+    def test_parallel_exhausted_retries_raise(self, tmp_path):
+        with pytest.raises(ExplorationError):
+            parallel_map(_boom, [1, 2], jobs=2, retries=1)
+
+
+class TestExecutePoint:
+    def test_runs_and_derives_seed(self):
+        point = GridPoint("cv32e40p", "SLT", "yield_pingpong",
+                          iterations=2, seed=5)
+        run = execute_point(point)
+        assert run.core == "cv32e40p"
+        assert run.config_name == "SLT"
+        assert run.seed == derive_point_seed(5, "cv32e40p", "SLT",
+                                             "yield_pingpong")
+        assert run.latencies
+
+
+class TestDSEExecutor:
+    def test_grid_order_independent_of_jobs(self):
+        points = build_grid(cores=("cv32e40p",), configs=("vanilla", "T"),
+                            workloads=("yield_pingpong",), iterations=2)
+        serial = DSEExecutor(jobs=1).run(points)
+        parallel = DSEExecutor(jobs=2).run(points)
+        assert list(serial) == points == list(parallel)
+        for point in points:
+            assert serial[point].latencies == parallel[point].latencies
+            assert serial[point].seed == parallel[point].seed
+
+    def test_progress_hook_fires_per_point(self):
+        points = build_grid(cores=("cv32e40p",), configs=("vanilla",),
+                            workloads=("yield_pingpong",), iterations=2)
+        seen = []
+        DSEExecutor(progress=lambda p, r, c: seen.append((p, c))).run(points)
+        assert seen == [(points[0], False)]
+
+    def test_group_suites_shape(self):
+        points = build_grid(cores=("cv32e40p",), configs=("vanilla", "T"),
+                            workloads=("yield_pingpong", "sem_signal"),
+                            iterations=2)
+        runs = DSEExecutor(jobs=1).run(points)
+        suites = group_suites(points, runs)
+        assert set(suites) == {("cv32e40p", "vanilla"), ("cv32e40p", "T")}
+        for suite in suites.values():
+            assert [r.workload for r in suite.runs] == \
+                ["yield_pingpong", "sem_signal"]
+            assert suite.stats.count > 0

@@ -1,0 +1,146 @@
+"""Pareto dominance, annotations, and metric-vector evaluation."""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    DesignPoint,
+    annotate_pareto,
+    dominates,
+    evaluate_grid,
+    frontier_dict,
+    parse_objectives,
+)
+from repro.errors import ConfigurationError
+
+
+def _point(config, latency, area, core="cv32e40p", jitter=0.0):
+    return DesignPoint(core=core, config=config, metrics={
+        "latency": latency, "jitter": jitter, "area": area,
+        "fmax": 0.0, "power": 0.0})
+
+
+class TestParseObjectives:
+    def test_valid(self):
+        assert parse_objectives("latency, area") == ("latency", "area")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown objective"):
+            parse_objectives("latency,speed")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_objectives("latency,latency")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="no objectives"):
+            parse_objectives(" , ")
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(_point("a", 10, 1), _point("b", 20, 2),
+                         ("latency", "area"))
+
+    def test_tradeoff_does_not_dominate(self):
+        fast_big = _point("a", 10, 5)
+        slow_small = _point("b", 20, 1)
+        assert not dominates(fast_big, slow_small, ("latency", "area"))
+        assert not dominates(slow_small, fast_big, ("latency", "area"))
+
+    def test_equal_point_does_not_dominate(self):
+        assert not dominates(_point("a", 10, 1), _point("b", 10, 1),
+                             ("latency", "area"))
+
+
+class TestAnnotatePareto:
+    def test_frontier_and_dominators(self):
+        points = [
+            _point("vanilla", 100, 0.0),
+            _point("SLT", 40, 3.0),
+            _point("S", 80, 1.0),
+            _point("slow_big", 90, 2.0),  # dominated by S (and SLT on lat.)
+        ]
+        annotate_pareto(points, objectives=("latency", "area"))
+        verdicts = {p.config: p.dominated_by for p in points}
+        assert verdicts["vanilla"] is None
+        assert verdicts["SLT"] is None
+        assert verdicts["S"] is None
+        assert verdicts["slow_big"] == "S"
+
+    def test_latency_only_objective(self):
+        points = [_point("vanilla", 100, 0.0), _point("SLT", 40, 3.0)]
+        annotate_pareto(points, objectives=("latency",))
+        assert points[0].dominated_by == "SLT"
+        assert points[1].on_frontier
+
+    def test_cores_are_independent(self):
+        points = [
+            _point("vanilla", 100, 0.0, core="cv32e40p"),
+            _point("vanilla", 10, 0.0, core="cva6"),
+        ]
+        annotate_pareto(points, objectives=("latency",))
+        assert all(p.on_frontier for p in points)
+
+    def test_strongest_dominator_chosen(self):
+        points = [
+            _point("worst", 100, 9.0),
+            _point("good", 50, 5.0),
+            _point("best", 40, 4.0),
+        ]
+        annotate_pareto(points, objectives=("latency", "area"))
+        assert points[0].dominated_by == "best"
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            annotate_pareto([_point("a", 1, 1)], objectives=("bogus",))
+
+
+class TestEvaluateGrid:
+    @pytest.fixture(scope="class")
+    def design_points(self):
+        from repro.harness import sweep
+
+        results = sweep(cores=("cv32e40p",), configs=("vanilla", "SLT"),
+                        iterations=2)
+        return evaluate_grid(results), results
+
+    def test_metric_vector_complete(self, design_points):
+        points, _ = design_points
+        assert {p.config for p in points} == {"vanilla", "SLT"}
+        for point in points:
+            assert set(point.metrics) == \
+                {"latency", "jitter", "area", "fmax", "power"}
+
+    def test_metrics_match_models(self, design_points):
+        points, results = design_points
+        by_config = {p.config: p for p in points}
+        assert by_config["vanilla"].metrics["area"] == 0.0
+        assert by_config["SLT"].metrics["area"] > 0.0
+        assert by_config["SLT"].metrics["latency"] == pytest.approx(
+            results[("cv32e40p", "SLT")].stats.mean)
+        # mutex_workload activity counters feed the power term.
+        assert by_config["SLT"].metrics["power"] > 0.0
+
+    def test_frontier_dict_serialisable(self, design_points):
+        points, _ = design_points
+        annotate_pareto(points, objectives=("latency", "jitter"))
+        payload = frontier_dict(points, ("latency", "jitter"))
+        json.dumps(payload)
+        assert payload["objectives"] == ["latency", "jitter"]
+        assert {p["config"] for p in payload["points"]} == {"vanilla", "SLT"}
+        for point in payload["points"]:
+            assert point["on_frontier"] == (point["dominated_by"] is None)
+
+
+class TestFormatFrontier:
+    def test_table_marks_every_point(self):
+        from repro.analysis import format_frontier
+
+        points = [_point("vanilla", 100, 0.0), _point("SLT", 40, 3.0)]
+        annotate_pareto(points, objectives=("latency",))
+        text = format_frontier(points, ("latency",))
+        assert "non-dominated" in text
+        assert "dominated by SLT" in text
+        assert "% area" in text

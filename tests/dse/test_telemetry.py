@@ -1,0 +1,64 @@
+"""Progress telemetry: runs/s, cache hit rate, ETA formatting."""
+
+import io
+
+from repro.dse import GridPoint, ProgressMeter
+
+POINT = GridPoint("cv32e40p", "SLT", "yield_pingpong", 2, 0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def _meter(total, clock):
+    stream = io.StringIO()
+    return ProgressMeter(total, stream=stream, clock=clock), stream
+
+
+class TestProgressMeter:
+    def test_status_line_reports_rate_cache_and_eta(self):
+        clock = FakeClock()
+        meter, _ = _meter(4, clock)
+        clock.now += 1.0
+        meter.update(POINT, None, from_cache=False)
+        clock.now += 1.0
+        meter.update(POINT, None, from_cache=True)
+        line = meter.status_line()
+        assert "2/4 runs" in line
+        assert "1.0 runs/s" in line
+        assert "cache 50% hit" in line
+        assert "ETA 2s" in line
+
+    def test_eta_unknown_before_first_completion(self):
+        meter, _ = _meter(3, FakeClock())
+        assert "ETA ?" in meter.status_line()
+
+    def test_writes_to_stream_and_finishes_with_newline(self):
+        clock = FakeClock()
+        meter, stream = _meter(1, clock)
+        clock.now += 2.0
+        meter.update(POINT, None, from_cache=False)
+        meter.finish()
+        output = stream.getvalue()
+        assert "1/1 runs" in output
+        assert output.endswith("\n")
+
+    def test_disabled_meter_stays_silent(self):
+        stream = io.StringIO()
+        meter = ProgressMeter(2, stream=stream, enabled=False,
+                              clock=FakeClock())
+        meter.update(POINT, None, from_cache=False)
+        meter.finish()
+        assert stream.getvalue() == ""
+
+    def test_long_eta_includes_hours(self):
+        clock = FakeClock()
+        meter, _ = _meter(7201, clock)
+        clock.now += 1.0
+        meter.update(POINT, None, from_cache=False)
+        assert "ETA 2h00m" in meter.status_line()

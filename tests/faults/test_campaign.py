@@ -82,3 +82,17 @@ def test_cli_faults_quick_runs(capsys):
     out = capsys.readouterr().out
     assert "seed 42" in out
     assert "outcome classes observed:" in out
+
+
+def test_parallel_campaign_matches_serial(quick_campaign):
+    """--jobs fans injection runs over a pool without changing results."""
+    parallel = run_campaign(CampaignSpec.quick(seed=42), jobs=2)
+    assert campaign_dict(parallel) == campaign_dict(quick_campaign)
+    assert format_campaign(parallel) == format_campaign(quick_campaign)
+
+
+def test_cli_faults_jobs_flag(capsys):
+    from repro.cli import main
+
+    assert main(["faults", "--seed", "42", "--quick", "--jobs", "2"]) == 0
+    assert "outcome classes observed:" in capsys.readouterr().out

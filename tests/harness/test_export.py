@@ -78,3 +78,49 @@ class TestWriteJson:
                      "--json", str(path)]) == 0
         data = json.loads(path.read_text())
         assert {p["config"] for p in data["points"]} == {"vanilla", "SLT"}
+
+
+class TestLoadInverses:
+    """load_run/load_suite/load_sweep are exact inverses of the dumpers."""
+
+    def test_run_round_trip_is_exact(self):
+        from repro.harness.export import load_run
+
+        run = run_workload("cv32e40p", parse_config("SLT"),
+                           yield_pingpong(3), seed=11)
+        payload = run_dict(run)
+        rebuilt = load_run(payload)
+        assert run_dict(rebuilt) == payload
+        assert rebuilt.seed == 11
+        assert rebuilt.core_stats is None  # dropped by design
+        assert rebuilt.stats.jitter == run.stats.jitter
+        assert [s.trigger_cycle for s in rebuilt.switches] == \
+            [s.trigger_cycle for s in run.switches]
+
+    def test_vanilla_run_round_trip(self):
+        from repro.harness.export import load_run
+
+        run = run_workload("cv32e40p", parse_config("vanilla"),
+                           yield_pingpong(3))
+        rebuilt = load_run(run_dict(run))
+        assert rebuilt.unit_stats is None
+        assert run_dict(rebuilt) == run_dict(run)
+
+    def test_sweep_round_trip_through_json(self, tmp_path):
+        from repro.harness import load_sweep, sweep
+
+        results = sweep(cores=("cv32e40p",), configs=("vanilla", "T"),
+                        iterations=2, workloads=(yield_pingpong,), seed=3)
+        path = tmp_path / "sweep.json"
+        write_json(str(path), sweep_dict(results))
+        loaded = load_sweep(json.loads(path.read_text()))
+        assert list(loaded) == list(results)
+        again = tmp_path / "again.json"
+        write_json(str(again), sweep_dict(loaded))
+        assert path.read_bytes() == again.read_bytes()
+
+    def test_schema_tag_present(self):
+        suite = run_suite("cv32e40p", parse_config("T"), iterations=2,
+                          workloads=(yield_pingpong,))
+        payload = sweep_dict({("cv32e40p", "T"): suite})
+        assert payload["schema"] == 2

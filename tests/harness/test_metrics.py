@@ -99,3 +99,45 @@ class TestLatencyBreakdown:
                               iterations=4).breakdown
         assert breakdown.isr.jitter == 0
         assert breakdown.response.jitter <= 2
+
+
+class TestEdgeCases:
+    """Degenerate distributions that the DSE grid can legitimately hit."""
+
+    def test_single_sample_stdev_and_median(self):
+        stats = LatencyStats.from_samples([42])
+        assert stats.stdev == 0.0
+        assert stats.median == 42
+        assert stats.mean == 42.0
+        assert stats.count == 1
+
+    def test_two_identical_samples_have_zero_stdev(self):
+        stats = LatencyStats.from_samples([42, 42])
+        assert stats.stdev == 0.0
+        assert stats.jitter == 0
+
+    def test_split_constant_distribution(self):
+        """All samples at the pivot land in `low`; never bimodal."""
+        clusters = Clusters.split([30, 30, 30, 30])
+        assert clusters.low == [30, 30, 30, 30]
+        assert clusters.high == []
+        assert not clusters.is_bimodal
+
+    def test_split_single_sample(self):
+        clusters = Clusters.split([7])
+        assert clusters.low == [7]
+        assert not clusters.is_bimodal
+
+    def test_breakdown_from_out_of_order_switches(self):
+        """from_switches must not assume chronological record order."""
+        from repro.cores.system import SwitchRecord
+        from repro.harness.metrics import LatencyBreakdown
+
+        late = SwitchRecord(100, 105, 170)
+        early = SwitchRecord(10, 14, 80)
+        shuffled = LatencyBreakdown.from_switches([late, early])
+        ordered = LatencyBreakdown.from_switches([early, late])
+        for part in ("response", "isr", "total"):
+            assert getattr(shuffled, part) == getattr(ordered, part)
+        assert shuffled.response.mean + shuffled.isr.mean == \
+            shuffled.total.mean

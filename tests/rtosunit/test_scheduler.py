@@ -157,7 +157,7 @@ class _ModelScheduler:
 
     def __init__(self):
         self.ready = []   # (priority, seq, task)
-        self.delayed = {}  # task -> (priority, remaining)
+        self.delayed = {}  # task -> (priority, remaining, seq)
         self.seq = 0
 
     def add_ready(self, task, priority):
@@ -165,21 +165,25 @@ class _ModelScheduler:
         self.ready.append((priority, self.seq, task))
 
     def add_delay(self, task, priority, delay):
-        self.delayed[task] = (priority, delay)
+        self.seq += 1
+        self.delayed[task] = (priority, delay, self.seq)
 
     def rm_task(self, task):
         self.ready = [e for e in self.ready if e[2] != task]
         self.delayed.pop(task, None)
 
     def tick(self):
+        # Expired tasks wake in delay-list order: remaining delay, then
+        # priority, then insertion order — FreeRTOS keeps insertion
+        # order among equal wake times, not task-id order.
         still_waiting = {}
-        for task, (priority, remaining) in sorted(
+        for task, (priority, remaining, seq) in sorted(
                 self.delayed.items(),
-                key=lambda kv: (kv[1][1], -kv[1][0], kv[0])):
+                key=lambda kv: (kv[1][1], -kv[1][0], kv[1][2])):
             if remaining - 1 <= 0:
                 self.add_ready(task, priority)
             else:
-                still_waiting[task] = (priority, remaining - 1)
+                still_waiting[task] = (priority, remaining - 1, seq)
         self.delayed = still_waiting
 
     def get_next(self, current):

@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table1", "fig9", "fig10", "fig11", "fig12",
-                        "fig13", "wcet", "run", "asm"):
+                        "fig13", "wcet", "run", "asm", "dse", "faults"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -70,3 +70,67 @@ class TestCommands:
         assert main(["asm", str(source), "--symbols"]) == 0
         out = capsys.readouterr().out
         assert "start" in out and "end" in out
+
+
+class TestDseCommand:
+    def test_table_lists_every_config_once_per_core(self, capsys):
+        from repro.rtosunit.config import EVALUATED_CONFIGS
+
+        assert main(["dse", "--cores", "cv32e40p",
+                     "--workloads", "yield_pingpong",
+                     "--iterations", "2", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        table = [line for line in out.splitlines()
+                 if line.strip().startswith("cv32e40p")]
+        configs = [line.split()[1] for line in table]
+        assert sorted(configs) == sorted(EVALUATED_CONFIGS)
+        for line in table:
+            assert "non-dominated" in line or "dominated by" in line
+        assert "Pareto frontier over objectives" in out
+        assert "grid: 12 runs" in out
+
+    def test_json_cache_second_pass_is_all_hits(self, tmp_path, capsys):
+        import json
+
+        argv = ["dse", "--cores", "cv32e40p", "--configs", "vanilla,SLT",
+                "--workloads", "yield_pingpong,delay_periodic",
+                "--iterations", "2", "--no-progress",
+                "--cache-dir", str(tmp_path / "cache")]
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        assert main(argv + ["--json", str(cold)]) == 0
+        assert main(argv + ["--json", str(warm)]) == 0
+        capsys.readouterr()
+        cold_data = json.loads(cold.read_text())
+        warm_data = json.loads(warm.read_text())
+        assert cold_data["cache"]["hit_rate"] == 0.0
+        assert warm_data["cache"]["hit_rate"] == 1.0
+        assert cold_data["sweep"] == warm_data["sweep"]
+        assert cold_data["frontier"] == warm_data["frontier"]
+
+    def test_cache_summary_line_printed(self, tmp_path, capsys):
+        assert main(["dse", "--cores", "cv32e40p", "--configs", "vanilla",
+                     "--workloads", "yield_pingpong", "--iterations", "2",
+                     "--no-progress",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 hits, 1 misses, 0 invalidated (hit rate 0.0%)" in out
+
+    def test_resume_reports_checkpoint(self, tmp_path, capsys):
+        argv = ["dse", "--cores", "cv32e40p", "--configs", "vanilla",
+                "--workloads", "yield_pingpong", "--iterations", "2",
+                "--no-progress", "--resume",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "resume: 1/1 grid points already complete" in \
+            capsys.readouterr().out
+
+    def test_bad_objectives_fail(self, capsys):
+        assert main(["dse", "--objectives", "latency,speed"]) == 1
+        assert "unknown objective" in capsys.readouterr().err
+
+    def test_resume_without_cache_dir_rejected(self, capsys):
+        assert main(["dse", "--resume", "--no-progress"]) == 2
+        assert "--resume needs --cache-dir" in capsys.readouterr().err
