@@ -1,0 +1,82 @@
+"""Meta-benchmark: job-service throughput with coalescing and batching.
+
+Not a paper figure — this pins down what the service layer buys over
+naive one-job-at-a-time submission: 50 jobs over 20 unique points must
+resolve with >= 60% of them served by coalescing or the result cache,
+and the measured throughput plus p50/p95 job latency land in
+``BENCH_service.json`` at the repo root for EXPERIMENTS.md.
+"""
+
+import asyncio
+import json
+import pathlib
+import time
+
+from repro.dse import ResultCache
+from repro.service import (
+    BatchPolicy,
+    InProcessClient,
+    JobRequest,
+    SimulationService,
+    format_stats,
+)
+
+from benchmarks.conftest import publish
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parent.parent
+              / "BENCH_service.json")
+TOTAL_JOBS = 50
+UNIQUE_POINTS = 20
+
+
+def _requests():
+    unique = [JobRequest(core="cv32e40p", config=config,
+                         workload="yield_pingpong", iterations=1, seed=seed)
+              for config in ("vanilla", "SLT") for seed in range(10)]
+    assert len(unique) == UNIQUE_POINTS
+    rows = list(unique)
+    while len(rows) < TOTAL_JOBS:
+        rows.append(unique[(len(rows) * 7) % len(unique)])
+    return rows
+
+
+def test_service_throughput(tmp_path):
+    service = SimulationService(
+        jobs=2, cache=ResultCache(tmp_path / "cache"), queue_depth=256,
+        policy=BatchPolicy(max_batch=8, max_linger=0.02))
+
+    async def drive():
+        async with service:
+            results = await InProcessClient(service).submit_many(_requests())
+            await service.drain()
+            return results
+
+    start = time.perf_counter()
+    results = asyncio.run(drive())
+    wall_s = time.perf_counter() - start
+
+    assert len(results) == TOTAL_JOBS
+    assert all(result.ok for result in results)
+    stats = service.stats.as_dict()
+    assert stats["failed"] == 0
+    assert stats["executed"] <= UNIQUE_POINTS
+    assert stats["hit_rate"] >= 0.6, stats
+
+    latency = stats["latency_s"]
+    record = {
+        "jobs": TOTAL_JOBS,
+        "unique_points": UNIQUE_POINTS,
+        "wall_seconds": round(wall_s, 3),
+        "jobs_per_second": round(TOTAL_JOBS / wall_s, 2),
+        "p50_ms": round(latency["p50"] * 1000.0, 2),
+        "p95_ms": round(latency["p95"] * 1000.0, 2),
+        "executed": stats["executed"],
+        "coalesced": stats["coalesced"],
+        "cache_hits": stats["cache_hits"],
+        "hit_rate": round(stats["hit_rate"], 3),
+        "mean_batch_fill": round(stats["mean_batch_fill"], 2),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    publish("bench_service_throughput",
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+            + format_stats(stats))

@@ -21,6 +21,10 @@ The package is organised bottom-up:
 * :mod:`repro.wcet` — static worst-case path analysis.
 * :mod:`repro.asic` — 22 nm area / fmax / power models.
 * :mod:`repro.analysis` — statistics and figure/table rendering.
+* :mod:`repro.dse` — design-space co-exploration: parallel grid
+  execution, content-addressed result caching, Pareto frontiers.
+* :mod:`repro.service` — simulation-as-a-service: an async job server
+  with request batching, dedup/coalescing and backpressure.
 """
 
 from repro.errors import (
@@ -29,7 +33,9 @@ from repro.errors import (
     ConfigurationError,
     DecodeError,
     KernelError,
+    QueueFullError,
     ReproError,
+    ServiceError,
     SimulationError,
 )
 from repro.rtosunit.config import RTOSUnitConfig
@@ -42,8 +48,10 @@ __all__ = [
     "ConfigurationError",
     "DecodeError",
     "KernelError",
+    "QueueFullError",
     "ReproError",
     "RTOSUnitConfig",
+    "ServiceError",
     "SimulationError",
     "__version__",
 ]

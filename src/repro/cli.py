@@ -10,12 +10,16 @@ Examples::
         --objectives latency,area
     python -m repro run --core naxriscv --config SPLIT \
         --workload mutex_workload
+    python -m repro serve --spool .spool --jobs 4 --cache-dir .svc-cache
+    python -m repro submit requests.jsonl --spool .spool --out results.jsonl
+    python -m repro drain --spool .spool --stats
     python -m repro asm program.s --symbols
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import (
@@ -324,6 +328,155 @@ def _cmd_dse(args) -> int:
     return 0
 
 
+def _service_from_args(args):
+    from repro.service import BatchPolicy, SimulationService
+
+    cache = None
+    if args.cache_dir:
+        from repro.dse import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    return SimulationService(
+        jobs=args.jobs, retries=args.retries, timeout=args.timeout,
+        cache=cache, queue_depth=args.queue_depth,
+        policy=BatchPolicy(max_batch=args.max_batch,
+                           max_linger=args.max_linger))
+
+
+def _add_service_args(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool workers per batch")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache directory")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="queue capacity before backpressure rejections")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="grid points per executor submission")
+    parser.add_argument("--max-linger", type=float, default=0.02,
+                        help="seconds to wait for a fuller batch")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per crashed/stalled task")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-batch stall watchdog in seconds")
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import format_stats, serve_spool
+
+    service = _service_from_args(args)
+
+    def on_event(event, job_id, info):
+        if args.verbose:
+            print(f"serve: {event} {job_id}: {info}")
+
+    print(f"serving spool {args.spool} (queue depth {args.queue_depth}, "
+          f"max batch {args.max_batch}, jobs {args.jobs}); "
+          f"stop with `repro drain --spool {args.spool}`")
+
+    async def _run():
+        async with service:
+            return await serve_spool(service, args.spool, poll=args.poll,
+                                     idle_exit=args.idle_exit,
+                                     on_event=on_event)
+
+    stats = asyncio.run(_run())
+    if args.stats_json:
+        from repro.harness.export import write_json
+
+        write_json(args.stats_json, stats)
+    if args.stats:
+        print(format_stats(stats))
+    else:
+        print(f"served {stats['completed'] + stats['failed']} jobs "
+              f"({stats['hit_rate'] * 100.0:.0f}% coalesce+cache)")
+    return 0
+
+
+def _progress_printer(total: int, quiet: bool):
+    def progress(event, index, request, info):
+        if quiet:
+            return
+        prefix = f"[{index + 1:>{len(str(total))}}/{total}] {request.label}"
+        if event == "rejected":
+            print(f"{prefix}  rejected (queue full), retry in {info:.2f}s",
+                  flush=True)
+            return
+        status = info["status"] if isinstance(info, dict) else info.status
+        served = (info.get("served_by", "?") if isinstance(info, dict)
+                  else info.served_by)
+        latency = (info.get("latency_s") if isinstance(info, dict)
+                   else info.latency_s)
+        timing = f"  {latency * 1000.0:.1f}ms" if latency is not None else ""
+        print(f"{prefix}  {status} ({served}){timing}", flush=True)
+    return progress
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import load_requests
+
+    requests = load_requests(args.file)
+    progress = _progress_printer(len(requests), args.quiet)
+    if args.spool:
+        from repro.service import SpoolClient
+
+        client = SpoolClient(args.spool, max_retries=args.max_retries,
+                             timeout=args.wait_timeout, progress=progress)
+        records = client.submit_many(requests)
+        stats = None
+    else:
+        import asyncio
+
+        from repro.service import InProcessClient
+
+        service = _service_from_args(args)
+
+        async def _run():
+            async with service:
+                client = InProcessClient(service,
+                                         max_retries=args.max_retries,
+                                         progress=progress)
+                return await client.submit_many(requests)
+
+        results = asyncio.run(_run())
+        records = [result.record() for result in results]
+        stats = service.stats.as_dict()
+    if args.out:
+        with open(args.out, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"wrote {len(records)} result records to {args.out}")
+    if stats is not None:
+        if args.stats_json:
+            from repro.harness.export import write_json
+
+            write_json(args.stats_json, stats)
+        if args.stats:
+            from repro.service import format_stats
+
+            print(format_stats(stats))
+    failed = sum(1 for record in records
+                 if record.get("status") != "done")
+    done = len(records) - failed
+    print(f"{done}/{len(records)} jobs completed" +
+          (f", {failed} failed/rejected" if failed else ""))
+    return 1 if failed else 0
+
+
+def _cmd_drain(args) -> int:
+    from repro.service import format_stats, request_drain
+
+    stats = request_drain(args.spool, timeout=args.wait_timeout)
+    if args.stats:
+        print(format_stats(stats))
+    else:
+        print(f"drained: {stats['completed'] + stats['failed']} jobs served "
+              f"({stats['hit_rate'] * 100.0:.0f}% coalesce+cache, "
+              f"{stats['rejected']} rejections)")
+    return 0
+
+
 def _cmd_asm(args) -> int:
     from repro.isa.assembler import assemble
     from repro.isa.disassembler import disassemble
@@ -347,8 +500,12 @@ def _cmd_asm(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="RTOSUnit reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table 1: custom instructions")
@@ -450,6 +607,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="FILE",
                    help="write every outcome as JSON instead of the table")
 
+    p = sub.add_parser(
+        "serve", help="simulation job server over a spool directory")
+    p.add_argument("--spool", required=True, metavar="DIR",
+                   help="request/response spool directory")
+    _add_service_args(p)
+    p.add_argument("--poll", type=float, default=0.05,
+                   help="inbox poll interval in seconds")
+    p.add_argument("--idle-exit", type=float, default=None, metavar="S",
+                   help="exit after S seconds without requests")
+    p.add_argument("--stats", action="store_true",
+                   help="render the full telemetry table on exit")
+    p.add_argument("--stats-json", default=None, metavar="FILE",
+                   help="also write the final stats JSON to FILE")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request lifecycle event")
+
+    p = sub.add_parser(
+        "submit", help="submit a JSONL job file to the simulation service")
+    p.add_argument("file", help="JSONL request file (one job per line)")
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="spool of a running `repro serve` (default: run an "
+                        "in-process service)")
+    _add_service_args(p)
+    p.add_argument("--max-retries", type=int, default=8,
+                   help="resubmissions after backpressure rejections")
+    p.add_argument("--wait-timeout", type=float, default=None, metavar="S",
+                   help="give up after S seconds (spool mode)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write per-job result records as JSONL")
+    p.add_argument("--stats", action="store_true",
+                   help="render the service telemetry table (in-process)")
+    p.add_argument("--stats-json", default=None, metavar="FILE",
+                   help="write the stats JSON to FILE (in-process)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+
+    p = sub.add_parser(
+        "drain", help="drain and stop a running spool server")
+    p.add_argument("--spool", required=True, metavar="DIR")
+    p.add_argument("--wait-timeout", type=float, default=120.0, metavar="S",
+                   help="seconds to wait for the server to drain")
+    p.add_argument("--stats", action="store_true",
+                   help="render the server's final telemetry table")
+
     p = sub.add_parser("asm", help="assemble a file and dump it")
     p.add_argument("file")
     p.add_argument("--origin", type=lambda t: int(t, 0), default=0)
@@ -470,6 +671,9 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "run": _cmd_run,
     "faults": _cmd_faults,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "drain": _cmd_drain,
     "asm": _cmd_asm,
 }
 

@@ -16,9 +16,11 @@ extensions for the best latency/area/power trade-off. Four parts:
 """
 
 from repro.dse.cache import (
+    CACHE_SCHEMA,
     CacheStats,
     ResultCache,
     SweepManifest,
+    point_key,
     source_fingerprint,
 )
 from repro.dse.executor import (
@@ -39,9 +41,10 @@ from repro.dse.frontier import (
     frontier_dict,
     parse_objectives,
 )
-from repro.dse.telemetry import ProgressMeter
+from repro.dse.telemetry import ProgressMeter, percentile
 
 __all__ = [
+    "CACHE_SCHEMA",
     "CacheStats",
     "DEFAULT_OBJECTIVES",
     "DSEExecutor",
@@ -60,5 +63,7 @@ __all__ = [
     "group_suites",
     "parallel_map",
     "parse_objectives",
+    "percentile",
+    "point_key",
     "source_fingerprint",
 ]

@@ -31,6 +31,9 @@ from repro.errors import ExplorationError
 
 _FINGERPRINT: str | None = None
 
+#: Version tag of the cache entry schema (bump on breaking change).
+CACHE_SCHEMA = 2
+
 
 def source_fingerprint() -> str:
     """Digest of the ``repro`` package sources (content, not mtimes)."""
@@ -47,6 +50,20 @@ def source_fingerprint() -> str:
             digest.update(b"\0")
         _FINGERPRINT = digest.hexdigest()[:16]
     return _FINGERPRINT
+
+
+def point_key(point, fingerprint: str | None = None) -> str:
+    """Content hash addressing one grid point's result.
+
+    The single key scheme shared by :class:`ResultCache` and the
+    service-layer coalescer (:mod:`repro.service`): two requests with
+    the same key are guaranteed to produce byte-identical run payloads,
+    so they may legally share one execution.
+    """
+    identity = dict(point.as_dict(), schema=CACHE_SCHEMA,
+                    fingerprint=fingerprint or source_fingerprint())
+    blob = json.dumps(identity, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
 
 
 @dataclass
@@ -79,7 +96,7 @@ class ResultCache:
     an explicit value to exercise invalidation.
     """
 
-    SCHEMA = 2
+    SCHEMA = CACHE_SCHEMA
 
     def __init__(self, root, fingerprint: str | None = None):
         self.root = pathlib.Path(root)
@@ -90,10 +107,7 @@ class ResultCache:
     # -- addressing ----------------------------------------------------------
 
     def key(self, point) -> str:
-        identity = dict(point.as_dict(), schema=self.SCHEMA,
-                        fingerprint=self.fingerprint)
-        blob = json.dumps(identity, sort_keys=True).encode()
-        return hashlib.sha256(blob).hexdigest()
+        return point_key(point, self.fingerprint)
 
     def _logical(self, point) -> str:
         return (f"{point.core}-{point.config}-{point.workload}"

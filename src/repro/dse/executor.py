@@ -46,6 +46,14 @@ class GridPoint:
     def as_dict(self) -> dict:
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GridPoint":
+        """Rebuild a point from :meth:`as_dict` output (extra keys ignored)."""
+        return cls(core=payload["core"], config=payload["config"],
+                   workload=payload["workload"],
+                   iterations=int(payload.get("iterations", 10)),
+                   seed=int(payload.get("seed", 0)))
+
 
 def build_grid(cores, configs, workloads, iterations: int = 10,
                seed: int = 0) -> list:

@@ -8,8 +8,27 @@ exports.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
+
+from repro.errors import AnalysisError
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile (``q`` in 0..100) of a sample sequence.
+
+    Used for the p50/p95/p99 job-latency gauges of the service stats
+    surface; nearest-rank (no interpolation) so every reported value is
+    an actually observed latency.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        raise AnalysisError("no samples: cannot take a percentile")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError(f"percentile q={q} outside 0..100")
+    rank = max(math.ceil(q / 100.0 * len(ordered)), 1)
+    return float(ordered[rank - 1])
 
 
 def _format_eta(seconds: float) -> str:

@@ -22,7 +22,9 @@ __all__ = [
     "FaultInjectionError",
     "KernelError",
     "MemoryError_",
+    "QueueFullError",
     "ReproError",
+    "ServiceError",
     "SimulationError",
 ]
 
@@ -99,8 +101,15 @@ class KernelError(ReproError):
     """Raised for invalid kernel/workload construction (tasks, stacks, IPC)."""
 
 
-class AnalysisError(ReproError):
-    """Raised by the WCET analyzer when a bound cannot be established."""
+class AnalysisError(ReproError, ValueError):
+    """Raised for statistics/WCET analysis over unusable inputs.
+
+    Covers empty sample sets (``LatencyStats.from_samples([])``,
+    ``Clusters.split([])``) and WCET bounds that cannot be established.
+    Subclasses :class:`ValueError` as well: an empty distribution is a
+    value problem, and callers holding only plain samples should not
+    need the ``repro`` hierarchy to catch it.
+    """
 
 
 class ExplorationError(ReproError):
@@ -110,3 +119,33 @@ class ExplorationError(ReproError):
     per-task timeouts, and corrupt cache/checkpoint state that cannot be
     recovered by invalidation.
     """
+
+
+class ServiceError(ReproError):
+    """Raised by the simulation job service (``repro.service``).
+
+    Covers malformed job requests (unknown core/config/workload, bad
+    JSONL), spool-protocol violations, and server lifecycle misuse
+    (submitting to a stopped service).
+    """
+
+
+class QueueFullError(ServiceError):
+    """Structured backpressure: the job queue is at capacity.
+
+    Raised (never blocked on) by ``JobQueue.put``; ``retry_after`` is
+    the server's estimate, in seconds, of when capacity will free up,
+    derived from the recent job completion rate. ``depth`` and
+    ``capacity`` describe the queue at rejection time so clients can
+    log or adapt their pacing.
+    """
+
+    def __init__(self, message: str, *, retry_after: float,
+                 depth: int | None = None, capacity: int | None = None):
+        self.retry_after = retry_after
+        self.depth = depth
+        self.capacity = capacity
+        detail = f" (retry after {retry_after:.2f}s"
+        if depth is not None and capacity is not None:
+            detail += f", depth {depth}/{capacity}"
+        super().__init__(f"{message}{detail})")

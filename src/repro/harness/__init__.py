@@ -2,6 +2,7 @@
 
 from repro.harness.export import (
     SWEEP_SCHEMA,
+    job_record,
     load_run,
     load_suite,
     load_sweep,
@@ -25,6 +26,7 @@ __all__ = [
     "LatencyStats",
     "SWEEP_SCHEMA",
     "derive_point_seed",
+    "job_record",
     "load_run",
     "load_suite",
     "load_sweep",

@@ -119,6 +119,33 @@ def load_sweep(payload: Mapping) -> dict:
     }
 
 
+def job_record(point: Mapping, status: str, *, run: Mapping | None = None,
+               error: Mapping | None = None, served_by: str | None = None,
+               latency_s: float | None = None) -> dict:
+    """One job-service result record (one JSONL line of ``repro submit``).
+
+    ``run`` is a :func:`run_dict` payload verbatim, so a record's body
+    follows ``SWEEP_SCHEMA`` exactly — a completed service job
+    round-trips through :func:`load_run` like any cached sweep result,
+    and is byte-identical to what ``repro dse`` exports for the same
+    point.
+    """
+    record = {
+        "schema": SWEEP_SCHEMA,
+        "point": dict(point),
+        "status": status,
+    }
+    if run is not None:
+        record["run"] = dict(run)
+    if error is not None:
+        record["error"] = dict(error)
+    if served_by is not None:
+        record["served_by"] = served_by
+    if latency_s is not None:
+        record["latency_s"] = round(latency_s, 6)
+    return record
+
+
 def area_dict(reports: Mapping) -> dict:
     return {"points": [{
         "core": report.core,

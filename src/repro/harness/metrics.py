@@ -32,7 +32,8 @@ class LatencyStats:
     @classmethod
     def from_samples(cls, samples: list[int]) -> "LatencyStats":
         if not samples:
-            raise AnalysisError("no latency samples collected")
+            raise AnalysisError(
+                "no samples: cannot summarise an empty latency distribution")
         return cls(
             count=len(samples),
             mean=statistics.fmean(samples),
@@ -64,6 +65,8 @@ class LatencyBreakdown:
 
     @classmethod
     def from_switches(cls, switches) -> "LatencyBreakdown":
+        if not switches:
+            raise AnalysisError("no samples: no context switches recorded")
         responses = [s.entry_cycle - s.trigger_cycle for s in switches]
         isrs = [s.mret_cycle - s.entry_cycle for s in switches]
         totals = [s.latency for s in switches]
@@ -83,7 +86,7 @@ class Clusters:
     def split(cls, samples: list[int]) -> "Clusters":
         """Partition samples around the midpoint of min/max."""
         if not samples:
-            raise AnalysisError("no samples to cluster")
+            raise AnalysisError("no samples: nothing to cluster")
         pivot = (min(samples) + max(samples)) / 2
         clusters = cls()
         for sample in samples:

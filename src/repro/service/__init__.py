@@ -1,0 +1,58 @@
+"""Simulation-as-a-service: an async job server over the DSE stack.
+
+Wraps the core/kernel/DSE machinery in a long-lived front door that
+accepts concurrent (core, config, workload) job requests — the
+request-batching/queueing/backpressure shape of an inference-serving
+stack, applied to microarchitecture simulation. Six parts:
+
+* :mod:`repro.service.request` — the JSONL wire format and validation,
+* :mod:`repro.service.queue` — bounded priority queue; a full queue
+  answers with a structured ``QueueFullError`` + retry-after,
+* :mod:`repro.service.coalesce` — content-hash dedup against the
+  result cache and identical in-flight jobs (the DSE cache key scheme),
+* :mod:`repro.service.batch` — per-tick batching with a size cap and a
+  linger window,
+* :mod:`repro.service.worker` — runs batches through the DSE
+  executor's retry/stall-watchdog machinery off the event loop,
+* :mod:`repro.service.stats` — queue/coalesce/batch/latency telemetry
+  (p50/p95/p99) exported as JSON and rendered by ``repro serve``,
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  asyncio service itself, an in-process client, and the file-spool
+  protocol behind ``repro serve`` / ``repro submit`` / ``repro drain``.
+"""
+
+from repro.service.batch import Batcher, BatchPolicy
+from repro.service.client import (
+    InProcessClient,
+    SpoolClient,
+    request_drain,
+    serve_spool,
+)
+from repro.service.coalesce import Coalescer
+from repro.service.queue import JobQueue
+from repro.service.request import PRIORITIES, JobRequest, load_requests
+from repro.service.server import Job, JobResult, SimulationService
+from repro.service.stats import ServiceStats, format_stats
+from repro.service.worker import error_record, execute_job, run_batch
+
+__all__ = [
+    "BatchPolicy",
+    "Batcher",
+    "Coalescer",
+    "InProcessClient",
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "JobResult",
+    "PRIORITIES",
+    "ServiceStats",
+    "SimulationService",
+    "SpoolClient",
+    "error_record",
+    "execute_job",
+    "format_stats",
+    "load_requests",
+    "request_drain",
+    "run_batch",
+    "serve_spool",
+]

@@ -1,0 +1,58 @@
+"""Request batching: group queued jobs into one executor submission.
+
+Submitting grid points one at a time wastes the process pool (and, in
+the system this prototypes, the accelerator): pool spin-up and result
+plumbing amortise over a batch. The :class:`Batcher` drains the queue
+once per scheduling tick, taking up to ``max_batch`` jobs; when the
+queue runs dry before the batch is full it *lingers* up to
+``max_linger`` seconds for stragglers, then dispatches what it has.
+Any mix of grid points is compatible within a batch — the DSE executor
+keys results by point, never by position semantics — so compatibility
+here only means "fits this tick's batch budget".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Scheduling-tick knobs: batch size cap and linger window."""
+
+    max_batch: int = 8
+    max_linger: float = 0.02  # seconds to wait for a fuller batch
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_linger < 0:
+            raise ValueError(
+                f"max_linger must be >= 0, got {self.max_linger}")
+
+
+class Batcher:
+    """Forms per-tick batches from a :class:`JobQueue`."""
+
+    def __init__(self, queue, policy: BatchPolicy | None = None,
+                 clock=time.monotonic):
+        self.queue = queue
+        self.policy = policy or BatchPolicy()
+        self.clock = clock
+
+    async def next_batch(self) -> list:
+        """Block for the first job, then fill the batch (with linger)."""
+        batch = [await self.queue.pop_wait()]
+        deadline = self.clock() + self.policy.max_linger
+        while len(batch) < self.policy.max_batch:
+            job = self.queue.pop_nowait()
+            if job is not None:
+                batch.append(job)
+                continue
+            remaining = deadline - self.clock()
+            if remaining <= 0:
+                break
+            if not await self.queue.wait_nonempty(timeout=remaining):
+                break
+        return batch

@@ -1,0 +1,260 @@
+"""Clients for the job server: in-process and file-spool front doors.
+
+Two ways to reach a :class:`SimulationService`:
+
+* :class:`InProcessClient` — same event loop as the service; used by
+  ``repro submit FILE.jsonl`` when no server is running. Handles
+  backpressure by honouring ``retry_after`` and resubmitting, up to a
+  retry budget.
+* the **spool protocol** — a directory-based request/response channel
+  so a separately started ``repro serve --spool DIR`` process can serve
+  many client processes without a network stack. Clients atomically
+  drop ``<id>.json`` request files into ``DIR/inbox``; the server
+  answers with ``DIR/results/<id>.json`` records (including structured
+  ``rejected`` records carrying ``retry_after``); ``repro drain`` puts
+  a ``STOP`` marker down, and the server drains, writes
+  ``DIR/stats.json`` and exits.
+
+Every result record is :func:`repro.harness.export.job_record` shaped,
+so spool results, in-process results and ``repro dse`` exports all
+carry byte-identical run payloads for identical points.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import time
+import uuid
+
+from repro.errors import QueueFullError, ServiceError
+from repro.service.request import JobRequest
+
+#: Spool sub-paths (relative to the spool root).
+INBOX = "inbox"
+RESULTS = "results"
+STOP_MARKER = "STOP"
+STATS_FILE = "stats.json"
+
+
+def _atomic_write(path: pathlib.Path, payload: dict) -> None:
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def rejection_record(exc: QueueFullError) -> dict:
+    """Structured backpressure answer (client retries, never blocks)."""
+    return {"status": "rejected", "retry_after": exc.retry_after,
+            "depth": exc.depth, "capacity": exc.capacity,
+            "error": {"type": "QueueFullError", "message": str(exc)}}
+
+
+class InProcessClient:
+    """Submit a list of requests to an in-loop service, with retry.
+
+    ``progress(event, index, request, info)`` streams per-job
+    lifecycle events: ``"rejected"`` (info = retry_after seconds) and
+    ``"resolved"`` (info = the :class:`JobResult`).
+    """
+
+    def __init__(self, service, max_retries: int = 8, progress=None):
+        self.service = service
+        self.max_retries = max_retries
+        self.progress = progress or (lambda *args: None)
+
+    async def _submit_one(self, index: int, request: JobRequest):
+        for _ in range(self.max_retries + 1):
+            try:
+                future = await self.service.submit(request)
+            except QueueFullError as exc:
+                self.progress("rejected", index, request, exc.retry_after)
+                await asyncio.sleep(exc.retry_after)
+                continue
+            result = await future
+            self.progress("resolved", index, request, result)
+            return result
+        raise ServiceError(
+            f"job {request.label} rejected {self.max_retries + 1} times; "
+            f"giving up")
+
+    async def submit_many(self, requests) -> list:
+        """All requests concurrently; results in submission order."""
+        return list(await asyncio.gather(
+            *(self._submit_one(index, request)
+              for index, request in enumerate(requests))))
+
+
+# -- spool protocol: server side ---------------------------------------------
+
+def spool_dirs(spool) -> tuple[pathlib.Path, pathlib.Path]:
+    """Ensure and return the spool's (inbox, results) directories."""
+    spool = pathlib.Path(spool)
+    inbox = spool / INBOX
+    results = spool / RESULTS
+    inbox.mkdir(parents=True, exist_ok=True)
+    results.mkdir(parents=True, exist_ok=True)
+    return inbox, results
+
+
+async def serve_spool(service, spool, poll: float = 0.05,
+                      idle_exit: float | None = None, on_event=None) -> dict:
+    """Run *service* over a spool directory until drained or idle.
+
+    Picks up request files from ``inbox/``, answers into ``results/``
+    (rejections included, as structured records), and exits once a
+    ``STOP`` marker exists and all accepted work has resolved — or
+    after ``idle_exit`` seconds without any activity. Returns (and
+    writes to ``stats.json``) the final stats dict.
+    """
+    spool = pathlib.Path(spool)
+    inbox, results = spool_dirs(spool)
+    notify = on_event or (lambda *args: None)
+    service.start()
+    deliveries: set = set()
+    last_activity = time.monotonic()
+
+    async def deliver(job_id: str, future) -> None:
+        result = await future
+        _atomic_write(results / f"{job_id}.json", result.record())
+        notify("resolved", job_id, result)
+
+    while True:
+        activity = False
+        for path in sorted(inbox.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                path.unlink(missing_ok=True)
+                notify("malformed", path.name, exc)
+                continue
+            path.unlink(missing_ok=True)
+            activity = True
+            job_id = str(payload.pop("id", path.stem))
+            try:
+                request = JobRequest.from_dict(payload)
+            except ServiceError as exc:
+                _atomic_write(results / f"{job_id}.json", {
+                    "status": "error",
+                    "error": {"type": "ServiceError", "message": str(exc)},
+                })
+                notify("invalid", job_id, exc)
+                continue
+            try:
+                future = await service.submit(request)
+            except QueueFullError as exc:
+                _atomic_write(results / f"{job_id}.json",
+                              rejection_record(exc))
+                notify("rejected", job_id, exc)
+                continue
+            task = asyncio.ensure_future(deliver(job_id, future))
+            deliveries.add(task)
+            task.add_done_callback(deliveries.discard)
+        if activity:
+            last_activity = time.monotonic()
+        done = not deliveries
+        if (spool / STOP_MARKER).exists() and not any(inbox.glob("*.json")):
+            if done:
+                break
+        elif (idle_exit is not None and done
+                and time.monotonic() - last_activity > idle_exit):
+            break
+        await asyncio.sleep(poll)
+    await service.drain()
+    stats = service.stats.as_dict()
+    _atomic_write(spool / STATS_FILE, stats)
+    return stats
+
+
+# -- spool protocol: client side ---------------------------------------------
+
+class SpoolClient:
+    """Synchronous client for a running ``repro serve --spool`` server."""
+
+    def __init__(self, spool, poll: float = 0.05, max_retries: int = 8,
+                 timeout: float | None = None, progress=None):
+        self.spool = pathlib.Path(spool)
+        self.inbox, self.results = spool_dirs(self.spool)
+        self.poll = poll
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.progress = progress or (lambda *args: None)
+
+    def _post(self, request: JobRequest) -> str:
+        job_id = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        payload = dict(request.as_dict(), id=job_id)
+        _atomic_write(self.inbox / f"{job_id}.json", payload)
+        return job_id
+
+    def submit_many(self, requests) -> list[dict]:
+        """Submit all requests; returns result records in order.
+
+        Rejected submissions are retried after the server's
+        ``retry_after`` hint, up to ``max_retries`` extra attempts; a
+        job that stays rejected is returned as its final rejection
+        record.
+        """
+        requests = list(requests)
+        records: list = [None] * len(requests)
+        # index -> (job_id, attempts, earliest resubmit time | None)
+        live = {index: [self._post(request), 0, None]
+                for index, request in enumerate(requests)}
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout is not None else None)
+        while live:
+            progressed = False
+            for index in list(live):
+                job_id, attempts, resubmit_at = live[index]
+                if resubmit_at is not None:
+                    if time.monotonic() >= resubmit_at:
+                        live[index] = [self._post(requests[index]),
+                                       attempts, None]
+                        progressed = True
+                    continue
+                path = self.results / f"{job_id}.json"
+                if not path.exists():
+                    continue
+                try:
+                    record = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue  # server mid-write; atomic rename makes this rare
+                path.unlink(missing_ok=True)
+                progressed = True
+                if (record.get("status") == "rejected"
+                        and attempts < self.max_retries):
+                    retry_after = float(record.get("retry_after", 1.0))
+                    self.progress("rejected", index, requests[index],
+                                  retry_after)
+                    live[index] = [job_id, attempts + 1,
+                                   time.monotonic() + retry_after]
+                    continue
+                records[index] = record
+                self.progress("resolved", index, requests[index], record)
+                del live[index]
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"spool client timed out with {len(live)} jobs "
+                    f"unresolved (is `repro serve --spool {self.spool}` "
+                    f"running?)")
+            if not progressed:
+                time.sleep(self.poll)
+        return records
+
+
+def request_drain(spool, timeout: float = 120.0, poll: float = 0.1) -> dict:
+    """Ask a spool server to drain and exit; returns its final stats."""
+    spool = pathlib.Path(spool)
+    stats_path = spool / STATS_FILE
+    stats_path.unlink(missing_ok=True)
+    spool.mkdir(parents=True, exist_ok=True)
+    (spool / STOP_MARKER).touch()
+    deadline = time.monotonic() + timeout
+    while not stats_path.exists():
+        if time.monotonic() > deadline:
+            raise ServiceError(
+                f"server did not drain within {timeout:.0f}s "
+                f"(no {stats_path})")
+        time.sleep(poll)
+    return json.loads(stats_path.read_text())

@@ -1,0 +1,85 @@
+"""Bounded priority job queue with explicit backpressure.
+
+Three priority classes (``interactive`` > ``batch`` > ``bulk``), FIFO
+within a class. The queue never blocks a producer: when it is at
+capacity, :meth:`JobQueue.put` raises
+:class:`repro.errors.QueueFullError` carrying a ``retry_after`` hint so
+the client can back off and resubmit — load is shed at the front door
+instead of silently piling up latency inside the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+
+from repro.errors import QueueFullError
+
+
+class JobQueue:
+    """Bounded, priority-ordered holding pen between submit and dispatch.
+
+    ``retry_after`` is a zero-argument callable returning the current
+    backpressure hint in seconds (normally
+    ``ServiceStats.estimate_retry_after``); it is evaluated only when a
+    rejection actually happens.
+    """
+
+    def __init__(self, capacity: int = 64, retry_after=None):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._retry_after = retry_after or (lambda: 1.0)
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._nonempty = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def put(self, job) -> None:
+        """Enqueue *job*, or reject with a structured retry-after.
+
+        Never blocks: a full queue is a client-visible condition, not a
+        hidden stall.
+        """
+        if len(self._heap) >= self.capacity:
+            raise QueueFullError(
+                "job queue full", retry_after=float(self._retry_after()),
+                depth=len(self._heap), capacity=self.capacity)
+        heapq.heappush(self._heap,
+                       (job.request.priority_rank, next(self._seq), job))
+        self._nonempty.set()
+
+    def pop_nowait(self):
+        """Highest-priority queued job, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        _, _, job = heapq.heappop(self._heap)
+        if not self._heap:
+            self._nonempty.clear()
+        return job
+
+    async def pop_wait(self):
+        """Wait until a job is available and pop it."""
+        while True:
+            job = self.pop_nowait()
+            if job is not None:
+                return job
+            self._nonempty.clear()
+            await self._nonempty.wait()
+
+    async def wait_nonempty(self, timeout: float | None = None) -> bool:
+        """True once the queue holds at least one job (False on timeout)."""
+        if self._heap:
+            return True
+        try:
+            await asyncio.wait_for(self._nonempty.wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True

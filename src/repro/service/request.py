@@ -1,0 +1,137 @@
+"""Job requests: the service's wire format.
+
+A request names one (core, configuration, workload) grid point plus a
+priority class; it is deliberately the same shape as
+:class:`repro.dse.executor.GridPoint` so a request served by the job
+server, a ``repro dse`` grid cell and a direct :func:`repro.harness.sweep`
+produce byte-identical run payloads for the same
+(core, config, workload, iterations, seed).
+
+Requests arrive as JSONL (one object per line, ``#`` comments and blank
+lines ignored) via ``repro submit``, or programmatically through
+:class:`repro.service.server.SimulationService`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+
+from repro.dse.executor import GridPoint
+from repro.errors import ServiceError
+
+#: Priority classes, highest urgency first (queue drain order).
+PRIORITIES = ("interactive", "batch", "bulk")
+
+DEFAULT_PRIORITY = "batch"
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One simulation job as submitted by a client."""
+
+    core: str
+    config: str
+    workload: str
+    iterations: int = 10
+    seed: int = 0
+    priority: str = DEFAULT_PRIORITY
+
+    @property
+    def label(self) -> str:
+        return f"{self.core}/{self.config}/{self.workload}"
+
+    @property
+    def priority_rank(self) -> int:
+        return PRIORITIES.index(self.priority)
+
+    def point(self) -> GridPoint:
+        """The grid point this request resolves to (drops priority)."""
+        return GridPoint(core=self.core, config=self.config,
+                         workload=self.workload,
+                         iterations=self.iterations, seed=self.seed)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRequest":
+        """Parse + validate one request object; raises ServiceError."""
+        if not isinstance(payload, dict):
+            raise ServiceError(
+                f"job request must be a JSON object, got {type(payload).__name__}")
+        unknown = set(payload) - {"core", "config", "workload", "iterations",
+                                  "seed", "priority"}
+        if unknown:
+            raise ServiceError(
+                f"unknown job request fields: {', '.join(sorted(unknown))}")
+        try:
+            request = cls(
+                core=payload["core"],
+                config=payload["config"],
+                workload=payload["workload"],
+                iterations=int(payload.get("iterations", 10)),
+                seed=int(payload.get("seed", 0)),
+                priority=payload.get("priority", DEFAULT_PRIORITY),
+            )
+        except KeyError as exc:
+            raise ServiceError(
+                f"job request missing required field {exc.args[0]!r}") from None
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job request: {exc}") from None
+        return request.validate()
+
+    def validate(self) -> "JobRequest":
+        """Check every field against the registered cores/configs/workloads."""
+        from repro.cores import CORE_NAMES
+        from repro.errors import ConfigurationError
+        from repro.rtosunit.config import parse_config
+        from repro.workloads import workload_names
+
+        if self.core not in CORE_NAMES:
+            raise ServiceError(
+                f"unknown core {self.core!r} (expected one of "
+                f"{', '.join(CORE_NAMES)})")
+        try:
+            parse_config(self.config)
+        except ConfigurationError as exc:
+            raise ServiceError(f"bad config {self.config!r}: {exc}") from None
+        if self.workload not in workload_names():
+            raise ServiceError(
+                f"unknown workload {self.workload!r} (expected one of "
+                f"{', '.join(workload_names())})")
+        if self.iterations < 1:
+            raise ServiceError(
+                f"iterations must be >= 1, got {self.iterations}")
+        if self.priority not in PRIORITIES:
+            raise ServiceError(
+                f"unknown priority {self.priority!r} (expected one of "
+                f"{', '.join(PRIORITIES)})")
+        return self
+
+
+def load_requests(path) -> list[JobRequest]:
+    """Parse a JSONL request file; every error names its line number."""
+    path = pathlib.Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise ServiceError(f"cannot read request file {path}: {exc}") from exc
+    requests = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{path}:{number}: not valid JSON: {exc.msg}") from None
+        try:
+            requests.append(JobRequest.from_dict(payload))
+        except ServiceError as exc:
+            raise ServiceError(f"{path}:{number}: {exc}") from None
+    if not requests:
+        raise ServiceError(f"request file {path} contains no jobs")
+    return requests

@@ -1,0 +1,62 @@
+"""Worker bridge: grid points → outcome records, off the event loop.
+
+The server never simulates on the event loop. Each scheduling tick
+hands a batch of grid points to :func:`run_batch`, which reuses the DSE
+executor's :func:`repro.dse.executor.parallel_map` — the same per-task
+retry and stall-watchdog machinery as ``repro dse`` — inside a thread
+from the loop's default executor.
+
+:func:`execute_job` converts *expected* failures (``SimulationError``
+and friends) into structured error records instead of raising, so a
+deterministic simulation failure is a per-job result, not a retry storm
+or a batch abort. Only infrastructure failures (worker-process crashes,
+stall-watchdog kills) escape as exceptions and consume the retry
+budget.
+"""
+
+from __future__ import annotations
+
+from repro.dse.executor import execute_point, parallel_map
+from repro.errors import ReproError, SimulationError
+
+
+def error_record(exc: BaseException) -> dict:
+    """Machine-readable error payload, keeping SimulationError context."""
+    record = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, SimulationError):
+        for attr in ("pc", "cycle", "mcause", "kind"):
+            value = getattr(exc, attr)
+            if value is not None:
+                record[attr] = value
+    return record
+
+
+def execute_job(point) -> dict:
+    """Process-pool worker: one grid point → one outcome record.
+
+    Returns ``{"status": "done", "run": <run_dict payload>}`` or
+    ``{"status": "error", "error": <error_record>}``. Library failures
+    are *caught* here: they are deterministic (same point → same
+    failure), so resubmitting them would waste the retry budget that
+    exists for crashed or stalled workers.
+    """
+    from repro.harness.export import run_dict
+
+    try:
+        run = execute_point(point)
+        return {"status": "done", "run": run_dict(run)}
+    except ReproError as exc:
+        return {"status": "error", "error": error_record(exc)}
+
+
+def run_batch(points, jobs: int = 1, retries: int = 1,
+              timeout: float | None = None) -> list:
+    """Execute one batch; outcome records in *points* order.
+
+    ``jobs > 1`` fans the batch over a process pool with the executor's
+    retry/stall-watchdog semantics; ``jobs <= 1`` runs in-process.
+    Raises :class:`repro.errors.ExplorationError` only when a point
+    keeps crashing the infrastructure through the whole retry budget.
+    """
+    return parallel_map(execute_job, list(points), jobs=jobs,
+                        retries=retries, timeout=timeout)

@@ -64,6 +64,81 @@ class TestTracer:
         assert system.core.tracer is None
 
 
+class _FakeCore:
+    """Minimal core surface for driving Tracer hooks directly."""
+
+    def __init__(self):
+        self.cycle = 0
+        self.pc = 0
+        self.in_isr = False
+
+
+def _instr(addr):
+    """A real decoded instruction (addi x1, x1, 1) at *addr*."""
+    from repro.isa.encoding import decode
+
+    return decode(0x00108093, addr=addr)
+
+
+class TestTracerUnit:
+    """Hook-level behaviour, independent of a full kernel simulation."""
+
+    def test_eviction_keeps_latest_events(self):
+        from repro.cores.tracing import Tracer
+
+        tracer = Tracer(capacity=4)
+        core = _FakeCore()
+        for cycle in range(10):
+            core.cycle = cycle
+            tracer.on_instr(core, _instr(cycle * 4))
+        assert tracer.instructions_seen == 10
+        assert len(tracer.events) == 4  # deque maxlen enforced
+        # The *latest* events win: a crash site stays in view.
+        assert [event.cycle for event in tracer.events] == [6, 7, 8, 9]
+
+    def test_trap_and_mret_capture(self):
+        from repro.cores.tracing import Tracer
+
+        tracer = Tracer(capacity=16)
+        core = _FakeCore()
+        core.cycle, core.pc = 100, 0x80
+        tracer.on_trap(core, cause=0x8000000B)
+        core.cycle, core.pc = 130, 0x94
+        tracer.on_mret(core)
+        kinds = [event.kind for event in tracer.events]
+        assert kinds == ["trap", "mret"]
+        trap, mret = tracer.events
+        assert trap.cycle == 100 and trap.pc == 0x80
+        assert "mcause=0x8000000b" in trap.text
+        assert mret.cycle == 130 and "resume" in mret.text
+        # Rendering marks trap entry/exit distinctly.
+        text = tracer.format()
+        assert ">>>" in text and "<<<" in text
+
+    def test_only_isr_skips_task_code_but_keeps_boundaries(self):
+        from repro.cores.tracing import Tracer
+
+        tracer = Tracer(capacity=16, only_isr=True)
+        core = _FakeCore()
+        tracer.on_instr(core, _instr(0x1000))  # task code: dropped
+        core.in_isr = True
+        tracer.on_instr(core, _instr(0x40))    # ISR code: kept
+        assert tracer.instructions_seen == 2
+        assert [event.pc for event in tracer.events] == [0x40]
+
+    def test_format_limit_takes_tail(self):
+        from repro.cores.tracing import Tracer
+
+        tracer = Tracer(capacity=16)
+        core = _FakeCore()
+        for cycle in range(8):
+            core.cycle = cycle
+            tracer.on_instr(core, _instr(cycle * 4))
+        lines = tracer.format(limit=3).splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith(f"{7:>10d}")
+
+
 class TestSwitchTimeline:
     def test_breakdown_adds_up(self):
         system, _ = _traced_system()
@@ -78,3 +153,13 @@ class TestSwitchTimeline:
         system, _ = _traced_system()
         text = format_switch_timeline(system.switches, limit=2)
         assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+    def test_response_isr_split_values(self):
+        """The rendered columns carry the exact trigger→entry (response)
+        and entry→mret (ISR) splits of each record."""
+        from repro.cores.system import SwitchRecord
+
+        text = format_switch_timeline([SwitchRecord(100, 104, 150)],
+                                      limit=5)
+        row = text.splitlines()[-1].split()
+        assert row == ["0", "100", "104", "150", "4", "46", "50"]

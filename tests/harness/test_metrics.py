@@ -26,6 +26,14 @@ class TestLatencyStats:
         with pytest.raises(AnalysisError):
             LatencyStats.from_samples([])
 
+    def test_empty_is_clear_value_error(self):
+        # Regression: an empty distribution must surface as a clear
+        # "no samples" ValueError, never a bare IndexError or
+        # ZeroDivisionError — the job service maps empty-result jobs to
+        # a structured error and relies on this.
+        with pytest.raises(ValueError, match="no samples"):
+            LatencyStats.from_samples([])
+
     def test_reduction(self):
         baseline = LatencyStats.from_samples([100])
         faster = LatencyStats.from_samples([40])
@@ -61,6 +69,10 @@ class TestClusters:
         with pytest.raises(AnalysisError):
             Clusters.split([])
 
+    def test_empty_is_clear_value_error(self):
+        with pytest.raises(ValueError, match="no samples"):
+            Clusters.split([])
+
     @given(samples=st.lists(st.integers(0, 1000), min_size=1, max_size=100))
     def test_partition_is_total(self, samples):
         clusters = Clusters.split(samples)
@@ -88,6 +100,12 @@ class TestLatencyBreakdown:
         breakdown = LatencyBreakdown.from_switches(self._switches())
         assert breakdown.response.mean + breakdown.isr.mean == \
             breakdown.total.mean
+
+    def test_empty_switch_list_is_clear_value_error(self):
+        from repro.harness.metrics import LatencyBreakdown
+
+        with pytest.raises(ValueError, match="no samples"):
+            LatencyBreakdown.from_switches([])
 
     def test_slt_isr_part_is_constant(self):
         """The headline, measured precisely: under (SLT) the take->mret

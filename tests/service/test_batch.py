@@ -1,0 +1,84 @@
+"""Batcher: size caps, linger windows, policy validation."""
+
+import asyncio
+
+import pytest
+
+from repro.service import Batcher, BatchPolicy, JobQueue, JobRequest
+
+
+class FakeJob:
+    def __init__(self, tag):
+        self.request = JobRequest(core="cv32e40p", config="SLT",
+                                  workload="yield_pingpong")
+        self.tag = tag
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch >= 1
+        assert policy.max_linger >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_linger=-1.0)
+
+
+class TestBatching:
+    def test_takes_everything_up_to_max(self):
+        async def go():
+            queue = JobQueue(capacity=16)
+            for index in range(5):
+                queue.put(FakeJob(index))
+            batcher = Batcher(queue, BatchPolicy(max_batch=3,
+                                                 max_linger=0.0))
+            return await batcher.next_batch(), queue.depth
+        batch, left = asyncio.run(go())
+        assert [job.tag for job in batch] == [0, 1, 2]
+        assert left == 2
+
+    def test_partial_batch_after_linger(self):
+        async def go():
+            queue = JobQueue(capacity=16)
+            queue.put(FakeJob("only"))
+            batcher = Batcher(queue, BatchPolicy(max_batch=8,
+                                                 max_linger=0.01))
+            return await batcher.next_batch()
+        batch = asyncio.run(go())
+        assert [job.tag for job in batch] == ["only"]
+
+    def test_linger_picks_up_stragglers(self):
+        async def go():
+            queue = JobQueue(capacity=16)
+            queue.put(FakeJob("first"))
+            batcher = Batcher(queue, BatchPolicy(max_batch=8,
+                                                 max_linger=0.2))
+
+            async def straggler():
+                await asyncio.sleep(0.02)
+                queue.put(FakeJob("late"))
+            task = asyncio.ensure_future(straggler())
+            batch = await batcher.next_batch()
+            await task
+            return batch
+        batch = asyncio.run(go())
+        assert [job.tag for job in batch] == ["first", "late"]
+
+    def test_blocks_until_first_job(self):
+        async def go():
+            queue = JobQueue(capacity=16)
+            batcher = Batcher(queue, BatchPolicy(max_batch=2,
+                                                 max_linger=0.0))
+
+            async def feeder():
+                await asyncio.sleep(0.02)
+                queue.put(FakeJob("fed"))
+            task = asyncio.ensure_future(feeder())
+            batch = await batcher.next_batch()
+            await task
+            return batch
+        batch = asyncio.run(go())
+        assert [job.tag for job in batch] == ["fed"]

@@ -1,0 +1,190 @@
+"""Request parsing, the in-process client, and the spool protocol."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import QueueFullError, ServiceError
+from repro.service import (
+    InProcessClient,
+    JobRequest,
+    SimulationService,
+    SpoolClient,
+    load_requests,
+    request_drain,
+    serve_spool,
+)
+
+
+class TestRequestParsing:
+    def test_round_trip(self):
+        request = JobRequest(core="cva6", config="SLT",
+                             workload="sem_signal", iterations=5, seed=3,
+                             priority="interactive")
+        assert JobRequest.from_dict(request.as_dict()) == request
+
+    def test_defaults(self):
+        request = JobRequest.from_dict({"core": "cv32e40p",
+                                        "config": "SLT",
+                                        "workload": "yield_pingpong"})
+        assert request.iterations == 10
+        assert request.seed == 0
+        assert request.priority == "batch"
+
+    @pytest.mark.parametrize("patch, fragment", [
+        ({"core": "z80"}, "unknown core"),
+        ({"config": "XYZZY"}, "bad config"),
+        ({"workload": "nope"}, "unknown workload"),
+        ({"iterations": 0}, "iterations"),
+        ({"priority": "whenever"}, "unknown priority"),
+        ({"bogus": 1}, "unknown job request fields"),
+    ])
+    def test_validation_messages(self, patch, fragment):
+        payload = {"core": "cv32e40p", "config": "SLT",
+                   "workload": "yield_pingpong"}
+        payload.update(patch)
+        with pytest.raises(ServiceError, match=fragment):
+            JobRequest.from_dict(payload)
+
+    def test_missing_field(self):
+        with pytest.raises(ServiceError, match="missing required field"):
+            JobRequest.from_dict({"core": "cv32e40p", "config": "SLT"})
+
+
+class TestLoadRequests:
+    def test_jsonl_with_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "reqs.jsonl"
+        path.write_text(
+            "# interactive first\n"
+            '{"core":"cv32e40p","config":"SLT","workload":"yield_pingpong",'
+            '"priority":"interactive"}\n'
+            "\n"
+            '{"core":"cv32e40p","config":"vanilla","workload":"sem_signal"}\n')
+        requests = load_requests(path)
+        assert len(requests) == 2
+        assert requests[0].priority == "interactive"
+        assert requests[1].workload == "sem_signal"
+
+    def test_error_names_line(self, tmp_path):
+        path = tmp_path / "reqs.jsonl"
+        path.write_text(
+            '{"core":"cv32e40p","config":"SLT","workload":"yield_pingpong"}\n'
+            "{not json}\n")
+        with pytest.raises(ServiceError, match=r"reqs\.jsonl:2"):
+            load_requests(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ServiceError, match="no jobs"):
+            load_requests(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ServiceError, match="cannot read"):
+            load_requests(tmp_path / "absent.jsonl")
+
+
+class TestInProcessClient:
+    def test_retries_after_rejection(self):
+        request = JobRequest(core="cv32e40p", config="SLT",
+                             workload="yield_pingpong", iterations=1)
+        events = []
+
+        class FlakyService:
+            def __init__(self):
+                self.calls = 0
+
+            async def submit(self, request):
+                self.calls += 1
+                if self.calls == 1:
+                    raise QueueFullError("full", retry_after=0.01,
+                                         depth=1, capacity=1)
+                future = asyncio.get_running_loop().create_future()
+                future.set_result("resolved-result")
+                return future
+
+        client = InProcessClient(
+            FlakyService(), max_retries=2,
+            progress=lambda event, *rest: events.append(event))
+        results = asyncio.run(client.submit_many([request]))
+        assert results == ["resolved-result"]
+        assert events == ["rejected", "resolved"]
+
+    def test_gives_up_after_budget(self):
+        request = JobRequest(core="cv32e40p", config="SLT",
+                             workload="yield_pingpong", iterations=1)
+
+        class AlwaysFull:
+            async def submit(self, request):
+                raise QueueFullError("full", retry_after=0.001,
+                                     depth=1, capacity=1)
+
+        client = InProcessClient(AlwaysFull(), max_retries=2)
+        with pytest.raises(ServiceError, match="rejected 3 times"):
+            asyncio.run(client.submit_many([request]))
+
+
+class TestSpoolProtocol:
+    def test_round_trip_with_drain(self, tmp_path):
+        spool = tmp_path / "spool"
+        stats_box = {}
+
+        def server():
+            async def go():
+                service = SimulationService()
+                async with service:
+                    stats_box.update(await serve_spool(
+                        service, spool, poll=0.01))
+            asyncio.run(go())
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+
+        requests = [
+            JobRequest(core="cv32e40p", config="SLT",
+                       workload="yield_pingpong", iterations=1, seed=seed)
+            for seed in (0, 0, 1)  # one duplicate to coalesce or re-serve
+        ]
+        client = SpoolClient(spool, poll=0.01, timeout=120.0)
+        records = client.submit_many(requests)
+        stats = request_drain(spool, timeout=60.0)
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+
+        assert [record["status"] for record in records] == ["done"] * 3
+        # Identical requests → byte-identical payloads over the spool.
+        assert (json.dumps(records[0]["run"], sort_keys=True)
+                == json.dumps(records[1]["run"], sort_keys=True))
+        assert stats["completed"] == 3
+        assert stats["failed"] == 0
+        assert stats_box == stats
+
+    def test_malformed_request_gets_error_record(self, tmp_path):
+        spool = tmp_path / "spool"
+        inbox = spool / "inbox"
+        inbox.mkdir(parents=True)
+        (inbox / "bad.json").write_text(
+            '{"id": "bad", "core": "z80", "config": "SLT", '
+            '"workload": "yield_pingpong"}\n')
+
+        def server():
+            async def go():
+                service = SimulationService()
+                async with service:
+                    await serve_spool(service, spool, poll=0.01,
+                                      idle_exit=0.2)
+            asyncio.run(go())
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        record = json.loads((spool / "results" / "bad.json").read_text())
+        assert record["status"] == "error"
+        assert "unknown core" in record["error"]["message"]
+
+    def test_drain_times_out_without_server(self, tmp_path):
+        with pytest.raises(ServiceError, match="did not drain"):
+            request_drain(tmp_path / "nobody-home", timeout=0.2, poll=0.05)

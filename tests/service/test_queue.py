@@ -1,0 +1,72 @@
+"""Bounded priority queue: ordering, depth, structured backpressure."""
+
+import pytest
+
+from repro.errors import QueueFullError, ServiceError
+from repro.service import JobQueue, JobRequest
+
+
+class FakeJob:
+    def __init__(self, priority="batch", tag=""):
+        self.request = JobRequest(core="cv32e40p", config="SLT",
+                                  workload="yield_pingpong",
+                                  priority=priority)
+        self.tag = tag
+
+
+class TestOrdering:
+    def test_priority_classes_drain_in_order(self):
+        queue = JobQueue(capacity=8)
+        queue.put(FakeJob("bulk", "k1"))
+        queue.put(FakeJob("batch", "b1"))
+        queue.put(FakeJob("interactive", "i1"))
+        queue.put(FakeJob("bulk", "k2"))
+        order = [queue.pop_nowait().tag for _ in range(4)]
+        assert order == ["i1", "b1", "k1", "k2"]
+
+    def test_fifo_within_class(self):
+        queue = JobQueue(capacity=8)
+        for tag in ("a", "b", "c"):
+            queue.put(FakeJob("batch", tag))
+        assert [queue.pop_nowait().tag for _ in range(3)] == ["a", "b", "c"]
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue(capacity=2).pop_nowait() is None
+
+
+class TestBackpressure:
+    def test_put_rejects_when_full(self):
+        queue = JobQueue(capacity=2, retry_after=lambda: 2.5)
+        queue.put(FakeJob())
+        queue.put(FakeJob())
+        with pytest.raises(QueueFullError) as info:
+            queue.put(FakeJob())
+        exc = info.value
+        assert exc.retry_after == 2.5
+        assert exc.depth == 2 and exc.capacity == 2
+        assert "retry after 2.50s" in str(exc)
+        # A rejection is a library error, catchable without asyncio.
+        assert isinstance(exc, ServiceError)
+        # The queue itself is untouched by the rejection.
+        assert queue.depth == 2
+
+    def test_rejection_never_blocks(self):
+        # put() on a full queue must raise immediately, not wait: the
+        # whole point of explicit backpressure.
+        queue = JobQueue(capacity=1)
+        queue.put(FakeJob())
+        for _ in range(100):
+            with pytest.raises(QueueFullError):
+                queue.put(FakeJob())
+        assert queue.depth == 1
+
+    def test_capacity_frees_after_pop(self):
+        queue = JobQueue(capacity=1)
+        queue.put(FakeJob(tag="first"))
+        assert queue.pop_nowait().tag == "first"
+        queue.put(FakeJob(tag="second"))  # no raise
+        assert queue.depth == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(capacity=0)
