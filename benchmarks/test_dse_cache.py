@@ -12,6 +12,7 @@ import pathlib
 import time
 
 from repro.dse import DSEExecutor, ResultCache, build_grid
+from repro.perf import bench_record
 from repro.rtosunit.config import EVALUATED_CONFIGS
 from repro.cores import CORE_NAMES
 from repro.workloads import workload_names
@@ -43,7 +44,7 @@ def test_warm_cache_rerun_is_10x_faster(tmp_path):
         assert warm_runs[point].latencies == cold_runs[point].latencies
 
     speedup = cold_s / warm_s
-    record = {
+    record = bench_record("dse_cache", {
         "grid_points": len(points),
         "iterations": ITERATIONS,
         "seed": SEED,
@@ -52,7 +53,7 @@ def test_warm_cache_rerun_is_10x_faster(tmp_path):
         "speedup": round(speedup, 1),
         "cold_cache": cold_cache.stats.as_dict(),
         "warm_cache": warm_cache.stats.as_dict(),
-    }
+    })
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     publish("bench_dse_cache", json.dumps(record, indent=2, sort_keys=True))
     assert speedup >= 10.0, (

@@ -13,6 +13,7 @@ import pathlib
 import time
 
 from repro.dse import ResultCache
+from repro.perf import bench_record
 from repro.service import (
     BatchPolicy,
     InProcessClient,
@@ -63,7 +64,7 @@ def test_service_throughput(tmp_path):
     assert stats["hit_rate"] >= 0.6, stats
 
     latency = stats["latency_s"]
-    record = {
+    record = bench_record("service_throughput", {
         "jobs": TOTAL_JOBS,
         "unique_points": UNIQUE_POINTS,
         "wall_seconds": round(wall_s, 3),
@@ -75,7 +76,7 @@ def test_service_throughput(tmp_path):
         "cache_hits": stats["cache_hits"],
         "hit_rate": round(stats["hit_rate"], 3),
         "mean_batch_fill": round(stats["mean_batch_fill"], 2),
-    }
+    })
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     publish("bench_service_throughput",
             json.dumps(record, indent=2, sort_keys=True) + "\n"

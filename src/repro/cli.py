@@ -10,6 +10,8 @@ Examples::
         --objectives latency,area
     python -m repro run --core naxriscv --config SPLIT \
         --workload mutex_workload
+    python -m repro profile --core cv32e40p --config vanilla --compare \
+        --perf-json profile.json
     python -m repro serve --spool .spool --jobs 4 --cache-dir .svc-cache
     python -m repro submit requests.jsonl --spool .spool --out results.jsonl
     python -m repro drain --spool .spool --stats
@@ -189,6 +191,42 @@ def _cmd_run(args) -> int:
     print(f"  cycles={result.cycles} instructions={result.instret}")
     if result.unit_stats is not None:
         print(f"  unit: {result.unit_stats}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.perf import bench_record, compare_reports, format_report
+    from repro.perf import profile_workload
+    from repro.workloads import workload_by_name
+
+    workload = workload_by_name(args.workload, iterations=args.iterations)
+    config = parse_config(args.config)
+    blocks = not args.no_blocks
+    report = profile_workload(args.core, config, workload, blocks=blocks,
+                              opcodes=args.opcodes, cprofile=args.cprofile,
+                              iterations=args.iterations)
+    baseline = None
+    if args.compare:
+        baseline = profile_workload(args.core, config, workload,
+                                    blocks=False,
+                                    iterations=args.iterations)
+        print(compare_reports(report, baseline))
+    else:
+        print(format_report(report))
+    if args.perf_json:
+        from repro.harness.export import write_json
+
+        payload = report.as_dict()
+        if baseline is not None:
+            payload["baseline"] = baseline.as_dict()
+            payload["speedup"] = (report.ips / baseline.ips
+                                  if baseline.ips else 0.0)
+        write_json(args.perf_json, bench_record("profile", payload))
+        print(f"wrote {args.perf_json}")
+    if args.compare and baseline is not None:
+        identical = (report.cycles == baseline.cycles
+                     and report.instret == baseline.instret)
+        return 0 if identical else 1
     return 0
 
 
@@ -574,6 +612,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="yield_pingpong")
     p.add_argument("--iterations", type=int, default=20)
 
+    p = sub.add_parser(
+        "profile", help="simulator throughput + block-cache telemetry")
+    p.add_argument("--core", default="cv32e40p", choices=CORE_NAMES)
+    p.add_argument("--config", default="vanilla")
+    p.add_argument("--workload", default="yield_pingpong")
+    p.add_argument("--iterations", type=int, default=40)
+    p.add_argument("--no-blocks", action="store_true",
+                   help="time the exact per-instruction path instead")
+    p.add_argument("--opcodes", action="store_true",
+                   help="per-opcode cycle attribution (forces exact path)")
+    p.add_argument("--cprofile", action="store_true",
+                   help="append a host-level cProfile of the run")
+    p.add_argument("--compare", action="store_true",
+                   help="run blocks on AND off; print speedup, check that "
+                        "cycles are identical (exit 1 otherwise)")
+    p.add_argument("--perf-json", default=None, metavar="FILE",
+                   help="write the report (and baseline) as JSON")
+
     p = sub.add_parser("trace", help="instruction trace + switch timeline")
     p.add_argument("--core", default="cv32e40p", choices=CORE_NAMES)
     p.add_argument("--config", default="SLT")
@@ -667,6 +723,7 @@ _COMMANDS = {
     "fig13": _cmd_fig13,
     "wcet": _cmd_wcet,
     "dse": _cmd_dse,
+    "profile": _cmd_profile,
     "trace": _cmd_trace,
     "verify": _cmd_verify,
     "run": _cmd_run,

@@ -10,7 +10,8 @@
   write-back D$ through the extended LSU (ctxQueue, §5.3).
 """
 
-from repro.cores.base import BaseCore, CoreParams
+from repro.cores.base import BaseCore, CoreParams, blocks_enabled_default
+from repro.cores.blocks import BlockEngine
 from repro.cores.clint import Clint
 from repro.cores.cv32e40p import CV32E40P
 from repro.cores.cva6 import CVA6
@@ -27,6 +28,7 @@ CORE_NAMES = tuple(CORE_CLASSES)
 
 __all__ = [
     "BaseCore",
+    "BlockEngine",
     "CORE_CLASSES",
     "CORE_NAMES",
     "CVA6",
@@ -35,6 +37,7 @@ __all__ = [
     "CoreParams",
     "NaxRiscv",
     "System",
+    "blocks_enabled_default",
     "build_system",
 ]
 

@@ -15,6 +15,7 @@ configs) or ``mret`` (store+load) switches back.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
@@ -27,8 +28,15 @@ from repro.mem.memory import Memory
 from repro.mem.timeline import MemoryTimeline
 from repro.rtosunit.config import RTOSUnitConfig
 from repro.rtosunit.unit import RTOSUnit
+from repro.util import LRUCache
 
 MASK32 = 0xFFFFFFFF
+
+
+def blocks_enabled_default() -> bool:
+    """Block dispatch is on unless ``REPRO_BLOCKS`` disables it."""
+    value = os.environ.get("REPRO_BLOCKS", "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
 
 
 def _sgn(value: int) -> int:
@@ -106,6 +114,11 @@ class BaseCore:
     PARAMS = CoreParams()
     #: Where RTOSUnit memory traffic is arbitrated: "bus" or "lsu" (§5).
     ARBITRATION = "bus"
+    #: LRU bounds for the per-PC decode cache and the basic-block cache.
+    #: Far above any real program here — eviction is a memory safety net
+    #: for long fault campaigns, not a working-set knob.
+    DECODE_CACHE_CAPACITY = 1 << 16
+    BLOCK_CACHE_CAPACITY = 4096
 
     def __init__(self, memory: Memory, config: RTOSUnitConfig,
                  unit: RTOSUnit | None = None,
@@ -135,7 +148,7 @@ class BaseCore:
         #: Address ranges the core must not cache (e.g. the context region
         #: on CVA6, where the RTOSUnit writes at the bus level).
         self.uncached_ranges: list[tuple[int, int]] = []
-        self._decode_cache: dict[int, Instr] = {}
+        self._decode_cache: LRUCache = LRUCache(self.DECODE_CACHE_CAPACITY)
         self._trap_trigger_cycle: int | None = None
         self._trap_entry_cycle: int = 0
         self.switch_events: list[tuple[int, int, int]] = []  # (trigger, entry, mret_done)
@@ -149,6 +162,13 @@ class BaseCore:
         #: consulted each step in :meth:`run`; raises a structured
         #: SimulationError on livelock or budget exhaustion.
         self.guard = None
+        #: Basic-block predecoded dispatch (repro.cores.blocks); None
+        #: forces the per-instruction path. Architecturally invisible —
+        #: the differential tests assert byte-identical runs either way.
+        self.block_engine = None
+        if blocks_enabled_default():
+            from repro.cores.blocks import BlockEngine
+            self.block_engine = BlockEngine(self)
         if unit is not None:
             unit.attach(self)
 
@@ -189,8 +209,20 @@ class BaseCore:
         self.stats.instret += 1
 
     def run(self, max_cycles: int = 10_000_000) -> int:
-        """Run until a HALT store or the cycle limit; returns exit code."""
+        """Run until a HALT store or the cycle limit; returns exit code.
+
+        With a block engine attached and nothing observing individual
+        steps (no tracer, step hook or guard), whole predecoded blocks
+        dispatch on the fast path; interrupts, traps, custom ops, CSR
+        ops and ``wfi`` fall back to the exact per-instruction path.
+        """
         while not self.halted:
+            engine = self.block_engine
+            if (engine is not None and self.tracer is None
+                    and self.step_hook is None and self.guard is None):
+                engine.dispatch(max_cycles)
+                if self.halted:
+                    break
             if self.cycle > max_cycles:
                 raise SimulationError(
                     f"cycle limit {max_cycles} exceeded",
@@ -205,12 +237,78 @@ class BaseCore:
         return self.exit_code or 0
 
     def _fetch(self, pc: int) -> Instr:
-        instr = self._decode_cache.get(pc)
+        # Hot path: raw C-level probe; LRU recency only matters (and is
+        # only maintained) once the cache is full enough to evict.
+        cache = self._decode_cache
+        instr = dict.get(cache, pc)
         if instr is None:
             word = self.mem.read_word_raw(pc)
             instr = decode(word, pc)
-            self._decode_cache[pc] = instr
+            cache[pc] = instr
+        else:
+            cap = cache.capacity
+            if cap is not None and len(cache) >= cap:
+                cache.move_to_end(pc)
         return instr
+
+    # -- code-cache coherence ---------------------------------------------------
+
+    def invalidate_code(self, addr: int, nbytes: int = 4, *,
+                        decode_cache: bool = True) -> None:
+        """Drop cached decodes/blocks overlapping ``[addr, addr+nbytes)``.
+
+        Called on self-modifying stores (both execution paths, keeping
+        them in lockstep) and by the fault injector on memory bit flips.
+        The injector passes ``decode_cache=False``: campaign semantics
+        historically let already-decoded instructions stay stale, and the
+        block cache must match that — blocks rebuild through ``_fetch``
+        and therefore see exactly what the per-instruction path sees.
+        """
+        end = addr + max(nbytes, 1)
+        word = addr & ~3
+        engine = self.block_engine
+        while word < end:
+            if decode_cache:
+                self._decode_cache.pop(word, None)
+            if engine is not None:
+                engine.invalidate_word(word)
+            word += 4
+
+    def _note_code_store(self, addr: int) -> None:
+        """Slow-path half of the self-modifying-store check."""
+        word = addr & ~3
+        engine = self.block_engine
+        if word in self._decode_cache or (
+                engine is not None and word in engine.addr_map):
+            self.invalidate_code(word)
+
+    def perf_counters(self) -> dict:
+        """Interpreter-level counters for ``repro profile`` / benchmarks."""
+        counters = {
+            "instret": self.stats.instret,
+            "cycle": self.cycle,
+            "decode_cache_size": len(self._decode_cache),
+            "decode_cache_capacity": self.DECODE_CACHE_CAPACITY,
+            "decode_cache_evictions": self._decode_cache.evictions,
+            "blocks_enabled": self.block_engine is not None,
+            "block_hits": 0,
+            "block_misses": 0,
+            "block_hit_rate": 0.0,
+            "blocks_cached": 0,
+            "block_capacity": 0,
+            "block_evictions": 0,
+            "fast_instret": 0,
+            "invalidations": 0,
+            "slow_pcs": 0,
+        }
+        if self.block_engine is not None:
+            counters.update(self.block_engine.counters())
+        counters["slow_instret"] = (
+            counters["instret"] - counters["fast_instret"])
+        counters["slow_ratio"] = (
+            counters["slow_instret"] / counters["instret"]
+            if counters["instret"] else 0.0)
+        return counters
 
     # -- interrupts --------------------------------------------------------------------
 
@@ -337,6 +435,8 @@ class BaseCore:
             self.mem.write(mem_addr, rs2, size)
             is_store = True
             self.stats.stores += 1
+            if mem_addr < self.mem.size:
+                self._note_code_store(mem_addr)
         elif m == "add":
             self._write_reg(instr.rd, rs1 + rs2)
         elif m == "sub":
@@ -473,9 +573,9 @@ class BaseCore:
         m = instr.mnemonic
         if mem_addr is not None:
             penalty, result_latency = self._mem_time(mem_addr, is_store, issue)
-        elif instr.is_jump:
+        elif m == "jal" or m == "jalr":
             penalty = p.jump_penalty
-        elif instr.is_branch:
+        elif instr.fmt == "B":
             penalty = self._branch_time(instr, taken)
         elif m == "mul" or m == "mulh" or m == "mulhsu" or m == "mulhu":
             result_latency = p.mul_latency

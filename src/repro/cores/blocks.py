@@ -1,0 +1,1072 @@
+"""Basic-block predecoded interpretation for :class:`BaseCore`.
+
+The per-instruction ``step()`` loop pays a decode-cache probe, an
+interrupt poll, a mnemonic if-chain and a timing call for every single
+instruction. This module fetches straight-line instruction runs *once*,
+pre-resolves each :class:`~repro.isa.instructions.Instr` into a compact
+execute record, and dispatches whole blocks from a PC-keyed block cache.
+
+Exactness contract (the whole point):
+
+* Architectural state, cycle counts, stats and error behaviour are
+  byte-identical to the per-instruction path. The reference interpreter
+  (``BaseCore._exec`` / ``_time``) is left untouched and the differential
+  tests run both paths against each other.
+* Anything a block cannot replay exactly stays on the exact path:
+  custom (RTOSUnit) ops, ``mret``, CSR ops, ``wfi``, ``ecall``/``ebreak``
+  are never predecoded, and a tracer, step hook or progress guard on the
+  core disables block dispatch entirely (fault campaigns and invariant
+  checkers therefore always observe the per-instruction path).
+* Interrupts: instead of polling the CLINT per instruction, dispatch
+  computes an *interrupt horizon* — the earliest cycle at which
+  ``Clint.pending`` could return non-None or mutate state (pop an
+  external event) — and bails out of block execution as soon as the
+  cycle counter reaches it. In-block instructions cannot change the
+  horizon (CSR ops are excluded; MMIO stores bail immediately), so the
+  exact path takes the interrupt on precisely the same instruction
+  boundary as before.
+* Stores into cached code (self-modifying code) invalidate the decode
+  and block caches and end the block; the same check runs on the slow
+  path so both modes stay in lockstep.
+
+Two executor layers:
+
+* an *inlined in-order* loop for cores that keep ``BaseCore``'s timing
+  (`CV32E40P`, `CVA6`) — operand indices, immediates and the in-order
+  issue/stall arithmetic are unrolled with hoisted locals, falling back
+  to virtual ``_mem_time`` / ``_branch_time`` calls only when a subclass
+  overrides them;
+* an *architectural* loop for cores that replace ``_time`` wholesale
+  (`NaxRiscv`) — the same inlined execute records, but the core's own
+  ``_time`` runs per record (keeping ``core.cycle`` live for MMIO
+  delegates), still skipping fetch/decode/poll overhead.
+"""
+
+from __future__ import annotations
+
+from repro.cores.base import BaseCore, MASK32, _divrem, _sgn
+from repro.errors import ReproError
+from repro.isa.csr import (MIE, MIP_MEIP, MIP_MSIP, MIP_MTIP, MSTATUS,
+                           MSTATUS_MIE)
+from repro.isa.instructions import BLOCK_TERMINATORS, FMT_CUSTOM, SYNC_OPS
+from repro.mem.memory import MMIO_ADDRS
+from repro.util import LRUCache
+
+_INF = float("inf")
+_WORD = 0xFFFFFFFC
+
+#: Maximum instructions per predecoded block. Blocks normally end at a
+#: control transfer or excluded mnemonic; this bounds straight-line runs
+#: (and decode-ahead into non-code bytes that happen to decode).
+MAX_BLOCK_INSTRS = 96
+
+# -- per-mnemonic execute handlers (generic layer + fence) -------------------
+#
+# Each handler applies the architectural effects of one instruction
+# exactly as ``BaseCore._exec`` does — same value masking, same stats
+# ordering, same pc update — and returns the same
+# ``(mem_addr, is_store, taken)`` info tuple for the core's ``_time``.
+
+_NO_MEM = (None, False, False)
+_JUMP = (None, False, True)
+
+
+def _make_rr(fn):
+    def handler(core, instr):
+        regs = core.regs
+        core._write_reg(instr.rd, fn(regs[instr.rs1], regs[instr.rs2]))
+        core.pc = (instr.addr + 4) & MASK32
+        return _NO_MEM
+    return handler
+
+
+def _make_ri(fn, mask_imm):
+    def handler(core, instr):
+        imm = instr.imm & MASK32 if mask_imm else instr.imm
+        core._write_reg(instr.rd, fn(core.regs[instr.rs1], imm))
+        core.pc = (instr.addr + 4) & MASK32
+        return _NO_MEM
+    return handler
+
+
+def _make_load(size, sign_bit, sign_sub):
+    def handler(core, instr):
+        addr = (core.regs[instr.rs1] + instr.imm) & MASK32
+        value = core.mem.read(addr, size)
+        if sign_bit and value & sign_bit:
+            value -= sign_sub
+        core._write_reg(instr.rd, value)
+        core.stats.loads += 1
+        core.pc = (instr.addr + 4) & MASK32
+        return (addr, False, False)
+    return handler
+
+
+def _make_store(size):
+    def handler(core, instr):
+        regs = core.regs
+        addr = (regs[instr.rs1] + instr.imm) & MASK32
+        core.mem.write(addr, regs[instr.rs2], size)
+        core.stats.stores += 1
+        core.pc = (instr.addr + 4) & MASK32
+        return (addr, True, False)
+    return handler
+
+
+def _make_branch(fn):
+    def handler(core, instr):
+        regs = core.regs
+        core.stats.branches += 1
+        taken = fn(regs[instr.rs1], regs[instr.rs2])
+        if taken:
+            core.pc = (instr.addr + instr.imm) & MASK32
+            core.stats.taken_branches += 1
+        else:
+            core.pc = (instr.addr + 4) & MASK32
+        return (None, False, taken)
+    return handler
+
+
+def _exec_jal(core, instr):
+    core._write_reg(instr.rd, (instr.addr + 4) & MASK32)
+    core.pc = (instr.addr + instr.imm) & MASK32
+    return _JUMP
+
+
+def _exec_jalr(core, instr):
+    target = (core.regs[instr.rs1] + instr.imm) & MASK32 & ~1
+    core._write_reg(instr.rd, (instr.addr + 4) & MASK32)
+    core.pc = target
+    return _JUMP
+
+
+def _exec_lui(core, instr):
+    core._write_reg(instr.rd, instr.imm << 12)
+    core.pc = (instr.addr + 4) & MASK32
+    return _NO_MEM
+
+
+def _exec_auipc(core, instr):
+    core._write_reg(instr.rd, instr.addr + (instr.imm << 12))
+    core.pc = (instr.addr + 4) & MASK32
+    return _NO_MEM
+
+
+def _exec_fence(core, instr):
+    core.pc = (instr.addr + 4) & MASK32
+    return _NO_MEM
+
+
+_ALU_FNS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & 31),
+    "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: _sgn(a) >> (b & 31),
+    "slt": lambda a, b: int(_sgn(a) < _sgn(b)),
+    "sltu": lambda a, b: int(a < b),
+}
+
+#: mnemonic -> (fn(rs1_value, imm), imm is pre-masked to 32 bits)
+_ALUI_FNS = {
+    "addi": (lambda a, b: a + b, False),
+    "andi": (lambda a, b: a & b, True),
+    "ori": (lambda a, b: a | b, True),
+    "xori": (lambda a, b: a ^ b, True),
+    "slti": (lambda a, b: int(_sgn(a) < b), False),
+    "sltiu": (lambda a, b: int(a < b), True),
+    "slli": (lambda a, b: a << b, False),
+    "srli": (lambda a, b: a >> b, False),
+    "srai": (lambda a, b: _sgn(a) >> b, False),
+}
+
+_MUL_FNS = {
+    "mul": lambda a, b: a * b,
+    "mulh": lambda a, b: (_sgn(a) * _sgn(b)) >> 32,
+    "mulhsu": lambda a, b: (_sgn(a) * b) >> 32,
+    "mulhu": lambda a, b: (a * b) >> 32,
+}
+
+_DIV_FNS = {m: (lambda a, b, _m=m: _divrem(_m, a, b))
+            for m in ("div", "divu", "rem", "remu")}
+
+_BRANCH_FNS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _sgn(a) < _sgn(b),
+    "bge": lambda a, b: _sgn(a) >= _sgn(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+_LOAD_SPECS = {
+    "lw": (4, 0, 0),
+    "lh": (2, 0x8000, 0x10000),
+    "lhu": (2, 0, 0),
+    "lb": (1, 0x80, 0x100),
+    "lbu": (1, 0, 0),
+}
+
+EXEC_HANDLERS = {
+    "jal": _exec_jal,
+    "jalr": _exec_jalr,
+    "lui": _exec_lui,
+    "auipc": _exec_auipc,
+    "fence": _exec_fence,
+    "sw": _make_store(4),
+    "sh": _make_store(2),
+    "sb": _make_store(1),
+}
+for _m, _fn in _ALU_FNS.items():
+    EXEC_HANDLERS[_m] = _make_rr(_fn)
+for _m, _fn in _MUL_FNS.items():
+    EXEC_HANDLERS[_m] = _make_rr(_fn)
+for _m, _fn in _DIV_FNS.items():
+    EXEC_HANDLERS[_m] = _make_rr(_fn)
+for _m, (_fn, _mask) in _ALUI_FNS.items():
+    EXEC_HANDLERS[_m] = _make_ri(_fn, _mask)
+for _m, _fn in _BRANCH_FNS.items():
+    EXEC_HANDLERS[_m] = _make_branch(_fn)
+for _m, (_size, _bit, _sub) in _LOAD_SPECS.items():
+    EXEC_HANDLERS[_m] = _make_load(_size, _bit, _sub)
+
+# -- execute-record kinds for the inlined in-order layer ---------------------
+
+K_ADDI = 0
+K_ALU = 1
+K_ALUI = 2
+K_LUI = 3
+K_AUIPC = 4
+_K_SIMPLE_MAX = K_AUIPC   # kinds <= this share the zero-penalty ALU tail
+K_LW = 5
+K_LBH = 6
+K_SW = 7
+K_SBH = 8
+K_BRANCH = 9
+K_JAL = 10
+K_JALR = 11
+K_MUL = 12
+K_DIV = 13
+K_GENERIC = 14
+
+
+def _classify_inorder(instr: Instr):
+    """Pre-resolve one instruction into an inlined-execution record.
+
+    Record layout: ``(kind, rd, rs1, rs2, imm, instr, fn)`` where ``fn``
+    carries the bound operator / load spec / store size per kind.
+    Returns None when the mnemonic has no inlined kind and no generic
+    handler (the block then ends and the instruction stays slow-path).
+    """
+    m = instr.mnemonic
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    if m == "addi":
+        return (K_ADDI, rd, rs1, rs2, imm, instr, None)
+    fn = _ALU_FNS.get(m)
+    if fn is not None:
+        return (K_ALU, rd, rs1, rs2, imm, instr, fn)
+    spec = _ALUI_FNS.get(m)
+    if spec is not None:
+        fn, mask_imm = spec
+        return (K_ALUI, rd, rs1, rs2,
+                imm & MASK32 if mask_imm else imm, instr, fn)
+    if m == "lw":
+        return (K_LW, rd, rs1, rs2, imm, instr, None)
+    load = _LOAD_SPECS.get(m)
+    if load is not None:
+        return (K_LBH, rd, rs1, rs2, imm, instr, load)
+    if m == "sw":
+        return (K_SW, rd, rs1, rs2, imm, instr, None)
+    if m == "sh" or m == "sb":
+        return (K_SBH, rd, rs1, rs2, imm, instr, 2 if m == "sh" else 1)
+    fn = _BRANCH_FNS.get(m)
+    if fn is not None:
+        return (K_BRANCH, rd, rs1, rs2, imm, instr, fn)
+    if m == "jal":
+        return (K_JAL, rd, rs1, rs2, imm, instr, None)
+    if m == "jalr":
+        return (K_JALR, rd, rs1, rs2, imm, instr, None)
+    if m == "lui":
+        return (K_LUI, rd, rs1, rs2, imm, instr, None)
+    if m == "auipc":
+        return (K_AUIPC, rd, rs1, rs2, imm, instr, None)
+    fn = _MUL_FNS.get(m)
+    if fn is not None:
+        return (K_MUL, rd, rs1, rs2, imm, instr, fn)
+    fn = _DIV_FNS.get(m)
+    if fn is not None:
+        return (K_DIV, rd, rs1, rs2, imm, instr, fn)
+    handler = EXEC_HANDLERS.get(m)
+    if handler is None:
+        return None
+    return (K_GENERIC, rd, rs1, rs2, imm, instr, handler)
+
+
+class Block:
+    """One predecoded straight-line run starting at ``entry``."""
+
+    __slots__ = ("entry", "records", "addrs")
+
+    def __init__(self, entry, records, addrs):
+        self.entry = entry
+        self.records = records
+        self.addrs = addrs
+
+    def __len__(self):
+        return len(self.records)
+
+
+class BlockEngine:
+    """PC-keyed block cache plus the two block executors for one core."""
+
+    def __init__(self, core: BaseCore, capacity: int | None = None):
+        self.core = core
+        if capacity is None:
+            capacity = core.BLOCK_CACHE_CAPACITY
+        self.cache = LRUCache(capacity, self._on_evict)
+        #: word address -> set of block entry PCs covering that word.
+        self.addr_map: dict[int, set[int]] = {}
+        #: PCs whose first instruction must stay on the exact path.
+        self.slow_pcs: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.fast_instret = 0
+        cls = type(core)
+        #: True when the core keeps BaseCore's in-order timing engine and
+        #: reference executor, enabling the fully inlined loop.
+        self._inorder = (cls._time is BaseCore._time
+                         and cls._exec is BaseCore._exec
+                         and cls._step_normal is BaseCore._step_normal)
+        self._base_mem = cls._mem_time is BaseCore._mem_time
+        self._base_branch = cls._branch_time is BaseCore._branch_time
+        params = core.params
+        # Static per-core state, unpacked into executor locals in one go
+        # (tuple unpack beats a pile of attribute chains per block). All
+        # referenced objects are stable for the core's lifetime; per-run
+        # dynamic state (cycle, bank, dirty tracking, the timeline — the
+        # System rewires ``core.timeline`` after construction) is hoisted
+        # per call instead.
+        self._hoist = (
+            core.mem, core.mem.data, core.mem.size,
+            core.reg_avail, core.stats,
+            core._decode_cache, self.addr_map, MMIO_ADDRS,
+            self._base_mem, self._base_branch,
+            params.load_result_latency, params.branch_taken_penalty,
+            params.jump_penalty, params.mul_latency, params.div_cycles,
+            core.config.dirty,
+        )
+        self._exec_block = (self._exec_block_inorder if self._inorder
+                            else self._exec_block_arch)
+
+    # -- cache maintenance ---------------------------------------------------
+
+    def _on_evict(self, entry, block):
+        self._unregister(block)
+
+    def _unregister(self, block):
+        addr_map = self.addr_map
+        entry = block.entry
+        for a in block.addrs:
+            pcs = addr_map.get(a)
+            if pcs is not None:
+                pcs.discard(entry)
+                if not pcs:
+                    del addr_map[a]
+
+    def invalidate_word(self, word: int) -> None:
+        """Drop every cached block containing *word* (word-aligned)."""
+        self.slow_pcs.discard(word)
+        pcs = self.addr_map.get(word)
+        if not pcs:
+            return
+        self.invalidations += 1
+        for entry in tuple(pcs):
+            block = self.cache.pop(entry, None)
+            if block is not None:
+                self._unregister(block)
+            else:
+                pcs.discard(entry)
+        if word in self.addr_map and not self.addr_map[word]:
+            del self.addr_map[word]
+
+    def counters(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "block_hits": self.hits,
+            "block_misses": self.misses,
+            "block_hit_rate": self.hits / total if total else 0.0,
+            "blocks_cached": len(self.cache),
+            "block_capacity": self.cache.capacity or 0,
+            "block_evictions": self.cache.evictions,
+            "fast_instret": self.fast_instret,
+            "invalidations": self.invalidations,
+            "slow_pcs": len(self.slow_pcs),
+        }
+
+    # -- predecode -----------------------------------------------------------
+
+    def _build(self, pc: int):
+        core = self.core
+        fetch = core._fetch
+        records = []
+        addrs = []
+        addr = pc
+        for _ in range(MAX_BLOCK_INSTRS):
+            try:
+                instr = fetch(addr)
+            except ReproError:
+                break  # ran off RAM or into non-code bytes: end the block
+            m = instr.mnemonic
+            if instr.fmt == FMT_CUSTOM or m in SYNC_OPS:
+                break
+            rec = _classify_inorder(instr)
+            if rec is None:
+                break
+            records.append(rec)
+            addrs.append(addr)
+            if m in BLOCK_TERMINATORS:
+                break
+            addr = (addr + 4) & MASK32
+        if not records:
+            return None
+        block = Block(pc, tuple(records), tuple(addrs))
+        self.cache[pc] = block
+        addr_map = self.addr_map
+        for a in addrs:
+            pcs = addr_map.get(a)
+            if pcs is None:
+                addr_map[a] = {pc}
+            else:
+                pcs.add(pc)
+        return block
+
+    # -- interrupt horizon ---------------------------------------------------
+
+    def _horizon(self):
+        """Earliest cycle at which ``Clint.pending`` could fire or mutate.
+
+        Mirrors ``BaseCore._maybe_take_interrupt`` + ``Clint.pending``:
+        no CLINT or a clear global enable means no per-step poll happens
+        at all (and ``pending`` is never called, so no side effects);
+        otherwise the next external event (whose arrival *pops* the event
+        queue — observable through ``wfi`` — regardless of MEIP), a
+        pending software interrupt, and the timer compare each bound how
+        far block execution may run without an exact-path poll.
+        """
+        core = self.core
+        clint = core.clint
+        if clint is None:
+            return _INF
+        csr_regs = core.csr.regs
+        if not (csr_regs.get(MSTATUS, 0) & MSTATUS_MIE):
+            return _INF
+        mie = csr_regs.get(MIE, 0)
+        horizon = _INF
+        if clint._external_pending_since is not None:
+            if mie & MIP_MEIP:
+                return core.cycle
+        elif clint.external_events:
+            horizon = clint.external_events[0]
+        if clint.msip and mie & MIP_MSIP:
+            return core.cycle
+        if mie & MIP_MTIP and clint.mtimecmp < horizon:
+            horizon = clint.mtimecmp
+        return horizon
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, max_cycles: int) -> None:
+        """Execute predecoded blocks until exact-path attention is needed.
+
+        Returns with the core fully synced whenever the cycle limit is
+        crossed, an interrupt may be pending, or the next instruction is
+        slow-path; the caller's per-instruction loop handles it.
+
+        The interrupt horizon is computed lazily and cached across blocks:
+        inside dispatch nothing but an MMIO store can change its inputs
+        (CSR ops never enter blocks, ``read_mmio`` is side-effect-free,
+        and event-queue pops happen only in the exact-path poll), so it is
+        recomputed only after an executor reports an MMIO store. Cache
+        probes use the raw dict lookup; LRU recency is refreshed only once
+        the cache is actually full, when eviction order starts to matter.
+        """
+        core = self.core
+        cache = self.cache
+        cap = cache.capacity or _INF
+        dget = dict.get
+        slow_pcs = self.slow_pcs
+        exec_block = self._exec_block
+        horizon = None
+        while True:
+            if core.halted or core.cycle > max_cycles:
+                return
+            pc = core.pc
+            block = dget(cache, pc)
+            if block is None:
+                if pc in slow_pcs:
+                    return
+                block = self._build(pc)
+                if block is None:
+                    if len(slow_pcs) >= 65536:
+                        slow_pcs.clear()
+                    slow_pcs.add(pc)
+                    return
+                self.misses += 1
+            else:
+                self.hits += 1
+                if len(cache) >= cap:
+                    cache.move_to_end(pc)
+            if horizon is None:
+                horizon = self._horizon()
+            if horizon <= core.cycle:
+                return
+            bail = horizon if horizon <= max_cycles else max_cycles + 1
+            if exec_block(block, bail):
+                horizon = None  # MMIO store: the CLINT may have re-armed
+
+    # -- executors -----------------------------------------------------------
+
+    def _exec_block_arch(self, block, bail):
+        """Inlined execute + per-record virtual ``_time`` (NaxRiscv).
+
+        Architectural effects run exactly as in the in-order layer, but
+        every record calls the core's own ``_time`` (the OoO dataflow
+        window), which keeps ``core.cycle`` live — MMIO delegates never
+        need an explicit sync. Straight-line ``core.pc`` updates are
+        deferred like the in-order layer (``_time`` implementations never
+        read ``core.pc``; they key on ``instr.addr``). Returns True when
+        the block ended on an MMIO store (the horizon must be redone).
+        """
+        core = self.core
+        (mem, data, memsize, _avail, stats, dcache, addr_map,
+         mmio, _base_mem, _base_branch, _ll, _tp, _jp, _ml, _dc,
+         config_dirty) = self._hoist
+        bank = core.active_bank
+        regs = core.banks[bank]
+        track_dirty = bank == 0 and config_dirty
+        time_fn = core._time
+        loads = stores = branches = takenb = regw = dirty = done = 0
+        instr = None
+        pc_set = False
+        mmio_store = False
+        try:
+            for rec in block.records:
+                kind, rd, rs1, rs2, imm, instr, fn = rec
+                pc_set = False
+                if kind <= _K_SIMPLE_MAX:
+                    if kind == K_ADDI:
+                        value = regs[rs1] + imm
+                    elif kind == K_ALU:
+                        value = fn(regs[rs1], regs[rs2])
+                    elif kind == K_ALUI:
+                        value = fn(regs[rs1], imm)
+                    elif kind == K_LUI:
+                        value = imm << 12
+                    else:  # K_AUIPC
+                        value = instr.addr + (imm << 12)
+                    if rd:
+                        regs[rd] = value & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                    time_fn(instr, _NO_MEM)
+                elif kind == K_LW or kind == K_LBH:
+                    if kind == K_LW:
+                        size, sign_bit, sign_sub = 4, 0, 0
+                    else:
+                        size, sign_bit, sign_sub = fn
+                    addr = (regs[rs1] + imm) & MASK32
+                    if addr in mmio:
+                        value = mem.read(addr, size)  # cycle already live
+                    elif addr % size or addr + size > memsize:
+                        value = mem.read(addr, size)  # raises exactly
+                    else:
+                        value = int.from_bytes(data[addr:addr + size],
+                                               "little")
+                    if sign_bit and value & sign_bit:
+                        value -= sign_sub
+                    if rd:
+                        regs[rd] = value & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                    loads += 1
+                    time_fn(instr, (addr, False, False))
+                elif kind == K_SW or kind == K_SBH:
+                    size = 4 if kind == K_SW else fn
+                    addr = (regs[rs1] + imm) & MASK32
+                    if addr in mmio:
+                        mem.write(addr, regs[rs2], size)
+                        stores += 1
+                        time_fn(instr, (addr, True, False))
+                        done += 1
+                        mmio_store = True
+                        break  # halt/msip/mtimecmp may have changed
+                    if addr % size or addr + size > memsize:
+                        mem.write(addr, regs[rs2], size)  # raises exactly
+                    if size == 4:
+                        data[addr:addr + 4] = regs[rs2].to_bytes(4, "little")
+                    else:
+                        mask = (1 << (8 * size)) - 1
+                        data[addr:addr + size] = (regs[rs2] & mask).to_bytes(
+                            size, "little")
+                    stores += 1
+                    time_fn(instr, (addr, True, False))
+                    done += 1
+                    word = addr & _WORD
+                    if word in dcache or word in addr_map:
+                        core.invalidate_code(word)  # self-modifying store
+                        break
+                    if core.cycle >= bail:
+                        break
+                    continue
+                elif kind == K_BRANCH:
+                    branches += 1
+                    taken = fn(regs[rs1], regs[rs2])
+                    if taken:
+                        takenb += 1
+                        core.pc = (instr.addr + imm) & MASK32
+                        pc_set = True
+                        time_fn(instr, _JUMP)  # (None, False, taken=True)
+                    else:
+                        time_fn(instr, _NO_MEM)
+                elif kind == K_JAL or kind == K_JALR:
+                    if kind == K_JALR:
+                        target = (regs[rs1] + imm) & MASK32 & ~1
+                    else:
+                        target = (instr.addr + imm) & MASK32
+                    if rd:
+                        regs[rd] = (instr.addr + 4) & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                    core.pc = target
+                    pc_set = True
+                    time_fn(instr, _JUMP)
+                elif kind == K_MUL or kind == K_DIV:
+                    value = fn(regs[rs1], regs[rs2])
+                    if rd:
+                        regs[rd] = value & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                    time_fn(instr, _NO_MEM)
+                else:  # K_GENERIC (fence and any future mnemonic)
+                    info = fn(core, instr)
+                    time_fn(instr, info)
+                    pc_set = True
+                    if info[1]:  # a future store-like handler: same checks
+                        done += 1
+                        addr = info[0]
+                        if addr in mmio:
+                            mmio_store = True
+                            break
+                        word = addr & _WORD
+                        if word in dcache or word in addr_map:
+                            core.invalidate_code(word)
+                            break
+                        if core.cycle >= bail:
+                            break
+                        continue
+                done += 1
+                if core.cycle >= bail:
+                    break
+        except BaseException:
+            # Exact-path contract: a faulting instruction leaves pc at its
+            # own address.
+            if instr is not None:
+                core.pc = instr.addr
+            raise
+        finally:
+            stats.instret += done
+            stats.loads += loads
+            stats.stores += stores
+            stats.branches += branches
+            stats.taken_branches += takenb
+            stats.reg_writes += regw
+            if dirty:
+                core.dirty_mask |= dirty
+            self.fast_instret += done
+        if not pc_set:
+            core.pc = (instr.addr + 4) & MASK32
+        return mmio_store
+
+    def _exec_block_inorder(self, block, bail):
+        """Fully inlined loop for cores on BaseCore's in-order timing.
+
+        Hot state (cycle, next_issue, stat deltas, the active register
+        bank) is hoisted into locals and synced back on every exit path;
+        ``core.cycle`` is synced *before* any MMIO delegate (mtime and
+        probe records read it). The bank cannot change inside a block
+        (traps/mret/custom ops are never predecoded), so hoisting
+        ``regs`` once per block is exact. Returns True when the block
+        ended on an MMIO store (the dispatch horizon must be redone).
+        """
+        core = self.core
+        (mem, data, memsize, avail, stats, dcache, addr_map,
+         mmio, base_mem, base_branch, load_lat, taken_pen, jump_pen,
+         mul_lat, div_cyc, config_dirty) = self._hoist
+        mark_busy = core.timeline.mark_core_busy
+        bank = core.active_bank
+        regs = core.banks[bank]
+        track_dirty = bank == 0 and config_dirty
+        cycle = core.cycle
+        next_issue = core.next_issue
+        loads = stores = branches = takenb = regw = stall = dirty = done = 0
+        instr = None
+        pc_set = False
+        mmio_store = False
+        try:
+            for rec in block.records:
+                kind, rd, rs1, rs2, imm, instr, fn = rec
+                pc_set = False
+                if kind <= _K_SIMPLE_MAX:
+                    # Zero-penalty, zero-latency ALU class.
+                    if kind == K_ADDI:
+                        value = regs[rs1] + imm
+                    elif kind == K_ALU:
+                        value = fn(regs[rs1], regs[rs2])
+                    elif kind == K_ALUI:
+                        value = fn(regs[rs1], imm)
+                    elif kind == K_LUI:
+                        value = imm << 12
+                    else:  # K_AUIPC
+                        value = instr.addr + (imm << 12)
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if rd:
+                        regs[rd] = value & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = issue
+                    cycle = issue
+                    next_issue = issue + 1
+                elif kind == K_LW:
+                    addr = (regs[rs1] + imm) & MASK32
+                    if addr in mmio:
+                        core.cycle = cycle  # mtime reads the live cycle
+                        value = mem.read(addr, 4)
+                    elif addr & 3 or addr + 4 > memsize:
+                        value = mem.read(addr, 4)  # raises exactly
+                    else:
+                        value = int.from_bytes(data[addr:addr + 4], "little")
+                    if rd:
+                        regs[rd] = value
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                    loads += 1
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if base_mem:
+                        mark_busy(issue)
+                        if rd:
+                            avail[rd] = issue + load_lat
+                        cycle = issue
+                    else:
+                        pen, rlat = core._mem_time(addr, False, issue)
+                        if rd:
+                            avail[rd] = issue + rlat
+                        cycle = issue + pen
+                    next_issue = cycle + 1
+                elif kind == K_SW:
+                    addr = (regs[rs1] + imm) & MASK32
+                    if addr in mmio:
+                        core.cycle = cycle  # probe/halt record the live cycle
+                        mem.write(addr, regs[rs2], 4)
+                        stores += 1
+                        issue = next_issue
+                        a = avail[rs1]
+                        if a > issue:
+                            issue = a
+                        a = avail[rs2]
+                        if a > issue:
+                            issue = a
+                        stall += issue - next_issue
+                        if base_mem:
+                            mark_busy(issue)
+                            cycle = issue
+                        else:
+                            pen, _rlat = core._mem_time(addr, True, issue)
+                            cycle = issue + pen
+                        next_issue = cycle + 1
+                        done += 1
+                        mmio_store = True
+                        break  # halt/msip/mtimecmp may have changed
+                    if addr & 3 or addr + 4 > memsize:
+                        mem.write(addr, regs[rs2], 4)  # raises exactly
+                    data[addr:addr + 4] = regs[rs2].to_bytes(4, "little")
+                    stores += 1
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if base_mem:
+                        mark_busy(issue)
+                        cycle = issue
+                    else:
+                        pen, _rlat = core._mem_time(addr, True, issue)
+                        cycle = issue + pen
+                    next_issue = cycle + 1
+                    done += 1
+                    word = addr & _WORD
+                    if word in dcache or word in addr_map:
+                        core.invalidate_code(word)  # self-modifying store
+                        break
+                    if cycle >= bail:
+                        break
+                    continue
+                elif kind == K_BRANCH:
+                    branches += 1
+                    taken = fn(regs[rs1], regs[rs2])
+                    if taken:
+                        takenb += 1
+                        core.pc = (instr.addr + imm) & MASK32
+                        pc_set = True
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if base_branch:
+                        cycle = issue + (taken_pen if taken else 0)
+                    else:
+                        cycle = issue + core._branch_time(instr, taken)
+                    next_issue = cycle + 1
+                elif kind == K_JAL:
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if rd:
+                        regs[rd] = (instr.addr + 4) & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = issue
+                    core.pc = (instr.addr + imm) & MASK32
+                    pc_set = True
+                    cycle = issue + jump_pen
+                    next_issue = cycle + 1
+                elif kind == K_JALR:
+                    target = (regs[rs1] + imm) & MASK32 & ~1
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if rd:
+                        regs[rd] = (instr.addr + 4) & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = issue
+                    core.pc = target
+                    pc_set = True
+                    cycle = issue + jump_pen
+                    next_issue = cycle + 1
+                elif kind == K_LBH:
+                    size, sign_bit, sign_sub = fn
+                    addr = (regs[rs1] + imm) & MASK32
+                    if addr in mmio:
+                        core.cycle = cycle
+                        value = mem.read(addr, size)
+                    elif addr % size or addr + size > memsize:
+                        value = mem.read(addr, size)  # raises exactly
+                    else:
+                        value = int.from_bytes(data[addr:addr + size],
+                                               "little")
+                    if sign_bit and value & sign_bit:
+                        value -= sign_sub
+                    if rd:
+                        regs[rd] = value & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                    loads += 1
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if base_mem:
+                        mark_busy(issue)
+                        if rd:
+                            avail[rd] = issue + load_lat
+                        cycle = issue
+                    else:
+                        pen, rlat = core._mem_time(addr, False, issue)
+                        if rd:
+                            avail[rd] = issue + rlat
+                        cycle = issue + pen
+                    next_issue = cycle + 1
+                elif kind == K_SBH:
+                    size = fn
+                    addr = (regs[rs1] + imm) & MASK32
+                    if addr in mmio:
+                        core.cycle = cycle
+                        mem.write(addr, regs[rs2], size)
+                        stores += 1
+                        issue = next_issue
+                        a = avail[rs1]
+                        if a > issue:
+                            issue = a
+                        a = avail[rs2]
+                        if a > issue:
+                            issue = a
+                        stall += issue - next_issue
+                        if base_mem:
+                            mark_busy(issue)
+                            cycle = issue
+                        else:
+                            pen, _rlat = core._mem_time(addr, True, issue)
+                            cycle = issue + pen
+                        next_issue = cycle + 1
+                        done += 1
+                        mmio_store = True
+                        break
+                    if addr % size or addr + size > memsize:
+                        mem.write(addr, regs[rs2], size)  # raises exactly
+                    mask = (1 << (8 * size)) - 1
+                    data[addr:addr + size] = (regs[rs2] & mask).to_bytes(
+                        size, "little")
+                    stores += 1
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if base_mem:
+                        mark_busy(issue)
+                        cycle = issue
+                    else:
+                        pen, _rlat = core._mem_time(addr, True, issue)
+                        cycle = issue + pen
+                    next_issue = cycle + 1
+                    done += 1
+                    word = addr & _WORD
+                    if word in dcache or word in addr_map:
+                        core.invalidate_code(word)
+                        break
+                    if cycle >= bail:
+                        break
+                    continue
+                elif kind == K_MUL:
+                    value = fn(regs[rs1], regs[rs2])
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if rd:
+                        regs[rd] = value & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = issue + mul_lat
+                    cycle = issue
+                    next_issue = issue + 1
+                elif kind == K_DIV:
+                    value = fn(regs[rs1], regs[rs2])
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if rd:
+                        regs[rd] = value & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = issue
+                    cycle = issue + div_cyc
+                    next_issue = cycle + 1
+                else:  # K_GENERIC (fence and any future mnemonic)
+                    core.cycle = cycle
+                    core.next_issue = next_issue
+                    info = fn(core, instr)
+                    core._time(instr, info)
+                    cycle = core.cycle
+                    next_issue = core.next_issue
+                    pc_set = True
+                    if info[1]:  # a future store-like handler: same checks
+                        done += 1
+                        addr = info[0]
+                        if addr in mmio:
+                            mmio_store = True
+                            break
+                        word = addr & _WORD
+                        if word in dcache or word in addr_map:
+                            core.invalidate_code(word)
+                            break
+                        if cycle >= bail:
+                            break
+                        continue
+                done += 1
+                if cycle >= bail:
+                    break
+        except BaseException:
+            # Exact-path contract: a faulting instruction leaves pc at its
+            # own address and the cycle at the previous completion.
+            if instr is not None:
+                core.pc = instr.addr
+            raise
+        finally:
+            core.cycle = cycle
+            core.next_issue = next_issue
+            stats.instret += done
+            stats.loads += loads
+            stats.stores += stores
+            stats.branches += branches
+            stats.taken_branches += takenb
+            stats.reg_writes += regw
+            stats.stall_cycles += stall
+            if dirty:
+                core.dirty_mask |= dirty
+            self.fast_instret += done
+        if not pc_set:
+            core.pc = (instr.addr + 4) & MASK32
+        return mmio_store

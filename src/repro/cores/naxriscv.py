@@ -65,9 +65,15 @@ class NaxRiscv(BaseCore):
     def _time(self, instr: Instr, info: tuple[int | None, bool, bool]) -> None:
         mem_addr, is_store, taken = info
         params = self.params
-        front = self._advance_front()
-        issue = max(front, self.reg_avail[instr.rs1],
-                    self.reg_avail[instr.rs2])
+        # _advance_front, inlined: this runs once per retired instruction.
+        slots = self._front_slots
+        if slots == 0:
+            self._front += 1
+            slots = params.issue_width
+        self._front_slots = slots - 1
+        front = self._front
+        avail = self.reg_avail
+        issue = max(front, avail[instr.rs1], avail[instr.rs2])
         self.stats.stall_cycles += issue - front
         latency = 1
         serialize_after = None
@@ -79,16 +85,17 @@ class NaxRiscv(BaseCore):
             issue = max(issue, self._lsu_next)
             latency, occupancy = self._mem_latency(mem_addr, is_store, issue)
             self._lsu_next = issue + occupancy
-        elif instr.is_branch:
+        elif instr.fmt == "B":
             correct = self.predictor.predict_and_update(instr.addr, taken)
             if not correct:
                 self.stats.mispredicts += 1
                 self._flush_front(issue + 1 + params.branch_mispredict_penalty)
-        elif instr.is_jump:
-            if mnemonic == "jalr":
-                # Indirect targets resolve at issue; assume BTB hit half
-                # the time is too fine-grained — charge a small redirect.
-                self._flush_front(issue + 2)
+        elif mnemonic == "jalr":
+            # Indirect targets resolve at issue; assume BTB hit half
+            # the time is too fine-grained — charge a small redirect.
+            self._flush_front(issue + 2)
+        elif mnemonic == "jal":
+            pass  # BTB-predicted, no redirect
         elif mnemonic in ("mul", "mulh", "mulhsu", "mulhu"):
             latency = params.mul_latency
         elif mnemonic in ("div", "divu", "rem", "remu"):
@@ -98,8 +105,9 @@ class NaxRiscv(BaseCore):
             latency = params.csr_cycles
         complete = issue + latency
         if instr.rd:
-            self.reg_avail[instr.rd] = complete
-        self._last_commit = max(self._last_commit, complete)
+            avail[instr.rd] = complete
+        if complete > self._last_commit:
+            self._last_commit = complete
         self.cycle = self._last_commit
         self.next_issue = max(self._front, issue + 1)
         if serialize_after is not None:

@@ -119,6 +119,14 @@ class System:
         """Run to completion; returns the exit code from the HALT store."""
         return self.core.run(max_cycles=max_cycles)
 
+    def perf_counters(self) -> dict:
+        """Simulator-side performance counters of the attached core.
+
+        Covers the decode cache, block-dispatch cache and slow-path
+        ratio — see ``repro profile`` and docs/PERF.md.
+        """
+        return self.core.perf_counters()
+
     @property
     def console_text(self) -> str:
         return "".join(self.console)

@@ -3,7 +3,11 @@
 Attach a :class:`Tracer` to a core to capture a bounded window of
 decoded instructions with their cycles, plus every trap/mret boundary.
 Tracing exists for debugging kernels and workloads — it is off by
-default and costs nothing when detached.
+default and costs nothing when detached. Attaching a tracer disables
+basic-block dispatch for the whole run (see ``repro.cores.blocks``):
+the trace must observe every single instruction, so the core stays on
+the exact per-instruction path — results are identical either way, the
+simulation just runs at reference-interpreter speed.
 
 ``format_switch_timeline`` renders the measured context switches of a
 finished run as a table: trigger → entry → mret with the latency split

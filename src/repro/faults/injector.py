@@ -70,6 +70,10 @@ class FaultInjector:
         if addr + 4 > memory.size:
             addr = (addr % (memory.size - 4)) & ~3
         new = memory.flip_bit(addr, fault.bit)
+        # Keep the block cache coherent with the decode cache: blocks
+        # rebuild through the (possibly stale) decode cache, so only the
+        # block side is dropped — campaign semantics stay unchanged.
+        self.system.core.invalidate_code(addr, decode_cache=False)
         return f"[{addr:#010x}] -> {new:#010x}"
 
     def _apply_sched_flip(self, fault: FaultSpec) -> str:
@@ -99,6 +103,7 @@ class FaultInjector:
         addr = base + (fault.target * 4) % max(span, 4)
         addr &= ~3
         new = self.system.memory.flip_bit(addr, fault.bit)
+        self.system.core.invalidate_code(addr, decode_cache=False)
         return f"sw list word [{addr:#010x}] -> {new:#010x}"
 
     def _apply_irq_drop(self, fault: FaultSpec) -> str:

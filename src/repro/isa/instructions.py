@@ -86,6 +86,37 @@ STORES = frozenset({"sb", "sh", "sw"})
 MUL_DIV = frozenset({"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"})
 CSR_OPS = frozenset({"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"})
 
+#: Mnemonics the block predecoder must leave on the exact per-instruction
+#: path: CSR traffic, privilege/bank transitions, waiting and environment
+#: calls all have side effects (interrupt enables, RTOSUnit FSMs, time
+#: skips) that a predecoded block cannot replay cycle-exactly.
+SYNC_OPS = CSR_OPS | frozenset({"mret", "wfi", "ecall", "ebreak"})
+
+#: Control transfers that terminate (and are included in) a basic block.
+BLOCK_TERMINATORS = frozenset(
+    {"jal", "jalr", "beq", "bne", "blt", "bge", "bltu", "bgeu"})
+
+
+def opclass(mnemonic: str, fmt: str = "") -> str:
+    """Coarse opcode class used for per-opcode cycle attribution."""
+    if mnemonic in LOADS:
+        return "load"
+    if mnemonic in STORES:
+        return "store"
+    if mnemonic in MUL_DIV:
+        return "muldiv"
+    if mnemonic in CSR_OPS:
+        return "csr"
+    if mnemonic in ("jal", "jalr"):
+        return "jump"
+    if fmt == FMT_B or mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        return "branch"
+    if fmt == FMT_CUSTOM or mnemonic.startswith("custom."):
+        return "custom"
+    if mnemonic in ("mret", "wfi", "ecall", "ebreak", "fence"):
+        return "system"
+    return "alu"
+
 # Major opcodes.
 OP_LUI = 0b0110111
 OP_AUIPC = 0b0010111

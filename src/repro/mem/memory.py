@@ -37,6 +37,10 @@ _MMIO_ADDRS = frozenset({
     MSIP_ADDR, MTIMECMP_ADDR, MTIME_ADDR, HALT_ADDR, PUTCHAR_ADDR, PROBE_ADDR,
 })
 
+#: Public alias used by the block interpreter's inlined load/store fast
+#: path (repro.cores.blocks) to route MMIO through the exact delegate.
+MMIO_ADDRS = _MMIO_ADDRS
+
 
 def is_mmio(addr: int) -> bool:
     """True when *addr* falls in an MMIO window rather than RAM."""
@@ -69,11 +73,15 @@ class Memory:
     # -- raw RAM access (no MMIO, used by loaders and the RTOSUnit FSMs) -----
 
     def read_word_raw(self, addr: int) -> int:
-        self._check(addr, 4)
+        # Hot path for the RTOSUnit context FSMs: only call into the
+        # checker (which raises with a precise message) when needed.
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4)
         return int.from_bytes(self.data[addr:addr + 4], "little")
 
     def write_word_raw(self, addr: int, value: int) -> None:
-        self._check(addr, 4)
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4)
         self.data[addr:addr + 4] = (value & MASK32).to_bytes(4, "little")
 
     def flip_bit(self, addr: int, bit: int) -> int:

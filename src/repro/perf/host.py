@@ -1,0 +1,43 @@
+"""Host metadata + the common envelope for BENCH_*.json records.
+
+Benchmark artifacts are compared across CI runs and developer machines;
+raw numbers are meaningless without knowing what produced them. Every
+benchmark writer goes through :func:`bench_record` so the files share a
+``schema`` tag (for forward-compatible consumers) and a ``host`` block
+(python version/implementation, platform, CPU count).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+#: Version tag for every benchmark artifact this repo writes.
+BENCH_SCHEMA = "repro-bench/v1"
+
+
+def host_info() -> dict:
+    """Describe the machine and interpreter producing a benchmark."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def bench_record(name: str, payload: dict) -> dict:
+    """Wrap one benchmark's *payload* in the shared envelope.
+
+    ``payload`` keys land at the top level next to ``schema``/``bench``/
+    ``host`` so existing consumers keep their field paths.
+    """
+    record = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "host": host_info(),
+    }
+    record.update(payload)
+    return record

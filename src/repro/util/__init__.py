@@ -1,0 +1,5 @@
+"""Small shared utilities (bounded caches)."""
+
+from repro.util.lru import LRUCache
+
+__all__ = ["LRUCache"]

@@ -1,0 +1,48 @@
+"""A bounded mapping with least-recently-used eviction.
+
+Both the per-PC decode cache and the basic-block cache of
+:mod:`repro.cores.blocks` must stay bounded so long fault campaigns and
+service runs cannot grow memory without limit. The capacities default to
+values far above any real program in this repo, so eviction never fires
+in practice and cached behaviour stays byte-identical to an unbounded
+dict — the bound is a safety net, not a working set knob.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+
+class LRUCache(OrderedDict):
+    """``OrderedDict`` with a capacity bound and LRU eviction.
+
+    :meth:`get` refreshes recency; plain ``[]`` reads do not. Inserting
+    past ``capacity`` evicts the least-recently-used entry and invokes
+    ``on_evict(key, value)`` if given. ``capacity=None`` (or <= 0) means
+    unbounded.
+    """
+
+    def __init__(self, capacity: int | None = None,
+                 on_evict: Callable[[object, object], None] | None = None):
+        super().__init__()
+        self.capacity = capacity if capacity and capacity > 0 else None
+        self.on_evict = on_evict
+        self.evictions = 0
+
+    def get(self, key, default=None):
+        try:
+            value = OrderedDict.__getitem__(self, key)
+        except KeyError:
+            return default
+        self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value):
+        OrderedDict.__setitem__(self, key, value)
+        self.move_to_end(key)
+        if self.capacity is not None and len(self) > self.capacity:
+            old_key, old_value = self.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(old_key, old_value)

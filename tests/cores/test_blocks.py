@@ -1,0 +1,292 @@
+"""Unit tests for the basic-block predecoded interpreter.
+
+Covers predecode boundaries, the block cache (LRU bounds, eviction,
+slow-pc memoisation), the interrupt horizon, and per-fragment parity
+between block dispatch and the exact per-instruction path on every
+core. The broader suite-level equivalence lives in
+``test_blocks_differential.py``.
+"""
+
+import pytest
+
+from repro.cores import CORE_CLASSES
+from repro.cores.blocks import MAX_BLOCK_INSTRS, BlockEngine
+from repro.cores.system import System
+from repro.isa.assembler import assemble
+from repro.rtosunit.config import parse_config
+from tests.cores.helpers import HALT_TAIL
+
+
+def _run(source, core="cv32e40p", config="vanilla", blocks=True,
+         max_cycles=200_000, capacity=None, tick_period=1 << 30):
+    system = System(CORE_CLASSES[core], parse_config(config),
+                    tick_period=tick_period)
+    cpu = system.core
+    if blocks:
+        cpu.block_engine = BlockEngine(cpu, capacity=capacity)
+    else:
+        cpu.block_engine = None
+    system.load(assemble(source + HALT_TAIL, origin=0))
+    system.run(max_cycles=max_cycles)
+    return system
+
+
+def _state(system):
+    core = system.core
+    return (core.cycle, core.stats.instret, list(core.regs),
+            core.stats.as_dict() if hasattr(core.stats, "as_dict")
+            else vars(core.stats).copy())
+
+
+FRAGMENTS = {
+    "alu_chain": """
+    li   s0, 100
+loop:
+    addi s1, s1, 3
+    xori s2, s1, 0x55
+    slt  s3, s2, s1
+    addi s0, s0, -1
+    bnez s0, loop
+""",
+    "memory_mix": """
+    li   s0, 20
+    la   s1, buf
+loop:
+    sw   s0, 0(s1)
+    lw   s2, 0(s1)
+    sh   s2, 4(s1)
+    lhu  s3, 4(s1)
+    sb   s3, 8(s1)
+    lb   s4, 8(s1)
+    addi s0, s0, -1
+    bnez s0, loop
+    j    out
+buf: .word 0
+    .word 0
+    .word 0
+out:
+""",
+    "muldiv": """
+    li   s0, 12
+    li   s1, 40
+loop:
+    mul  s2, s0, s1
+    div  s3, s2, s0
+    rem  s4, s2, s1
+    addi s0, s0, -1
+    bnez s0, loop
+""",
+    "call_tree": """
+    li   s0, 15
+loop:
+    jal  ra, leaf
+    addi s0, s0, -1
+    bnez s0, loop
+    j    out
+leaf:
+    addi s5, s5, 7
+    lui  s6, 0x12
+    auipc s7, 1
+    jr   ra
+out:
+""",
+}
+
+
+class TestFragmentParity:
+    @pytest.mark.parametrize("core", sorted(CORE_CLASSES))
+    @pytest.mark.parametrize("name", sorted(FRAGMENTS))
+    def test_blocks_match_exact_path(self, core, name):
+        on = _run(FRAGMENTS[name], core=core, blocks=True)
+        off = _run(FRAGMENTS[name], core=core, blocks=False)
+        assert _state(on) == _state(off)
+        assert on.core.perf_counters()["fast_instret"] > 0
+
+    @pytest.mark.parametrize("core", sorted(CORE_CLASSES))
+    def test_trap_roundtrip_parity(self, core):
+        source = """
+    la   t0, handler
+    csrw mtvec, t0
+    li   t0, 0x888
+    csrw mie, t0
+    csrsi mstatus, 8
+    li   s0, 200
+loop:
+    addi s1, s1, 1
+    addi s0, s0, -1
+    bnez s0, loop
+    j    out
+handler:
+    addi s2, s2, 1
+    li   t1, 0x200BFF8
+    lw   t2, 0(t1)
+    addi t2, t2, 300
+    li   t3, 0x2004000
+    sw   t2, 0(t3)
+    mret
+out:
+"""
+        on = _run(source, core=core, blocks=True, tick_period=300)
+        off = _run(source, core=core, blocks=False, tick_period=300)
+        assert _state(on) == _state(off)
+        assert on.core.stats.traps == off.core.stats.traps
+        assert on.core.stats.traps > 0
+
+
+class TestPredecodeBoundaries:
+    def test_block_ends_at_branch(self):
+        system = _run("""
+    addi s0, s0, 1
+    addi s1, s1, 2
+    beqz zero, next
+    addi s2, s2, 99
+next:
+    addi s3, s3, 3
+""")
+        engine = system.core.block_engine
+        block = engine.cache[0]
+        # 2 ALU ops + the (included) branch terminator.
+        assert len(block) == 3
+        assert system.core.regs[18] == 0  # branch skipped s2
+
+    def test_csr_ops_never_predecoded(self):
+        system = _run("""
+    addi s0, s0, 1
+    csrr s1, mcycle
+    addi s2, s2, 1
+""")
+        engine = system.core.block_engine
+        # Block at 0 stops before the CSR read.
+        assert len(engine.cache[0]) == 1
+        counters = engine.counters()
+        assert counters["slow_pcs"] >= 1  # the csrr pc stays slow-path
+
+    def test_max_block_length_bounds_straight_line_runs(self):
+        body = "\n".join(f"    addi s0, s0, {i % 7}"
+                         for i in range(MAX_BLOCK_INSTRS + 40))
+        system = _run(body)
+        engine = system.core.block_engine
+        assert len(engine.cache[0]) == MAX_BLOCK_INSTRS
+
+    def test_blocks_shared_suffix_registered_per_word(self):
+        # Jumping into the middle of an existing block predecodes a
+        # second block; both register in the word->blocks map.
+        system = _run("""
+    li   s0, 2
+loop:
+    addi s1, s1, 1
+    addi s2, s2, 1
+    addi s3, s3, 1
+    addi s0, s0, -1
+    j    mid
+mid:
+    addi s2, s2, 1
+    bnez s0, loop
+""")
+        engine = system.core.block_engine
+        shared = [a for a, pcs in engine.addr_map.items() if len(pcs) > 1]
+        assert shared, "overlapping blocks should share word registrations"
+
+
+class TestBlockCache:
+    def test_capacity_bounds_and_evictions(self):
+        # Many distinct single-block loop bodies against a tiny cache.
+        chunks = []
+        for i in range(8):
+            chunks.append(f"""
+    jal  ra, f{i}
+""")
+        funcs = []
+        for i in range(8):
+            funcs.append(f"""
+f{i}:
+    addi s0, s0, {i}
+    jr   ra
+""")
+        src = "".join(chunks) + "    j out\n" + "".join(funcs) + "out:\n"
+        system = _run(src, capacity=4)
+        engine = system.core.block_engine
+        assert len(engine.cache) <= 4
+        assert engine.cache.evictions > 0
+        # Evicted blocks must be unregistered from the address map.
+        live = set(engine.cache)
+        for addr, pcs in engine.addr_map.items():
+            assert pcs <= live
+
+    def test_hit_rate_reported(self):
+        system = _run(FRAGMENTS["alu_chain"])
+        counters = system.core.perf_counters()
+        assert counters["block_hits"] > counters["block_misses"]
+        assert 0.5 < counters["block_hit_rate"] <= 1.0
+        assert counters["blocks_cached"] == len(system.core.block_engine.cache)
+
+    def test_slow_pc_memoised_not_rebuilt(self):
+        system = _run("""
+    li   s0, 50
+loop:
+    csrr s1, mcycle
+    addi s0, s0, -1
+    bnez s0, loop
+""")
+        engine = system.core.block_engine
+        # The csrr pc is attempted once, then memoised as slow.
+        assert 0 in {pc for pc in engine.slow_pcs} or engine.slow_pcs
+        # Builds are not retried 50 times: misses stay far below the
+        # loop trip count.
+        assert engine.misses < 10
+
+
+class TestHorizon:
+    def test_timer_interrupt_taken_at_identical_cycle(self):
+        source = """
+    la   t0, handler
+    csrw mtvec, t0
+    li   t0, 0x888
+    csrw mie, t0
+    csrsi mstatus, 8
+    li   s0, 4000
+loop:
+    addi s1, s1, 1
+    addi s0, s0, -1
+    bnez s0, loop
+    j    out
+handler:
+    addi s2, s2, 1
+    li   t1, 0x200BFF8
+    lw   t2, 0(t1)
+    addi t2, t2, 777
+    li   t3, 0x2004000
+    sw   t2, 0(t3)
+    mret
+out:
+"""
+        on = _run(source, blocks=True, tick_period=777)
+        off = _run(source, blocks=False, tick_period=777)
+        assert on.core.stats.traps == off.core.stats.traps > 1
+        assert [tuple(vars(s).values()) for s in on.switches] == \
+               [tuple(vars(s).values()) for s in off.switches]
+
+    def test_disabled_interrupts_run_free(self):
+        # mstatus.MIE clear: the horizon is infinite, blocks run long.
+        system = _run(FRAGMENTS["alu_chain"], tick_period=100)
+        counters = system.core.perf_counters()
+        assert counters["slow_ratio"] < 0.3
+
+
+class TestRunModeGates:
+    def test_step_hook_forces_exact_path(self):
+        system = System(CORE_CLASSES["cv32e40p"], parse_config("vanilla"),
+                        tick_period=1 << 30)
+        seen = []
+        system.core.step_hook = lambda core: seen.append(core.pc)
+        system.load(assemble(FRAGMENTS["alu_chain"] + HALT_TAIL, origin=0))
+        system.run(max_cycles=200_000)
+        counters = system.core.perf_counters()
+        assert counters["fast_instret"] == 0
+        assert len(seen) == system.core.stats.instret
+
+    def test_engine_disabled_matches_env_off(self):
+        on = _run(FRAGMENTS["memory_mix"], blocks=True)
+        off = _run(FRAGMENTS["memory_mix"], blocks=False)
+        assert off.core.perf_counters()["fast_instret"] == 0
+        assert _state(on) == _state(off)

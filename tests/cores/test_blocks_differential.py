@@ -1,0 +1,67 @@
+"""Suite-level differential: block dispatch vs the exact path.
+
+Every RTOSBench workload runs on every core model, with and without
+block dispatch, on both the software baseline and a hardware-assisted
+configuration. The two modes must agree on everything observable:
+cycle count, retired instructions, the full core stats, every context
+switch record and the final register state. This is the acceptance
+test for the exactness contract in ``repro.cores.blocks``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cores import CORE_NAMES
+from repro.cores.blocks import BlockEngine
+from repro.kernel.builder import KernelBuilder
+from repro.rtosunit.config import parse_config
+from repro.workloads.suite import RTOSBENCH_WORKLOADS
+
+ITERATIONS = 3
+CONFIGS = ("vanilla", "SLT")
+
+
+def _observable(core, system):
+    return {
+        "cycle": core.cycle,
+        "instret": core.stats.instret,
+        "stats": vars(core.stats).copy(),
+        "regs": [list(bank) for bank in core.banks],
+        "pc": core.pc,
+        "switches": [dataclasses.asdict(s) for s in system.switches],
+    }
+
+
+def _run(core_name, config_name, factory, blocks):
+    config = parse_config(config_name)
+    workload = factory(iterations=ITERATIONS)
+    builder = KernelBuilder(config=config, objects=workload.objects,
+                            tick_period=workload.tick_period)
+    system = builder.build(core_name,
+                          external_events=workload.external_events)
+    cpu = system.core
+    if blocks:
+        cpu.block_engine = BlockEngine(cpu)
+    else:
+        cpu.block_engine = None
+    system.run(workload.max_cycles)
+    return _observable(cpu, system), cpu.perf_counters()
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("core_name", sorted(CORE_NAMES))
+def test_suite_identical_with_and_without_blocks(core_name, config_name):
+    for factory in RTOSBENCH_WORKLOADS:
+        on, on_counters = _run(core_name, config_name, factory, blocks=True)
+        off, off_counters = _run(core_name, config_name, factory,
+                                 blocks=False)
+        name = factory(iterations=ITERATIONS).name
+        assert on == off, (
+            f"{name} on {core_name}/{config_name}: block dispatch changed "
+            f"observable state")
+        # The comparison must actually compare something: the fast path
+        # retired instructions, the exact path retired none that way.
+        assert on_counters["fast_instret"] > 0, (
+            f"{name} on {core_name}/{config_name}: blocks never dispatched")
+        assert off_counters["fast_instret"] == 0

@@ -1,0 +1,196 @@
+"""Block-cache invalidation: self-modifying code, faults, bank switches.
+
+The block cache caches *decoded* instructions, so anything that mutates
+instruction memory — a self-modifying store or an injected bit flip —
+must drop the affected blocks, and re-predecoded execution must match
+the exact per-instruction path bit-for-bit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cores import CORE_CLASSES
+from repro.cores.blocks import BlockEngine
+from repro.cores.system import System
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSpec
+from repro.isa.assembler import assemble
+from repro.kernel.builder import KernelBuilder
+from repro.rtosunit.config import parse_config
+from repro.workloads.suite import workload_by_name
+from tests.cores.helpers import HALT_TAIL
+
+
+def _encoding(line: str) -> int:
+    """Word encoding of a single assembly instruction."""
+    return assemble("    " + line.strip(), origin=0).words[0]
+
+
+def _run(source, core="cv32e40p", config="vanilla", blocks=True,
+         max_cycles=200_000):
+    system = System(CORE_CLASSES[core], parse_config(config),
+                    tick_period=1 << 30)
+    cpu = system.core
+    if blocks:
+        cpu.block_engine = BlockEngine(cpu)
+    else:
+        cpu.block_engine = None
+    system.load(assemble(source + HALT_TAIL, origin=0))
+    system.run(max_cycles=max_cycles)
+    return system
+
+
+def _state(system):
+    core = system.core
+    return (core.cycle, core.stats.instret, list(core.regs))
+
+
+class TestSelfModifyingStores:
+    def test_patched_loop_body_executed_with_both_encodings(self):
+        """A loop patches its own body: iteration 1 runs the original
+        instruction, later iterations the patched one. Both dispatch
+        modes must agree, and block mode must record invalidations."""
+        patch = _encoding("addi s1, s1, 16")
+        source = f"""
+    li   s0, 4
+    la   t0, patchme
+    la   t1, patchword
+    lw   t2, 0(t1)
+    j    loop
+patchword: .word {patch:#010x}
+loop:
+patchme:
+    addi s1, s1, 1
+    sw   t2, 0(t0)
+    addi s0, s0, -1
+    bnez s0, loop
+"""
+        on = _run(source, blocks=True)
+        off = _run(source, blocks=False)
+        assert _state(on) == _state(off)
+        # 1 original + 3 patched iterations.
+        assert on.core.regs[9] == 1 + 3 * 16
+        assert on.core.block_engine.invalidations >= 1
+
+    def test_store_patches_upcoming_instruction_in_same_block(self):
+        """The store targets the instruction straight after itself, so
+        the stale predecoded record must never execute."""
+        patch = _encoding("addi s1, s1, 100")
+        source = f"""
+    la   t0, target
+    la   t1, patchword
+    lw   t2, 0(t1)
+    j    go
+patchword: .word {patch:#010x}
+go:
+    sw   t2, 0(t0)
+target:
+    addi s1, s1, 1
+"""
+        on = _run(source, blocks=True)
+        off = _run(source, blocks=False)
+        assert _state(on) == _state(off)
+        assert on.core.regs[9] == 100
+
+    @pytest.mark.parametrize("core", sorted(CORE_CLASSES))
+    def test_parity_across_cores(self, core):
+        patch = _encoding("addi s3, s3, 5")
+        source = f"""
+    li   s0, 3
+    la   t0, spot
+    la   t1, patchword
+    lw   t2, 0(t1)
+    j    loop
+patchword: .word {patch:#010x}
+loop:
+    sw   t2, 0(t0)
+spot:
+    addi s3, s3, 1
+    addi s0, s0, -1
+    bnez s0, loop
+"""
+        on = _run(source, core=core, blocks=True)
+        off = _run(source, core=core, blocks=False)
+        assert _state(on) == _state(off)
+        assert on.core.regs[19] == 5 + 5 + 5
+
+
+class TestInvalidateCode:
+    def _ran_system(self):
+        return _run("""
+    li   s0, 30
+loop:
+    addi s1, s1, 1
+    addi s0, s0, -1
+    bnez s0, loop
+""")
+
+    def test_invalidate_drops_block_and_decode_entry(self):
+        system = self._ran_system()
+        core = system.core
+        engine = core.block_engine
+        word = next(iter(engine.addr_map))
+        assert word in core._decode_cache
+        core.invalidate_code(word)
+        assert word not in engine.addr_map
+        assert word not in core._decode_cache
+        assert all(word not in b.addrs for b in engine.cache.values())
+
+    def test_fault_mode_keeps_decode_cache_stale(self):
+        """``decode_cache=False`` (fault-campaign semantics): the block
+        side is dropped so it stays coherent with the decode cache, but
+        the decode entry itself survives — blocks rebuild through it."""
+        system = self._ran_system()
+        core = system.core
+        engine = core.block_engine
+        word = next(iter(engine.addr_map))
+        core.invalidate_code(word, decode_cache=False)
+        assert word not in engine.addr_map
+        assert word in core._decode_cache
+
+    def test_injected_mem_flip_drops_covering_blocks(self):
+        system = self._ran_system()
+        core = system.core
+        engine = core.block_engine
+        word = next(iter(engine.addr_map))
+        before = core.mem.read_word_raw(word)
+        injector = FaultInjector(
+            system, [FaultSpec(kind="mem_flip", cycle=0, target=word, bit=3)])
+        injector.on_step(core)
+        assert injector.done
+        assert core.mem.read_word_raw(word) == before ^ 8
+        assert word not in engine.addr_map
+        # Campaign contract: the decode cache is deliberately left alone.
+        assert word in core._decode_cache
+
+
+class TestBankSwitchBoundaries:
+    """Hardware context switches (SWITCH_RF / trap / mret) are block
+    boundaries by construction; the full RTOS workloads crossing them
+    must be identical either way on the hardware-assisted configs."""
+
+    @pytest.mark.parametrize("config_name", ["S", "SLT", "SDLOT"])
+    def test_workload_parity_on_hw_configs(self, config_name):
+        results = {}
+        for blocks in (False, True):
+            config = parse_config(config_name)
+            workload = workload_by_name("yield_pingpong", iterations=6)
+            builder = KernelBuilder(config=config, objects=workload.objects,
+                                    tick_period=workload.tick_period)
+            system = builder.build("cv32e40p",
+                                   external_events=workload.external_events)
+            cpu = system.core
+            if blocks:
+                cpu.block_engine = BlockEngine(cpu)
+            else:
+                cpu.block_engine = None
+            system.run(workload.max_cycles)
+            results[blocks] = (
+                cpu.cycle, cpu.stats.instret, list(cpu.regs),
+                cpu.stats.custom_ops, cpu.stats.traps, cpu.stats.mrets,
+                [dataclasses.asdict(s) for s in system.switches],
+            )
+        assert results[True] == results[False]
+        # The run must actually have crossed hardware boundaries.
+        assert results[True][3] > 0 or results[True][4] > 0

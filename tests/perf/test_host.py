@@ -1,0 +1,31 @@
+"""Host fingerprint + benchmark-record envelope."""
+
+import json
+
+from repro.perf import BENCH_SCHEMA, bench_record, host_info
+
+
+class TestHostInfo:
+    def test_fields_present_and_typed(self):
+        info = host_info()
+        assert set(info) == {"python", "implementation", "platform",
+                             "machine", "cpu_count"}
+        assert isinstance(info["python"], str) and info["python"]
+        assert isinstance(info["cpu_count"], int)
+
+    def test_json_serialisable(self):
+        json.dumps(host_info())
+
+
+class TestBenchRecord:
+    def test_envelope(self):
+        record = bench_record("core_speed", {"speedup": 2.0})
+        assert record["schema"] == BENCH_SCHEMA
+        assert record["bench"] == "core_speed"
+        assert record["host"] == host_info()
+        assert record["speedup"] == 2.0
+
+    def test_payload_does_not_clobber_envelope(self):
+        record = bench_record("x", {"extra": 1})
+        assert {"schema", "bench", "host", "extra"} <= set(record)
+        json.dumps(record)
