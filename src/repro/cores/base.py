@@ -162,6 +162,13 @@ class BaseCore:
         #: consulted each step in :meth:`run`; raises a structured
         #: SimulationError on livelock or budget exhaustion.
         self.guard = None
+        #: Optional one-shot observer ``hook(core)`` fired at the end of
+        #: every completed context switch (after ``mret`` fully retires,
+        #: with all state — including ``instret`` — settled). The warm-
+        #: start harness attaches here to capture the boundary snapshot
+        #: at the first measured switch; it is passive and does not force
+        #: the exact path. None = no cost.
+        self.switch_hook = None
         #: Basic-block predecoded dispatch (repro.cores.blocks); None
         #: forces the per-instruction path. Architecturally invisible —
         #: the differential tests assert byte-identical runs either way.
@@ -203,7 +210,10 @@ class BaseCore:
         if instr.fmt == FMT_CUSTOM:
             self._step_custom(instr)
         elif mnemonic == "mret":
+            # instret is counted inside _step_mret, so the switch hook
+            # (and a snapshot captured there) sees settled state.
             self._step_mret()
+            return
         else:
             self._step_normal(instr)
         self.stats.instret += 1
@@ -281,6 +291,80 @@ class BaseCore:
         if word in self._decode_cache or (
                 engine is not None and word in engine.addr_map):
             self.invalidate_code(word)
+
+    def _note_raw_code_write(self, addr: int) -> None:
+        """Coherence hook for non-CPU writes (``Memory.code_watch``).
+
+        RTOSUnit FSM stores, ``flip_bit`` and direct ``write_word_raw``
+        pokes bypass the execution paths, so covering *blocks* are
+        dropped here. The decode cache is deliberately left alone
+        (``decode_cache=False``) — the fault-campaign contract lets
+        already-decoded instructions stay stale, and blocks rebuild
+        through ``_fetch``, seeing exactly what the exact path sees.
+        """
+        word = addr & ~3
+        engine = self.block_engine
+        if engine is not None and word in engine.addr_map:
+            self.invalidate_code(word, decode_cache=False)
+
+    def reset_code_caches(self) -> None:
+        """Bulk-drop every cached decode and block (snapshot restores
+        with many dirty pages take this instead of per-word walks)."""
+        self._decode_cache.clear()
+        if self.block_engine is not None:
+            self.block_engine.reset()
+
+    # -- snapshot/restore (repro.snapshot) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Architectural + timing state for a :class:`SystemSnapshot`.
+
+        Everything an exact-path run can observe is included; caches of
+        *derived* data (decode cache, block cache) are not — they rebuild
+        on demand and are invalidated separately against dirty memory.
+        """
+        return {
+            "banks": [list(bank) for bank in self.banks],
+            "active_bank": self.active_bank,
+            "csr": self.csr.capture_state(),
+            "pc": self.pc,
+            "cycle": self.cycle,
+            "next_issue": self.next_issue,
+            "reg_avail": list(self.reg_avail),
+            "dirty_mask": self.dirty_mask,
+            "in_isr": self.in_isr,
+            "halted": self.halted,
+            "exit_code": self.exit_code,
+            "stats": dict(vars(self.stats)),
+            "trap_trigger_cycle": self._trap_trigger_cycle,
+            "trap_entry_cycle": self._trap_entry_cycle,
+            "switch_events": list(self.switch_events),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state`.
+
+        Container objects are mutated *in place*: the block engine's
+        hoisted fast path holds direct references to ``reg_avail``,
+        ``stats``, ``csr.regs`` and the register banks, so rebinding any
+        of them would silently desynchronise block dispatch.
+        """
+        for bank, saved in zip(self.banks, state["banks"]):
+            bank[:] = saved
+        self.active_bank = state["active_bank"]
+        self.csr.restore_state(state["csr"])
+        self.pc = state["pc"]
+        self.cycle = state["cycle"]
+        self.next_issue = state["next_issue"]
+        self.reg_avail[:] = state["reg_avail"]
+        self.dirty_mask = state["dirty_mask"]
+        self.in_isr = state["in_isr"]
+        self.halted = state["halted"]
+        self.exit_code = state["exit_code"]
+        self.stats.__dict__.update(state["stats"])
+        self._trap_trigger_cycle = state["trap_trigger_cycle"]
+        self._trap_entry_cycle = state["trap_entry_cycle"]
+        self.switch_events[:] = state["switch_events"]
 
     def perf_counters(self) -> dict:
         """Interpreter-level counters for ``repro profile`` / benchmarks."""
@@ -363,11 +447,15 @@ class BaseCore:
         self.stats.mrets += 1
         if self.tracer is not None:
             self.tracer.on_mret(self)
-        if self._trap_trigger_cycle is not None:
+        self.stats.instret += 1
+        completed_switch = self._trap_trigger_cycle is not None
+        if completed_switch:
             self.switch_events.append(
                 (self._trap_trigger_cycle, self._trap_entry_cycle, done))
             self._trap_trigger_cycle = None
         self._reset_avail(done)
+        if completed_switch and self.switch_hook is not None:
+            self.switch_hook(self)
 
     # -- custom instructions ---------------------------------------------------------------
 

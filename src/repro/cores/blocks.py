@@ -393,6 +393,14 @@ class BlockEngine:
         if word in self.addr_map and not self.addr_map[word]:
             del self.addr_map[word]
 
+    def reset(self) -> None:
+        """Drop every cached block (snapshot restore with many dirty
+        pages). ``addr_map`` is cleared in place — the hoisted fast
+        path holds a direct reference to it."""
+        self.cache.clear()
+        self.addr_map.clear()
+        self.slow_pcs.clear()
+
     def counters(self) -> dict:
         total = self.hits + self.misses
         return {

@@ -87,6 +87,17 @@ class Clint:
             if self.external_events[0] <= cycle:
                 self._external_pending_since = self.external_events.pop(0)
 
+    # -- snapshot/restore (repro.snapshot) ---------------------------------
+
+    def capture_state(self) -> tuple:
+        return (self.mtimecmp, self.msip, self.msip_set_cycle,
+                tuple(self.external_events), self._external_pending_since)
+
+    def restore_state(self, state: tuple) -> None:
+        (self.mtimecmp, self.msip, self.msip_set_cycle,
+         events, self._external_pending_since) = state
+        self.external_events[:] = events
+
     def acknowledge(self, cause: int, cycle: int) -> None:
         """Interrupt taken: clear/re-arm the source."""
         if cause == csrmod.CAUSE_MTI:

@@ -45,6 +45,17 @@ class CVA6(BaseCore):
                                         line_bytes=32)
         self.predictor = BimodalPredictor(entries=128)
 
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["dcache"] = self.dcache.capture_state()
+        state["predictor"] = self.predictor.capture_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.dcache.restore_state(state["dcache"])
+        self.predictor.restore_state(state["predictor"])
+
     def _mem_time(self, addr: int, is_store: bool, issue: int) -> tuple[int, int]:
         params = self.params
         if is_mmio(addr) or self._uncached(addr):

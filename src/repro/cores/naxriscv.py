@@ -60,6 +60,21 @@ class NaxRiscv(BaseCore):
         self._last_commit = 0
         self._lsu_next = 0       # single LSU port: one memory op per cycle
 
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["dcache"] = self.dcache.capture_state()
+        state["predictor"] = self.predictor.capture_state()
+        state["ooo"] = (self._front, self._front_slots,
+                        self._last_commit, self._lsu_next)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.dcache.restore_state(state["dcache"])
+        self.predictor.restore_state(state["predictor"])
+        (self._front, self._front_slots,
+         self._last_commit, self._lsu_next) = state["ooo"]
+
     # -- OoO timing ------------------------------------------------------------
 
     def _time(self, instr: Instr, info: tuple[int | None, bool, bool]) -> None:

@@ -37,3 +37,13 @@ class BimodalPredictor:
         self.counters.clear()
         self.predictions = 0
         self.mispredictions = 0
+
+    # -- snapshot/restore (repro.snapshot) -----------------------------------
+
+    def capture_state(self) -> tuple:
+        return dict(self.counters), self.predictions, self.mispredictions
+
+    def restore_state(self, state: tuple) -> None:
+        counters, self.predictions, self.mispredictions = state
+        self.counters.clear()
+        self.counters.update(counters)

@@ -78,6 +78,9 @@ class System:
         self.core.clint = self.clint
         self.console: list[str] = []
         self.probes: list[tuple[int, int]] = []  # (value, cycle)
+        # Keep cached blocks coherent with writes that bypass the core
+        # (RTOSUnit FSM stores, fault flips, direct raw pokes).
+        self.memory.code_watch = self.core._note_raw_code_write
 
     # -- MMIO routing ---------------------------------------------------------
 
@@ -112,6 +115,78 @@ class System:
         self.core.pc = program.entry
         if self.unit is not None and boot_task_id is not None:
             self.unit.boot(boot_task_id)
+
+    def load_image(self, program: Program, blob: bytes,
+                   boot_task_id: int | None = None) -> None:
+        """Like :meth:`load`, from a pre-rendered flat image.
+
+        The kernel build cache renders the word dict into a blob once;
+        every later system blits it with one slice assignment instead of
+        a per-word Python loop.
+        """
+        self.memory.load_blob(blob)
+        self.core.pc = program.entry
+        if self.unit is not None and boot_task_id is not None:
+            self.unit.boot(boot_task_id)
+
+    # -- snapshot/restore (repro.snapshot) -----------------------------------
+
+    #: Above this many dirty ranges a restore drops the code caches
+    #: wholesale instead of walking words (docs/SNAPSHOT.md).
+    _FULL_RESET_RANGES = 16
+
+    def capture(self):
+        """Checkpoint the full system as a :class:`SystemSnapshot`.
+
+        Memory is captured copy-on-write: pages unchanged since the
+        previous capture (or restore) share storage with it.
+        """
+        from repro.snapshot.state import SystemSnapshot
+
+        return SystemSnapshot(
+            core_class=type(self.core),
+            config=self.config,
+            layout=self.layout,
+            tick_period=self.clint.tick_period,
+            mem_size=self.memory.size,
+            memory_image=self.memory.capture_image(),
+            core_state=self.core.capture_state(),
+            # With no RTOSUnit nothing ever consumes the timeline's busy
+            # set — skip it rather than checkpoint a write-only deque.
+            timeline_state=self.timeline.capture_state(
+                include_busy=self.unit is not None),
+            clint_state=self.clint.capture_state(),
+            unit_state=(self.unit.capture_state()
+                        if self.unit is not None else None),
+            console=tuple(self.console),
+            probes=tuple(self.probes),
+        )
+
+    def restore(self, snapshot) -> None:
+        """Restore a snapshot captured from an identically-built system.
+
+        Every container is mutated in place (the block interpreter holds
+        hoisted references into the core and memory), and code caches
+        are invalidated over exactly the dirty memory ranges.
+        """
+        core = self.core
+        had_cached_code = bool(core._decode_cache) or (
+            core.block_engine is not None and core.block_engine.addr_map)
+        dirty = self.memory.restore_image(snapshot.memory_image)
+        if had_cached_code and dirty:
+            if len(dirty) > self._FULL_RESET_RANGES:
+                core.reset_code_caches()
+            else:
+                for start, nbytes in dirty:
+                    core.invalidate_code(start, nbytes)
+        core.restore_state(snapshot.core_state)
+        self.timeline.restore_state(snapshot.timeline_state)
+        self.clint.restore_state(snapshot.clint_state)
+        if self.unit is not None:
+            self.unit.restore_state(snapshot.unit_state)
+        self.console[:] = snapshot.console
+        self.probes[:] = snapshot.probes
+        snapshot.restores += 1
 
     # -- running ---------------------------------------------------------------------
 

@@ -73,6 +73,13 @@ def execute_point(point: GridPoint):
     Rebuilds the workload by name so the argument stays a small
     picklable dataclass; returns the full :class:`RunResult` (all its
     fields are plain dataclasses, so it pickles back intact).
+
+    Warm-starting rides along for free: ``run_workload`` consults the
+    process-local snapshot store (:mod:`repro.snapshot`), so each pool
+    worker pays the cold build + boot + warmup of a content key once and
+    replays it for every later grid point that shares it — typically
+    every (config, workload) column revisited across seeds or repeated
+    sweeps within one worker's lifetime.
     """
     from repro.harness.experiment import derive_point_seed, run_workload
     from repro.rtosunit.config import parse_config

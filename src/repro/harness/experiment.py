@@ -98,29 +98,9 @@ class SuiteResult:
         raise SimulationError(f"no run for workload {workload!r}")
 
 
-def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
-                 layout: MemoryLayout | None = None,
-                 guard=None, seed: int = 0) -> RunResult:
-    """Simulate one workload and return its latency distribution.
-
-    ``guard`` optionally attaches a hang-proof watchdog
-    (:class:`repro.faults.guards.ProgressGuard`); a livelocked workload
-    then fails with a structured error instead of spinning to the
-    ``max_cycles`` wall. ``seed`` is recorded on the result and keys the
-    DSE cache; the simulation itself is deterministic.
-    """
-    builder = KernelBuilder(config=config, objects=workload.objects,
-                            layout=layout or MemoryLayout(),
-                            tick_period=workload.tick_period)
-    system = builder.build(core, external_events=workload.external_events)
-    if guard is not None:
-        system.core.guard = guard
-    exit_code = system.run(max_cycles=workload.max_cycles)
-    if exit_code not in (0, 42):
-        raise SimulationError(
-            f"workload {workload.name} on {core}/{config.name} exited "
-            f"with {exit_code:#x}",
-            pc=system.core.pc, cycle=system.core.cycle)
+def _result_from(system, core: str, config: RTOSUnitConfig,
+                 workload: Workload, seed: int) -> RunResult:
+    """Distil a finished (or restored-final) system into a RunResult."""
     switches = system.switches[workload.warmup_switches:]
     latencies = [s.latency for s in switches]
     return RunResult(
@@ -138,6 +118,111 @@ def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
     )
 
 
+def _check_exit(exit_code: int, core: str, config: RTOSUnitConfig,
+                workload: Workload, system) -> None:
+    if exit_code not in (0, 42):
+        raise SimulationError(
+            f"workload {workload.name} on {core}/{config.name} exited "
+            f"with {exit_code:#x}",
+            pc=system.core.pc, cycle=system.core.cycle)
+
+
+def _arm_boundary_capture(system, entry, warmup: int, stats) -> None:
+    """Capture the post-warmup boundary snapshot when the run reaches it.
+
+    The hook fires at the end of each completed context switch; once
+    ``warmup`` switches have retired the system is checkpointed and the
+    hook detaches itself — the rest of the run pays nothing.
+    """
+    if warmup <= 0:
+        # No warmup phase: the boot image itself is the boundary.
+        entry.boundary = system.capture()
+        stats.boundary_captures += 1
+        return
+
+    def hook(core) -> None:
+        if len(core.switch_events) >= warmup:
+            core.switch_hook = None
+            entry.boundary = system.capture()
+            stats.boundary_captures += 1
+
+    system.core.switch_hook = hook
+
+
+def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
+                 layout: MemoryLayout | None = None,
+                 guard=None, seed: int = 0) -> RunResult:
+    """Simulate one workload and return its latency distribution.
+
+    ``guard`` optionally attaches a hang-proof watchdog
+    (:class:`repro.faults.guards.ProgressGuard`); a livelocked workload
+    then fails with a structured error instead of spinning to the
+    ``max_cycles`` wall. ``seed`` is recorded on the result and keys the
+    DSE cache; the simulation itself is deterministic.
+
+    Repeat runs are **warm-started** through :mod:`repro.snapshot`: the
+    first run of a content key simulates cold and checkpoints itself at
+    the measurement boundary and at completion; identical later runs
+    replay the final snapshot (or resume the boundary one) and produce
+    byte-identical results. A ``guard`` forces the exact cold path, and
+    ``REPRO_SNAPSHOT=0`` disables warm-starting globally.
+    """
+    from repro.snapshot import snapshot_enabled, snapshot_key, store
+
+    builder = KernelBuilder(config=config, objects=workload.objects,
+                            layout=layout or MemoryLayout(),
+                            tick_period=workload.tick_period)
+    snapshots = store()
+    if guard is not None or not snapshot_enabled():
+        if guard is not None:
+            snapshots.stats.bypasses += 1
+        system = builder.build(core, external_events=workload.external_events)
+        if guard is not None:
+            system.core.guard = guard
+        exit_code = system.run(max_cycles=workload.max_cycles)
+        _check_exit(exit_code, core, config, workload, system)
+        return _result_from(system, core, config, workload, seed)
+
+    key = snapshot_key(core, config, builder.layout, workload,
+                       builder.source())
+    entry = snapshots.entry(key)
+    if entry.final is not None:
+        # Fastest tier: replay the finished run outright.
+        snapshots.stats.final_hits += 1
+        return _result_from(entry.final.materialize(), core, config,
+                            workload, seed)
+    if entry.boundary is not None:
+        # Resume at the measurement boundary: boot + warmup are skipped.
+        snapshots.stats.boundary_hits += 1
+        system = entry.boundary.materialize()
+    else:
+        snapshots.stats.misses += 1
+        system = builder.build(core, external_events=workload.external_events)
+        _arm_boundary_capture(system, entry,
+                              workload.warmup_switches, snapshots.stats)
+    exit_code = system.run(max_cycles=workload.max_cycles)
+    system.core.switch_hook = None  # runs too short to hit the boundary
+    _check_exit(exit_code, core, config, workload, system)
+    entry.final = system.capture()
+    snapshots.stats.final_captures += 1
+    return _result_from(system, core, config, workload, seed)
+
+
+def _resolve_workloads(workloads, iterations: int) -> list[Workload]:
+    """Materialize workload factories exactly once.
+
+    Every caller that loops over (core, config) cells must resolve the
+    factory list *before* the loop and reuse the instances: a factory is
+    not required to be pure (names may encode a counter), and per-cell
+    re-invocation would silently give each cell different workload names
+    — and therefore different :func:`derive_point_seed` values — for
+    what is meant to be the same grid column.
+    """
+    factories = workloads if workloads is not None else RTOSBENCH_WORKLOADS
+    return [factory(iterations) if callable(factory) else factory
+            for factory in factories]
+
+
 def run_suite(core: str, config: RTOSUnitConfig, iterations: int = 20,
               workloads=None, seed: int = 0) -> SuiteResult:
     """Run all (or the given) workload factories for one design point.
@@ -145,10 +230,8 @@ def run_suite(core: str, config: RTOSUnitConfig, iterations: int = 20,
     Each run's seed is derived from (*seed*, grid position) via
     :func:`derive_point_seed`, never from execution order.
     """
-    factories = workloads or RTOSBENCH_WORKLOADS
     suite = SuiteResult(core=core, config=config)
-    for factory in factories:
-        workload = factory(iterations) if callable(factory) else factory
+    for workload in _resolve_workloads(workloads, iterations):
         suite.runs.append(run_workload(
             core, config, workload,
             seed=derive_point_seed(seed, core, config.name, workload.name)))
@@ -190,10 +273,14 @@ def sweep(cores=CORE_NAMES, configs=EVALUATED_CONFIGS, iterations: int = 20,
     """
     names = _grid_workload_names(workloads, iterations)
     if names is None:  # ad-hoc workloads: in-process fallback
+        # Resolve factories ONCE so every (core, config) cell runs the
+        # same workload instances — and derives the same per-run seeds —
+        # instead of re-invoking potentially impure factories per cell.
+        resolved = _resolve_workloads(workloads, iterations)
         return {
             (core, config_name): run_suite(
                 core, parse_config(config_name), iterations=iterations,
-                workloads=workloads, seed=seed)
+                workloads=resolved, seed=seed)
             for core in cores
             for config_name in configs
         }

@@ -110,3 +110,14 @@ class CSRFile:
     def snapshot(self) -> dict[int, int]:
         """Return a copy of the CSR state (for context save/restore tests)."""
         return dict(self.regs)
+
+    # -- snapshot/restore (repro.snapshot) ---------------------------------
+
+    def capture_state(self) -> dict[int, int]:
+        return dict(self.regs)
+
+    def restore_state(self, state: dict[int, int]) -> None:
+        # In place: the block interpreter's interrupt horizon reads
+        # ``core.csr.regs`` directly, so the dict object must survive.
+        self.regs.clear()
+        self.regs.update(state)

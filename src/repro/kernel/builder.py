@@ -23,11 +23,43 @@ from repro.kernel.sched import SCHED_ASM
 from repro.kernel.tasks import IDLE_TASK, KernelObjects, TaskSpec, data_section
 from repro.mem.regions import MemoryLayout
 from repro.rtosunit.config import RTOSUnitConfig
+from repro.util.lru import LRUCache
 
 _DEFAULT_EXT_HANDLER = """\
 ext_irq_handler:
     ret
 """
+
+#: Content-addressed build cache: (source text, origin) → (Program, blob).
+#: The assembler is pure, so identical source assembles identically —
+#: each distinct kernel image is assembled once per process and then
+#: shared by every run, sweep cell and DSE pool worker that needs it.
+_PROGRAM_CACHE: LRUCache = LRUCache(64)
+
+
+def assemble_cached(source: str, origin: int) -> tuple[Program, bytes]:
+    """Assemble *source*, memoized, with a pre-rendered flat image.
+
+    The blob covers address 0 through the highest assembled word, ready
+    for :meth:`Memory.load_blob`'s single slice blit.
+    """
+    key = (source, origin)
+    cached = _PROGRAM_CACHE.get(key)
+    if cached is not None:
+        return cached
+    program = assemble(source, origin=origin)
+    top = max(program.words) + 4 if program.words else 0
+    image = bytearray(top)
+    for addr, word in program.words.items():
+        image[addr:addr + 4] = word.to_bytes(4, "little")
+    cached = (program, bytes(image))
+    _PROGRAM_CACHE[key] = cached
+    return cached
+
+
+def reset_program_cache() -> None:
+    """Drop all memoized builds (tests and long-lived services)."""
+    _PROGRAM_CACHE.clear()
 
 
 @dataclass
@@ -68,11 +100,23 @@ class KernelBuilder:
             from repro.kernel.validate import require_clean
 
             require_clean(self.objects)
+        self._source: str | None = None
 
     # -- source rendering -------------------------------------------------------
 
     def source(self) -> str:
-        """Render the complete assembly source."""
+        """Render the complete assembly source (memoized).
+
+        The rendered text doubles as the content-address of the build:
+        the warm-start snapshot key and the program cache both hash it,
+        so it must (and does) capture every input that can change the
+        image.
+        """
+        if self._source is None:
+            self._source = self._render_source()
+        return self._source
+
+    def _render_source(self) -> str:
         objects = KernelObjects(
             tasks=self.tasks,
             semaphores=self.objects.semaphores,
@@ -109,16 +153,17 @@ class KernelBuilder:
     # -- building ------------------------------------------------------------------
 
     def program(self) -> Program:
-        return assemble(self.source(), origin=self.layout.text_base)
+        return assemble_cached(self.source(), self.layout.text_base)[0]
 
     def build(self, core_name: str, external_events=None,
               mem_size: int = 1 << 20) -> System:
-        """Assemble and load into a ready-to-run :class:`System`."""
+        """Assemble (cached) and load into a ready-to-run :class:`System`."""
+        program, blob = assemble_cached(self.source(), self.layout.text_base)
         system = build_system(
             core_name, self.config, layout=self.layout,
             tick_period=self.tick_period, mem_size=mem_size,
             external_events=external_events)
-        system.load(self.program())
+        system.load_image(program, blob)
         return system
 
 

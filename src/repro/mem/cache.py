@@ -73,6 +73,18 @@ class CacheModel:
         self.hits = 0
         self.misses = 0
 
+    # -- snapshot/restore (repro.snapshot) -----------------------------------
+
+    def capture_state(self) -> tuple:
+        return ({index: list(ways) for index, ways in self._lines.items()},
+                self.hits, self.misses)
+
+    def restore_state(self, state: tuple) -> None:
+        lines, self.hits, self.misses = state
+        self._lines.clear()
+        for index, ways in lines.items():
+            self._lines[index] = list(ways)
+
 
 @dataclass
 class WriteThroughCache(CacheModel):

@@ -59,9 +59,18 @@ class Memory:
     size: int = 1 << 20
     data: bytearray = field(init=False)
     clint: object | None = field(default=None, repr=False)
+    #: Raw-write observer ``watch(addr)`` — the System wires it to the
+    #: core's code-cache coherence hook so non-CPU writes (RTOSUnit
+    #: FSMs, fault flips, test pokes) invalidate covering blocks. CPU
+    #: stores go through :meth:`write` and are handled by the core's own
+    #: self-modifying-store check instead.
+    code_watch: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.data = bytearray(self.size)
+        #: Last captured/restored snapshot image; the base for CoW page
+        #: sharing in :meth:`capture_image`.
+        self._image = None
 
     # -- loading -------------------------------------------------------------
 
@@ -69,6 +78,41 @@ class Memory:
         """Copy an assembled image's words into RAM."""
         for addr, word in words.items():
             self.write_word_raw(addr, word)
+
+    def load_blob(self, blob: bytes) -> None:
+        """Blit a flat pre-rendered image starting at address 0.
+
+        The fast path of the kernel build cache: one slice assignment
+        instead of a per-word Python loop over ``load_program``.
+        """
+        if len(blob) > self.size:
+            raise MemoryError_(
+                f"image of {len(blob):#x} bytes exceeds RAM of "
+                f"{self.size:#x} bytes")
+        self.data[:len(blob)] = blob
+
+    # -- snapshot/restore (repro.snapshot) -----------------------------------
+
+    def capture_image(self):
+        """Snapshot RAM as a copy-on-write page image (docs/SNAPSHOT.md)."""
+        from repro.snapshot.pages import capture_image
+
+        self._image = capture_image(self.data, self._image)
+        return self._image
+
+    def restore_image(self, image) -> list[tuple[int, int]]:
+        """Restore a captured image in place; returns dirty ranges.
+
+        Only pages whose live content differs are written. The caller
+        (``System.restore``) must invalidate code caches over the
+        returned ``(start, nbytes)`` ranges — that is the restore half
+        of the ``invalidate_code`` lockstep contract.
+        """
+        from repro.snapshot.pages import restore_image
+
+        dirty = restore_image(self.data, image)
+        self._image = image
+        return dirty
 
     # -- raw RAM access (no MMIO, used by loaders and the RTOSUnit FSMs) -----
 
@@ -83,6 +127,8 @@ class Memory:
         if addr < 0 or addr + 4 > self.size or addr & 3:
             self._check(addr, 4)
         self.data[addr:addr + 4] = (value & MASK32).to_bytes(4, "little")
+        if self.code_watch is not None:
+            self.code_watch(addr)
 
     def flip_bit(self, addr: int, bit: int) -> int:
         """Flip one bit of a RAM word (fault injection; no MMIO, no timing).

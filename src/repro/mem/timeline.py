@@ -95,6 +95,30 @@ class MemoryTimeline:
         self._scan = cycle
         return None if remaining else cycle - 1
 
+    def capture_state(self, include_busy: bool = True) -> tuple:
+        """Snapshot the port bookkeeping (repro.snapshot).
+
+        ``include_busy=False`` drops the busy queue: valid when no
+        RTOSUnit exists to consume it (vanilla systems append but never
+        read, and the queue grows with every memory access). With a
+        consumer present only the live tail (``>= _scan``) is kept —
+        entries below the scan point are popped unread by
+        ``consume_free`` anyway.
+        """
+        busy = (tuple(c for c in self._busy if c >= self._scan)
+                if include_busy else ())
+        return (busy, self._scan, self._last_marked,
+                self.core_cycles, self.unit_cycles)
+
+    def restore_state(self, state: tuple) -> None:
+        """Restore in place — the object identity is shared with the
+        core and RTOSUnit, so the timeline is mutated, never replaced."""
+        busy, self._scan, self._last_marked, cc, uc = state
+        self._busy.clear()
+        self._busy.extend(busy)
+        self.core_cycles = cc
+        self.unit_cycles = uc
+
     def reset(self) -> None:
         self._busy.clear()
         self._scan = 0

@@ -124,6 +124,11 @@ def profile_workload(core: str, config: RTOSUnitConfig, workload: Workload,
     ``REPRO_BLOCKS`` environment default). ``opcodes`` attaches the
     cycle attributor — which forces the exact path. ``cprofile``
     captures a host-level profile of the hottest simulator functions.
+
+    Profiling deliberately never warm-starts: it builds its own system
+    below :func:`repro.harness.run_workload`, so the timed region is
+    always the real cold simulation — a profile that replayed a
+    snapshot (:mod:`repro.snapshot`) would measure nothing.
     """
     builder = KernelBuilder(config=config, objects=workload.objects,
                             tick_period=workload.tick_period)

@@ -81,6 +81,21 @@ class HardwareSync:
         self.blocks += 1
         return 0
 
+    # -- snapshot/restore (repro.snapshot) -----------------------------------
+
+    def capture_state(self) -> tuple:
+        waiters = tuple(tuple((w.task_id, w.priority, w.seq) for w in queue)
+                        for queue in self.waiters)
+        return (list(self.counts), waiters, self._seq,
+                self.takes, self.gives, self.blocks, self.wakes)
+
+    def restore_state(self, state: tuple) -> None:
+        (counts, waiters, self._seq,
+         self.takes, self.gives, self.blocks, self.wakes) = state
+        self.counts[:] = counts
+        self.waiters[:] = [[_Waiter(*fields) for fields in queue]
+                           for queue in waiters]
+
     def give(self, sem_id: int, cycle: int) -> int:
         """SEM_GIVE: returns (woken priority + 1) or 0."""
         self._check(sem_id)

@@ -169,6 +169,20 @@ class HardwareScheduler:
                 return entry.task_id
         return self.ready[0].task_id if self.ready else None
 
+    # -- snapshot/restore (repro.snapshot) -----------------------------------
+
+    def capture_state(self) -> tuple:
+        def entries(lst):
+            return tuple((e.task_id, e.priority, e.delay, e.seq, e.valid)
+                         for e in lst)
+        return (entries(self.ready), entries(self.delayed),
+                self._seq, self._settle_at, self.overflowed)
+
+    def restore_state(self, state: tuple) -> None:
+        ready, delayed, self._seq, self._settle_at, self.overflowed = state
+        self.ready = [ListEntry(*fields) for fields in ready]
+        self.delayed = [ListEntry(*fields) for fields in delayed]
+
     def ready_ids(self) -> list[int]:
         return [e.task_id for e in self.ready]
 

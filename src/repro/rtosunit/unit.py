@@ -320,6 +320,62 @@ class RTOSUnit:
                             self.memory.read_word_raw(
                                 slot + 4 * MEPC_SLOT_INDEX))
 
+    # -- snapshot/restore (repro.snapshot) -------------------------------------
+
+    def capture_state(self) -> dict:
+        """Snapshot the FSM/scheduler state for :meth:`System.capture`.
+
+        Pending transfers are stored as plain tuples; the preload
+        transfer — which may be aliased *into* the pending list, or
+        detached but still referenced after ``_complete_through``
+        resolved it — is stored as its pending-list index when aliased
+        so the restore rebuilds the same object identity.
+        """
+        pending = [(t.kind, t.start, t.cost, t.completion)
+                   for t in self._pending]
+        preload_index = preload_detached = None
+        transfer = self._preload_transfer
+        if transfer is not None:
+            if transfer in self._pending:
+                preload_index = self._pending.index(transfer)
+            else:
+                preload_detached = (transfer.kind, transfer.start,
+                                    transfer.cost, transfer.completion)
+        return {
+            "current_task_id": self.current_task_id,
+            "next_task_id": self.next_task_id,
+            "prev_task_id": self._prev_task_id,
+            "pending": pending,
+            "preload_predicted": self._preload_predicted,
+            "preload_valid": self._preload_valid,
+            "preload_index": preload_index,
+            "preload_detached": preload_detached,
+            "stats": vars(self.stats).copy(),
+            "scheduler": (self.scheduler.capture_state()
+                          if self.scheduler is not None else None),
+            "hwsync": (self.hwsync.capture_state()
+                       if self.hwsync is not None else None),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.current_task_id = state["current_task_id"]
+        self.next_task_id = state["next_task_id"]
+        self._prev_task_id = state["prev_task_id"]
+        self._pending[:] = [_Transfer(*fields) for fields in state["pending"]]
+        self._preload_predicted = state["preload_predicted"]
+        self._preload_valid = state["preload_valid"]
+        if state["preload_index"] is not None:
+            self._preload_transfer = self._pending[state["preload_index"]]
+        elif state["preload_detached"] is not None:
+            self._preload_transfer = _Transfer(*state["preload_detached"])
+        else:
+            self._preload_transfer = None
+        self.stats.__dict__.update(state["stats"])
+        if self.scheduler is not None and state["scheduler"] is not None:
+            self.scheduler.restore_state(state["scheduler"])
+        if self.hwsync is not None and state["hwsync"] is not None:
+            self.hwsync.restore_state(state["hwsync"])
+
     # -- event: mret ----------------------------------------------------------
 
     def on_mret(self, cycle: int) -> int:

@@ -12,6 +12,14 @@ deterministic simulation failure is a per-job result, not a retry storm
 or a batch abort. Only infrastructure failures (worker-process crashes,
 stall-watchdog kills) escape as exceptions and consume the retry
 budget.
+
+Long-lived service workers benefit most from warm-starting
+(:mod:`repro.snapshot`): the snapshot store is process-local, so each
+pool worker accumulates warm state across batches and resubmissions of
+popular (core, config, workload) keys replay their final snapshots
+instead of re-simulating. ``REPRO_SNAPSHOT=0`` in the service
+environment restores the always-cold behaviour; cross-process snapshot
+sharing is an open item in ROADMAP.md.
 """
 
 from __future__ import annotations

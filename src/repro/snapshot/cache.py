@@ -1,0 +1,157 @@
+"""Process-local snapshot store and the ``REPRO_SNAPSHOT`` gate.
+
+One :class:`SnapshotEntry` per content key — derived from everything
+that determines a run byte-for-byte: core, configuration name, memory
+layout, the rendered kernel source (which bakes in the workload's task
+bodies and iteration counts), tick period and the runtime parameters of
+the workload. Two snapshots live in an entry:
+
+* ``boundary`` — taken automatically at the first *measured* context
+  switch (post-boot, post-warmup). A warm run restores it and simulates
+  only the measured phase.
+* ``final`` — taken when a run completes cleanly. A warm repeat of an
+  identical run replays it outright: the restored system already holds
+  the final register banks, switch records and counters, so the result
+  is derived without re-simulating anything.
+
+The store is process-local (each DSE pool worker and service worker
+warms its own), bounded by an LRU, and bypassed entirely when
+``REPRO_SNAPSHOT=0`` or when a guard/tracer/fault-injector forces the
+exact path — see docs/SNAPSHOT.md for the full bypass matrix.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.snapshot.state import SystemSnapshot
+from repro.util import LRUCache
+
+#: Snapshot entries kept per process. Far above any grid in this repo;
+#: the bound is a memory safety net for long service runs.
+STORE_CAPACITY = 64
+
+
+def snapshot_enabled() -> bool:
+    """Warm-start is on unless ``REPRO_SNAPSHOT`` disables it."""
+    value = os.environ.get("REPRO_SNAPSHOT", "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
+
+
+def snapshot_key(core: str, config, layout, workload, source: str) -> tuple:
+    """Content key of one (core, config, workload) run.
+
+    ``source`` is the rendered kernel assembly — it already encodes the
+    task bodies, iteration counts, semaphores/queues and data layout, so
+    two workloads that assemble identically share warm state. Runtime
+    parameters that never reach the source (tick period, external
+    events, warmup discard, cycle budget) are keyed explicitly.
+    """
+    return (
+        core,
+        config.name,
+        layout,
+        workload.name,
+        workload.tick_period,
+        workload.warmup_switches,
+        workload.max_cycles,
+        tuple(workload.external_events),
+        source,
+    )
+
+
+@dataclass
+class SnapshotEntry:
+    """Warm state of one content key."""
+
+    boundary: SystemSnapshot | None = None
+    final: SystemSnapshot | None = None
+
+
+@dataclass
+class SnapshotStats:
+    """Warm-start accounting (``python -m repro snapshot`` reports it)."""
+
+    final_hits: int = 0
+    boundary_hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    boundary_captures: int = 0
+    final_captures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.final_hits + self.boundary_hits + self.misses
+        return (self.final_hits + self.boundary_hits) / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "final_hits": self.final_hits,
+            "boundary_hits": self.boundary_hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "boundary_captures": self.boundary_captures,
+            "final_captures": self.final_captures,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SnapshotStore:
+    """LRU-bounded key → :class:`SnapshotEntry` map with accounting."""
+
+    def __init__(self, capacity: int = STORE_CAPACITY):
+        self._entries: LRUCache = LRUCache(capacity)
+        self.stats = SnapshotStats()
+
+    def entry(self, key: tuple) -> SnapshotEntry:
+        """The entry for *key*, created empty on first sight."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = SnapshotEntry()
+            self._entries[key] = entry
+        return entry
+
+    def peek(self, key: tuple) -> SnapshotEntry | None:
+        """The entry for *key* without creating or refreshing it."""
+        return dict.get(self._entries, key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = SnapshotStats()
+
+
+#: The process-wide store used by :func:`repro.harness.run_workload`.
+_STORE = SnapshotStore()
+
+
+def store() -> SnapshotStore:
+    return _STORE
+
+
+def reset_store() -> None:
+    """Drop all warm state (tests and benchmarks isolate through this)."""
+    _STORE.clear()
+
+
+def final_system(core: str, config, workload, layout=None):
+    """Materialize the cached *final* system of a run, or ``None``.
+
+    Benchmarks and tests use this to inspect end-of-run state (register
+    banks, memory) that :class:`repro.harness.experiment.RunResult`
+    does not carry.
+    """
+    from repro.kernel.builder import KernelBuilder
+    from repro.mem.regions import MemoryLayout
+
+    layout = layout or MemoryLayout()
+    builder = KernelBuilder(config=config, objects=workload.objects,
+                            layout=layout, tick_period=workload.tick_period)
+    key = snapshot_key(core, config, layout, workload, builder.source())
+    entry = _STORE.peek(key)
+    if entry is None or entry.final is None:
+        return None
+    return entry.final.materialize()

@@ -1,0 +1,68 @@
+"""Seed derivation must depend on the grid position, not execution order.
+
+Regression for a subtle bug: the sweep's in-process fallback used to
+re-invoke workload factories for every (core, config) cell. A factory
+is not required to be pure — if its workload names encode a counter,
+each cell silently got a *different* workload name and therefore a
+different :func:`derive_point_seed`, breaking the content-addressed DSE
+cache and serial/parallel byte-identity. Factories are now resolved
+exactly once per suite/sweep.
+"""
+
+import dataclasses
+import itertools
+
+from repro.harness.experiment import derive_point_seed, run_suite, sweep
+from repro.workloads import yield_pingpong
+
+SEED = 7
+
+
+def _counting_factory():
+    """An impure factory: every call yields a differently-named workload."""
+    counter = itertools.count()
+
+    def factory(iterations):
+        workload = yield_pingpong(iterations=2)
+        return dataclasses.replace(workload,
+                                   name=f"adhoc{next(counter)}")
+
+    return factory
+
+
+def test_sweep_resolves_adhoc_factories_once():
+    grid = sweep(cores=("cv32e40p", "cva6"), configs=("vanilla", "S"),
+                 iterations=2, workloads=[_counting_factory()], seed=SEED)
+    names = {run.workload
+             for suite in grid.values() for run in suite.runs}
+    assert names == {"adhoc0"}, (
+        "cells saw different workload instances: factory re-invoked per "
+        f"(core, config) cell — got names {sorted(names)}")
+    for (core, config_name), suite in grid.items():
+        for run in suite.runs:
+            assert run.seed == derive_point_seed(SEED, core, config_name,
+                                                 "adhoc0")
+
+
+def test_run_suite_pins_seeds_for_prebuilt_workloads():
+    workload = dataclasses.replace(yield_pingpong(iterations=2),
+                                   name="pinned")
+    suite = run_suite("cv32e40p", _config("SLT"), iterations=2,
+                      workloads=[workload], seed=SEED)
+    assert [run.seed for run in suite.runs] == [
+        derive_point_seed(SEED, "cv32e40p", "SLT", "pinned")]
+
+
+def test_run_suite_accepts_mixed_factories_and_instances():
+    prebuilt = dataclasses.replace(yield_pingpong(iterations=2),
+                                   name="prebuilt")
+    suite = run_suite("cv32e40p", _config("vanilla"), iterations=2,
+                      workloads=[yield_pingpong, prebuilt], seed=SEED)
+    assert [run.workload for run in suite.runs] == [
+        yield_pingpong(iterations=2).name, "prebuilt"]
+
+
+def _config(name):
+    from repro.rtosunit.config import parse_config
+
+    return parse_config(name)

@@ -1,0 +1,78 @@
+"""The content-addressed kernel build cache."""
+
+import dataclasses
+
+from repro.kernel.builder import (
+    KernelBuilder,
+    assemble_cached,
+    build_kernel_system,
+    reset_program_cache,
+)
+from repro.rtosunit.config import parse_config
+from repro.workloads import yield_pingpong
+
+
+def _builder():
+    workload = yield_pingpong(iterations=2)
+    return KernelBuilder(config=parse_config("vanilla"),
+                         objects=workload.objects,
+                         tick_period=workload.tick_period), workload
+
+
+def test_assemble_is_memoized():
+    builder, _ = _builder()
+    source = builder.source()
+    origin = builder.layout.text_base
+    first = assemble_cached(source, origin)
+    second = assemble_cached(source, origin)
+    assert first[0] is second[0]
+    assert first[1] is second[1]
+    reset_program_cache()
+    third = assemble_cached(source, origin)
+    assert third[0] is not first[0]
+
+
+def test_source_is_memoized_per_builder():
+    builder, _ = _builder()
+    assert builder.source() is builder.source()
+
+
+def test_blob_matches_word_loader():
+    """load_image (blob blit) and load (per-word) produce the same RAM."""
+    from repro.cores.system import build_system
+
+    builder, _ = _builder()
+    program, blob = assemble_cached(builder.source(),
+                                    builder.layout.text_base)
+    via_words = build_system("cv32e40p", builder.config,
+                             layout=builder.layout,
+                             tick_period=builder.tick_period)
+    via_words.load(program)
+    via_blob = build_system("cv32e40p", builder.config,
+                            layout=builder.layout,
+                            tick_period=builder.tick_period)
+    via_blob.load_image(program, blob)
+    assert via_words.memory.data == via_blob.memory.data
+    assert via_words.core.pc == via_blob.core.pc
+
+
+def test_cached_build_runs_identically():
+    builder, workload = _builder()
+    reset_program_cache()
+    cold = builder.build("cv32e40p")  # populates the cache
+    warm = builder.build("cv32e40p")  # hits it
+    assert cold.run(workload.max_cycles) == warm.run(workload.max_cycles)
+    assert cold.core.cycle == warm.core.cycle
+    assert [dataclasses.asdict(s) for s in cold.switches] == \
+        [dataclasses.asdict(s) for s in warm.switches]
+
+
+def test_distinct_configs_do_not_collide():
+    workload = yield_pingpong(iterations=2)
+    vanilla = build_kernel_system("cv32e40p", parse_config("vanilla"),
+                                  workload.objects,
+                                  tick_period=workload.tick_period)
+    slt = build_kernel_system("cv32e40p", parse_config("SLT"),
+                              workload.objects,
+                              tick_period=workload.tick_period)
+    assert vanilla.memory.data != slt.memory.data

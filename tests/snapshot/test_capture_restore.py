@@ -1,0 +1,102 @@
+"""System.capture / System.restore round trips and resume correctness."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernel.builder import KernelBuilder
+from repro.rtosunit.config import parse_config
+from repro.workloads import sem_signal, yield_pingpong
+
+CORES = ("cv32e40p", "cva6", "naxriscv")
+
+
+def _build(core, config_name, workload):
+    builder = KernelBuilder(config=parse_config(config_name),
+                            objects=workload.objects,
+                            tick_period=workload.tick_period)
+    return builder.build(core, external_events=workload.external_events)
+
+
+def _observable(system):
+    core = system.core
+    return {
+        "cycle": core.cycle,
+        "pc": core.pc,
+        "regs": [list(bank) for bank in core.banks],
+        "csr": dict(core.csr.regs),
+        "stats": dict(vars(core.stats)),
+        "switches": [dataclasses.asdict(s) for s in system.switches],
+        "memory": bytes(system.memory.data),
+        "console": list(system.console),
+        "probes": list(system.probes),
+        "unit_stats": (dict(vars(system.unit.stats))
+                       if system.unit else None),
+    }
+
+
+@pytest.mark.parametrize("core", CORES)
+@pytest.mark.parametrize("config_name", ("vanilla", "SLT"))
+def test_final_state_round_trip(core, config_name):
+    workload = yield_pingpong(iterations=3)
+    system = _build(core, config_name, workload)
+    assert system.run(workload.max_cycles) == 0
+    snapshot = system.capture()
+    clone = snapshot.materialize()
+    assert _observable(clone) == _observable(system)
+
+
+@pytest.mark.parametrize("core", CORES)
+@pytest.mark.parametrize("config_name", ("vanilla", "SLT"))
+def test_mid_run_capture_resumes_identically(core, config_name):
+    """A clone restored from a mid-run checkpoint finishes byte-identical."""
+    workload = sem_signal(iterations=3)
+    reference = _build(core, config_name, workload)
+    assert reference.run(workload.max_cycles) == 0
+
+    system = _build(core, config_name, workload)
+    checkpoints = []
+
+    def hook(cpu):
+        if not checkpoints:
+            checkpoints.append(system.capture())
+            cpu.switch_hook = None
+
+    system.core.switch_hook = hook
+    assert system.run(workload.max_cycles) == 0
+    assert checkpoints, "no context switch ever completed"
+    assert _observable(system) == _observable(reference)
+
+    clone = checkpoints[0].materialize()
+    assert not clone.core.halted
+    assert clone.run(workload.max_cycles) == 0
+    assert _observable(clone) == _observable(reference)
+
+
+def test_restore_into_live_system_rewinds_it():
+    workload = yield_pingpong(iterations=3)
+    system = _build("cv32e40p", "vanilla", workload)
+    assert system.run(workload.max_cycles) == 0
+    snapshot = system.capture()
+    before = _observable(system)
+    # Wreck the live state, then rewind.
+    system.core.banks[0][5] ^= 0xDEAD
+    system.memory.write_word_raw(0x400, 0x12345678)
+    system.core.stats.instret += 99
+    system.restore(snapshot)
+    assert _observable(system) == before
+    assert snapshot.restores == 1
+
+
+def test_capture_skips_timeline_busy_without_unit():
+    workload = yield_pingpong(iterations=3)
+    system = _build("cv32e40p", "vanilla", workload)
+    assert system.run(workload.max_cycles) == 0
+    snapshot = system.capture()
+    assert snapshot.timeline_state[0] == ()
+
+    unit_system = _build("cv32e40p", "SLT", workload)
+    assert unit_system.run(workload.max_cycles) == 0
+    clone = unit_system.capture().materialize()
+    assert clone.timeline.core_cycles == unit_system.timeline.core_cycles
+    assert clone.timeline.unit_cycles == unit_system.timeline.unit_cycles

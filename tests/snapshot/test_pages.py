@@ -1,0 +1,75 @@
+"""Unit tests for the copy-on-write page image layer."""
+
+import pytest
+
+from repro.snapshot.pages import (
+    PAGE_SIZE,
+    capture_image,
+    restore_image,
+)
+
+
+def _ram(size=4 * PAGE_SIZE):
+    data = bytearray(size)
+    data[100:104] = b"\x01\x02\x03\x04"
+    data[PAGE_SIZE + 8:PAGE_SIZE + 12] = b"\xAA\xBB\xCC\xDD"
+    return data
+
+
+def test_round_trip():
+    data = _ram()
+    image = capture_image(data)
+    blank = bytearray(len(data))
+    dirty = restore_image(blank, image)
+    assert blank == data
+    # Only the two non-zero pages needed writing.
+    assert [start for start, _ in dirty] == [0, PAGE_SIZE]
+
+
+def test_zero_pages_are_interned():
+    a = capture_image(bytearray(3 * PAGE_SIZE))
+    b = capture_image(bytearray(3 * PAGE_SIZE))
+    # Independent captures of all-zero RAM share one page object.
+    assert len({id(p) for p in a.pages + b.pages}) == 1
+    assert a.unique_bytes() == PAGE_SIZE
+
+
+def test_recapture_shares_clean_pages_with_base():
+    data = _ram()
+    base = capture_image(data)
+    data[PAGE_SIZE + 8] ^= 0xFF  # dirty exactly one page
+    image = capture_image(data, base)
+    assert image.shared_pages(base) == len(base.pages) - 1
+    assert image.pages[0] is base.pages[0]
+    assert image.pages[1] is not base.pages[1]
+
+
+def test_restore_after_capture_touches_nothing():
+    data = _ram()
+    image = capture_image(data)
+    assert restore_image(data, image) == []
+
+
+def test_restore_reports_only_dirty_pages():
+    data = _ram()
+    image = capture_image(data)
+    data[2 * PAGE_SIZE + 4] = 0x5A
+    dirty = restore_image(data, image)
+    assert dirty == [(2 * PAGE_SIZE, PAGE_SIZE)]
+    assert data == _ram()
+
+
+def test_size_mismatch_rejected():
+    image = capture_image(bytearray(2 * PAGE_SIZE))
+    with pytest.raises(ValueError):
+        restore_image(bytearray(3 * PAGE_SIZE), image)
+
+
+def test_partial_tail_page():
+    data = bytearray(PAGE_SIZE + 100)
+    data[-1] = 7
+    image = capture_image(data)
+    assert len(image.pages[-1]) == 100
+    blank = bytearray(len(data))
+    restore_image(blank, image)
+    assert blank == data

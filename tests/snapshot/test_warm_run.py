@@ -1,0 +1,111 @@
+"""Warm-start tiers, gating and accounting in run_workload."""
+
+import pytest
+
+from repro.harness.experiment import run_workload
+from repro.rtosunit.config import parse_config
+from repro.snapshot import final_system, snapshot_enabled, store
+from repro.workloads import yield_pingpong
+
+
+def _run(guard=None):
+    workload = yield_pingpong(iterations=3)
+    return run_workload("cv32e40p", parse_config("vanilla"), workload,
+                        guard=guard), workload
+
+
+def _result_key(result):
+    return (result.latencies,
+            [(s.trigger_cycle, s.entry_cycle, s.mret_cycle)
+             for s in result.switches],
+            result.cycles, result.instret, dict(vars(result.core_stats)))
+
+
+def test_snapshot_enabled_parsing(monkeypatch):
+    for value, expected in (("1", True), ("", True), ("yes", True),
+                            ("0", False), ("false", False), ("off", False),
+                            ("No", False)):
+        monkeypatch.setenv("REPRO_SNAPSHOT", value)
+        assert snapshot_enabled() is expected
+    monkeypatch.delenv("REPRO_SNAPSHOT")
+    assert snapshot_enabled() is True
+
+
+def test_miss_then_final_hit():
+    cold, _ = _run()
+    warm, _ = _run()
+    stats = store().stats
+    assert stats.misses == 1
+    assert stats.final_hits == 1
+    assert stats.boundary_captures == 1
+    assert stats.final_captures == 1
+    assert _result_key(cold) == _result_key(warm)
+
+
+def test_boundary_tier_resumes():
+    cold, workload = _run()
+    # Drop the final snapshot so the next run must resume the boundary.
+    entry = next(iter(store()._entries.values()))
+    assert entry.boundary is not None
+    entry.final = None
+    warm, _ = _run()
+    assert store().stats.boundary_hits == 1
+    assert _result_key(cold) == _result_key(warm)
+
+
+def test_env_gate_bypasses_store(monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOT", "0")
+    _run()
+    _run()
+    assert len(store()) == 0
+    assert store().stats.misses == 0
+
+
+def test_guard_forces_exact_path():
+    class NullGuard:
+        def on_step(self, core):
+            pass
+
+        def check(self, core):
+            pass
+
+    cold, _ = _run()
+    guarded, _ = _run(guard=NullGuard())
+    assert store().stats.bypasses == 1
+    assert store().stats.final_hits == 0  # guard never reads warm state
+    assert _result_key(cold) == _result_key(guarded)
+
+
+def test_final_system_exposes_end_state():
+    workload = yield_pingpong(iterations=3)
+    config = parse_config("vanilla")
+    assert final_system("cv32e40p", config, workload) is None
+    run_workload("cv32e40p", config, workload)
+    system = final_system("cv32e40p", config, workload)
+    assert system is not None
+    assert system.core.halted
+    assert system.core.exit_code == 0
+
+
+def test_results_shared_across_seeds():
+    """The seed never perturbs the simulation, so warm state is shared."""
+    workload = yield_pingpong(iterations=3)
+    config = parse_config("vanilla")
+    a = run_workload("cv32e40p", config, workload, seed=1)
+    b = run_workload("cv32e40p", config, workload, seed=2)
+    assert store().stats.final_hits == 1
+    assert a.seed == 1 and b.seed == 2
+    assert a.latencies == b.latencies
+
+
+def test_distinct_workload_params_get_distinct_entries():
+    import dataclasses
+
+    workload = yield_pingpong(iterations=3)
+    config = parse_config("vanilla")
+    run_workload("cv32e40p", config, workload)
+    shifted = dataclasses.replace(workload, tick_period=workload.tick_period
+                                  + 1000)
+    run_workload("cv32e40p", config, shifted)
+    assert store().stats.misses == 2
+    assert len(store()) == 2
