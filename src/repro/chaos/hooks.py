@@ -1,0 +1,104 @@
+"""The chaos injection points: install a policy, fire at sites.
+
+The production code calls :func:`fire(site)` at each explicit injection
+site. With no policy installed (the default, always, outside chaos
+campaigns and tests) the call is a single module-global ``None`` check —
+the serving stack pays nothing for being injectable.
+
+With a policy installed, :func:`fire` consults
+:meth:`~repro.chaos.model.ChaosPolicy.decide` and *executes* the
+control-flow kinds inline — sleeping for ``slow_io``/``worker_hang``,
+raising :class:`~repro.chaos.model.InjectedCrash` (or killing the
+process, in ``hard_crash`` mode) for ``worker_crash`` — while the
+data-corruption kinds (``corrupt_blob``, ``truncate_blob``,
+``partial_write``, ``drop_result``) are returned to the caller, which
+alone knows what payload to mangle.
+
+Process pools complicate one thing: a policy installed in the parent is
+invisible to forked/spawned workers. ``install(policy, env=True)``
+additionally publishes the policy as ``REPRO_CHAOS`` JSON;
+:func:`ensure_from_env` (called by the pool worker entry point) adopts
+it, each worker replaying visits from its own counters.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+
+from repro.chaos.model import ChaosPolicy, InjectedCrash
+
+#: Environment variable carrying a serialized policy into pool workers.
+ENV_VAR = "REPRO_CHAOS"
+
+_POLICY: ChaosPolicy | None = None
+
+
+def install(policy: ChaosPolicy, env: bool = False) -> None:
+    """Make *policy* the process-wide chaos policy.
+
+    ``env=True`` also exports it as :data:`ENV_VAR` so process-pool
+    workers spawned afterwards adopt it via :func:`ensure_from_env`.
+    """
+    global _POLICY
+    _POLICY = policy
+    if env:
+        os.environ[ENV_VAR] = policy.to_json()
+
+
+def uninstall() -> None:
+    """Remove any installed policy (and its environment export)."""
+    global _POLICY
+    _POLICY = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def active() -> ChaosPolicy | None:
+    """The installed policy, or ``None``."""
+    return _POLICY
+
+
+def ensure_from_env() -> None:
+    """Adopt the :data:`ENV_VAR` policy if none is installed yet.
+
+    Called on the worker side of the process-pool boundary; a no-op in
+    the common case (no variable, or a policy already installed).
+    """
+    if _POLICY is None and ENV_VAR in os.environ:
+        install(ChaosPolicy.from_json(os.environ[ENV_VAR]))
+
+
+@contextlib.contextmanager
+def installed(policy: ChaosPolicy, env: bool = False):
+    """Scope a policy to a ``with`` block (tests and campaign episodes)."""
+    install(policy, env=env)
+    try:
+        yield policy
+    finally:
+        uninstall()
+
+
+def fire(site: str):
+    """Visit injection site *site*; returns a data-corruption spec or None.
+
+    Control-flow kinds happen here: ``slow_io`` and ``worker_hang``
+    sleep, ``worker_crash`` raises :class:`InjectedCrash` (or exits the
+    process when the policy runs in ``hard_crash`` mode). The remaining
+    kinds describe payload damage only the call site can apply, so the
+    spec is handed back.
+    """
+    policy = _POLICY
+    if policy is None:
+        return None
+    spec = policy.decide(site)
+    if spec is None:
+        return None
+    if spec.kind in ("slow_io", "worker_hang"):
+        time.sleep(spec.delay_s)
+        return None
+    if spec.kind == "worker_crash":
+        if policy.hard_crash:
+            os._exit(57)  # simulated OOM-kill: no cleanup, no excuses
+        raise InjectedCrash(f"chaos: injected worker crash at {site}")
+    return spec

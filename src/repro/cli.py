@@ -322,6 +322,39 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos.campaign import (CampaignSpec, campaign_dict,
+                                      format_campaign, run_campaign)
+
+    if args.quick:
+        spec = CampaignSpec.quick(seed=args.seed)
+    else:
+        spec = CampaignSpec(seed=args.seed)
+    if args.core:
+        spec.core = args.core
+    if args.config:
+        spec.config = args.config
+    if args.workload:
+        spec.workload = args.workload
+    if args.episodes:
+        spec.episodes = tuple(args.episodes.split(","))
+    progress = None
+    if args.verbose:
+        def progress(result):
+            print(f"  {result.name} [{result.site}/{result.kind}] -> "
+                  f"{result.outcome} ({result.detail})")
+    campaign = run_campaign(spec, progress=progress)
+    failed = campaign.counts()["failed"]
+    if args.json:
+        from repro.harness.export import write_json
+
+        write_json(args.json, campaign_dict(campaign))
+        print(f"wrote {args.json}")
+        return 0 if failed == 0 else 1
+    print(format_campaign(campaign))
+    return 0 if failed == 0 else 1
+
+
 def _cmd_dse(args) -> int:
     from repro.analysis import format_frontier
     from repro.dse import (
@@ -700,6 +733,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write every outcome as JSON instead of the table")
 
     p = sub.add_parser(
+        "chaos", help="seeded host-fault campaign against the serving stack")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--quick", action="store_true",
+                   help="fast subset (cache, worker and spool faults)")
+    p.add_argument("--core", default=None, choices=CORE_NAMES)
+    p.add_argument("--config", default=None)
+    p.add_argument("--workload", default=None)
+    p.add_argument("--episodes", default=None,
+                   help="comma-separated episode names (default: all)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each episode outcome as it is classified")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the outcome table as JSON instead")
+
+    p = sub.add_parser(
         "serve", help="simulation job server over a spool directory")
     p.add_argument("--spool", required=True, metavar="DIR",
                    help="request/response spool directory")
@@ -765,6 +813,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "run": _cmd_run,
     "faults": _cmd_faults,
+    "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "drain": _cmd_drain,

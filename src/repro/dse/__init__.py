@@ -26,6 +26,7 @@ from repro.dse.cache import (
 from repro.dse.executor import (
     DSEExecutor,
     GridPoint,
+    PoolHealth,
     build_grid,
     execute_point,
     group_suites,
@@ -51,6 +52,7 @@ __all__ = [
     "DesignPoint",
     "GridPoint",
     "OBJECTIVES",
+    "PoolHealth",
     "ProgressMeter",
     "ResultCache",
     "SweepManifest",

@@ -27,12 +27,27 @@ import os
 import pathlib
 from dataclasses import dataclass
 
+from repro.chaos.hooks import fire as _chaos_fire
+from repro.chaos.model import mangle_blob
 from repro.errors import ExplorationError
 
 _FINGERPRINT: str | None = None
 
 #: Version tag of the cache entry schema (bump on breaking change).
-CACHE_SCHEMA = 2
+#: 3: entries carry a payload digest, verified on every read.
+CACHE_SCHEMA = 3
+
+
+def payload_digest(payload: dict) -> str:
+    """Canonical content digest of one run payload.
+
+    Stored inside every cache entry and re-checked on read: a blob that
+    rotted on disk (or was half-written by a crashed process) is
+    *detected*, evicted and recomputed instead of being served as a
+    silently wrong result.
+    """
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
 
 
 def source_fingerprint() -> str:
@@ -73,7 +88,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    invalidated: int = 0
+    invalidated: int = 0         # stale fingerprint/schema reaping
+    corrupt_evictions: int = 0   # failed decode or digest on read
 
     @property
     def lookups(self) -> int:
@@ -86,6 +102,7 @@ class CacheStats:
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "invalidated": self.invalidated,
+                "corrupt_evictions": self.corrupt_evictions,
                 "hit_rate": self.hit_rate}
 
 
@@ -119,18 +136,31 @@ class ResultCache:
     # -- lookups -------------------------------------------------------------
 
     def get(self, point) -> dict | None:
-        """The cached run payload, or ``None`` (miss) — with accounting."""
+        """The cached run payload, or ``None`` (miss) — with accounting.
+
+        A hit is served only after the entry decodes, carries the
+        expected key *and* its stored payload digest matches the
+        payload: anything else — disk rot, a half-written file, a
+        mislabelled entry — is evicted, counted as a corrupt eviction
+        and reported as a miss, so the caller recomputes instead of
+        trusting damaged state.
+        """
         path = self.path(point)
         if path.exists():
+            spec = _chaos_fire("cache.read")
+            if spec is not None:
+                path.write_bytes(mangle_blob(path.read_bytes(), spec.kind))
             try:
                 entry = json.loads(path.read_text())
                 if entry.get("key") != self.key(point):
                     raise ValueError("key mismatch")
                 payload = entry["run"]
+                if entry.get("digest") != payload_digest(payload):
+                    raise ValueError("payload digest mismatch")
             except (ValueError, KeyError, OSError):
                 # Corrupt or mislabelled entry: drop it, count it, miss.
                 path.unlink(missing_ok=True)
-                self.stats.invalidated += 1
+                self.stats.corrupt_evictions += 1
                 self.stats.misses += 1
                 return None
             self.stats.hits += 1
@@ -150,12 +180,22 @@ class ResultCache:
             "schema": self.SCHEMA,
             "key": self.key(point),
             "fingerprint": self.fingerprint,
+            "digest": payload_digest(payload),
             "point": point.as_dict(),
             "run": payload,
         }
         path = self.path(point)
+        text = json.dumps(entry, indent=2, sort_keys=True) + "\n"
+        spec = _chaos_fire("cache.write")
+        if spec is not None and spec.kind == "partial_write":
+            # A crash mid-write without the atomic rename: the damaged
+            # file lands under the *final* name. The digest check on the
+            # next read turns this into an eviction + recompute.
+            path.write_text(text[:len(text) // 2])
+            self.stats.stores += 1
+            return
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        tmp.write_text(text)
         os.replace(tmp, path)
         self.stats.stores += 1
 

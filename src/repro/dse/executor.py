@@ -1,4 +1,4 @@
-"""Parallel grid execution with retry, timeout and deterministic ordering.
+"""Parallel grid execution with supervision, retry and deterministic order.
 
 The executor is the workhorse of the co-exploration engine: it fans a
 (core × configuration × workload) grid out over a
@@ -7,10 +7,19 @@ cache before spending any simulation time, and hands results back keyed
 and ordered by *grid position* — never by completion order — so a
 parallel sweep exports byte-identically to a serial one.
 
+The pool is *supervised*: each in-flight task carries its own absolute
+deadline, a worker that dies takes the broken pool with it and gets the
+pool rebuilt (stalled worker processes are terminated, not abandoned),
+and a task whose failures exhaust the retry budget is either raised as
+:class:`~repro.errors.ExplorationError` (the historical behaviour) or —
+when the caller provides ``on_poison`` — quarantined into a structured
+result so one poisonous grid point cannot take down a whole batch.
+:class:`PoolHealth` counts every one of those events for telemetry.
+
 Two entry points:
 
 * :func:`parallel_map` — a generic order-preserving map with per-task
-  retry and timeout, also used by the WCET, Fig. 12 and fault-campaign
+  retry and deadline, also used by the WCET, Fig. 12 and fault-campaign
   CLI paths;
 * :class:`DSEExecutor` — the cache-aware grid runner behind
   :func:`repro.harness.sweep` and ``python -m repro dse``.
@@ -19,6 +28,7 @@ Two entry points:
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from dataclasses import asdict, dataclass
 
 from repro.errors import ExplorationError
@@ -81,10 +91,15 @@ def execute_point(point: GridPoint):
     every (config, workload) column revisited across seeds or repeated
     sweeps within one worker's lifetime.
     """
+    from repro.chaos import hooks as chaos_hooks
     from repro.harness.experiment import derive_point_seed, run_workload
     from repro.rtosunit.config import parse_config
     from repro.workloads import workload_by_name
 
+    # Pool workers adopt a REPRO_CHAOS policy exported by the parent;
+    # both calls are no-ops outside chaos campaigns and tests.
+    chaos_hooks.ensure_from_env()
+    chaos_hooks.fire("worker.run")
     workload = workload_by_name(point.workload, iterations=point.iterations)
     return run_workload(
         point.core, parse_config(point.config), workload,
@@ -92,60 +107,204 @@ def execute_point(point: GridPoint):
                                point.workload))
 
 
-def parallel_map(worker, items, jobs: int = 1, timeout: float | None = None,
-                 retries: int = 1, on_result=None) -> list:
-    """Order-preserving map with optional process-pool fan-out.
+@dataclass
+class PoolHealth:
+    """Supervision telemetry for one :func:`parallel_map` (or service).
 
-    ``jobs <= 1`` runs in-process (no pickling constraints). Otherwise
-    each item is submitted to a pool of ``jobs`` workers; a task that
-    raises or exceeds ``timeout`` seconds is resubmitted up to
-    ``retries`` extra times before the whole map fails with
-    :class:`ExplorationError`. ``on_result(index, result)`` fires once
-    per completed item (in completion order) for progress telemetry.
-    Results come back in item order regardless of completion order.
+    ``retries`` counts charged re-executions, ``crashes`` futures lost
+    to dead worker processes, ``stalls`` tasks past their deadline,
+    ``restarts`` pool rebuilds, and ``poisoned`` tasks quarantined after
+    exhausting the retry budget.
     """
-    items = list(items)
-    if jobs <= 1:
-        results = []
-        for index, item in enumerate(items):
-            result = _attempt_serial(worker, item, index, retries)
-            results.append(result)
-            if on_result is not None:
-                on_result(index, result)
-        return results
-    results = [None] * len(items)
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {pool.submit(worker, item): index
-                   for index, item in enumerate(items)}
-        attempts = {index: 1 for index in range(len(items))}
-        while futures:
-            done, _ = concurrent.futures.wait(
-                futures, timeout=timeout,
-                return_when=concurrent.futures.FIRST_COMPLETED)
-            if not done:  # nothing finished within the per-task timeout
-                for future, index in list(futures.items()):
-                    del futures[future]
-                    future.cancel()
-                    _resubmit(pool, worker, items, futures, attempts, index,
-                              retries, reason="timeout")
-                continue
-            for future in done:
-                index = futures.pop(future)
-                try:
-                    result = future.result()
-                except Exception as exc:  # noqa: BLE001 - classified below
-                    _resubmit(pool, worker, items, futures, attempts, index,
-                              retries, reason=f"{type(exc).__name__}: {exc}")
-                    continue
-                results[index] = result
-                if on_result is not None:
-                    on_result(index, result)
+
+    retries: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    restarts: int = 0
+    poisoned: int = 0
+
+    def as_dict(self) -> dict:
+        return {"retries": self.retries, "crashes": self.crashes,
+                "stalls": self.stalls, "restarts": self.restarts,
+                "poisoned": self.poisoned}
+
+
+def _poison(index: int, item, attempts: int, reason: str, on_poison,
+            health: PoolHealth):
+    """Quarantine a task past its retry budget, or raise (default path)."""
+    if on_poison is None:
+        raise ExplorationError(
+            f"grid task {index} ({item!r}) failed after "
+            f"{attempts} attempts: {reason}")
+    health.poisoned += 1
+    return on_poison(index, item, attempts, reason)
+
+
+def _run_serial(worker, items, retries: int, on_result, on_poison,
+                health: PoolHealth) -> list:
+    results = []
+    for index, item in enumerate(items):
+        try:
+            result = _attempt_serial(worker, item, index, retries, health)
+        except ExplorationError as exc:
+            if on_poison is None:
+                raise
+            health.poisoned += 1
+            result = on_poison(index, item, retries + 1, str(exc))
+        results.append(result)
+        if on_result is not None:
+            on_result(index, result)
     return results
 
 
-def _attempt_serial(worker, item, index: int, retries: int):
+def _replace_pool(pool, jobs: int, health: PoolHealth):
+    """Tear down a broken/stalled pool — processes included — and rebuild.
+
+    ``Future.cancel`` cannot stop a *running* task, so a stalled worker
+    would otherwise occupy a slot forever; the supervisor terminates the
+    worker processes outright and starts a fresh pool.
+    """
+    health.restarts += 1
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    return concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+
+
+def parallel_map(worker, items, jobs: int = 1, timeout: float | None = None,
+                 retries: int = 1, on_result=None, on_poison=None,
+                 health: PoolHealth | None = None) -> list:
+    """Order-preserving map with a supervised process-pool fan-out.
+
+    ``jobs <= 1`` runs in-process (no pickling constraints). Otherwise
+    each item runs under a pool of ``jobs`` workers with supervision:
+
+    * every submission gets its own absolute deadline (``timeout``
+      seconds from dispatch); an overdue task is charged a failed
+      attempt and its stalled worker pool is replaced — running tasks
+      cannot be cancelled, so replacement is the only honest kill;
+    * a worker-process death breaks every future riding the pool; all
+      of them are charged (the dying worker cannot be attributed, and
+      innocent tasks recover on their free retry) and the pool is
+      rebuilt before resubmission;
+    * a task that exhausts ``retries`` extra attempts raises
+      :class:`ExplorationError` — unless ``on_poison(index, item,
+      attempts, reason)`` is given, in which case its return value is
+      quarantined into the task's result slot and the rest of the map
+      proceeds.
+
+    ``on_result(index, result)`` fires once per completed item (in
+    completion order) for progress telemetry; ``health`` accumulates
+    supervision counters. Results come back in item order regardless of
+    completion order.
+    """
+    items = list(items)
+    health = health if health is not None else PoolHealth()
+    if jobs <= 1:
+        return _run_serial(worker, items, retries, on_result, on_poison,
+                           health)
+
+    results = [None] * len(items)
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    futures: dict = {}            # future -> item index
+    deadlines: dict = {}          # item index -> absolute deadline | None
+    attempts = dict.fromkeys(range(len(items)), 0)
+
+    def start(index: int) -> None:
+        attempts[index] += 1
+        futures[pool.submit(worker, items[index])] = index
+        deadlines[index] = (time.monotonic() + timeout
+                            if timeout is not None else None)
+
+    def finish(index: int, result) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(index, result)
+
+    def charge(index: int, reason: str) -> None:
+        """One failed attempt: resubmit within budget, else quarantine."""
+        if attempts[index] > retries:
+            finish(index, _poison(index, items[index], attempts[index],
+                                  reason, on_poison, health))
+            return
+        health.retries += 1
+        start(index)
+
+    try:
+        for index in range(len(items)):
+            start(index)
+        while futures:
+            wait_s = None
+            if timeout is not None:
+                next_deadline = min(deadlines[i] for i in futures.values())
+                wait_s = max(0.0, next_deadline - time.monotonic())
+            done, _ = concurrent.futures.wait(
+                futures, timeout=wait_s,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            completed, failed, broken = [], [], []
+            rebuild = False
+            if done:
+                for future in done:
+                    index = futures.pop(future)
+                    deadlines.pop(index, None)
+                    try:
+                        completed.append((index, future.result()))
+                    except concurrent.futures.process.BrokenProcessPool \
+                            as exc:
+                        broken.append((index,
+                                       f"worker process died: {exc}"))
+                    except concurrent.futures.CancelledError:
+                        broken.append((index, "worker pool torn down"))
+                    except Exception as exc:  # noqa: BLE001 - charged below
+                        failed.append((index,
+                                       f"{type(exc).__name__}: {exc}"))
+                health.crashes += len(broken)
+                rebuild = bool(broken)
+            else:
+                # Deadline expired with nothing finished: the overdue
+                # tasks' workers are stalled and cannot be cancelled, so
+                # the pool must be replaced. Only overdue tasks are
+                # charged; tasks still inside their own budget restart
+                # for free on the fresh pool.
+                now = time.monotonic()
+                overdue = {index for index in futures.values()
+                           if deadlines[index] is not None
+                           and now >= deadlines[index]}
+                if overdue:
+                    health.stalls += len(overdue)
+                    failed.extend(
+                        (index, f"deadline of {timeout:.1f}s exceeded "
+                                f"(worker stalled)") for index in overdue)
+                    futures = {future: index
+                               for future, index in futures.items()
+                               if index not in overdue}
+                    rebuild = True
+            if rebuild:
+                survivors = sorted(futures.values())
+                for index in survivors:
+                    attempts[index] -= 1  # not the survivor's failure
+                futures.clear()
+                deadlines.clear()
+                pool = _replace_pool(pool, jobs, health)
+                for index in survivors:
+                    start(index)
+            for index, result in completed:
+                finish(index, result)
+            for index, reason in failed + broken:
+                charge(index, reason)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results
+
+
+def _attempt_serial(worker, item, index: int, retries: int,
+                    health: PoolHealth):
     last = None
-    for _ in range(retries + 1):
+    for attempt in range(retries + 1):
+        if attempt:
+            health.retries += 1
         try:
             return worker(item)
         except Exception as exc:  # noqa: BLE001 - wrapped below
@@ -153,16 +312,6 @@ def _attempt_serial(worker, item, index: int, retries: int):
     raise ExplorationError(
         f"grid task {index} failed after {retries + 1} attempts: "
         f"{type(last).__name__}: {last}") from last
-
-
-def _resubmit(pool, worker, items, futures, attempts, index: int,
-              retries: int, reason: str) -> None:
-    if attempts[index] > retries:
-        raise ExplorationError(
-            f"grid task {index} ({items[index]!r}) failed after "
-            f"{attempts[index]} attempts: {reason}")
-    attempts[index] += 1
-    futures[pool.submit(worker, items[index])] = index
 
 
 class DSEExecutor:
@@ -184,6 +333,7 @@ class DSEExecutor:
         self.cache = cache
         self.manifest = manifest
         self.progress = progress
+        self.health = PoolHealth()
 
     def run(self, points) -> dict:
         """Execute (or recall) every grid point; returns point → RunResult.
@@ -215,7 +365,7 @@ class DSEExecutor:
 
         executed = parallel_map(execute_point, pending, jobs=self.jobs,
                                 timeout=self.timeout, retries=self.retries,
-                                on_result=on_result)
+                                on_result=on_result, health=self.health)
         for point, run in zip(pending, executed):
             results[point] = run
         return {point: results[point] for point in points}

@@ -16,17 +16,33 @@ from __future__ import annotations
 __all__ = [
     "AnalysisError",
     "AssemblerError",
+    "ChaosInjectionError",
+    "CircuitOpenError",
     "ConfigurationError",
     "DecodeError",
     "ExplorationError",
     "FaultInjectionError",
     "KernelError",
     "MemoryError_",
+    "PoisonPointError",
     "QueueFullError",
     "ReproError",
     "ServiceError",
     "SimulationError",
 ]
+
+
+def _rebuild_error(cls, kwargs):
+    """Unpickling constructor for errors with structured keyword context.
+
+    ``BaseException`` pickles as ``cls(*args)`` where ``args`` holds the
+    *formatted* message — which both drops keyword-only context fields
+    (``SimulationError.pc``) and breaks classes with required keyword
+    arguments (``QueueFullError.retry_after``) outright. Errors that
+    cross the process-pool boundary therefore reduce through this
+    helper with their raw constructor inputs instead.
+    """
+    return cls(kwargs.pop("message"), **kwargs)
 
 
 class ReproError(Exception):
@@ -37,10 +53,16 @@ class AssemblerError(ReproError):
     """Raised when assembly source cannot be translated to machine code."""
 
     def __init__(self, message: str, line: int | None = None, source: str | None = None):
+        self.message = message
         self.line = line
         self.source = source
         location = f" (line {line}: {source!r})" if line is not None else ""
         super().__init__(f"{message}{location}")
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), {
+            "message": self.message, "line": self.line,
+            "source": self.source}))
 
 
 class DecodeError(ReproError):
@@ -73,6 +95,7 @@ class SimulationError(ReproError):
     def __init__(self, message: str, *, pc: int | None = None,
                  cycle: int | None = None, mcause: int | None = None,
                  kind: str | None = None, trace: str | None = None):
+        self.message = message
         self.pc = pc
         self.cycle = cycle
         self.mcause = mcause
@@ -92,9 +115,22 @@ class SimulationError(ReproError):
             parts.append("\nlast trace entries:\n" + trace)
         super().__init__("".join(parts))
 
+    def __reduce__(self):
+        # Context fields must survive the process-pool boundary: the
+        # service's error records are built from the *unpickled*
+        # exception on the parent side.
+        return (_rebuild_error, (type(self), {
+            "message": self.message, "pc": self.pc, "cycle": self.cycle,
+            "mcause": self.mcause, "kind": self.kind,
+            "trace": self.trace}))
+
 
 class FaultInjectionError(ReproError):
     """Raised for invalid fault specifications or injection targets."""
+
+
+class ChaosInjectionError(ReproError):
+    """Raised for invalid host-fault (chaos) specifications or policies."""
 
 
 class KernelError(ReproError):
@@ -141,11 +177,56 @@ class QueueFullError(ServiceError):
     """
 
     def __init__(self, message: str, *, retry_after: float,
-                 depth: int | None = None, capacity: int | None = None):
+                 depth: int | None = None, capacity: int | None = None,
+                 tier: str | None = None):
+        self.message = message
         self.retry_after = retry_after
         self.depth = depth
         self.capacity = capacity
+        self.tier = tier
         detail = f" (retry after {retry_after:.2f}s"
         if depth is not None and capacity is not None:
             detail += f", depth {depth}/{capacity}"
         super().__init__(f"{message}{detail})")
+
+    def __reduce__(self):
+        # The required keyword argument makes the default exception
+        # pickling (``cls(*args)``) unconstructable on the other side.
+        return (_rebuild_error, (type(self), {
+            "message": self.message, "retry_after": self.retry_after,
+            "depth": self.depth, "capacity": self.capacity,
+            "tier": self.tier}))
+
+
+class CircuitOpenError(QueueFullError):
+    """The service's circuit breaker is open: failing fast.
+
+    Subclasses :class:`QueueFullError` so every existing client retry
+    loop (honour ``retry_after``, resubmit) handles breaker rejections
+    without modification — an open circuit *is* backpressure, just
+    triggered by persistent worker failure instead of queue depth.
+    """
+
+
+class PoisonPointError(ExplorationError):
+    """A grid point that kept killing workers has been quarantined.
+
+    Raised (or embedded in a structured error record, on the service
+    path) after a point exhausts the retry budget with *infrastructure*
+    failures — crashes, stalls — rather than deterministic simulation
+    errors. ``attempts`` counts executions charged to the point;
+    ``reason`` is the last observed failure.
+    """
+
+    def __init__(self, message: str, *, label: str | None = None,
+                 attempts: int | None = None, reason: str | None = None):
+        self.message = message
+        self.label = label
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), {
+            "message": self.message, "label": self.label,
+            "attempts": self.attempts, "reason": self.reason}))

@@ -133,11 +133,19 @@ def _arm_boundary_capture(system, entry, warmup: int, stats) -> None:
     The hook fires at the end of each completed context switch; once
     ``warmup`` switches have retired the system is checkpointed and the
     hook detaches itself — the rest of the run pays nothing.
+
+    The ``worker.boundary`` chaos site fires right *after* the capture:
+    an injected crash there models a worker dying mid-run with warm
+    state already banked, so the retry (same process) enters through
+    the boundary-resume tier instead of simulating cold again.
     """
+    from repro.chaos.hooks import fire as chaos_fire
+
     if warmup <= 0:
         # No warmup phase: the boot image itself is the boundary.
         entry.boundary = system.capture()
         stats.boundary_captures += 1
+        chaos_fire("worker.boundary")
         return
 
     def hook(core) -> None:
@@ -145,6 +153,7 @@ def _arm_boundary_capture(system, entry, warmup: int, stats) -> None:
             core.switch_hook = None
             entry.boundary = system.capture()
             stats.boundary_captures += 1
+            chaos_fire("worker.boundary")
 
     system.core.switch_hook = hook
 
@@ -186,15 +195,19 @@ def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
     key = snapshot_key(core, config, builder.layout, workload,
                        builder.source())
     entry = snapshots.entry(key)
-    if entry.final is not None:
+    # Read each tier exactly once: in verified-store mode every property
+    # read re-checks the digest, and a corrupt slot self-evicts to None.
+    final = entry.final
+    if final is not None:
         # Fastest tier: replay the finished run outright.
         snapshots.stats.final_hits += 1
-        return _result_from(entry.final.materialize(), core, config,
+        return _result_from(final.materialize(), core, config,
                             workload, seed)
-    if entry.boundary is not None:
+    boundary = entry.boundary
+    if boundary is not None:
         # Resume at the measurement boundary: boot + warmup are skipped.
         snapshots.stats.boundary_hits += 1
-        system = entry.boundary.materialize()
+        system = boundary.materialize()
     else:
         snapshots.stats.misses += 1
         system = builder.build(core, external_events=workload.external_events)

@@ -9,8 +9,11 @@ FreeRTOS-extension story of the paper.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
+from repro.chaos.hooks import fire as _chaos_fire
+from repro.chaos.model import mangle_blob
 from repro.errors import KernelError
 from repro.cores.system import System, build_system
 from repro.isa.assembler import Program, assemble
@@ -30,36 +33,63 @@ ext_irq_handler:
     ret
 """
 
-#: Content-addressed build cache: (source text, origin) → (Program, blob).
-#: The assembler is pure, so identical source assembles identically —
-#: each distinct kernel image is assembled once per process and then
-#: shared by every run, sweep cell and DSE pool worker that needs it.
+#: Content-addressed build cache: (source text, origin) →
+#: (Program, blob, blob digest). The assembler is pure, so identical
+#: source assembles identically — each distinct kernel image is
+#: assembled once per process and then shared by every run, sweep cell
+#: and DSE pool worker that needs it.
 _PROGRAM_CACHE: LRUCache = LRUCache(64)
+
+
+class _BuildCacheHealth:
+    """Self-healing accounting for the in-process build cache."""
+
+    def __init__(self):
+        self.corrupt_evictions = 0
+
+    def as_dict(self) -> dict:
+        return {"corrupt_evictions": self.corrupt_evictions}
+
+
+#: Process-wide build-cache health counters (reset with the cache).
+BUILD_CACHE_HEALTH = _BuildCacheHealth()
 
 
 def assemble_cached(source: str, origin: int) -> tuple[Program, bytes]:
     """Assemble *source*, memoized, with a pre-rendered flat image.
 
     The blob covers address 0 through the highest assembled word, ready
-    for :meth:`Memory.load_blob`'s single slice blit.
+    for :meth:`Memory.load_blob`'s single slice blit. Every hit is
+    digest-verified: a blob that no longer hashes to what was stored
+    (in-memory corruption, or an injected chaos fault) is evicted,
+    counted, and rebuilt from source — never loaded into a system.
     """
     key = (source, origin)
     cached = _PROGRAM_CACHE.get(key)
     if cached is not None:
-        return cached
+        program, blob, digest = cached
+        spec = _chaos_fire("build.read")
+        if spec is not None:
+            blob = mangle_blob(blob, spec.kind)
+        if hashlib.sha256(blob).hexdigest() == digest:
+            return program, blob
+        del _PROGRAM_CACHE[key]
+        BUILD_CACHE_HEALTH.corrupt_evictions += 1
     program = assemble(source, origin=origin)
     top = max(program.words) + 4 if program.words else 0
     image = bytearray(top)
     for addr, word in program.words.items():
         image[addr:addr + 4] = word.to_bytes(4, "little")
-    cached = (program, bytes(image))
-    _PROGRAM_CACHE[key] = cached
-    return cached
+    blob = bytes(image)
+    _PROGRAM_CACHE[key] = (program, blob,
+                           hashlib.sha256(blob).hexdigest())
+    return program, blob
 
 
 def reset_program_cache() -> None:
     """Drop all memoized builds (tests and long-lived services)."""
     _PROGRAM_CACHE.clear()
+    BUILD_CACHE_HEALTH.corrupt_evictions = 0
 
 
 @dataclass

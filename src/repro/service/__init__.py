@@ -16,12 +16,23 @@ stack, applied to microarchitecture simulation. Six parts:
   executor's retry/stall-watchdog machinery off the event loop,
 * :mod:`repro.service.stats` — queue/coalesce/batch/latency telemetry
   (p50/p95/p99) exported as JSON and rendered by ``repro serve``,
+* :mod:`repro.service.breaker` — circuit breaker failing fast (with
+  retry-after) while the worker tier is persistently broken,
+* :mod:`repro.service.journal` — crash-safe append-only spool journal
+  for exactly-once resume of accepted work after a server death,
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   asyncio service itself, an in-process client, and the file-spool
   protocol behind ``repro serve`` / ``repro submit`` / ``repro drain``.
+
+Degradation is graded (see ``docs/RESILIENCE.md``): tiered load
+shedding (:class:`ShedPolicy`) rejects ``bulk`` admissions first and
+``interactive`` last, the breaker rejects only *new* work (cache hits
+and coalesced followers keep being served), and every rejection is a
+structured record with a retry-after hint — never a hang.
 """
 
 from repro.service.batch import Batcher, BatchPolicy
+from repro.service.breaker import CircuitBreaker
 from repro.service.client import (
     InProcessClient,
     SpoolClient,
@@ -29,15 +40,22 @@ from repro.service.client import (
     serve_spool,
 )
 from repro.service.coalesce import Coalescer
-from repro.service.queue import JobQueue
+from repro.service.journal import SpoolJournal
+from repro.service.queue import JobQueue, ShedPolicy
 from repro.service.request import PRIORITIES, JobRequest, load_requests
 from repro.service.server import Job, JobResult, SimulationService
 from repro.service.stats import ServiceStats, format_stats
-from repro.service.worker import error_record, execute_job, run_batch
+from repro.service.worker import (
+    error_record,
+    execute_job,
+    poison_record,
+    run_batch,
+)
 
 __all__ = [
     "BatchPolicy",
     "Batcher",
+    "CircuitBreaker",
     "Coalescer",
     "InProcessClient",
     "Job",
@@ -46,12 +64,15 @@ __all__ = [
     "JobResult",
     "PRIORITIES",
     "ServiceStats",
+    "ShedPolicy",
     "SimulationService",
     "SpoolClient",
+    "SpoolJournal",
     "error_record",
     "execute_job",
     "format_stats",
     "load_requests",
+    "poison_record",
     "request_drain",
     "run_batch",
     "serve_spool",

@@ -1,0 +1,90 @@
+"""Circuit breaker: fail fast when the worker tier is persistently down.
+
+When batch after batch dies with *infrastructure* failures (the
+executor's supervision gave up — not per-job simulation errors, which
+are deterministic results), queueing more work only grows latency for
+jobs that are doomed anyway. The breaker watches batch-level outcomes:
+
+* ``closed``    — normal operation; consecutive batch failures count up.
+* ``open``      — ``threshold`` consecutive failures trip it; new work
+  is rejected instantly with :class:`~repro.errors.CircuitOpenError`
+  (a :class:`~repro.errors.QueueFullError`, so clients back off with
+  the same retry-after machinery they already have). Cache hits and
+  in-flight coalescing keep being served — the cache tier is healthy
+  even when the worker tier is not.
+* ``half-open`` — after ``cooldown`` seconds one probe batch is let
+  through; success closes the circuit, failure re-opens it for another
+  full cooldown.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class CircuitBreaker:
+    """Batch-failure breaker for :class:`SimulationService`."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.failures = 0        # consecutive batch-level failures
+        self.opens = 0           # times the circuit tripped
+        self._opened_at: float | None = None
+        self._probing = False    # half-open: one probe batch in flight
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing or (self.clock() - self._opened_at
+                             >= self.cooldown):
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May new work enter the queue right now?
+
+        In half-open state exactly one probe is admitted; everything
+        else is rejected until the probe's outcome is recorded.
+        """
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False
+        if self.clock() - self._opened_at >= self.cooldown:
+            self._probing = True
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next admission attempt makes sense."""
+        if self._opened_at is None:
+            return 0.05
+        remaining = self.cooldown - (self.clock() - self._opened_at)
+        return max(remaining, 0.05)
+
+    def record_success(self) -> None:
+        """A batch executed (its jobs resolved, even with job errors)."""
+        self.failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A batch died at the infrastructure level."""
+        self.failures += 1
+        if self._probing or self.failures >= self.threshold:
+            if self._opened_at is None or self._probing:
+                self.opens += 1
+            self._opened_at = self.clock()
+            self._probing = False
+
+    def as_dict(self) -> dict:
+        return {"state": self.state, "failures": self.failures,
+                "opens": self.opens}

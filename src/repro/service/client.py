@@ -29,7 +29,9 @@ import pathlib
 import time
 import uuid
 
+from repro.chaos import hooks as chaos_hooks
 from repro.errors import QueueFullError, ServiceError
+from repro.service.journal import SpoolJournal
 from repro.service.request import JobRequest
 
 #: Spool sub-paths (relative to the spool root).
@@ -43,6 +45,26 @@ def _atomic_write(path: pathlib.Path, payload: dict) -> None:
     tmp = path.with_suffix(".tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path)
+
+
+def write_result(results: pathlib.Path, job_id: str, payload: dict) -> None:
+    """Write one ``results/<id>.json`` record (the delivery boundary).
+
+    This is where the spool protocol's host faults land: a chaos
+    ``spool.result`` injection can drop the write entirely (the client
+    recovers via ``repost_after``) or tear it mid-file by writing half
+    the JSON text to the *final* path, skipping the atomic rename (the
+    client detects the persistent decode failure and reposts).
+    """
+    spec = chaos_hooks.fire("spool.result")
+    if spec is not None and spec.kind == "drop_result":
+        return
+    path = results / f"{job_id}.json"
+    if spec is not None and spec.kind == "partial_write":
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        path.write_text(text[:len(text) // 2])
+        return
+    _atomic_write(path, payload)
 
 
 def rejection_record(exc: QueueFullError) -> dict:
@@ -108,61 +130,106 @@ async def serve_spool(service, spool, poll: float = 0.05,
     ``STOP`` marker exists and all accepted work has resolved — or
     after ``idle_exit`` seconds without any activity. Returns (and
     writes to ``stats.json``) the final stats dict.
+
+    Acceptance is crash-safe: every job id and request payload is
+    journalled (:class:`~repro.service.journal.SpoolJournal`) *before*
+    its inbox file is unlinked, and marked resolved only after the
+    result file lands. A server killed mid-flight therefore resumes its
+    accepted-but-unresolved jobs on restart, and the id-keyed result
+    files make the replay exactly-once — a replayed job writes the same
+    ``results/<id>.json`` the original would have.
     """
     spool = pathlib.Path(spool)
     inbox, results = spool_dirs(spool)
     notify = on_event or (lambda *args: None)
+    journal = SpoolJournal(spool)
     service.start()
     deliveries: set = set()
     last_activity = time.monotonic()
 
     async def deliver(job_id: str, future) -> None:
         result = await future
-        _atomic_write(results / f"{job_id}.json", result.record())
+        write_result(results, job_id, result.record())
+        journal.resolved(job_id)
         notify("resolved", job_id, result)
 
+    async def admit(job_id: str, payload: dict) -> None:
+        """One journalled request payload → queued delivery or answer."""
+        try:
+            request = JobRequest.from_dict(payload)
+        except ServiceError as exc:
+            write_result(results, job_id, {
+                "status": "error",
+                "error": {"type": "ServiceError", "message": str(exc)},
+            })
+            journal.resolved(job_id)
+            notify("invalid", job_id, exc)
+            return
+        try:
+            future = await service.submit(request)
+        except QueueFullError as exc:
+            write_result(results, job_id, rejection_record(exc))
+            journal.resolved(job_id)
+            notify("rejected", job_id, exc)
+            return
+        task = asyncio.ensure_future(deliver(job_id, future))
+        deliveries.add(task)
+        task.add_done_callback(deliveries.discard)
+
+    # Crash recovery: jobs accepted by a previous incarnation whose
+    # results never landed are resubmitted from their journaled
+    # payloads; jobs whose result file already exists just needed the
+    # bookkeeping line the crash swallowed.
+    for job_id, payload in sorted(journal.pending().items()):
+        if (results / f"{job_id}.json").exists():
+            journal.resolved(job_id)
+            continue
+        service.stats.record_replay()
+        notify("replayed", job_id, payload)
+        await admit(job_id, payload)
+
+    stopped = False
     while True:
         activity = False
         for path in sorted(inbox.glob("*.json")):
             try:
                 payload = json.loads(path.read_text())
+                if not isinstance(payload, dict):
+                    raise json.JSONDecodeError(
+                        "request payload is not an object",
+                        path.read_text(), 0)
             except (OSError, json.JSONDecodeError) as exc:
+                # A torn or unreadable request still gets an answer:
+                # the client keyed its wait on the filename stem, and a
+                # silent unlink would leave it polling forever.
                 path.unlink(missing_ok=True)
+                write_result(results, path.stem, {
+                    "status": "error",
+                    "error": {"type": "ServiceError",
+                              "message": f"malformed request file "
+                                         f"{path.name}: {exc}"},
+                })
                 notify("malformed", path.name, exc)
                 continue
-            path.unlink(missing_ok=True)
             activity = True
             job_id = str(payload.pop("id", path.stem))
-            try:
-                request = JobRequest.from_dict(payload)
-            except ServiceError as exc:
-                _atomic_write(results / f"{job_id}.json", {
-                    "status": "error",
-                    "error": {"type": "ServiceError", "message": str(exc)},
-                })
-                notify("invalid", job_id, exc)
-                continue
-            try:
-                future = await service.submit(request)
-            except QueueFullError as exc:
-                _atomic_write(results / f"{job_id}.json",
-                              rejection_record(exc))
-                notify("rejected", job_id, exc)
-                continue
-            task = asyncio.ensure_future(deliver(job_id, future))
-            deliveries.add(task)
-            task.add_done_callback(deliveries.discard)
+            journal.accepted(job_id, payload)
+            path.unlink(missing_ok=True)
+            await admit(job_id, payload)
         if activity:
             last_activity = time.monotonic()
         done = not deliveries
         if (spool / STOP_MARKER).exists() and not any(inbox.glob("*.json")):
             if done:
+                stopped = True
                 break
         elif (idle_exit is not None and done
                 and time.monotonic() - last_activity > idle_exit):
             break
         await asyncio.sleep(poll)
     await service.drain()
+    if stopped:
+        journal.clear()
     stats = service.stats.as_dict()
     _atomic_write(spool / STATS_FILE, stats)
     return stats
@@ -170,17 +237,37 @@ async def serve_spool(service, spool, poll: float = 0.05,
 
 # -- spool protocol: client side ---------------------------------------------
 
+#: Consecutive decode failures on one result file before the client
+#: declares it torn (vs. a transient mid-write race) and reposts.
+CORRUPT_READS = 3
+
+
 class SpoolClient:
-    """Synchronous client for a running ``repro serve --spool`` server."""
+    """Synchronous client for a running ``repro serve --spool`` server.
+
+    Two host faults on the result path are the client's to survive:
+
+    * a **torn result file** (the server crashed mid-write, or chaos
+      injected a partial write): after :data:`CORRUPT_READS` consecutive
+      decode failures the file is discarded and the request reposted
+      under a fresh id (``corrupt_results`` counts them);
+    * a **dropped result** (the write never happened at all): with
+      ``repost_after`` set, a job silent for that many seconds is
+      reposted (``reposts`` counts every repost, both causes).
+    """
 
     def __init__(self, spool, poll: float = 0.05, max_retries: int = 8,
-                 timeout: float | None = None, progress=None):
+                 timeout: float | None = None, progress=None,
+                 repost_after: float | None = None):
         self.spool = pathlib.Path(spool)
         self.inbox, self.results = spool_dirs(self.spool)
         self.poll = poll
         self.max_retries = max_retries
         self.timeout = timeout
+        self.repost_after = repost_after
         self.progress = progress or (lambda *args: None)
+        self.reposts = 0
+        self.corrupt_results = 0
 
     def _post(self, request: JobRequest) -> str:
         job_id = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
@@ -188,38 +275,64 @@ class SpoolClient:
         _atomic_write(self.inbox / f"{job_id}.json", payload)
         return job_id
 
+    def _repost(self, index: int, request: JobRequest, reason: str) -> str:
+        self.reposts += 1
+        self.progress("reposted", index, request, reason)
+        return self._post(request)
+
     def submit_many(self, requests) -> list[dict]:
         """Submit all requests; returns result records in order.
 
         Rejected submissions are retried after the server's
         ``retry_after`` hint, up to ``max_retries`` extra attempts; a
         job that stays rejected is returned as its final rejection
-        record.
+        record. Torn results are discarded and reposted; silent jobs
+        are reposted after ``repost_after`` seconds (when set).
         """
         requests = list(requests)
         records: list = [None] * len(requests)
-        # index -> (job_id, attempts, earliest resubmit time | None)
-        live = {index: [self._post(request), 0, None]
+        # index -> [job_id, attempts, earliest resubmit time | None,
+        #           posted-at time, consecutive decode failures]
+        now = time.monotonic()
+        live = {index: [self._post(request), 0, None, now, 0]
                 for index, request in enumerate(requests)}
         deadline = (time.monotonic() + self.timeout
                     if self.timeout is not None else None)
         while live:
             progressed = False
             for index in list(live):
-                job_id, attempts, resubmit_at = live[index]
+                job_id, attempts, resubmit_at, posted_at, bad = live[index]
                 if resubmit_at is not None:
                     if time.monotonic() >= resubmit_at:
                         live[index] = [self._post(requests[index]),
-                                       attempts, None]
+                                       attempts, None, time.monotonic(), 0]
                         progressed = True
                     continue
                 path = self.results / f"{job_id}.json"
                 if not path.exists():
+                    if (self.repost_after is not None
+                            and time.monotonic() - posted_at
+                            > self.repost_after):
+                        live[index] = [
+                            self._repost(index, requests[index], "silent"),
+                            attempts, None, time.monotonic(), 0]
+                        progressed = True
                     continue
                 try:
                     record = json.loads(path.read_text())
                 except (OSError, json.JSONDecodeError):
-                    continue  # server mid-write; atomic rename makes this rare
+                    # Usually the server mid-write (atomic rename makes
+                    # that window tiny) — but a file that *stays*
+                    # undecodable is torn for good: drop and repost.
+                    live[index][4] = bad + 1
+                    if live[index][4] >= CORRUPT_READS:
+                        path.unlink(missing_ok=True)
+                        self.corrupt_results += 1
+                        live[index] = [
+                            self._repost(index, requests[index], "corrupt"),
+                            attempts, None, time.monotonic(), 0]
+                        progressed = True
+                    continue
                 path.unlink(missing_ok=True)
                 progressed = True
                 if (record.get("status") == "rejected"
@@ -228,7 +341,8 @@ class SpoolClient:
                     self.progress("rejected", index, requests[index],
                                   retry_after)
                     live[index] = [job_id, attempts + 1,
-                                   time.monotonic() + retry_after]
+                                   time.monotonic() + retry_after,
+                                   posted_at, 0]
                     continue
                 records[index] = record
                 self.progress("resolved", index, requests[index], record)

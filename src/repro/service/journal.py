@@ -1,0 +1,97 @@
+"""Crash-safe spool journal: accepted work survives a dead server.
+
+The spool protocol's one unrecoverable loss used to be the gap between
+"request file unlinked from the inbox" and "result file written": a
+server killed in that window forgot the job existed, and the client
+waited forever. The journal closes the gap with an append-only JSONL
+file inside the spool directory:
+
+* ``accepted`` lines record a job id *and its full request payload*
+  before the inbox file is unlinked;
+* ``resolved`` lines record that the result file for an id landed.
+
+A restarting server replays ``pending() = accepted - resolved`` before
+touching the inbox: jobs whose result file already exists are marked
+resolved (the crash happened after delivery), the rest are resubmitted
+from their journaled payloads. Exactly-once delivery falls out of the
+id-keyed result files — a replayed job writes the same
+``results/<id>.json`` the original would have.
+
+Each append is flushed and fsynced — the journal is the durability
+boundary, so it must reach the disk before the inbox unlink does. A
+truncated trailing line (the crash hit mid-append) is ignored on load;
+everything before it is intact by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+JOURNAL_FILE = "journal.jsonl"
+
+
+class SpoolJournal:
+    """Append-only accepted/resolved log for one spool directory."""
+
+    def __init__(self, spool):
+        self.path = pathlib.Path(spool) / JOURNAL_FILE
+        self._accepted: dict[str, dict] = {}
+        self._resolved: set[str] = set()
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                event = entry["event"]
+                job_id = entry["id"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue  # torn trailing write: the crash hit mid-append
+            if event == "accepted":
+                self._accepted[job_id] = entry.get("request", {})
+            elif event == "resolved":
+                self._resolved.add(job_id)
+
+    def _append(self, entry: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def accepted(self, job_id: str, request: dict) -> None:
+        """Record acceptance — call *before* unlinking the inbox file."""
+        if job_id in self._accepted:
+            return
+        self._accepted[job_id] = dict(request)
+        self._append({"event": "accepted", "id": job_id,
+                      "request": dict(request)})
+
+    def resolved(self, job_id: str) -> None:
+        """Record that the job's result file has been written."""
+        if job_id in self._resolved:
+            return
+        self._resolved.add(job_id)
+        self._append({"event": "resolved", "id": job_id})
+
+    def pending(self) -> dict[str, dict]:
+        """Accepted-but-unresolved jobs: id → journaled request payload."""
+        return {job_id: request
+                for job_id, request in self._accepted.items()
+                if job_id not in self._resolved}
+
+    def clear(self) -> None:
+        """Truncate after a clean drain: nothing in flight, nothing owed."""
+        self._accepted.clear()
+        self._resolved.clear()
+        self.path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.pending())

@@ -1,4 +1,4 @@
-"""Bounded priority job queue with explicit backpressure.
+"""Bounded priority job queue with explicit, tiered backpressure.
 
 Three priority classes (``interactive`` > ``batch`` > ``bulk``), FIFO
 within a class. The queue never blocks a producer: when it is at
@@ -6,6 +6,13 @@ capacity, :meth:`JobQueue.put` raises
 :class:`repro.errors.QueueFullError` carrying a ``retry_after`` hint so
 the client can back off and resubmit — load is shed at the front door
 instead of silently piling up latency inside the server.
+
+With a :class:`ShedPolicy`, shedding is *graded* the way a
+mixed-criticality system degrades: low-criticality tiers lose admission
+first. ``bulk`` jobs are rejected once the queue passes
+``bulk_fraction`` of capacity, ``batch`` jobs past ``batch_fraction``,
+and ``interactive`` jobs only at true capacity — a saturated service
+stays responsive for the tier that has a human waiting on it.
 """
 
 from __future__ import annotations
@@ -13,8 +20,32 @@ from __future__ import annotations
 import asyncio
 import heapq
 import itertools
+from dataclasses import dataclass
 
 from repro.errors import QueueFullError
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Per-tier admission limits as fractions of queue capacity."""
+
+    bulk_fraction: float = 0.5
+    batch_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bulk_fraction <= 1.0:
+            raise ValueError(
+                f"bulk_fraction must be in (0, 1], got {self.bulk_fraction}")
+        if not self.bulk_fraction <= self.batch_fraction <= 1.0:
+            raise ValueError(
+                f"batch_fraction must be in [bulk_fraction, 1], got "
+                f"{self.batch_fraction}")
+
+    def limit(self, priority: str, capacity: int) -> int:
+        """Admission limit (queue depth) for *priority*; >= 1 always."""
+        fraction = {"bulk": self.bulk_fraction,
+                    "batch": self.batch_fraction}.get(priority, 1.0)
+        return max(1, int(capacity * fraction))
 
 
 class JobQueue:
@@ -23,13 +54,17 @@ class JobQueue:
     ``retry_after`` is a zero-argument callable returning the current
     backpressure hint in seconds (normally
     ``ServiceStats.estimate_retry_after``); it is evaluated only when a
-    rejection actually happens.
+    rejection actually happens. ``shed`` (a :class:`ShedPolicy`)
+    enables tiered admission; ``None`` (the default) treats every tier
+    uniformly at full capacity.
     """
 
-    def __init__(self, capacity: int = 64, retry_after=None):
+    def __init__(self, capacity: int = 64, retry_after=None,
+                 shed: ShedPolicy | None = None):
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.shed = shed
         self._retry_after = retry_after or (lambda: 1.0)
         self._heap: list = []
         self._seq = itertools.count()
@@ -46,12 +81,20 @@ class JobQueue:
         """Enqueue *job*, or reject with a structured retry-after.
 
         Never blocks: a full queue is a client-visible condition, not a
-        hidden stall.
+        hidden stall. Under a shed policy the admission limit depends on
+        the job's tier, and the rejection records which tier was shed.
         """
-        if len(self._heap) >= self.capacity:
+        priority = job.request.priority
+        limit = (self.shed.limit(priority, self.capacity)
+                 if self.shed is not None else self.capacity)
+        if len(self._heap) >= limit:
+            shed_note = (f" for {priority} tier"
+                         if limit < self.capacity else "")
             raise QueueFullError(
-                "job queue full", retry_after=float(self._retry_after()),
-                depth=len(self._heap), capacity=self.capacity)
+                f"job queue full{shed_note}",
+                retry_after=float(self._retry_after()),
+                depth=len(self._heap), capacity=limit,
+                tier=priority if self.shed is not None else None)
         heapq.heappush(self._heap,
                        (job.request.priority_rank, next(self._seq), job))
         self._nonempty.set()

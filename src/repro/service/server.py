@@ -29,10 +29,11 @@ import functools
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import QueueFullError, ServiceError
+from repro.errors import CircuitOpenError, QueueFullError, ServiceError
 from repro.service.batch import Batcher, BatchPolicy
+from repro.service.breaker import CircuitBreaker
 from repro.service.coalesce import Coalescer
-from repro.service.queue import JobQueue
+from repro.service.queue import JobQueue, ShedPolicy
 from repro.service.request import JobRequest
 from repro.service.stats import ServiceStats
 from repro.service.worker import error_record, run_batch
@@ -81,15 +82,19 @@ class SimulationService:
     def __init__(self, jobs: int = 1, retries: int = 1,
                  timeout: float | None = None, cache=None,
                  queue_depth: int = 64, policy: BatchPolicy | None = None,
-                 stats: ServiceStats | None = None, clock=time.monotonic):
+                 stats: ServiceStats | None = None, clock=time.monotonic,
+                 shed: ShedPolicy | None = None,
+                 breaker: CircuitBreaker | None = None):
         self.jobs = jobs
         self.retries = retries
         self.timeout = timeout
         self.cache = cache
         self.clock = clock
         self.stats = stats or ServiceStats(clock=clock)
+        self.breaker = breaker or CircuitBreaker(clock=clock)
         self.queue = JobQueue(capacity=queue_depth,
-                              retry_after=self.stats.estimate_retry_after)
+                              retry_after=self.stats.estimate_retry_after,
+                              shed=shed if shed is not None else ShedPolicy())
         self.coalescer = Coalescer(cache)
         self.batcher = Batcher(self.queue, policy, clock=clock)
         self._scheduler_task: asyncio.Task | None = None
@@ -135,9 +140,12 @@ class SimulationService:
         """Accept one job; resolves to a :class:`JobResult`.
 
         Raises :class:`QueueFullError` (with ``retry_after``) when the
-        queue is at capacity — backpressure is explicit, never a silent
-        block. Cache-identical requests resolve immediately;
-        in-flight-identical requests share the live execution.
+        queue is at capacity — or, under the shed policy, when the job's
+        tier has lost admission — and :class:`CircuitOpenError` while
+        the worker tier is tripped. Backpressure is explicit, never a
+        silent block. Cache-identical requests resolve immediately;
+        in-flight-identical requests share the live execution — the
+        cache tier keeps serving even with the circuit open.
         """
         if self._stopped:
             raise ServiceError("cannot submit to a stopped service")
@@ -159,10 +167,18 @@ class SimulationService:
             value.followers.append(job)
             return future
         job.key = value
+        if not self.breaker.allow():
+            self.stats.record_rejection("circuit")
+            raise CircuitOpenError(
+                "worker tier unavailable (circuit open)",
+                retry_after=self.breaker.retry_after(),
+                depth=self.queue.depth, capacity=self.queue.capacity)
         try:
             self.queue.put(job)
-        except QueueFullError:
-            self.stats.record_rejection()
+        except QueueFullError as exc:
+            self.stats.record_rejection(
+                "shed" if exc.tier is not None
+                and exc.capacity < self.queue.capacity else "full")
             raise
         self.stats.record_submit()
         self._accept(job)
@@ -203,7 +219,18 @@ class SimulationService:
             try:
                 outcomes = await loop.run_in_executor(
                     None, functools.partial(run_batch, points, self.jobs,
-                                            self.retries, self.timeout))
+                                            self.retries, self.timeout,
+                                            health=self.stats.pool))
+                # Quarantined points are structured outcomes, not raised
+                # exceptions — a batch that produced *only* poison
+                # records still counts as an infrastructure strike.
+                if outcomes and all(
+                        o["status"] == "error"
+                        and o["error"].get("type") == "PoisonPointError"
+                        for o in outcomes):
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
             except asyncio.CancelledError:
                 for job in batch:
                     self.coalescer.release(job.key)
@@ -216,7 +243,9 @@ class SimulationService:
             except Exception as exc:  # noqa: BLE001 - fail the whole batch
                 # Infrastructure failure past the retry budget
                 # (ExplorationError) or a scheduler bug: every job of
-                # the batch gets the same structured error.
+                # the batch gets the same structured error, and the
+                # circuit breaker counts one batch-level strike.
+                self.breaker.record_failure()
                 outcomes = [{"status": "error",
                              "error": error_record(exc)}] * len(batch)
             finally:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from collections import deque
 
+from repro.dse.executor import PoolHealth
 from repro.dse.telemetry import percentile
 
 #: How a resolved job was served.
@@ -28,6 +29,8 @@ class ServiceStats:
         # -- counters (monotonic) -------------------------------------------
         self.submitted = 0      # accepted submissions
         self.rejected = 0       # backpressure rejections (QueueFullError)
+        self.shed = 0           # …of which: tiered load shedding
+        self.circuit_open = 0   # …of which: circuit breaker failing fast
         self.completed = 0      # jobs resolved with a run payload
         self.failed = 0         # jobs resolved with a structured error
         self.cache_hits = 0     # served straight from the result cache
@@ -35,6 +38,9 @@ class ServiceStats:
         self.executed = 0       # actually simulated
         self.batches = 0        # executor submissions
         self.batched_jobs = 0   # jobs across all batches (fill accounting)
+        self.journal_replays = 0  # jobs resumed from the spool journal
+        # -- worker-pool supervision (shared with run_batch) ----------------
+        self.pool = PoolHealth()
         # -- gauges (maintained by the server) ------------------------------
         self.queue_depth = 0
         self.in_flight = 0
@@ -45,8 +51,15 @@ class ServiceStats:
     def record_submit(self) -> None:
         self.submitted += 1
 
-    def record_rejection(self) -> None:
+    def record_rejection(self, reason: str = "full") -> None:
         self.rejected += 1
+        if reason == "shed":
+            self.shed += 1
+        elif reason == "circuit":
+            self.circuit_open += 1
+
+    def record_replay(self) -> None:
+        self.journal_replays += 1
 
     def record_served(self, served_by: str) -> None:
         if served_by == "cache":
@@ -124,6 +137,8 @@ class ServiceStats:
         return {
             "submitted": self.submitted,
             "rejected": self.rejected,
+            "shed": self.shed,
+            "circuit_open": self.circuit_open,
             "completed": self.completed,
             "failed": self.failed,
             "cache_hits": self.cache_hits,
@@ -132,6 +147,8 @@ class ServiceStats:
             "hit_rate": self.hit_rate,
             "batches": self.batches,
             "mean_batch_fill": self.mean_batch_fill,
+            "journal_replays": self.journal_replays,
+            "pool": self.pool.as_dict(),
             "queue_depth": self.queue_depth,
             "in_flight": self.in_flight,
             "jobs_per_second": self.jobs_per_second,
@@ -147,9 +164,12 @@ def format_stats(stats: dict) -> str:
     from repro.analysis.reporting import format_table
 
     latency = stats.get("latency_s", {})
+    pool = stats.get("pool", {})
     rows = [
         ("submitted", stats["submitted"]),
         ("rejected (backpressure)", stats["rejected"]),
+        ("rejected by load shedding", stats.get("shed", 0)),
+        ("rejected by open circuit", stats.get("circuit_open", 0)),
         ("completed", stats["completed"]),
         ("failed", stats["failed"]),
         ("served from cache", stats["cache_hits"]),
@@ -158,6 +178,11 @@ def format_stats(stats: dict) -> str:
         ("coalesce+cache hit rate", f"{stats['hit_rate'] * 100.0:.1f}%"),
         ("batches", stats["batches"]),
         ("mean batch fill", f"{stats['mean_batch_fill']:.2f}"),
+        ("journal replays", stats.get("journal_replays", 0)),
+        ("worker retries", pool.get("retries", 0)),
+        ("worker crashes", pool.get("crashes", 0)),
+        ("worker pool restarts", pool.get("restarts", 0)),
+        ("poisoned points", pool.get("poisoned", 0)),
         ("queue depth", stats["queue_depth"]),
         ("in flight", stats["in_flight"]),
         ("throughput", f"{stats['jobs_per_second']:.2f} jobs/s"),

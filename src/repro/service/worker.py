@@ -24,18 +24,38 @@ sharing is an open item in ROADMAP.md.
 
 from __future__ import annotations
 
-from repro.dse.executor import execute_point, parallel_map
-from repro.errors import ReproError, SimulationError
+from repro.dse.executor import PoolHealth, execute_point, parallel_map
+from repro.errors import (
+    PoisonPointError,
+    QueueFullError,
+    ReproError,
+    SimulationError,
+)
 
 
 def error_record(exc: BaseException) -> dict:
-    """Machine-readable error payload, keeping SimulationError context."""
+    """Machine-readable error payload, keeping structured error context.
+
+    The context attributes survive the process-pool boundary because the
+    carrying exception classes pickle through their raw constructor
+    inputs (see ``repro.errors._rebuild_error``), not just a formatted
+    message.
+    """
     record = {"type": type(exc).__name__, "message": str(exc)}
     if isinstance(exc, SimulationError):
         for attr in ("pc", "cycle", "mcause", "kind"):
             value = getattr(exc, attr)
             if value is not None:
                 record[attr] = value
+    if isinstance(exc, PoisonPointError):
+        for attr in ("label", "attempts", "reason"):
+            value = getattr(exc, attr)
+            if value is not None:
+                record[attr] = value
+    if isinstance(exc, QueueFullError):
+        record["retry_after"] = exc.retry_after
+        if exc.tier is not None:
+            record["tier"] = exc.tier
     return record
 
 
@@ -57,14 +77,33 @@ def execute_job(point) -> dict:
         return {"status": "error", "error": error_record(exc)}
 
 
+def poison_record(index: int, point, attempts: int, reason: str) -> dict:
+    """Quarantine outcome for a point that kept killing the pool.
+
+    Built from a real :class:`PoisonPointError` so the record shape
+    matches what a raised-and-caught error would produce.
+    """
+    label = getattr(point, "label", repr(point))
+    exc = PoisonPointError(
+        f"point {label} quarantined after {attempts} failed attempts",
+        label=label, attempts=attempts, reason=reason)
+    return {"status": "error", "error": error_record(exc)}
+
+
 def run_batch(points, jobs: int = 1, retries: int = 1,
-              timeout: float | None = None) -> list:
+              timeout: float | None = None,
+              health: PoolHealth | None = None) -> list:
     """Execute one batch; outcome records in *points* order.
 
     ``jobs > 1`` fans the batch over a process pool with the executor's
-    retry/stall-watchdog semantics; ``jobs <= 1`` runs in-process.
-    Raises :class:`repro.errors.ExplorationError` only when a point
-    keeps crashing the infrastructure through the whole retry budget.
+    supervision (per-task deadlines, pool replacement, retry charging);
+    ``jobs <= 1`` runs in-process. A point that exhausts its retry
+    budget with *infrastructure* failures is quarantined into a
+    structured :class:`PoisonPointError` record instead of aborting the
+    batch — one poisonous point cannot take its batch-mates down.
+    ``health`` (a :class:`repro.dse.executor.PoolHealth`) accumulates
+    supervision counters across batches.
     """
     return parallel_map(execute_job, list(points), jobs=jobs,
-                        retries=retries, timeout=timeout)
+                        retries=retries, timeout=timeout,
+                        on_poison=poison_record, health=health)

@@ -22,9 +22,13 @@ exact path — see docs/SNAPSHOT.md for the full bypass matrix.
 
 from __future__ import annotations
 
+import hashlib
 import os
-from dataclasses import dataclass, field
+import pickle
+from dataclasses import dataclass
 
+from repro.chaos.hooks import fire as _chaos_fire
+from repro.chaos.model import mangle_blob
 from repro.snapshot.state import SystemSnapshot
 from repro.util import LRUCache
 
@@ -61,12 +65,79 @@ def snapshot_key(core: str, config, layout, workload, source: str) -> tuple:
     )
 
 
-@dataclass
-class SnapshotEntry:
-    """Warm state of one content key."""
+def snapshot_verify_default() -> bool:
+    """Digest-verified storage is opt-in via ``REPRO_SNAPSHOT_VERIFY``.
 
-    boundary: SystemSnapshot | None = None
-    final: SystemSnapshot | None = None
+    Verified mode pickles each snapshot with a digest and re-checks it
+    on every read — full protection against in-memory corruption at the
+    cost of a serialize/deserialize per warm hit. The default (off)
+    keeps warm hits at their zero-copy speed; the chaos campaign and
+    hardening tests turn it on.
+    """
+    value = os.environ.get("REPRO_SNAPSHOT_VERIFY", "0").strip().lower()
+    return value not in ("0", "false", "off", "no", "")
+
+
+class SnapshotEntry:
+    """Warm state of one content key.
+
+    ``boundary`` and ``final`` are properties so the storage form is the
+    entry's own business: plain object references normally, or
+    ``(pickle, digest)`` pairs in verified mode, where every read is
+    digest-checked and a corrupt slot is *evicted* (slot reset to
+    ``None``, ``corrupt_evictions`` counted) so the caller falls back to
+    the cold path instead of restoring damaged state.
+    """
+
+    __slots__ = ("_slots", "verify", "stats")
+
+    def __init__(self, verify: bool = False, stats=None):
+        self._slots: dict = {"boundary": None, "final": None}
+        self.verify = verify
+        self.stats = stats
+
+    def _get(self, name: str):
+        stored = self._slots[name]
+        if stored is None:
+            return None
+        if not self.verify:
+            return stored
+        blob, digest = stored
+        spec = _chaos_fire("snapshot.read")
+        if spec is not None:
+            blob = mangle_blob(blob, spec.kind)
+        if hashlib.sha256(blob).hexdigest() == digest:
+            try:
+                return pickle.loads(blob)
+            except Exception:  # noqa: BLE001 - any unpickle failure evicts
+                pass
+        self._slots[name] = None
+        if self.stats is not None:
+            self.stats.corrupt_evictions += 1
+        return None
+
+    def _set(self, name: str, snapshot) -> None:
+        if snapshot is None or not self.verify:
+            self._slots[name] = snapshot
+            return
+        blob = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        self._slots[name] = (blob, hashlib.sha256(blob).hexdigest())
+
+    @property
+    def boundary(self) -> SystemSnapshot | None:
+        return self._get("boundary")
+
+    @boundary.setter
+    def boundary(self, snapshot) -> None:
+        self._set("boundary", snapshot)
+
+    @property
+    def final(self) -> SystemSnapshot | None:
+        return self._get("final")
+
+    @final.setter
+    def final(self, snapshot) -> None:
+        self._set("final", snapshot)
 
 
 @dataclass
@@ -79,6 +150,7 @@ class SnapshotStats:
     bypasses: int = 0
     boundary_captures: int = 0
     final_captures: int = 0
+    corrupt_evictions: int = 0  # verified-mode digest/unpickle failures
 
     @property
     def hit_rate(self) -> float:
@@ -93,22 +165,31 @@ class SnapshotStats:
             "bypasses": self.bypasses,
             "boundary_captures": self.boundary_captures,
             "final_captures": self.final_captures,
+            "corrupt_evictions": self.corrupt_evictions,
             "hit_rate": self.hit_rate,
         }
 
 
 class SnapshotStore:
-    """LRU-bounded key → :class:`SnapshotEntry` map with accounting."""
+    """LRU-bounded key → :class:`SnapshotEntry` map with accounting.
 
-    def __init__(self, capacity: int = STORE_CAPACITY):
+    ``verify`` (default from :func:`snapshot_verify_default`) makes new
+    entries store digest-checked pickles instead of object references;
+    flipping it affects entries created afterwards.
+    """
+
+    def __init__(self, capacity: int = STORE_CAPACITY,
+                 verify: bool | None = None):
         self._entries: LRUCache = LRUCache(capacity)
         self.stats = SnapshotStats()
+        self.verify = (snapshot_verify_default() if verify is None
+                       else verify)
 
     def entry(self, key: tuple) -> SnapshotEntry:
         """The entry for *key*, created empty on first sight."""
         entry = self._entries.get(key)
         if entry is None:
-            entry = SnapshotEntry()
+            entry = SnapshotEntry(verify=self.verify, stats=self.stats)
             self._entries[key] = entry
         return entry
 
@@ -133,8 +214,14 @@ def store() -> SnapshotStore:
 
 
 def reset_store() -> None:
-    """Drop all warm state (tests and benchmarks isolate through this)."""
+    """Drop all warm state (tests and benchmarks isolate through this).
+
+    Also re-reads ``REPRO_SNAPSHOT_VERIFY`` so a test that flips the
+    environment gets the matching storage mode for entries created
+    after the reset.
+    """
     _STORE.clear()
+    _STORE.verify = snapshot_verify_default()
 
 
 def final_system(core: str, config, workload, layout=None):
@@ -152,6 +239,7 @@ def final_system(core: str, config, workload, layout=None):
                             layout=layout, tick_period=workload.tick_period)
     key = snapshot_key(core, config, layout, workload, builder.source())
     entry = _STORE.peek(key)
-    if entry is None or entry.final is None:
+    if entry is None:
         return None
-    return entry.final.materialize()
+    final = entry.final  # one read: verified mode re-checks per access
+    return final.materialize() if final is not None else None

@@ -1,0 +1,24 @@
+"""Isolation for chaos tests: no policy, cold caches, default env."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import hooks
+from repro.kernel.builder import reset_program_cache
+from repro.snapshot import reset_store
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos_state(monkeypatch):
+    """Every test starts and ends with no policy and cold warm-state."""
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_SNAPSHOT", raising=False)
+    monkeypatch.delenv("REPRO_SNAPSHOT_VERIFY", raising=False)
+    hooks.uninstall()
+    reset_store()
+    reset_program_cache()
+    yield
+    hooks.uninstall()
+    reset_store()
+    reset_program_cache()

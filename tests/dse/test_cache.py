@@ -53,8 +53,37 @@ class TestResultCache:
         cache.put(POINT, PAYLOAD)
         cache.path(POINT).write_text("not json{")
         assert cache.get(POINT) is None
-        assert cache.stats.invalidated == 1
+        assert cache.stats.corrupt_evictions == 1
         assert not cache.path(POINT).exists()
+
+    def test_payload_digest_verified_on_read(self, tmp_path):
+        # A decodable entry whose payload no longer matches its stored
+        # digest (silent disk rot) must be evicted, not served.
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, PAYLOAD)
+        path = cache.path(POINT)
+        entry = json.loads(path.read_text())
+        entry["run"]["latencies"] = [1, 2]  # rot: digest now stale
+        path.write_text(json.dumps(entry))
+        assert cache.get(POINT) is None
+        assert cache.stats.corrupt_evictions == 1
+        assert not path.exists()
+        # The tier self-heals: a re-store serves clean hits again.
+        cache.put(POINT, PAYLOAD)
+        assert cache.get(POINT) == PAYLOAD
+
+    def test_flipped_byte_in_payload_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, PAYLOAD)
+        path = cache.path(POINT)
+        blob = bytearray(path.read_bytes())
+        # Flip a digit inside the served payload: still valid JSON, but
+        # the content no longer matches the stored digest.
+        pos = blob.index(b"69", blob.index(b'"run"'))
+        blob[pos] ^= 0x01
+        path.write_bytes(bytes(blob))
+        assert cache.get(POINT) is None
+        assert cache.stats.corrupt_evictions == 1
 
     def test_len_counts_entries(self, tmp_path):
         cache = ResultCache(tmp_path)

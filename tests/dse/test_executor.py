@@ -1,6 +1,8 @@
 """Grid construction, parallel_map semantics, executor determinism."""
 
+import os
 import pathlib
+import time
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.dse import (
     group_suites,
     parallel_map,
 )
+from repro.dse.executor import PoolHealth
 from repro.errors import ExplorationError
 from repro.harness.experiment import derive_point_seed
 
@@ -31,6 +34,26 @@ def _fail_once(arg):
     if marker.exists():
         marker.unlink()
         raise RuntimeError("flaky")
+    return value * 10
+
+
+def _die_once(arg):
+    """Worker that hard-kills its process while its marker exists."""
+    value, marker_dir = arg
+    marker = pathlib.Path(marker_dir) / f"die-{value}"
+    if marker.exists():
+        marker.unlink()
+        os._exit(57)  # no exception, no cleanup: a real worker death
+    return value * 10
+
+
+def _stall_once(arg):
+    """Worker that wedges (far past any deadline) while its marker exists."""
+    value, marker_dir = arg
+    marker = pathlib.Path(marker_dir) / f"stall-{value}"
+    if marker.exists():
+        marker.unlink()
+        time.sleep(60.0)
     return value * 10
 
 
@@ -77,6 +100,78 @@ class TestParallelMap:
     def test_parallel_exhausted_retries_raise(self, tmp_path):
         with pytest.raises(ExplorationError):
             parallel_map(_boom, [1, 2], jobs=2, retries=1)
+
+
+class TestSupervision:
+    def test_serial_poison_quarantines_in_slot(self):
+        def on_poison(index, item, attempts, reason):
+            return {"poisoned": item, "attempts": attempts,
+                    "reason": reason}
+
+        health = PoolHealth()
+        results = parallel_map(
+            lambda v: _boom(v) if v == 2 else v * 2, [1, 2, 3],
+            jobs=1, retries=1, on_poison=on_poison, health=health)
+        assert results[0] == 2 and results[2] == 6
+        assert results[1]["poisoned"] == 2
+        assert results[1]["attempts"] == 2
+        assert "boom" in results[1]["reason"]
+        assert health.poisoned == 1
+        assert health.retries == 1
+
+    def test_pool_poison_keeps_batch_mates_alive(self):
+        def on_poison(index, item, attempts, reason):
+            return ("quarantined", item)
+
+        health = PoolHealth()
+        results = parallel_map(_boom, [1, 2], jobs=2, retries=1,
+                               on_poison=on_poison, health=health)
+        assert results == [("quarantined", 1), ("quarantined", 2)]
+        assert health.poisoned == 2
+
+    def test_worker_death_rebuilds_pool_and_recovers(self, tmp_path):
+        (tmp_path / "die-1").touch()
+        health = PoolHealth()
+        results = parallel_map(_die_once,
+                               [(v, str(tmp_path)) for v in (1, 2, 3)],
+                               jobs=2, retries=2, health=health)
+        assert results == [10, 20, 30]
+        assert health.crashes >= 1
+        assert health.restarts >= 1
+
+    def test_stalled_worker_charged_and_pool_replaced(self, tmp_path):
+        (tmp_path / "stall-1").touch()
+        health = PoolHealth()
+        start = time.monotonic()
+        results = parallel_map(_stall_once,
+                               [(1, str(tmp_path))],
+                               jobs=2, retries=1, timeout=2.0,
+                               health=health)
+        assert results == [10]
+        assert health.stalls == 1
+        assert health.restarts >= 1
+        assert health.retries == 1
+        # The stalled process was terminated, not waited out.
+        assert time.monotonic() - start < 30.0
+
+    def test_health_accumulates_across_batches(self):
+        health = PoolHealth()
+        parallel_map(_boom, [1], jobs=1, retries=1, health=health,
+                     on_poison=lambda *args: None)
+        parallel_map(_boom, [1], jobs=1, retries=1, health=health,
+                     on_poison=lambda *args: None)
+        assert health.poisoned == 2
+        assert health.retries == 2
+        assert health.as_dict()["poisoned"] == 2
+
+    def test_executor_exposes_health(self):
+        executor = DSEExecutor(jobs=1)
+        points = build_grid(cores=("cv32e40p",), configs=("vanilla",),
+                            workloads=("yield_pingpong",), iterations=2)
+        executor.run(points)
+        assert executor.health.as_dict() == {
+            "retries": 0, "crashes": 0, "stalls": 0, "restarts": 0,
+            "poisoned": 0}
 
 
 class TestExecutePoint:

@@ -1,0 +1,137 @@
+"""Spool journal durability and the crash-restart exactly-once proof."""
+
+import asyncio
+import json
+import threading
+
+from repro.service import SimulationService, SpoolJournal, serve_spool
+from repro.service.client import request_drain
+
+REQUEST = {"core": "cv32e40p", "config": "SLT",
+           "workload": "yield_pingpong", "iterations": 1, "seed": 0}
+
+
+class TestJournalUnit:
+    def test_accepted_resolved_pending(self, tmp_path):
+        journal = SpoolJournal(tmp_path)
+        journal.accepted("a", {"seed": 1})
+        journal.accepted("b", {"seed": 2})
+        assert len(journal) == 2
+        journal.resolved("a")
+        assert journal.pending() == {"b": {"seed": 2}}
+        assert len(journal) == 1
+
+    def test_accepted_is_idempotent(self, tmp_path):
+        journal = SpoolJournal(tmp_path)
+        journal.accepted("a", {"seed": 1})
+        journal.accepted("a", {"seed": 99})  # ignored: already journalled
+        journal.resolved("b")
+        journal.resolved("b")
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert journal.pending() == {"a": {"seed": 1}}
+
+    def test_reload_from_disk(self, tmp_path):
+        first = SpoolJournal(tmp_path)
+        first.accepted("a", REQUEST)
+        first.accepted("b", REQUEST)
+        first.resolved("a")
+        second = SpoolJournal(tmp_path)
+        assert second.pending() == {"b": REQUEST}
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        journal = SpoolJournal(tmp_path)
+        journal.accepted("a", {"seed": 1})
+        with (tmp_path / "journal.jsonl").open("a") as handle:
+            handle.write('{"event": "reso')  # crash hit mid-append
+        reloaded = SpoolJournal(tmp_path)
+        assert reloaded.pending() == {"a": {"seed": 1}}
+
+    def test_clear_removes_the_file(self, tmp_path):
+        journal = SpoolJournal(tmp_path)
+        journal.accepted("a", {})
+        journal.clear()
+        assert len(journal) == 0
+        assert not (tmp_path / "journal.jsonl").exists()
+        assert SpoolJournal(tmp_path).pending() == {}
+
+
+def _run_server(spool, **kwargs):
+    """Run one serve_spool incarnation to completion in a thread."""
+    stats_box = {}
+    errors = []
+
+    def server():
+        async def go():
+            service = SimulationService()
+            async with service:
+                stats_box.update(await serve_spool(
+                    service, spool, poll=0.01, **kwargs))
+        try:
+            asyncio.run(go())
+        except BaseException as exc:  # surfaced to the test thread
+            errors.append(exc)
+
+    thread = threading.Thread(target=server, daemon=True)
+    thread.start()
+    return thread, stats_box, errors
+
+
+class TestCrashRestartExactlyOnce:
+    def test_restarted_server_replays_pending_jobs(self, tmp_path):
+        """A job accepted but unresolved by a dead server still completes.
+
+        Simulates the exact crash window the journal exists for: the
+        previous incarnation journalled acceptance and unlinked the
+        inbox file, then died before the result landed. The restarted
+        server must complete the job from the journalled payload alone
+        — there is no inbox file left to rediscover it from.
+        """
+        spool = tmp_path / "spool"
+        crashed = SpoolJournal(spool)
+        crashed.accepted("job-lost", dict(REQUEST))
+
+        thread, stats, errors = _run_server(spool, idle_exit=0.3)
+        thread.join(timeout=120.0)
+        assert not thread.is_alive() and not errors
+
+        record = json.loads(
+            (spool / "results" / "job-lost.json").read_text())
+        assert record["status"] == "done"
+        assert stats["journal_replays"] == 1
+        assert stats["completed"] == 1
+
+    def test_delivered_before_crash_is_not_rerun(self, tmp_path):
+        """Crash between result write and journal line: no second run."""
+        spool = tmp_path / "spool"
+        crashed = SpoolJournal(spool)
+        crashed.accepted("job-done", dict(REQUEST))
+        results = spool / "results"
+        results.mkdir(parents=True)
+        sentinel = {"status": "done", "sentinel": "from-first-incarnation"}
+        (results / "job-done.json").write_text(json.dumps(sentinel))
+
+        thread, stats, errors = _run_server(spool, idle_exit=0.3)
+        thread.join(timeout=120.0)
+        assert not thread.is_alive() and not errors
+
+        # Exactly once: the existing result is honoured, not recomputed.
+        assert json.loads((results / "job-done.json").read_text()) == sentinel
+        assert stats["journal_replays"] == 0
+        assert stats["executed"] == 0
+        # The restart repaired the missing bookkeeping line.
+        assert SpoolJournal(spool).pending() == {}
+
+    def test_clean_drain_clears_the_journal(self, tmp_path):
+        spool = tmp_path / "spool"
+        inbox = spool / "inbox"
+        inbox.mkdir(parents=True)
+        (inbox / "tidy.json").write_text(
+            json.dumps(dict(REQUEST, id="tidy")))
+
+        thread, stats, errors = _run_server(spool)
+        drained = request_drain(spool, timeout=120.0)
+        thread.join(timeout=120.0)
+        assert not thread.is_alive() and not errors
+        assert drained["completed"] == 1
+        assert not (spool / "journal.jsonl").exists()

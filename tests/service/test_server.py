@@ -125,7 +125,7 @@ class TestErrorPropagation:
 
 class TestBackpressure:
     def test_queue_full_is_structured_not_blocking(self, monkeypatch):
-        def slow_batch(points, jobs=1, retries=1, timeout=None):
+        def slow_batch(points, jobs=1, retries=1, timeout=None, health=None):
             time.sleep(0.3)
             return [{"status": "done", "run": {"fake": True}}
                     for _ in points]
@@ -166,7 +166,8 @@ class TestBatching:
     def test_batches_amortize_dispatch(self, monkeypatch):
         seen_batches = []
 
-        def recording_batch(points, jobs=1, retries=1, timeout=None):
+        def recording_batch(points, jobs=1, retries=1, timeout=None,
+                            health=None):
             seen_batches.append(len(points))
             return [{"status": "done", "run": {"fake": True}}
                     for _ in points]

@@ -1,0 +1,147 @@
+"""Spool protocol under host faults: torn files, dropped results, STOP.
+
+Satellite of the chaos-hardening PR: every crash case answers with a
+structured error record or a client-side repost — the protocol never
+hangs and never silently loses a job.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.chaos import ChaosPolicy, ChaosSpec, installed, uninstall
+from repro.errors import ServiceError
+from repro.service import (
+    JobRequest,
+    SimulationService,
+    SpoolClient,
+    serve_spool,
+)
+from repro.service.client import request_drain
+
+REQUEST = JobRequest(core="cv32e40p", config="SLT",
+                     workload="yield_pingpong", iterations=1, seed=0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    uninstall()
+    yield
+    uninstall()
+
+
+def _run_server(spool, **kwargs):
+    stats_box = {}
+    errors = []
+
+    def server():
+        async def go():
+            service = SimulationService()
+            async with service:
+                stats_box.update(await serve_spool(
+                    service, spool, poll=0.01, **kwargs))
+        try:
+            asyncio.run(go())
+        except BaseException as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=server, daemon=True)
+    thread.start()
+    return thread, stats_box, errors
+
+
+def _join(thread, errors):
+    thread.join(timeout=120.0)
+    assert not thread.is_alive(), "spool server hung"
+    assert not errors, errors
+
+
+class TestTornRequestFiles:
+    def test_truncated_request_answers_structured_error(self, tmp_path):
+        """A request file cut mid-JSON still gets an answer for its id."""
+        spool = tmp_path / "spool"
+        inbox = spool / "inbox"
+        inbox.mkdir(parents=True)
+        text = json.dumps(dict(REQUEST.as_dict(), id="torn"))
+        (inbox / "torn.json").write_text(text[:len(text) // 2])
+
+        thread, _, errors = _run_server(spool, idle_exit=0.3)
+        _join(thread, errors)
+        record = json.loads((spool / "results" / "torn.json").read_text())
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "ServiceError"
+        assert "malformed request file" in record["error"]["message"]
+        assert not (inbox / "torn.json").exists()
+
+    def test_non_object_request_answers_structured_error(self, tmp_path):
+        spool = tmp_path / "spool"
+        inbox = spool / "inbox"
+        inbox.mkdir(parents=True)
+        (inbox / "listy.json").write_text("[1, 2, 3]\n")
+
+        thread, _, errors = _run_server(spool, idle_exit=0.3)
+        _join(thread, errors)
+        record = json.loads((spool / "results" / "listy.json").read_text())
+        assert record["status"] == "error"
+        assert "not an object" in record["error"]["message"]
+
+
+class TestStopSemantics:
+    def test_stop_present_at_startup_still_serves_queued_work(self, tmp_path):
+        """STOP never abandons inbox files that beat it to the spool."""
+        spool = tmp_path / "spool"
+        inbox = spool / "inbox"
+        inbox.mkdir(parents=True)
+        for seed in (0, 1):
+            payload = dict(REQUEST.as_dict(), id=f"job-{seed}", seed=seed)
+            (inbox / f"job-{seed}.json").write_text(json.dumps(payload))
+        (spool / "STOP").touch()
+
+        thread, stats, errors = _run_server(spool)
+        _join(thread, errors)
+        for seed in (0, 1):
+            record = json.loads(
+                (spool / "results" / f"job-{seed}.json").read_text())
+            assert record["status"] == "done"
+        assert stats["completed"] == 2
+        assert not (spool / "journal.jsonl").exists()
+
+    def test_drain_timeout_raises_structured_error(self, tmp_path):
+        with pytest.raises(ServiceError, match="did not drain"):
+            request_drain(tmp_path / "ghost", timeout=0.2, poll=0.05)
+
+
+class TestResultPathChaos:
+    def test_dropped_result_recovered_by_silent_repost(self, tmp_path):
+        """`spool.result` drop: the write never happens; client reposts."""
+        spool = tmp_path / "spool"
+        policy = ChaosPolicy(specs=(
+            ChaosSpec("drop_result", "spool.result", at=1),))
+        with installed(policy):
+            thread, stats, errors = _run_server(spool)
+            client = SpoolClient(spool, poll=0.02, timeout=120.0,
+                                 repost_after=0.5)
+            records = client.submit_many([REQUEST])
+            request_drain(spool, timeout=120.0)
+            _join(thread, errors)
+        assert records[0]["status"] == "done"
+        assert client.reposts == 1
+        assert client.corrupt_results == 0
+        assert stats["completed"] == 2  # original + replayed post
+
+    def test_torn_result_discarded_and_reposted(self, tmp_path):
+        """`spool.result` partial write: client detects, drops, reposts."""
+        spool = tmp_path / "spool"
+        policy = ChaosPolicy(specs=(
+            ChaosSpec("partial_write", "spool.result", at=1),))
+        with installed(policy):
+            thread, _, errors = _run_server(spool)
+            client = SpoolClient(spool, poll=0.02, timeout=120.0)
+            records = client.submit_many([REQUEST])
+            request_drain(spool, timeout=120.0)
+            _join(thread, errors)
+        assert records[0]["status"] == "done"
+        assert client.corrupt_results == 1
+        assert client.reposts == 1

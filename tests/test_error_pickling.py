@@ -1,0 +1,93 @@
+"""Structured errors must survive the process-pool boundary intact.
+
+Regression suite for the chaos-hardening audit: every error class that
+carries keyword context is raised in pool workers and rebuilt in the
+parent, so a lossy (or outright broken) pickle round-trip would either
+strip the context the service's error records are built from, or kill
+result collection with a ``TypeError`` at unpickle time.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    AssemblerError,
+    CircuitOpenError,
+    PoisonPointError,
+    QueueFullError,
+    SimulationError,
+)
+from repro.service.worker import error_record
+
+
+def _round_trip(exc):
+    return pickle.loads(pickle.dumps(exc))
+
+
+class TestContextSurvivesPickling:
+    def test_simulation_error(self):
+        exc = _round_trip(SimulationError(
+            "trap", pc=0x80000010, cycle=1234, mcause=0xB,
+            kind="livelock", trace="line1\nline2"))
+        assert type(exc) is SimulationError
+        assert (exc.pc, exc.cycle, exc.mcause) == (0x80000010, 1234, 0xB)
+        assert exc.kind == "livelock"
+        assert exc.trace == "line1\nline2"
+        assert "pc=0x80000010" in str(exc)
+
+    def test_queue_full_error(self):
+        exc = _round_trip(QueueFullError(
+            "queue full", retry_after=1.5, depth=7, capacity=8,
+            tier="bulk"))
+        assert type(exc) is QueueFullError
+        assert exc.retry_after == 1.5
+        assert (exc.depth, exc.capacity, exc.tier) == (7, 8, "bulk")
+
+    def test_circuit_open_error_keeps_subclass(self):
+        exc = _round_trip(CircuitOpenError(
+            "circuit open", retry_after=30.0, depth=0, capacity=8))
+        assert type(exc) is CircuitOpenError
+        assert isinstance(exc, QueueFullError)
+        assert exc.retry_after == 30.0
+
+    def test_poison_point_error(self):
+        exc = _round_trip(PoisonPointError(
+            "quarantined", label="cv32e40p/SLT/yield_pingpong",
+            attempts=2, reason="InjectedCrash: chaos"))
+        assert type(exc) is PoisonPointError
+        assert exc.label == "cv32e40p/SLT/yield_pingpong"
+        assert exc.attempts == 2
+        assert exc.reason == "InjectedCrash: chaos"
+
+    def test_assembler_error(self):
+        exc = _round_trip(AssemblerError(
+            "unknown mnemonic", line=12, source="frobnicate x1, x2"))
+        assert type(exc) is AssemblerError
+        assert (exc.line, exc.source) == (12, "frobnicate x1, x2")
+        assert "line 12" in str(exc)
+
+    def test_context_free_raises_stay_picklable(self):
+        exc = _round_trip(SimulationError("plain message"))
+        assert exc.pc is None and exc.kind is None
+        assert str(exc) == "plain message"
+
+
+class TestErrorRecordFidelity:
+    """error_record built from an *unpickled* exception loses nothing."""
+
+    @pytest.mark.parametrize("exc,expected", [
+        (SimulationError("trap", pc=16, cycle=9, mcause=2, kind="guard"),
+         {"pc": 16, "cycle": 9, "mcause": 2, "kind": "guard"}),
+        (PoisonPointError("q", label="pt", attempts=3, reason="crash"),
+         {"label": "pt", "attempts": 3, "reason": "crash"}),
+        (QueueFullError("full", retry_after=0.5, tier="batch"),
+         {"retry_after": 0.5, "tier": "batch"}),
+    ])
+    def test_record_identical_across_boundary(self, exc, expected):
+        local = error_record(exc)
+        remote = error_record(_round_trip(exc))
+        assert local == remote
+        for key, value in expected.items():
+            assert remote[key] == value
+        assert remote["type"] == type(exc).__name__
