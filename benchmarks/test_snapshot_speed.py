@@ -11,14 +11,19 @@ tiers and the copy-on-write memory image. It runs the headline suite
   plus the capture overhead (reported so a capture-cost regression is
   visible);
 * **warm** — the same suite again: every run replays its final
-  snapshot.
+  snapshot;
+* **boundary** — final snapshots evicted, boundary snapshots kept: every
+  run restores the first-measured-switch state and simulates only the
+  measured phase, exercising the mid-tier resume path end to end.
 
 and asserts that the warm pass is at least ``WARM_SPEEDUP_GATE`` times
-faster than cold, that capture overhead stays bounded, and that the
-warm results are **byte-identical** to cold — latencies, every switch
-record, core stats, and the final register banks of the materialized
-end state. Numbers land in ``BENCH_snapshot.json`` at the repo root
-(see docs/SNAPSHOT.md).
+faster than cold, that capture overhead stays bounded, that the
+boundary pass actually resumes (``boundary_hits`` covers every
+workload), and that the warm *and* boundary results are
+**byte-identical** to cold — latencies, every switch record, core
+stats, and the final register banks of the materialized end state.
+Numbers land in ``BENCH_snapshot.json`` at the repo root (see
+docs/SNAPSHOT.md).
 """
 
 import dataclasses
@@ -28,9 +33,11 @@ import time
 
 from repro.harness.experiment import run_suite
 from repro.kernel.builder import KernelBuilder, reset_program_cache
+from repro.mem.regions import MemoryLayout
 from repro.rtosunit.config import parse_config
 from repro.perf import bench_record
 from repro.snapshot import final_system, reset_store, store
+from repro.snapshot.cache import snapshot_key
 from repro.workloads.suite import RTOSBENCH_WORKLOADS
 
 from benchmarks.conftest import publish
@@ -120,6 +127,24 @@ def test_warm_start_speedup():
                 f"cold")
         assert bytes(warm_system.memory.data) == bytes(reference.memory.data)
 
+    # -- boundary tier: evict finals, keep boundary snapshots, re-run ---
+    layout = MemoryLayout()
+    for factory in RTOSBENCH_WORKLOADS:
+        workload = factory(iterations=ITERATIONS)
+        builder = KernelBuilder(config=config, objects=workload.objects,
+                                layout=layout, tick_period=workload.tick_period)
+        key = snapshot_key(core, config, layout, workload, builder.source())
+        entry = store().peek(key)
+        assert entry is not None, f"{workload.name}: no snapshot entry"
+        assert entry.boundary is not None, (
+            f"{workload.name}: no boundary snapshot captured")
+        entry.final = None
+    boundary_hits_before = store().stats.boundary_hits
+    boundary_suite, boundary_wall = _suite_pass(core, config)
+    boundary_hits = store().stats.boundary_hits - boundary_hits_before
+    assert _suite_obs(boundary_suite) == cold_obs
+    stats = store().stats
+
     speedup = cold_wall / warm_wall if warm_wall else float("inf")
     capture_overhead = populate_wall / cold_wall if cold_wall else 1.0
     record = bench_record("snapshot_speed", {
@@ -131,8 +156,10 @@ def test_warm_start_speedup():
         "cold_wall_s": round(cold_wall, 4),
         "populate_wall_s": round(populate_wall, 4),
         "warm_wall_s": round(warm_wall, 4),
+        "boundary_wall_s": round(boundary_wall, 4),
         "speedup": round(speedup, 2),
         "capture_overhead": round(capture_overhead, 3),
+        "boundary_hits": boundary_hits,
         "store": stats.as_dict(),
     })
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -141,11 +168,18 @@ def test_warm_start_speedup():
         f"populate {populate_wall * 1000:8.1f} ms  "
         f"(overhead {capture_overhead:.2f}x)",
         f"warm     {warm_wall * 1000:8.1f} ms  (speedup {speedup:.1f}x)",
-        f"store    {stats.final_hits} final hits / {stats.misses} misses",
+        f"boundary {boundary_wall * 1000:8.1f} ms  "
+        f"({boundary_hits} boundary hits)",
+        f"store    {stats.final_hits} final hits / "
+        f"{stats.boundary_hits} boundary hits / {stats.misses} misses",
     ]))
 
     assert stats.final_hits == len(RTOSBENCH_WORKLOADS), (
         "warm pass did not replay every workload from the store")
+    assert boundary_hits >= len(RTOSBENCH_WORKLOADS), (
+        "boundary pass did not resume every workload from its "
+        "first-measured-switch snapshot")
+    assert stats.boundary_hits > 0
     assert speedup >= WARM_SPEEDUP_GATE, (
         f"warm-start speedup {speedup:.2f}x below the "
         f"{WARM_SPEEDUP_GATE}x gate")

@@ -12,6 +12,8 @@ Examples::
         --workload mutex_workload
     python -m repro profile --core cv32e40p --config vanilla --compare \
         --perf-json profile.json
+    python -m repro fuzz --quick --seed 7
+    python -m repro workloads
     python -m repro serve --spool .spool --jobs 4 --cache-dir .svc-cache
     python -m repro submit requests.jsonl --spool .spool --out results.jsonl
     python -m repro drain --spool .spool --stats
@@ -319,6 +321,47 @@ def _cmd_faults(args) -> int:
         print(f"wrote {args.json}")
         return 0
     print(format_campaign(campaign))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import FuzzSpec, format_fuzz, fuzz_dict, run_fuzz
+
+    if args.quick:
+        spec = FuzzSpec.quick(seed=args.seed)
+    else:
+        spec = FuzzSpec(seed=args.seed)
+    if args.cores:
+        spec.cores = tuple(args.cores.split(","))
+    if args.configs:
+        spec.configs = tuple(args.configs.split(","))
+    if args.families:
+        spec.families = tuple(args.families.split(","))
+    if args.count is not None:
+        spec.count = args.count
+    if args.iterations is not None:
+        spec.iterations = args.iterations
+    if args.threshold is not None:
+        spec.threshold = args.threshold
+    if args.no_shrink:
+        spec.shrink = False
+    progress = print if args.verbose else None
+    result = run_fuzz(spec, progress=progress)
+    if args.json:
+        from repro.harness.export import write_json
+
+        write_json(args.json, fuzz_dict(result))
+        print(f"wrote {args.json}")
+        return 0
+    print(format_fuzz(result))
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    from repro.workloads import workload_descriptions
+
+    print(format_table(("workload", "description"),
+                       workload_descriptions()))
     return 0
 
 
@@ -733,6 +776,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write every outcome as JSON instead of the table")
 
     p = sub.add_parser(
+        "fuzz", help="seeded scenario fuzzing vs the fixed-suite baseline")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--quick", action="store_true",
+                   help="small fast campaign (cv32e40p, vanilla, 1 "
+                        "scenario per family)")
+    p.add_argument("--cores", default=None, help="comma-separated core list")
+    p.add_argument("--configs", default=None,
+                   help="comma-separated configuration list")
+    p.add_argument("--families", default=None,
+                   help="comma-separated scenario families (default: all)")
+    p.add_argument("--count", type=int, default=None,
+                   help="scenarios per family per (core, config) cell")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="workload iterations per scenario run")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="anomaly factor over the fixed-suite baseline")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report anomalies without minimising them")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each scenario outcome as it completes")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the campaign report as JSON instead")
+
+    sub.add_parser(
+        "workloads",
+        help="list workload names incl. fuzz scenario families")
+
+    p = sub.add_parser(
         "chaos", help="seeded host-fault campaign against the serving stack")
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--quick", action="store_true",
@@ -813,6 +884,8 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "run": _cmd_run,
     "faults": _cmd_faults,
+    "fuzz": _cmd_fuzz,
+    "workloads": _cmd_workloads,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

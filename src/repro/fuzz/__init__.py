@@ -1,0 +1,50 @@
+"""repro.fuzz — seeded scenario fuzzer for context-switch pathologies.
+
+Generates reproducible random scenarios (task graphs, interrupt storms,
+criticality-mode switches) from a seed, runs them against the
+fixed-suite latency baseline, and greedily shrinks any anomaly to a
+minimal witness. Scenario names (``fuzz:<family>:s<seed>[:knobs]``)
+are first-class workload names throughout the stack.
+"""
+
+from repro.fuzz import generator as _generator  # registers the families
+from repro.fuzz.campaign import (
+    Finding,
+    FuzzSpec,
+    format_fuzz,
+    fuzz_dict,
+    run_fuzz,
+)
+from repro.fuzz.scenario import (
+    FAMILIES,
+    FUZZ_PREFIX,
+    Family,
+    Knob,
+    ScenarioSpec,
+    derive_scenario_seed,
+    family_names,
+    is_fuzz_name,
+    sample_scenario,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+
+del _generator
+
+__all__ = [
+    "FAMILIES",
+    "FUZZ_PREFIX",
+    "Family",
+    "Finding",
+    "FuzzSpec",
+    "Knob",
+    "ScenarioSpec",
+    "ShrinkResult",
+    "derive_scenario_seed",
+    "family_names",
+    "format_fuzz",
+    "fuzz_dict",
+    "is_fuzz_name",
+    "run_fuzz",
+    "sample_scenario",
+    "shrink_scenario",
+]

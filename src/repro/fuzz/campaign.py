@@ -1,0 +1,286 @@
+"""Seeded fuzz campaigns: scenarios vs the fixed-suite baseline.
+
+For every (core, config) cell the campaign first runs the fixed
+RTOSBench-style suite to obtain the baseline latency distribution, then
+runs N seeded scenarios per family, flagging any whose worst-case
+latency or jitter exceeds the baseline by the threshold factor. Flagged
+scenarios are greedily shrunk (:mod:`repro.fuzz.shrink`) while the
+anomaly reproduces, and the minimal witness is reported.
+
+Everything — scenario sampling, seeds, run order, the report dict — is
+a pure function of the :class:`FuzzSpec`, and no wall-clock values are
+recorded, so two campaigns with the same spec produce byte-identical
+JSON (the CI ``fuzz-smoke`` job ``cmp``'s exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.fuzz.scenario import ScenarioSpec, family_names, sample_scenario
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+from repro.harness.experiment import derive_point_seed, run_suite, run_workload
+from repro.harness.metrics import LatencyStats
+from repro.rtosunit.config import parse_config
+
+
+@dataclass
+class FuzzSpec:
+    """Parameters of one fuzz campaign."""
+
+    seed: int = 7
+    cores: tuple[str, ...] = ("cv32e40p",)
+    configs: tuple[str, ...] = ("vanilla", "SLT")
+    families: tuple[str, ...] = ()  # empty = all registered
+    count: int = 3
+    iterations: int = 6
+    threshold: float = 1.25
+    shrink: bool = True
+    max_shrink_evals: int = 48
+
+    def __post_init__(self) -> None:
+        if not self.families:
+            self.families = family_names()
+
+    @classmethod
+    def quick(cls, seed: int = 7) -> "FuzzSpec":
+        """A small, fast campaign still covering every family."""
+        return cls(seed=seed, cores=("cv32e40p",), configs=("vanilla",),
+                   count=1, iterations=4, max_shrink_evals=24)
+
+
+@dataclass
+class Outcome:
+    """One scenario run in one (core, config) cell."""
+
+    core: str
+    config: str
+    scenario: str
+    family: str
+    status: str  # ok | anomaly | error
+    switches: int = 0
+    maximum: int = 0
+    jitter: int = 0
+    mean: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class Finding:
+    """A confirmed anomaly with its shrunk minimal witness."""
+
+    core: str
+    config: str
+    scenario: str
+    family: str
+    kind: str  # latency | jitter | latency+jitter
+    maximum: int
+    jitter: int
+    base_maximum: int
+    base_jitter: int
+    witness: str
+    witness_maximum: int
+    witness_jitter: int
+    shrink_steps: int
+    shrink_evals: int
+
+
+@dataclass
+class FuzzResult:
+    """Everything one campaign observed, plus the reproducing spec."""
+
+    spec: FuzzSpec
+    baselines: dict[tuple[str, str], LatencyStats] = field(
+        default_factory=dict)
+    outcomes: list[Outcome] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+
+#: Jitter comparisons use at least this baseline: hardware-scheduled
+#: configs can baseline at jitter 1, where a 1.25x threshold would flag
+#: statistical dust as an anomaly.
+_JITTER_FLOOR = 24
+
+
+def _anomaly_kind(stats: LatencyStats, base: LatencyStats,
+                  threshold: float) -> str:
+    """Which bound the scenario breaks, or '' when within limits."""
+    kinds = []
+    if stats.maximum > threshold * base.maximum:
+        kinds.append("latency")
+    if stats.jitter > threshold * max(base.jitter, _JITTER_FLOOR):
+        kinds.append("jitter")
+    return "+".join(kinds)
+
+
+def _run_scenario(scenario: ScenarioSpec, core: str, config,
+                  spec: FuzzSpec) -> LatencyStats:
+    """Simulate one scenario; raises on failure/too-few switches."""
+    workload = scenario.workload(iterations=spec.iterations)
+    seed = derive_point_seed(spec.seed, core, config.name, workload.name)
+    return run_workload(core, config, workload, seed=seed).stats
+
+
+def run_fuzz(spec: FuzzSpec, progress=None) -> FuzzResult:
+    """Execute the campaign; deterministic for a given *spec*."""
+    result = FuzzResult(spec=spec)
+    scenarios = [sample_scenario(family, spec.seed, index)
+                 for family in spec.families
+                 for index in range(spec.count)]
+    for core in spec.cores:
+        for config_name in spec.configs:
+            config = parse_config(config_name)
+            baseline = run_suite(core, config, iterations=spec.iterations,
+                                 seed=spec.seed).stats
+            result.baselines[(core, config_name)] = baseline
+            if progress is not None:
+                progress(f"baseline {core}/{config_name}: "
+                         f"max={baseline.maximum} "
+                         f"jitter={baseline.jitter}")
+            for scenario in scenarios:
+                outcome = Outcome(core=core, config=config_name,
+                                  scenario=scenario.name,
+                                  family=scenario.family, status="ok")
+                try:
+                    stats = _run_scenario(scenario, core, config, spec)
+                except ReproError as exc:
+                    outcome.status = "error"
+                    outcome.detail = f"{type(exc).__name__}: {exc}"
+                    result.outcomes.append(outcome)
+                    if progress is not None:
+                        progress(f"  {scenario.name}: {outcome.detail}")
+                    continue
+                outcome.switches = stats.count
+                outcome.maximum = stats.maximum
+                outcome.jitter = stats.jitter
+                outcome.mean = round(stats.mean, 3)
+                kind = _anomaly_kind(stats, baseline, spec.threshold)
+                if kind:
+                    outcome.status = "anomaly"
+                    outcome.detail = kind
+                    result.findings.append(_investigate(
+                        scenario, stats, kind, core, config, config_name,
+                        baseline, spec, progress))
+                result.outcomes.append(outcome)
+                if progress is not None:
+                    progress(f"  {scenario.name}: {outcome.status} "
+                             f"max={outcome.maximum} "
+                             f"jitter={outcome.jitter}")
+    return result
+
+
+def _investigate(scenario: ScenarioSpec, stats: LatencyStats, kind: str,
+                 core: str, config, config_name: str,
+                 baseline: LatencyStats, spec: FuzzSpec,
+                 progress) -> Finding:
+    """Shrink one anomalous scenario to its minimal witness."""
+    def reproduces(candidate: ScenarioSpec) -> bool:
+        candidate_stats = _run_scenario(candidate, core, config, spec)
+        return _anomaly_kind(candidate_stats, baseline,
+                             spec.threshold) != ""
+
+    if spec.shrink:
+        shrunk = shrink_scenario(scenario, reproduces,
+                                 max_evals=spec.max_shrink_evals)
+    else:
+        shrunk = ShrinkResult(original=scenario, witness=scenario)
+    witness_stats = (stats if shrunk.witness == scenario
+                     else _run_scenario(shrunk.witness, core, config, spec))
+    if progress is not None and shrunk.shrank:
+        progress(f"    shrunk {scenario.name} -> {shrunk.witness.name} "
+                 f"({shrunk.evaluations} evals)")
+    return Finding(
+        core=core, config=config_name, scenario=scenario.name,
+        family=scenario.family, kind=kind,
+        maximum=stats.maximum, jitter=stats.jitter,
+        base_maximum=baseline.maximum, base_jitter=baseline.jitter,
+        witness=shrunk.witness.name,
+        witness_maximum=witness_stats.maximum,
+        witness_jitter=witness_stats.jitter,
+        shrink_steps=len(shrunk.steps),
+        shrink_evals=shrunk.evaluations)
+
+
+# -- reporting ---------------------------------------------------------------------
+
+
+def fuzz_dict(result: FuzzResult) -> dict:
+    """JSON-ready representation — no wall-clock, byte-stable per spec."""
+    spec = result.spec
+    return {
+        "seed": spec.seed,
+        "cores": list(spec.cores),
+        "configs": list(spec.configs),
+        "families": list(spec.families),
+        "count": spec.count,
+        "iterations": spec.iterations,
+        "threshold": spec.threshold,
+        "baselines": {
+            f"{core}/{config}": {"max": stats.maximum,
+                                 "jitter": stats.jitter,
+                                 "mean": round(stats.mean, 3)}
+            for (core, config), stats in result.baselines.items()
+        },
+        "outcomes": [
+            {
+                "core": o.core, "config": o.config,
+                "scenario": o.scenario, "family": o.family,
+                "status": o.status, "switches": o.switches,
+                "max": o.maximum, "jitter": o.jitter,
+                "mean": o.mean, "detail": o.detail,
+            }
+            for o in result.outcomes
+        ],
+        "findings": [
+            {
+                "core": f.core, "config": f.config,
+                "scenario": f.scenario, "family": f.family,
+                "kind": f.kind, "max": f.maximum, "jitter": f.jitter,
+                "base_max": f.base_maximum, "base_jitter": f.base_jitter,
+                "witness": f.witness,
+                "witness_max": f.witness_maximum,
+                "witness_jitter": f.witness_jitter,
+                "shrink_steps": f.shrink_steps,
+                "shrink_evals": f.shrink_evals,
+            }
+            for f in result.findings
+        ],
+    }
+
+
+def format_fuzz(result: FuzzResult) -> str:
+    """Render the campaign table + findings, byte-stable per spec."""
+    from repro.analysis.reporting import format_table
+
+    spec = result.spec
+    rows = [(o.core, o.config, o.scenario, o.status, o.switches,
+             o.maximum, o.jitter) for o in result.outcomes]
+    lines = [
+        f"Fuzz campaign (seed {spec.seed}): {spec.count} scenario(s) "
+        f"per family, {len(spec.families)} families, threshold "
+        f"{spec.threshold}x",
+        "",
+        format_table(("core", "config", "scenario", "status", "switches",
+                      "max", "jitter"), rows),
+        "",
+    ]
+    for (core, config), stats in result.baselines.items():
+        lines.append(f"baseline {core}/{config}: max={stats.maximum} "
+                     f"jitter={stats.jitter}")
+    lines.append("")
+    if result.findings:
+        lines.append(f"findings: {len(result.findings)}")
+        for f in result.findings:
+            lines.append(
+                f"  [{f.kind}] {f.core}/{f.config} {f.scenario}: "
+                f"max={f.maximum} jitter={f.jitter} "
+                f"(baseline max={f.base_maximum} "
+                f"jitter={f.base_jitter})")
+            lines.append(
+                f"    witness {f.witness}: max={f.witness_maximum} "
+                f"jitter={f.witness_jitter} after {f.shrink_steps} "
+                f"shrink step(s), {f.shrink_evals} eval(s)")
+    else:
+        lines.append("findings: none")
+    return "\n".join(lines)

@@ -1,0 +1,357 @@
+"""Scenario families: seeded task-graph generators.
+
+Each family turns a :class:`~repro.fuzz.scenario.ScenarioSpec` into an
+ordinary :class:`~repro.workloads.Workload` built from the same
+:class:`~repro.kernel.tasks.TaskSpec` assembly the fixed suite uses —
+the kernel builder, the linter, and every core see nothing special.
+All randomness (priorities, spacings, critical-section lengths) comes
+from ``spec.rng()``, so the same canonical name always renders the
+exact same assembly source and event schedule, on any machine.
+
+Sizing is bounded by the hardware scheduler: at most 7 tasks (the
+8-entry hardware ready/delay lists include the idle task) and at most
+4 semaphores (the HW-sync extension has 4 slots), so every scenario
+runs on every evaluated configuration.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.scenario import Knob, register_family
+from repro.kernel.tasks import KernelObjects, MessageQueue, Semaphore, TaskSpec
+from repro.workloads.suite import Workload
+
+#: Hardware list capacity is 8 entries including the idle task.
+MAX_SCENARIO_TASKS = 7
+#: The HW-sync extension (Y) exposes 4 semaphore slots.
+MAX_SCENARIO_SEMS = 4
+
+
+_EXT_GIVE_HANDLER = """\
+ext_irq_handler:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    la   a0, sem_ext
+    jal  k_sem_give_from_isr
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+"""
+
+
+@register_family(
+    "ready_ramp",
+    "director starts dormant workers one per tick, ramping the ready lists",
+    {
+        "tasks": Knob(default=4, lo=1, hi=6, shrink_to=1,
+                      doc="dormant workers the director releases"),
+        "spread": Knob(default=3, lo=1, hi=6, shrink_to=1,
+                       doc="worker priorities are drawn from [1, spread]"),
+    })
+def _ready_ramp(spec, knobs, iterations: int) -> Workload:
+    rng = spec.rng()
+    count = knobs["tasks"]
+    workers = []
+    for index in range(count):
+        name = f"w{index}"
+        body = f"""\
+task_{name}:
+{name}_loop:
+    jal  k_yield
+    j    {name}_loop
+"""
+        priority = rng.randint(1, knobs["spread"])
+        workers.append(TaskSpec(name, body, priority=priority,
+                                auto_ready=False))
+    table = ", ".join(f"tcb_w{index}" for index in range(count))
+    body_dir = f"""\
+task_dir:
+    li   s0, {count}
+    la   s1, dir_table
+dir_start_loop:
+    lw   a0, 0(s1)
+    jal  k_task_start
+    addi s1, s1, 4
+    li   a0, 1
+    jal  k_delay
+    addi s0, s0, -1
+    bnez s0, dir_start_loop
+    li   s0, {iterations * 2}
+dir_run_loop:
+    li   a0, 1
+    jal  k_delay
+    addi s0, s0, -1
+    bnez s0, dir_run_loop
+    li   a0, 0
+    jal  k_halt
+dir_table:
+    .word {table}
+"""
+    objects = KernelObjects(
+        tasks=[TaskSpec("dir", body_dir, priority=7)] + workers)
+    return Workload(spec.name, objects, tick_period=8000,
+                    warmup_switches=4, max_cycles=60_000_000)
+
+
+@register_family(
+    "irq_storm",
+    "bursts of closely spaced external interrupts queue behind each other",
+    {
+        "bursts": Knob(default=3, lo=1, hi=6, shrink_to=1,
+                       doc="interrupt bursts per storm round"),
+        "burst_len": Knob(default=3, lo=1, hi=8, shrink_to=1,
+                          doc="interrupts inside one burst"),
+        "gap": Knob(default=400, lo=50, hi=1000, shrink_to=1000,
+                    doc="nominal cycles between interrupts in a burst "
+                        "(±25% seeded jitter); smaller is fiercer"),
+    })
+def _irq_storm(spec, knobs, iterations: int) -> Workload:
+    rng = spec.rng()
+    rounds = max(1, iterations // 5)
+    gap = knobs["gap"]
+    events: list[int] = []
+    cursor = 10_000
+    for _ in range(rounds):
+        for _ in range(knobs["bursts"]):
+            for _ in range(knobs["burst_len"]):
+                events.append(cursor)
+                jitter = rng.randint(-(gap // 4), gap // 4)
+                cursor += max(50, gap + jitter)
+            cursor += 40_000  # quiet gap between bursts
+    body_handler = f"""\
+task_hnd:
+    li   s0, {len(events)}
+hnd_loop:
+    la   a0, sem_ext
+    jal  k_sem_take
+    addi s0, s0, -1
+    bnez s0, hnd_loop
+    li   a0, 0
+    jal  k_halt
+"""
+    body_bg = """\
+task_bg:
+bg_loop:
+    addi s0, s0, 1
+    j    bg_loop
+"""
+    objects = KernelObjects(
+        tasks=[TaskSpec("hnd", body_handler, priority=6),
+               TaskSpec("bg", body_bg, priority=1)],
+        semaphores=[Semaphore("ext", initial=0)],
+        ext_handler=_EXT_GIVE_HANDLER)
+    return Workload(spec.name, objects, external_events=events,
+                    warmup_switches=4, max_cycles=60_000_000)
+
+
+@register_family(
+    "prio_chain",
+    "priority-inversion chain over adjacent PI mutexes",
+    {
+        "depth": Knob(default=3, lo=2, hi=4, shrink_to=2,
+                      doc="tasks in the chain (depth-1 mutexes)"),
+        "cs": Knob(default=16, lo=1, hi=64, shrink_to=1,
+                   doc="nominal critical-section spin length"),
+    })
+def _prio_chain(spec, knobs, iterations: int) -> Workload:
+    rng = spec.rng()
+    depth = knobs["depth"]
+    tasks = []
+    for index in range(depth):
+        name = f"c{index}"
+        top = index == depth - 1
+        spin = knobs["cs"] + rng.randint(0, knobs["cs"])
+        locks = []
+        if index > 0:
+            locks.append(index - 1)
+        if not top:
+            locks.append(index)
+        lock_asm = "".join(f"""\
+    la   a0, sem_m{m}
+    jal  k_mutex_lock_pi
+""" for m in locks)
+        unlock_asm = "".join(f"""\
+    la   a0, sem_m{m}
+    jal  k_mutex_unlock_pi
+""" for m in reversed(locks))
+        pace = ("    li   a0, 1\n    jal  k_delay\n" if top
+                else "    jal  k_yield\n")
+        end = ("    li   a0, 0\n    jal  k_halt\n" if top
+               else f"    j    {name}_loop\n")
+        counter = (f"    li   s0, {iterations * 2}\n" if top else "")
+        countdown = ("    addi s0, s0, -1\n"
+                     f"    bnez s0, {name}_loop\n" if top else "")
+        body = f"""\
+task_{name}:
+{counter}{name}_loop:
+{lock_asm}\
+    li   s1, {spin}
+{name}_cs:                      #@ bound {spin}
+    addi s1, s1, -1
+    bnez s1, {name}_cs
+{unlock_asm}\
+{pace}{countdown}{end}"""
+        tasks.append(TaskSpec(name, body, priority=index + 1))
+    mutexes = [Semaphore(f"m{index}", initial=1)
+               for index in range(depth - 1)]
+    objects = KernelObjects(tasks=tasks, semaphores=mutexes)
+    return Workload(spec.name, objects, tick_period=8000,
+                    warmup_switches=4, max_cycles=60_000_000)
+
+
+@register_family(
+    "expiry_burst",
+    "aligned periodic tasks all expire on the same timer tick",
+    {
+        "tasks": Knob(default=5, lo=1, hi=6, shrink_to=1,
+                      doc="periodic tasks sharing one expiry tick"),
+        "align": Knob(default=2, lo=1, hi=4, shrink_to=4,
+                      doc="shared delay period in ticks; smaller means "
+                          "denser expiry bursts"),
+    })
+def _expiry_burst(spec, knobs, iterations: int) -> Workload:
+    align = knobs["align"]
+    tasks = []
+    for index in range(knobs["tasks"]):
+        name = f"e{index}"
+        body = f"""\
+task_{name}:
+{name}_loop:
+    li   a0, {align}
+    jal  k_delay
+    j    {name}_loop
+"""
+        tasks.append(TaskSpec(name, body, priority=1))
+    body_main = f"""\
+task_main:
+    li   s0, {iterations * 3}
+main_loop:
+    li   a0, 1
+    jal  k_delay
+    addi s0, s0, -1
+    bnez s0, main_loop
+    li   a0, 0
+    jal  k_halt
+"""
+    tasks.append(TaskSpec("main", body_main, priority=2))
+    objects = KernelObjects(tasks=tasks)
+    return Workload(spec.name, objects, tick_period=6000,
+                    warmup_switches=6, max_cycles=60_000_000)
+
+
+@register_family(
+    "queue_mesh",
+    "pipeline of tasks chained through bounded message queues",
+    {
+        "stages": Knob(default=3, lo=2, hi=5, shrink_to=2,
+                       doc="pipeline stages (stages-1 queues)"),
+        "capacity": Knob(default=2, lo=1, hi=4, shrink_to=1,
+                         doc="queue capacity; 1 forces lock-step "
+                             "handoffs"),
+    })
+def _queue_mesh(spec, knobs, iterations: int) -> Workload:
+    rng = spec.rng()
+    stages = knobs["stages"]
+    seed_value = rng.randint(0x100, 0xFFF)
+    tasks = []
+    body_src = f"""\
+task_g0:
+    li   s1, {seed_value}
+g0_loop:
+    la   a0, queue_q0
+    mv   a1, s1
+    jal  k_queue_send
+    addi s1, s1, 1
+    j    g0_loop
+"""
+    tasks.append(TaskSpec("g0", body_src, priority=2))
+    for index in range(1, stages - 1):
+        name = f"g{index}"
+        body = f"""\
+task_{name}:
+{name}_loop:
+    la   a0, queue_q{index - 1}
+    jal  k_queue_recv
+    mv   s1, a0
+    la   a0, queue_q{index}
+    mv   a1, s1
+    jal  k_queue_send
+    j    {name}_loop
+"""
+        tasks.append(TaskSpec(name, body, priority=2 + (index % 2)))
+    last = f"g{stages - 1}"
+    body_sink = f"""\
+task_{last}:
+    li   s0, {iterations * 2}
+{last}_loop:
+    la   a0, queue_q{stages - 2}
+    jal  k_queue_recv
+    addi s0, s0, -1
+    bnez s0, {last}_loop
+    li   a0, 0
+    jal  k_halt
+"""
+    tasks.append(TaskSpec(last, body_sink, priority=4))
+    queues = [MessageQueue(f"q{index}", capacity=knobs["capacity"])
+              for index in range(stages - 1)]
+    objects = KernelObjects(tasks=tasks, queues=queues)
+    return Workload(spec.name, objects, tick_period=20_000,
+                    warmup_switches=4, max_cycles=60_000_000)
+
+
+@register_family(
+    "mixed_crit",
+    "criticality-mode switch suspends low-criticality tasks mid-run",
+    {
+        "low": Knob(default=3, lo=1, hi=5, shrink_to=1,
+                    doc="low-criticality tasks suspended at the switch"),
+        "phase": Knob(default=3, lo=2, hi=8, shrink_to=2,
+                      doc="ticks of mixed load before the mode switch"),
+    })
+def _mixed_crit(spec, knobs, iterations: int) -> Workload:
+    rng = spec.rng()
+    tasks = []
+    for index in range(knobs["low"]):
+        name = f"lo{index}"
+        body = f"""\
+task_{name}:
+{name}_loop:
+    la   t0, hi_mode
+    lw   t1, 0(t0)
+    bnez t1, {name}_suspend
+    jal  k_yield
+    j    {name}_loop
+{name}_suspend:
+    jal  k_task_suspend_self
+    j    {name}_loop
+"""
+        tasks.append(TaskSpec(name, body, priority=rng.randint(1, 2)))
+    # The criticality-mode flag lives after the hi task's halt spin —
+    # never executed, read by every low task, written exactly once at
+    # the mode switch (the block interpreter's SMC invalidation keeps
+    # the in-text word coherent).
+    body_hi = f"""\
+task_hi:
+    li   s0, {knobs["phase"]}
+hi_phase_loop:
+    li   a0, 1
+    jal  k_delay
+    addi s0, s0, -1
+    bnez s0, hi_phase_loop
+    la   t0, hi_mode
+    li   t1, 1
+    sw   t1, 0(t0)
+    li   s0, {iterations * 2}
+hi_run_loop:
+    li   a0, 1
+    jal  k_delay
+    addi s0, s0, -1
+    bnez s0, hi_run_loop
+    li   a0, 0
+    jal  k_halt
+hi_mode:
+    .word 0
+"""
+    tasks.append(TaskSpec("hi", body_hi, priority=6))
+    objects = KernelObjects(tasks=tasks)
+    return Workload(spec.name, objects, tick_period=6000,
+                    warmup_switches=4, max_cycles=60_000_000)

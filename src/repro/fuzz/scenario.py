@@ -1,0 +1,250 @@
+"""Scenario specifications: the seed-addressed identity of a fuzz run.
+
+A :class:`ScenarioSpec` is (family, seed, knobs). Its canonical name —
+``fuzz:<family>:s<seed>[:knob=value+knob=value]`` — is a first-class
+workload name everywhere in the stack: :func:`repro.workloads.
+workload_by_name` dispatches on the ``fuzz:`` prefix, so a spec string
+can sit in a DSE grid cell, a fault-campaign workload list, or a
+service job record exactly like ``yield_pingpong`` does. Because the
+name round-trips losslessly (knobs are serialized sorted, defaults
+omitted), the content-addressed result cache and the service coalescer
+key fuzz scenarios with the same guarantees as the fixed suite: same
+name + seed + iterations ⇒ byte-identical run payload.
+
+The knob separator is ``+`` (not ``,``) so canonical names survive the
+CLI's comma-separated ``--workloads`` lists unscathed.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+
+#: Canonical name prefix; anything starting with this is a fuzz scenario.
+FUZZ_PREFIX = "fuzz:"
+
+#: Knob separator inside canonical names. Deliberately not ``,`` —
+#: every CLI surface splits workload lists on commas.
+KNOB_SEP = "+"
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable of a scenario family.
+
+    ``shrink_to`` is the value the shrinker drives toward — ``lo`` for
+    size knobs (fewer tasks, shorter chains), ``hi`` for intensity
+    knobs whose *larger* values are the tamer scenario (wider interrupt
+    gaps).
+    """
+
+    default: int
+    lo: int
+    hi: int
+    shrink_to: int
+    doc: str
+
+    def validate(self, name: str, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise KernelError(f"knob {name!r} must be an integer, "
+                              f"got {value!r}")
+        if not self.lo <= value <= self.hi:
+            raise KernelError(f"knob {name}={value} outside "
+                              f"[{self.lo}, {self.hi}]")
+        return value
+
+
+@dataclass(frozen=True)
+class Family:
+    """One scenario family: knob schema plus the task-graph builder.
+
+    ``build(spec, iterations)`` returns an ordinary
+    :class:`repro.workloads.Workload` whose ``name`` is the spec's
+    canonical name — downstream engines never learn it was generated.
+    """
+
+    name: str
+    summary: str
+    knobs: dict[str, Knob]
+    build: object = field(compare=False)
+
+    def knob_values(self, overrides: dict[str, int]) -> dict[str, int]:
+        """Defaults merged with *overrides*, every value validated."""
+        values = {name: knob.default for name, knob in self.knobs.items()}
+        for name, value in overrides.items():
+            knob = self.knobs.get(name)
+            if knob is None:
+                raise KernelError(
+                    f"unknown knob {name!r} for family {self.name!r} "
+                    f"(valid: {', '.join(sorted(self.knobs))})")
+            values[name] = knob.validate(name, value)
+        return values
+
+
+#: Registered families, populated by :mod:`repro.fuzz.generator` at
+#: import time (importing :mod:`repro.fuzz` guarantees registration).
+FAMILIES: dict[str, Family] = {}
+
+
+def register_family(name: str, summary: str, knobs: dict[str, Knob]):
+    """Decorator registering a builder function as a scenario family."""
+    def wrap(build):
+        FAMILIES[name] = Family(name=name, summary=summary, knobs=knobs,
+                                build=build)
+        return build
+    return wrap
+
+
+def family_names() -> tuple[str, ...]:
+    """Registered family names, in registration (report) order."""
+    return tuple(FAMILIES)
+
+
+def _suggest_family(name: str) -> str:
+    import difflib
+
+    matches = difflib.get_close_matches(name, list(FAMILIES), n=1,
+                                        cutoff=0.0)
+    if not matches:  # pragma: no cover - cutoff=0 always matches
+        return ""
+    return f"; did you mean {matches[0]!r}?"
+
+
+def derive_scenario_seed(seed: int, *parts) -> int:
+    """Stable 32-bit seed for one scenario slot.
+
+    CRC32-based like :func:`repro.harness.experiment.derive_point_seed`
+    so it is independent of ``PYTHONHASHSEED`` and the process that
+    computes it.
+    """
+    text = ":".join(str(part) for part in parts)
+    return (seed * 0x9E3779B1 + zlib.crc32(text.encode())) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One reproducible scenario: family + seed + knob overrides.
+
+    ``knobs`` holds only the overrides (sorted name/value pairs);
+    defaults are implied, which keeps canonical names minimal and
+    stable under new-knob additions.
+    """
+
+    family: str
+    seed: int
+    knobs: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        family = FAMILIES.get(self.family)
+        if family is None:
+            raise KernelError(
+                f"unknown fuzz family {self.family!r} (registered: "
+                f"{', '.join(FAMILIES)}){_suggest_family(self.family)}")
+        if self.seed < 0:
+            raise KernelError(f"scenario seed must be >= 0, "
+                              f"got {self.seed}")
+        canonical = tuple(sorted(dict(self.knobs).items()))
+        family.knob_values(dict(canonical))  # validates names + ranges
+        # Default-valued overrides are dropped so spec equality matches
+        # canonical-name equality: parse(spec.name) == spec always.
+        canonical = tuple((key, value) for key, value in canonical
+                          if value != family.knobs[key].default)
+        object.__setattr__(self, "knobs", canonical)
+
+    # -- naming ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The canonical workload name (lossless round trip)."""
+        base = f"{FUZZ_PREFIX}{self.family}:s{self.seed}"
+        tail = KNOB_SEP.join(f"{key}={value}" for key, value in self.knobs)
+        return f"{base}:{tail}" if tail else base
+
+    @classmethod
+    def parse(cls, name: str) -> "ScenarioSpec":
+        """Parse a canonical (or equivalent) name back into a spec."""
+        if not name.startswith(FUZZ_PREFIX):
+            raise KernelError(
+                f"not a fuzz scenario name: {name!r} (expected "
+                f"'{FUZZ_PREFIX}<family>:s<seed>[:knob=value"
+                f"{KNOB_SEP}...]')")
+        parts = name[len(FUZZ_PREFIX):].split(":")
+        if len(parts) < 2 or len(parts) > 3:
+            raise KernelError(
+                f"malformed fuzz scenario name {name!r}: expected "
+                f"'{FUZZ_PREFIX}<family>:s<seed>[:knobs]'")
+        family, seed_text = parts[0], parts[1]
+        if not seed_text.startswith("s") or not seed_text[1:].isdigit():
+            raise KernelError(
+                f"malformed scenario seed {seed_text!r} in {name!r} "
+                f"(expected 's<number>')")
+        knobs: dict[str, int] = {}
+        if len(parts) == 3 and parts[2]:
+            for item in parts[2].split(KNOB_SEP):
+                key, sep, value = item.partition("=")
+                if not sep or not key:
+                    raise KernelError(
+                        f"malformed knob {item!r} in {name!r} "
+                        f"(expected 'name=value')")
+                try:
+                    knobs[key] = int(value)
+                except ValueError:
+                    raise KernelError(
+                        f"knob {key!r} in {name!r} needs an integer "
+                        f"value, got {value!r}") from None
+        return cls(family=family, seed=int(seed_text[1:]),
+                   knobs=tuple(sorted(knobs.items())))
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def values(self) -> dict[str, int]:
+        """Every knob's effective value (defaults + overrides)."""
+        return FAMILIES[self.family].knob_values(dict(self.knobs))
+
+    def with_knob(self, name: str, value: int) -> "ScenarioSpec":
+        """A copy with one knob overridden (validated)."""
+        knobs = dict(self.knobs)
+        knobs[name] = value
+        return ScenarioSpec(family=self.family, seed=self.seed,
+                            knobs=tuple(sorted(knobs.items())))
+
+    def rng(self) -> random.Random:
+        """The scenario's entropy source (Mersenne Twister: the same
+        seed yields the same stream on every platform and process)."""
+        return random.Random(derive_scenario_seed(self.seed, self.family))
+
+    def workload(self, iterations: int = 20):
+        """Generate the scenario's :class:`~repro.workloads.Workload`."""
+        family = FAMILIES[self.family]
+        return family.build(self, self.values, iterations)
+
+
+def is_fuzz_name(name: str) -> bool:
+    """True when *name* addresses a fuzz scenario."""
+    return isinstance(name, str) and name.startswith(FUZZ_PREFIX)
+
+
+def sample_scenario(family: str, campaign_seed: int,
+                    index: int) -> ScenarioSpec:
+    """The *index*-th random scenario of *family* for a campaign seed.
+
+    The scenario's own seed and its knob overrides are both derived
+    from the (campaign seed, family, index) slot, so campaign N always
+    contains the same scenarios regardless of which families or counts
+    ran alongside it.
+    """
+    spec_seed = derive_scenario_seed(campaign_seed, family, index)
+    rng = random.Random(derive_scenario_seed(spec_seed, "knobs"))
+    schema = FAMILIES.get(family)
+    if schema is None:
+        raise KernelError(
+            f"unknown fuzz family {family!r} (registered: "
+            f"{', '.join(FAMILIES)}){_suggest_family(family)}")
+    knobs = {name: rng.randint(knob.lo, knob.hi)
+             for name, knob in sorted(schema.knobs.items())}
+    return ScenarioSpec(family=family, seed=spec_seed,
+                        knobs=tuple(sorted(knobs.items())))

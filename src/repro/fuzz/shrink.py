@@ -1,0 +1,92 @@
+"""Greedy scenario shrinking: minimise a spec while an anomaly holds.
+
+Given a scenario whose ``predicate`` (anomaly check) is true, drive
+every knob toward its :attr:`~repro.fuzz.scenario.Knob.shrink_to`
+value — fewer tasks, shorter chains, smaller storms — as far as the
+predicate keeps passing. Per knob the search is a binary descent (try
+the minimum outright, then bisect), and passes repeat until one full
+pass changes nothing, since shrinking one knob can unlock another.
+
+The usual shrinking caveat applies: the search assumes rough
+monotonicity per knob, so the result is a *local* minimum — but a
+deterministic one, because the predicate is a pure function of the
+spec and the pass order is fixed (sorted knob names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fuzz.scenario import FAMILIES, ScenarioSpec
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal witness and the search trail."""
+
+    original: ScenarioSpec
+    witness: ScenarioSpec
+    evaluations: int = 0
+    steps: list[tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def shrank(self) -> bool:
+        return self.witness != self.original
+
+
+def _toward(value: int, target: int) -> int:
+    """One bisection step from *value* toward *target*."""
+    return value + (target - value) // 2 if value != target else value
+
+
+def shrink_scenario(spec: ScenarioSpec, predicate,
+                    max_evals: int = 48) -> ShrinkResult:
+    """Shrink *spec* while ``predicate(candidate)`` stays true.
+
+    *predicate* must be true for *spec* itself (the caller established
+    the anomaly); candidates that raise are treated as "anomaly gone".
+    ``max_evals`` bounds the number of predicate evaluations — each one
+    is a full simulation.
+    """
+    result = ShrinkResult(original=spec, witness=spec)
+    knobs = FAMILIES[spec.family].knobs
+
+    def holds(candidate: ScenarioSpec) -> bool:
+        result.evaluations += 1
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    changed = True
+    while changed and result.evaluations < max_evals:
+        changed = False
+        for name in sorted(knobs):
+            target = knobs[name].shrink_to
+            current = result.witness.values[name]
+            if current == target:
+                continue
+            # Jump straight to the minimum first — the common case for
+            # a genuine anomaly is that it survives, costing one eval.
+            if result.evaluations < max_evals and holds(
+                    result.witness.with_knob(name, target)):
+                result.steps.append((name, current, target))
+                result.witness = result.witness.with_knob(name, target)
+                changed = True
+                continue
+            # Bisect for the closest-to-target value still anomalous.
+            best = current
+            lo, hi = target, current
+            while abs(hi - lo) > 1 and result.evaluations < max_evals:
+                mid = _toward(hi, lo)
+                if mid in (lo, hi):
+                    break
+                if holds(result.witness.with_knob(name, mid)):
+                    best, hi = mid, mid
+                else:
+                    lo = mid
+            if best != current:
+                result.steps.append((name, current, best))
+                result.witness = result.witness.with_knob(name, best)
+                changed = True
+    return result

@@ -224,6 +224,10 @@ def run_workload(core: str, config: RTOSUnitConfig, workload: Workload,
 def _resolve_workloads(workloads, iterations: int) -> list[Workload]:
     """Materialize workload factories exactly once.
 
+    Entries may be factories, prebuilt :class:`Workload` instances, or
+    workload *names* — including canonical ``fuzz:`` scenario names,
+    which resolve through :func:`repro.workloads.workload_by_name`.
+
     Every caller that loops over (core, config) cells must resolve the
     factory list *before* the loop and reuse the instances: a factory is
     not required to be pure (names may encode a counter), and per-cell
@@ -231,9 +235,18 @@ def _resolve_workloads(workloads, iterations: int) -> list[Workload]:
     — and therefore different :func:`derive_point_seed` values — for
     what is meant to be the same grid column.
     """
+    from repro.workloads import workload_by_name
+
     factories = workloads if workloads is not None else RTOSBENCH_WORKLOADS
-    return [factory(iterations) if callable(factory) else factory
-            for factory in factories]
+    resolved = []
+    for factory in factories:
+        if isinstance(factory, str):
+            resolved.append(workload_by_name(factory, iterations))
+        elif callable(factory):
+            resolved.append(factory(iterations))
+        else:
+            resolved.append(factory)
+    return resolved
 
 
 def run_suite(core: str, config: RTOSUnitConfig, iterations: int = 20,
@@ -255,19 +268,25 @@ def _grid_workload_names(workloads, iterations: int) -> list[str] | None:
     """Names of *workloads* if they are executor-reconstructible.
 
     The process-pool executor rebuilds workloads by name inside worker
-    processes, which only works for the registered factories. Returns
-    ``None`` for ad-hoc factories or prebuilt :class:`Workload`
-    instances — the sweep then falls back to the in-process path.
+    processes, which works for registered factories and for workload
+    names — including canonical ``fuzz:`` scenario names, whose specs
+    regenerate the exact workload anywhere. Returns ``None`` for ad-hoc
+    factories or prebuilt :class:`Workload` instances — the sweep then
+    falls back to the in-process path.
     """
-    from repro.workloads import ALL_WORKLOADS
+    from repro.workloads import ALL_WORKLOADS, workload_by_name
 
     if workloads is None:
         return [factory(iterations).name for factory in RTOSBENCH_WORKLOADS]
     names = []
     for factory in workloads:
-        if not callable(factory) or factory not in ALL_WORKLOADS:
+        if isinstance(factory, str):
+            # Validates the name (and canonicalizes fuzz specs).
+            names.append(workload_by_name(factory, iterations).name)
+        elif callable(factory) and factory in ALL_WORKLOADS:
+            names.append(factory(iterations).name)
+        else:
             return None
-        names.append(factory(iterations).name)
     return names
 
 

@@ -97,10 +97,21 @@ class JobRequest:
             parse_config(self.config)
         except ConfigurationError as exc:
             raise ServiceError(f"bad config {self.config!r}: {exc}") from None
-        if self.workload not in workload_names():
+        if self.workload.startswith("fuzz:"):
+            # Fuzz scenarios are validated by parsing the spec back out
+            # of the name — the same path pool workers use to rebuild it.
+            from repro.errors import KernelError
+            from repro.fuzz import ScenarioSpec
+
+            try:
+                ScenarioSpec.parse(self.workload)
+            except KernelError as exc:
+                raise ServiceError(
+                    f"bad fuzz scenario {self.workload!r}: {exc}") from None
+        elif self.workload not in workload_names():
             raise ServiceError(
                 f"unknown workload {self.workload!r} (expected one of "
-                f"{', '.join(workload_names())})")
+                f"{', '.join(workload_names())} or fuzz:<family>:s<seed>)")
         if self.iterations < 1:
             raise ServiceError(
                 f"iterations must be >= 1, got {self.iterations}")

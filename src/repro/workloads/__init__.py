@@ -20,6 +20,7 @@ from repro.workloads.suite import (
     queue_passing,
     sem_signal,
     workload_by_name,
+    workload_descriptions,
     workload_names,
     yield_pingpong,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "queue_passing",
     "sem_signal",
     "workload_by_name",
+    "workload_descriptions",
     "workload_names",
     "yield_pingpong",
 ]

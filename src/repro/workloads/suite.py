@@ -342,16 +342,60 @@ RTOSBENCH_WORKLOADS = (
 ALL_WORKLOADS = RTOSBENCH_WORKLOADS + (interrupt_response, mixed_stress)
 
 
+def _suggest_workload(name: str) -> str:
+    """A did-you-mean tail for unknown workload names (mirrors
+    :func:`repro.rtosunit.config.parse_config`'s suggestions)."""
+    import difflib
+
+    from repro.fuzz import FUZZ_PREFIX, family_names
+
+    candidates = list(workload_names()) + [
+        f"{FUZZ_PREFIX}{family}:s<seed>" for family in family_names()]
+    matches = difflib.get_close_matches(name, candidates, n=1, cutoff=0.0)
+    if not matches:  # pragma: no cover - cutoff=0 always matches
+        return ""
+    return f"; did you mean {matches[0]!r}?"
+
+
 def workload_by_name(name: str, iterations: int = 20) -> Workload:
-    """Build a workload by its test name."""
+    """Build a workload by its test name.
+
+    Names starting with ``fuzz:`` address generated scenarios
+    (:mod:`repro.fuzz`): the spec is parsed back out of the name and the
+    scenario rendered deterministically — which is what lets fuzz
+    scenarios ride through DSE grids, fault campaigns, and service jobs
+    as plain workload-name strings.
+    """
+    if name.startswith("fuzz:"):
+        from repro.fuzz import ScenarioSpec
+
+        return ScenarioSpec.parse(name).workload(iterations=iterations)
     for factory in ALL_WORKLOADS:
         workload = factory(iterations)
         if workload.name == name:
             return workload
-    raise KernelError(f"unknown workload {name!r}")
+    raise KernelError(f"unknown workload {name!r}{_suggest_workload(name)}")
 
 
 def workload_names(suite_only: bool = False) -> tuple[str, ...]:
     """The registered workload names, in suite order (DSE grid axis)."""
     factories = RTOSBENCH_WORKLOADS if suite_only else ALL_WORKLOADS
     return tuple(factory(1).name for factory in factories)
+
+
+def workload_descriptions() -> list[tuple[str, str]]:
+    """(name, one-line description) rows: fixed suite + fuzz families.
+
+    Backs the ``repro workloads`` CLI listing; fixed workloads describe
+    themselves through their factory docstrings, fuzz families through
+    their registered summaries (addressed as ``fuzz:<family>:s<seed>``).
+    """
+    from repro.fuzz import FAMILIES, FUZZ_PREFIX
+
+    rows = []
+    for factory in ALL_WORKLOADS:
+        doc = (factory.__doc__ or "").strip().splitlines()
+        rows.append((factory(1).name, doc[0] if doc else ""))
+    for family in FAMILIES.values():
+        rows.append((f"{FUZZ_PREFIX}{family.name}:s<seed>", family.summary))
+    return rows

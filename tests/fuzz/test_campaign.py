@@ -1,0 +1,128 @@
+"""Fuzz campaigns: byte-determinism, anomaly thresholds, shrinking."""
+
+import json
+
+import pytest
+
+from repro.fuzz import FuzzSpec, ScenarioSpec, run_fuzz, shrink_scenario
+from repro.fuzz.campaign import _JITTER_FLOOR, _anomaly_kind, format_fuzz, \
+    fuzz_dict
+from repro.harness.metrics import LatencyStats
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_fuzz(FuzzSpec.quick(seed=7))
+
+
+class TestDeterminism:
+    def test_quick_campaign_byte_identical_on_repeat(self, quick_result):
+        again = run_fuzz(FuzzSpec.quick(seed=7))
+        first = json.dumps(fuzz_dict(quick_result), sort_keys=True)
+        second = json.dumps(fuzz_dict(again), sort_keys=True)
+        assert first == second
+        assert format_fuzz(again) == format_fuzz(quick_result)
+
+    def test_campaign_covers_every_family_per_cell(self, quick_result):
+        spec = quick_result.spec
+        assert len(quick_result.outcomes) == (
+            len(spec.cores) * len(spec.configs)
+            * len(spec.families) * spec.count)
+        assert {o.family for o in quick_result.outcomes} == \
+            set(spec.families)
+
+    def test_report_has_no_wall_clock_fields(self, quick_result):
+        payload = fuzz_dict(quick_result)
+        text = json.dumps(payload)
+        for banned in ("time", "wall", "date", "stamp"):
+            assert banned not in text.lower()
+
+    def test_scenario_names_in_report_round_trip(self, quick_result):
+        for outcome in fuzz_dict(quick_result)["outcomes"]:
+            spec = ScenarioSpec.parse(outcome["scenario"])
+            assert spec.name == outcome["scenario"]
+
+
+def _stats(maximum, jitter):
+    """A LatencyStats with the given max and jitter (= max - min)."""
+    return LatencyStats(count=10, mean=60.0, minimum=maximum - jitter,
+                        maximum=maximum, median=60.0, stdev=1.0)
+
+
+class TestAnomalyKinds:
+    BASE = _stats(maximum=100, jitter=50)
+
+    def test_within_threshold_is_clean(self):
+        assert _anomaly_kind(_stats(110, 55), self.BASE, 1.25) == ""
+
+    def test_latency_break(self):
+        assert _anomaly_kind(_stats(130, 50), self.BASE, 1.25) == "latency"
+
+    def test_jitter_break(self):
+        assert _anomaly_kind(_stats(100, 80), self.BASE, 1.25) == "jitter"
+
+    def test_both_break(self):
+        assert _anomaly_kind(_stats(200, 120), self.BASE,
+                             1.25) == "latency+jitter"
+
+    def test_jitter_floor_absorbs_tight_baselines(self):
+        # A hardware-scheduled baseline can sit at jitter 1; without the
+        # floor every scenario's statistical dust would flag.
+        tight = _stats(maximum=100, jitter=1)
+        bound = int(_JITTER_FLOOR * 1.25)
+        assert _anomaly_kind(_stats(100, bound), tight, 1.25) == ""
+        assert _anomaly_kind(_stats(100, bound + 1), tight,
+                             1.25) == "jitter"
+
+
+class TestShrinking:
+    SPEC = ScenarioSpec(family="irq_storm", seed=1,
+                        knobs=(("bursts", 5), ("burst_len", 4),
+                               ("gap", 100)))
+
+    @staticmethod
+    def _predicate(candidate):
+        values = candidate.values
+        return values["gap"] <= 300 and values["bursts"] >= 2
+
+    def test_greedy_shrink_reaches_local_minimum(self):
+        result = shrink_scenario(self.SPEC, self._predicate)
+        assert result.shrank
+        assert result.steps
+        values = result.witness.values
+        # burst_len is irrelevant to the predicate: jumps to shrink_to.
+        assert values["burst_len"] == 1
+        # bursts stops at the boundary the predicate defends.
+        assert values["bursts"] == 2
+        # gap shrinks toward its tame end (1000) but stays anomalous.
+        assert 200 <= values["gap"] <= 300
+        assert self._predicate(result.witness)
+
+    def test_shrink_is_deterministic(self):
+        a = shrink_scenario(self.SPEC, self._predicate)
+        b = shrink_scenario(self.SPEC, self._predicate)
+        assert a.witness == b.witness
+        assert a.evaluations == b.evaluations
+        assert a.steps == b.steps
+
+    def test_eval_budget_is_respected(self):
+        result = shrink_scenario(self.SPEC, self._predicate, max_evals=3)
+        assert result.evaluations <= 3
+
+    def test_raising_predicate_means_anomaly_gone(self):
+        def explodes(candidate):
+            raise ValueError("simulation failed")
+
+        result = shrink_scenario(self.SPEC, explodes)
+        assert not result.shrank
+        assert result.witness == self.SPEC
+
+    def test_already_minimal_spec_is_untouched(self):
+        minimal = ScenarioSpec(
+            family="irq_storm", seed=1,
+            knobs=(("bursts", 1), ("burst_len", 1), ("gap", 1000)))
+        result = shrink_scenario(minimal, lambda candidate: True)
+        assert not result.shrank
+        assert result.evaluations == 0

@@ -1,0 +1,125 @@
+"""Fuzz scenarios as first-class grid dimensions.
+
+A canonical scenario name must behave exactly like ``yield_pingpong``
+in every engine that consumes workload names: the workload registry,
+DSE sweeps (serial == parallel, cold == warm cache), the
+content-addressed cache keys, fault campaigns, and service job
+requests.
+"""
+
+import pytest
+
+from repro.dse import ResultCache
+from repro.dse.cache import point_key
+from repro.dse.executor import GridPoint
+from repro.errors import KernelError, ServiceError
+from repro.faults import CampaignSpec, run_campaign
+from repro.harness import sweep, sweep_dict, write_json
+from repro.service.request import JobRequest
+from repro.workloads import workload_by_name, workload_descriptions
+
+pytestmark = pytest.mark.slow
+
+FUZZ_NAME = "fuzz:mixed_crit:s5:low=2"
+GRID = dict(cores=("cv32e40p",), configs=("vanilla", "SLT"), iterations=2,
+            workloads=(FUZZ_NAME, "yield_pingpong"), seed=7)
+
+
+def _export(tmp_path, name, results):
+    path = tmp_path / name
+    write_json(str(path), sweep_dict(results))
+    return path.read_bytes()
+
+
+class TestWorkloadRegistry:
+    def test_fuzz_names_dispatch_through_workload_by_name(self):
+        workload = workload_by_name(FUZZ_NAME, iterations=3)
+        assert workload.name == FUZZ_NAME
+        assert workload.objects.tasks
+
+    def test_bad_fuzz_family_suggests(self):
+        with pytest.raises(KernelError, match="did you mean"):
+            workload_by_name("fuzz:bogus:s3")
+
+    def test_near_miss_fixed_name_suggests(self):
+        with pytest.raises(KernelError, match="yield_pingpong"):
+            workload_by_name("yield_pingpon")
+
+    def test_descriptions_list_fuzz_templates(self):
+        names = [name for name, _ in workload_descriptions()]
+        assert "yield_pingpong" in names
+        assert any(name.startswith("fuzz:mixed_crit:") for name in names)
+
+
+class TestSweepIdentity:
+    def test_serial_parallel_byte_identical_with_fuzz_point(self, tmp_path):
+        serial = _export(tmp_path, "serial.json", sweep(jobs=1, **GRID))
+        parallel = _export(tmp_path, "parallel.json", sweep(jobs=2, **GRID))
+        assert serial == parallel
+
+    def test_cold_warm_cache_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = _export(tmp_path, "cold.json", sweep(cache=cache, **GRID))
+        assert cache.stats.misses == 4 and cache.stats.hits == 0
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = _export(tmp_path, "warm.json", sweep(cache=warm_cache, **GRID))
+        assert warm_cache.stats.hits == 4 and warm_cache.stats.misses == 0
+        assert cold == warm
+
+
+class TestCacheKeys:
+    POINT = GridPoint(core="cv32e40p", config="SLT", workload=FUZZ_NAME,
+                      iterations=3, seed=7)
+
+    def test_point_key_is_stable(self):
+        assert point_key(self.POINT) == point_key(self.POINT)
+
+    def test_point_key_tracks_scenario_knobs(self):
+        other = GridPoint(core="cv32e40p", config="SLT",
+                          workload="fuzz:mixed_crit:s5:low=3",
+                          iterations=3, seed=7)
+        assert point_key(self.POINT) != point_key(other)
+
+    def test_cache_path_survives_scenario_punctuation(self, tmp_path):
+        # ':', '=' and '+' in canonical names must produce usable
+        # filenames for the on-disk result cache.
+        cache = ResultCache(tmp_path / "cache")
+        point = GridPoint(core="cv32e40p", config="SLT",
+                          workload="fuzz:irq_storm:s3:burst_len=2+gap=100",
+                          iterations=2, seed=7)
+        path = cache.path(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{}")
+        assert path.exists()
+
+
+class TestFaultCampaigns:
+    def test_fuzz_workload_rides_fault_campaign(self):
+        spec = CampaignSpec(
+            seed=42, cores=("cv32e40p",), configs=("vanilla",),
+            workloads=("fuzz:expiry_burst:s3:tasks=2",),
+            iterations=3, faults_per_combo=2, targeted=False)
+        result = run_campaign(spec)
+        assert result.results
+        assert all(r.workload == "fuzz:expiry_burst:s3:tasks=2"
+                   for r in result.results)
+
+
+class TestServiceRequests:
+    def test_valid_fuzz_request_passes(self):
+        request = JobRequest(core="cv32e40p", config="SLT",
+                             workload="fuzz:irq_storm:s3:gap=100",
+                             iterations=4)
+        assert request.validate() is request
+
+    def test_bad_fuzz_scenario_rejected_with_detail(self):
+        request = JobRequest(core="cv32e40p", config="SLT",
+                             workload="fuzz:bogus:s3")
+        with pytest.raises(ServiceError, match="did you mean"):
+            request.validate()
+
+    def test_unknown_plain_workload_mentions_fuzz_shape(self):
+        request = JobRequest(core="cv32e40p", config="SLT",
+                             workload="nope")
+        with pytest.raises(ServiceError, match="fuzz:<family>:s<seed>"):
+            request.validate()

@@ -1,0 +1,141 @@
+"""ScenarioSpec: canonical naming, parsing, validation, sampling."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.fuzz import (
+    FAMILIES,
+    ScenarioSpec,
+    derive_scenario_seed,
+    family_names,
+    is_fuzz_name,
+    sample_scenario,
+)
+
+
+class TestCanonicalNames:
+    def test_bare_spec_has_no_knob_tail(self):
+        spec = ScenarioSpec(family="irq_storm", seed=42)
+        assert spec.name == "fuzz:irq_storm:s42"
+
+    def test_default_valued_knobs_are_omitted(self):
+        default = FAMILIES["irq_storm"].knobs["gap"].default
+        spec = ScenarioSpec(family="irq_storm", seed=42,
+                            knobs=(("gap", default),))
+        assert spec.name == "fuzz:irq_storm:s42"
+
+    def test_knobs_serialize_sorted(self):
+        spec = ScenarioSpec(family="irq_storm", seed=3,
+                            knobs=(("gap", 100), ("bursts", 5)))
+        assert spec.name == "fuzz:irq_storm:s3:bursts=5+gap=100"
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_round_trip_every_family(self, family):
+        spec = sample_scenario(family, campaign_seed=7, index=0)
+        assert ScenarioSpec.parse(spec.name) == spec
+        # And the name itself is a fixed point.
+        assert ScenarioSpec.parse(spec.name).name == spec.name
+
+    def test_is_fuzz_name(self):
+        assert is_fuzz_name("fuzz:irq_storm:s1")
+        assert not is_fuzz_name("yield_pingpong")
+        assert not is_fuzz_name(42)
+
+
+class TestValidation:
+    def test_unknown_family_suggests(self):
+        with pytest.raises(KernelError, match="did you mean"):
+            ScenarioSpec(family="irq_strom", seed=1)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(KernelError, match="seed must be >= 0"):
+            ScenarioSpec(family="irq_storm", seed=-1)
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(KernelError, match="unknown knob"):
+            ScenarioSpec(family="irq_storm", seed=1, knobs=(("nope", 3),))
+
+    def test_out_of_range_knob_rejected(self):
+        hi = FAMILIES["irq_storm"].knobs["bursts"].hi
+        with pytest.raises(KernelError, match="outside"):
+            ScenarioSpec(family="irq_storm", seed=1,
+                         knobs=(("bursts", hi + 1),))
+
+    def test_non_integer_knob_rejected(self):
+        with pytest.raises(KernelError, match="must be an integer"):
+            ScenarioSpec(family="irq_storm", seed=1, knobs=(("gap", True),))
+
+
+class TestParsing:
+    def test_non_fuzz_name_rejected(self):
+        with pytest.raises(KernelError, match="not a fuzz scenario"):
+            ScenarioSpec.parse("yield_pingpong")
+
+    def test_malformed_seed_rejected(self):
+        with pytest.raises(KernelError, match="malformed scenario seed"):
+            ScenarioSpec.parse("fuzz:irq_storm:seven")
+
+    def test_missing_seed_rejected(self):
+        with pytest.raises(KernelError, match="malformed"):
+            ScenarioSpec.parse("fuzz:irq_storm")
+
+    def test_malformed_knob_rejected(self):
+        with pytest.raises(KernelError, match="malformed knob"):
+            ScenarioSpec.parse("fuzz:irq_storm:s1:gap")
+
+    def test_non_integer_knob_value_rejected(self):
+        with pytest.raises(KernelError, match="integer"):
+            ScenarioSpec.parse("fuzz:irq_storm:s1:gap=wide")
+
+    def test_unsorted_input_canonicalizes(self):
+        spec = ScenarioSpec.parse("fuzz:irq_storm:s3:gap=100+bursts=5")
+        assert spec.name == "fuzz:irq_storm:s3:bursts=5+gap=100"
+
+
+class TestDerived:
+    def test_values_merge_defaults_and_overrides(self):
+        spec = ScenarioSpec(family="irq_storm", seed=1, knobs=(("gap", 99),))
+        values = spec.values
+        assert values["gap"] == 99
+        assert values["bursts"] == FAMILIES["irq_storm"].knobs["bursts"].default
+        assert set(values) == set(FAMILIES["irq_storm"].knobs)
+
+    def test_with_knob_returns_validated_copy(self):
+        spec = ScenarioSpec(family="irq_storm", seed=1)
+        assert spec.with_knob("gap", 200).values["gap"] == 200
+        with pytest.raises(KernelError):
+            spec.with_knob("gap", -5)
+
+    def test_rng_stream_is_reproducible(self):
+        spec = ScenarioSpec(family="queue_mesh", seed=9)
+        assert [spec.rng().randint(0, 1 << 30) for _ in range(4)] == \
+            [spec.rng().randint(0, 1 << 30) for _ in range(4)]
+
+
+class TestSampling:
+    def test_derive_scenario_seed_is_stable_32bit(self):
+        a = derive_scenario_seed(7, "irq_storm", 0)
+        assert a == derive_scenario_seed(7, "irq_storm", 0)
+        assert 0 <= a <= 0xFFFFFFFF
+        assert a != derive_scenario_seed(7, "irq_storm", 1)
+        assert a != derive_scenario_seed(8, "irq_storm", 0)
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_sampled_knobs_within_schema(self, family):
+        for index in range(8):
+            spec = sample_scenario(family, campaign_seed=7, index=index)
+            for name, value in spec.values.items():
+                knob = FAMILIES[family].knobs[name]
+                assert knob.lo <= value <= knob.hi
+
+    def test_sampling_independent_of_neighbours(self):
+        # Slot (seed, family, index) alone determines the scenario —
+        # not which other families or counts run in the same campaign.
+        assert sample_scenario("prio_chain", 7, 2) == \
+            sample_scenario("prio_chain", 7, 2)
+        assert sample_scenario("prio_chain", 7, 2) != \
+            sample_scenario("prio_chain", 7, 3)
+
+    def test_sampling_unknown_family_suggests(self):
+        with pytest.raises(KernelError, match="did you mean"):
+            sample_scenario("queue_mes", 7, 0)

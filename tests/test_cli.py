@@ -10,7 +10,8 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table1", "fig9", "fig10", "fig11", "fig12",
-                        "fig13", "wcet", "run", "asm", "dse", "faults"):
+                        "fig13", "wcet", "run", "asm", "dse", "faults",
+                        "fuzz", "workloads"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -142,3 +143,41 @@ class TestDseCommand:
     def test_resume_without_cache_dir_rejected(self, capsys):
         assert main(["dse", "--resume", "--no-progress"]) == 2
         assert "--resume needs --cache-dir" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_quick_campaign_runs(self, capsys):
+        assert main(["fuzz", "--quick", "--seed", "7",
+                     "--families", "queue_mesh"]) == 0
+        out = capsys.readouterr().out
+        assert "Fuzz campaign (seed 7)" in out
+        assert "queue_mesh" in out
+        assert "baseline cv32e40p/vanilla" in out
+
+    def test_json_export_is_byte_identical_per_seed(self, tmp_path, capsys):
+        argv = ["fuzz", "--quick", "--seed", "7",
+                "--families", "expiry_burst"]
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(argv + ["--json", str(first)]) == 0
+        assert main(argv + ["--json", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_unknown_family_fails_with_suggestion(self, capsys):
+        assert main(["fuzz", "--quick", "--families", "irq_strom"]) == 1
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_run_accepts_fuzz_scenario_names(self, capsys):
+        assert main(["run", "--workload", "fuzz:queue_mesh:s3:stages=2",
+                     "--config", "SLT", "--iterations", "3"]) == 0
+        assert "switches=" in capsys.readouterr().out
+
+
+class TestWorkloadsCommand:
+    def test_lists_fixed_suite_and_fuzz_families(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "yield_pingpong" in out
+        assert "fuzz:irq_storm:s<seed>" in out
+        assert "fuzz:mixed_crit:s<seed>" in out

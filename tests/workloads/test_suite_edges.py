@@ -1,0 +1,51 @@
+"""Fixed-suite edge cases: extreme knob values on every core.
+
+The fuzz subsystem (repro.fuzz) explores the same parameter axes
+randomly; these tests pin the deterministic corners of the fixed suite
+so a regression there is caught directly rather than by a fuzz
+campaign: single-iteration periodic delays, interrupt storms at tight
+and very wide spacings, and a capacity-1 queue that forces a full/empty
+block on every message.
+"""
+
+import pytest
+
+from repro.cores import CORE_NAMES
+from repro.harness import run_workload
+from repro.rtosunit.config import parse_config
+from repro.workloads import delay_periodic, interrupt_response, queue_passing
+
+VANILLA = parse_config("vanilla")
+
+
+@pytest.mark.parametrize("core", CORE_NAMES)
+class TestSuiteEdges:
+    def test_delay_periodic_single_iteration(self, core):
+        """One round of periodic wakeups still completes and measures."""
+        workload = delay_periodic(iterations=1)
+        result = run_workload(core, VANILLA, workload)
+        assert result.stats.count > 0
+        assert result.switches
+        assert all(s.latency > 0 for s in result.switches)
+
+    def test_interrupt_response_tight_spacing(self, core):
+        """Back-to-back external interrupts: CLINT defers, never drops."""
+        workload = interrupt_response(iterations=3, spacing=300)
+        result = run_workload(core, VANILLA, workload)
+        assert result.stats.count > 0
+        assert result.switches
+
+    def test_interrupt_response_wide_spacing(self, core):
+        """Widely spaced interrupts from a long-idle system."""
+        workload = interrupt_response(iterations=2, spacing=120_000)
+        result = run_workload(core, VANILLA, workload)
+        assert result.stats.count > 0
+        assert result.switches
+
+    def test_queue_passing_capacity_one(self, core):
+        """Capacity-1 queue: every send/recv pair blocks and hands off."""
+        workload = queue_passing(iterations=3, capacity=1)
+        result = run_workload(core, VANILLA, workload)
+        assert result.stats.count > 0
+        assert result.switches
+        assert all(s.latency > 0 for s in result.switches)
