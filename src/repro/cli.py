@@ -14,6 +14,9 @@ Examples::
         --perf-json profile.json
     python -m repro fuzz --quick --seed 7
     python -m repro workloads
+    python -m repro ladder --quick
+    python -m repro ladder --emit-requests ladder.jsonl
+    python -m repro personalities
     python -m repro serve --spool .spool --jobs 4 --cache-dir .svc-cache
     python -m repro submit requests.jsonl --spool .spool --out results.jsonl
     python -m repro drain --spool .spool --stats
@@ -354,6 +357,76 @@ def _cmd_fuzz(args) -> int:
         print(f"wrote {args.json}")
         return 0
     print(format_fuzz(result))
+    return 0
+
+
+def _cmd_personalities(_args) -> int:
+    from repro.personalities import PERSONALITIES, personality_names
+
+    rows = [(name, PERSONALITIES[name].fingerprint(),
+             PERSONALITIES[name].summary)
+            for name in personality_names()]
+    print(format_table(("personality", "fingerprint", "description"), rows))
+    return 0
+
+
+def _cmd_ladder(args) -> int:
+    import dataclasses
+
+    from repro.personalities.ladder import (
+        LadderSpec,
+        ladder_from_records,
+        ladder_markdown,
+        ladder_report,
+        ladder_requests,
+        write_ladder,
+    )
+
+    spec = LadderSpec.quick() if args.quick else LadderSpec()
+    updates: dict = {}
+    if args.cores:
+        updates["cores"] = tuple(args.cores.split(","))
+    if args.configs:
+        updates["configs"] = tuple(args.configs.split(","))
+    if args.personalities:
+        updates["personalities"] = tuple(args.personalities.split(","))
+    if args.iterations is not None:
+        updates["iterations"] = args.iterations
+    if args.seed:
+        updates["seed"] = args.seed
+    if updates:
+        spec = dataclasses.replace(spec, **updates)
+    if args.emit_requests:
+        requests = ladder_requests(spec)
+        with open(args.emit_requests, "w") as handle:
+            for request in requests:
+                handle.write(json.dumps(request.as_dict(), sort_keys=True)
+                             + "\n")
+        print(f"wrote {len(requests)} job requests to {args.emit_requests} "
+              f"(run them with `repro submit`, assemble with "
+              f"`repro ladder --from-results`)")
+        return 0
+    if args.from_results:
+        records = []
+        with open(args.from_results) as handle:
+            for line in handle:
+                if line.strip():
+                    records.append(json.loads(line))
+        runs = [record["run"] for record in records
+                if record.get("status") == "done" and record.get("run")]
+        report = ladder_from_records(spec, runs)
+    else:
+        cache = None
+        if args.cache_dir:
+            from repro.dse import ResultCache
+
+            cache = ResultCache(args.cache_dir)
+        report = ladder_report(spec, jobs=args.jobs, cache=cache)
+    write_ladder(report, json_path=args.json, md_path=args.md)
+    print(f"wrote {args.json}" + (f" and {args.md}" if args.md else ""))
+    if not args.quiet:
+        print()
+        print(ladder_markdown(report), end="")
     return 0
 
 
@@ -803,6 +876,40 @@ def build_parser() -> argparse.ArgumentParser:
         "workloads",
         help="list workload names incl. fuzz scenario families")
 
+    sub.add_parser(
+        "personalities",
+        help="list kernel personalities and their fingerprints")
+
+    p = sub.add_parser(
+        "ladder",
+        help="latency ladder: core x config x personality report")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke spec (vanilla only, fewer iterations)")
+    p.add_argument("--cores", default=None, help="comma-separated core list")
+    p.add_argument("--configs", default=None,
+                   help="comma-separated base configuration list")
+    p.add_argument("--personalities", default=None,
+                   help="comma-separated personality list (default: all)")
+    p.add_argument("--iterations", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed recorded on every run")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool workers for the grid")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="reuse/populate a DSE result cache")
+    p.add_argument("--json", default="BENCH_ladder.json", metavar="FILE",
+                   help="enveloped JSON artifact path")
+    p.add_argument("--md", default=None, metavar="FILE",
+                   help="also write the markdown table to FILE")
+    p.add_argument("--emit-requests", default=None, metavar="FILE",
+                   help="write the grid as JSONL job requests for "
+                        "`repro submit` instead of running it")
+    p.add_argument("--from-results", default=None, metavar="FILE",
+                   help="assemble the report from `repro submit --out` "
+                        "JSONL records instead of running the grid")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the markdown table on stdout")
+
     p = sub.add_parser(
         "chaos", help="seeded host-fault campaign against the serving stack")
     p.add_argument("--seed", type=int, default=42)
@@ -886,6 +993,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "fuzz": _cmd_fuzz,
     "workloads": _cmd_workloads,
+    "personalities": _cmd_personalities,
+    "ladder": _cmd_ladder,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

@@ -75,8 +75,11 @@ def point_key(point, fingerprint: str | None = None) -> str:
     the same key are guaranteed to produce byte-identical run payloads,
     so they may legally share one execution.
     """
+    from repro.personalities import kernel_fingerprint_for_name
+
     identity = dict(point.as_dict(), schema=CACHE_SCHEMA,
-                    fingerprint=fingerprint or source_fingerprint())
+                    fingerprint=fingerprint or source_fingerprint(),
+                    kernel=kernel_fingerprint_for_name(point.config))
     blob = json.dumps(identity, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
 

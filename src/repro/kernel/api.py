@@ -25,7 +25,8 @@ _PREEMPT_CHECK = """\
 """
 
 
-def api_asm(hw_sched: bool, hwsync: bool = False) -> str:
+def api_asm(hw_sched: bool, hwsync: bool = False,
+            overrides: dict | None = None) -> str:
     """Render the kernel API.
 
     ``hw_sched`` selects hardware (T) vs software scheduling for the
@@ -35,7 +36,18 @@ def api_asm(hw_sched: bool, hwsync: bool = False) -> str:
     Queues keep their software event lists either way, and
     ``k_sem_take_timeout`` is not available under ``hwsync`` (the count
     lives in hardware; a call panics).
+
+    ``overrides`` lets a kernel personality
+    (:mod:`repro.personalities`) swap the scheduler-coupled fragments
+    while keeping the event-list machinery: recognised keys are
+    ``remove_self``, ``wake_add_ready``, ``wake_clear_delay``,
+    ``block_delay_self``, ``delay_body`` (snippet text), ``preempt`` (a
+    ``skip_label -> str`` callable gating wake-time preemption),
+    ``pi_bodies`` and ``task_control`` (full entry-point blocks). With
+    no overrides the rendering is byte-identical to the original
+    FreeRTOS-workalike API.
     """
+    o = overrides or {}
     if hw_sched:
         remove_self = """\
     lw   t5, TCB_TASK_ID(s3)
@@ -132,9 +144,16 @@ k_delay:
     ret
 """
 
-    sem_bodies = _sem_bodies(hwsync, block_delay_self)
-    pi_bodies = _pi_bodies(hw_sched)
-    task_control = _task_control(hw_sched)
+    remove_self = o.get("remove_self", remove_self)
+    wake_add_ready = o.get("wake_add_ready", wake_add_ready)
+    wake_clear_delay = o.get("wake_clear_delay", wake_clear_delay)
+    block_delay_self = o.get("block_delay_self", block_delay_self)
+    delay_body = o.get("delay_body", delay_body)
+    preempt = o.get("preempt",
+                    lambda skip: _PREEMPT_CHECK.format(skip=skip))
+    sem_bodies = _sem_bodies(hwsync, block_delay_self, preempt)
+    pi_bodies = o.get("pi_bodies") or _pi_bodies(hw_sched, preempt)
+    task_control = o.get("task_control") or _task_control(hw_sched)
 
     return f"""
 # ------------------------------------------------------------- kernel API --
@@ -277,7 +296,7 @@ kqs_nowrap:
     addi a0, s0, QUEUE_RECV_WAITERS
     jal  k_wake_one
     beqz a0, kqs_done
-{_PREEMPT_CHECK.format(skip="kqs_done")}\
+{preempt("kqs_done")}\
 kqs_done:
     csrsi mstatus, MSTATUS_MIE_BIT
     lw   ra, 0(sp)
@@ -317,7 +336,7 @@ kqr_nowrap:
     addi a0, s0, QUEUE_SEND_WAITERS
     jal  k_wake_one
     beqz a0, kqr_wake_done
-{_PREEMPT_CHECK.format(skip="kqr_wake_done")}\
+{preempt("kqr_wake_done")}\
 kqr_wake_done:
     mv   a0, s1
     csrsi mstatus, MSTATUS_MIE_BIT
@@ -558,12 +577,12 @@ k_sem_give_from_isr:
 """
 
 
-def _sem_bodies(hwsync: bool, block_delay_self: str) -> str:
+def _sem_bodies(hwsync: bool, block_delay_self: str, preempt) -> str:
     """Semaphore take/give/timeout bodies for the selected mode."""
     if hwsync:
         return _HWSYNC_SEM_BODIES
     return _SW_SEM_TEMPLATE.format(
-        preempt=_PREEMPT_CHECK.format(skip="ksg_done"),
+        preempt=preempt("ksg_done"),
         block_delay_self=block_delay_self)
 
 
@@ -666,12 +685,11 @@ k_mutex_unlock_pi:
 """
 
 
-def _pi_bodies(hw_sched: bool) -> str:
+def _pi_bodies(hw_sched: bool, preempt) -> str:
     """Priority-inheritance mutex entry points."""
     if hw_sched:
         return _PI_HW_FALLBACK
-    return _PI_SW_TEMPLATE.format(
-        preempt=_PREEMPT_CHECK.format(skip="kmup_done"))
+    return _PI_SW_TEMPLATE.format(preempt=preempt("kmup_done"))
 
 
 _TASK_CONTROL_SW = """\

@@ -17,13 +17,10 @@ from repro.chaos.model import mangle_blob
 from repro.errors import KernelError
 from repro.cores.system import System, build_system
 from repro.isa.assembler import Program, assemble
-from repro.kernel.api import api_asm
 from repro.kernel.boot import boot_asm
-from repro.kernel.isr import isr_asm
 from repro.kernel.layout import equates
 from repro.kernel.lists import LIST_ASM
-from repro.kernel.sched import SCHED_ASM
-from repro.kernel.tasks import IDLE_TASK, KernelObjects, TaskSpec, data_section
+from repro.kernel.tasks import KernelObjects, TaskSpec, data_section
 from repro.mem.regions import MemoryLayout
 from repro.rtosunit.config import RTOSUnitConfig
 from repro.util.lru import LRUCache
@@ -104,16 +101,29 @@ class KernelBuilder:
     validate: bool = True
 
     def __post_init__(self) -> None:
+        from repro.personalities import personality_by_name
+
         if self.layout is None:
             self.layout = MemoryLayout()
+        self._personality = personality_by_name(self.config.personality)
         self.tasks: list[TaskSpec] = list(self.objects.tasks)
         if self.include_idle:
             if any(t.name == "idle" for t in self.tasks):
                 raise KernelError(
                     "task name 'idle' is reserved for the idle task")
-            self.tasks.append(IDLE_TASK)
+            self.tasks.append(self._personality.idle_task())
         if not self.tasks:
             raise KernelError("a kernel needs at least one task")
+        # A task set the personality cannot represent is a hard build
+        # error (e.g. two tasks on one priority under scm) — not an
+        # optional lint, so it is checked regardless of ``validate``.
+        from repro.kernel.validate import personality_conflicts
+
+        conflicts = personality_conflicts(self.tasks, self._personality)
+        if conflicts:
+            raise KernelError(
+                f"task set not representable under personality "
+                f"{self._personality.name!r}: " + "; ".join(conflicts))
         if self.config.sched:
             ready_count = sum(t.auto_ready for t in self.tasks)
             if ready_count > self.config.list_length:
@@ -167,17 +177,18 @@ class KernelBuilder:
                      sem_inits=[(index, sem.initial)
                                 for index, sem in
                                 enumerate(self.objects.semaphores)]),
-            isr_asm(self.config),
+            self._personality.isr_asm(self.config),
             LIST_ASM,
-            SCHED_ASM if not self.config.sched else _sw_sched_stub(),
-            api_asm(hw_sched=self.config.sched,
-                    hwsync=self.config.hwsync),
+            (self._personality.sched_asm(self.config)
+             if not self.config.sched else _sw_sched_stub()),
+            self._personality.api_asm(self.config),
             objects.ext_handler or _DEFAULT_EXT_HANDLER,
         ]
         for task in self.tasks:
             parts.append(task.body if task.body.endswith("\n")
                          else task.body + "\n")
-        parts.append(data_section(objects, self.layout, self.config))
+        parts.append(data_section(objects, self.layout, self.config,
+                                  personality=self._personality))
         return "\n".join(parts)
 
     # -- building ------------------------------------------------------------------

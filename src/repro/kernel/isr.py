@@ -75,17 +75,26 @@ _SET_CONTEXT_FROM_TCB = """\
 _ISR_STACK = "    li   sp, ISR_STACK_TOP\n"
 
 
-def isr_asm(config: RTOSUnitConfig) -> str:
-    """Render the full ISR for *config*, starting at label ``isr_entry``."""
+def isr_asm(config: RTOSUnitConfig, dispatch: str | None = None) -> str:
+    """Render the full ISR for *config*, starting at label ``isr_entry``.
+
+    *dispatch* replaces the software tick/ext dispatch block (a kernel
+    personality hook — e.g. the cooperative ``echronos`` dispatch that
+    only reschedules on the software interrupt). ``None`` keeps the
+    original preemptive dispatch; hardware-scheduled configurations
+    never take a custom dispatch (the config layer rejects combining
+    them with alternative personalities).
+    """
+    sw_dispatch = dispatch if dispatch is not None else _SW_DISPATCH
     parts = ["isr_entry:\n"]
     if config.is_vanilla:
-        parts += [save_context_stack(), _SW_DISPATCH,
+        parts += [save_context_stack(), sw_dispatch,
                   restore_context_stack()]
     elif config.cv32rt:
-        parts += [save_context_stack_cv32rt(), _SW_DISPATCH,
+        parts += [save_context_stack_cv32rt(), sw_dispatch,
                   restore_context_stack()]
     elif config.store and not config.sched:
-        parts += [_ISR_STACK, _SW_DISPATCH, _SET_CONTEXT_FROM_TCB]
+        parts += [_ISR_STACK, sw_dispatch, _SET_CONTEXT_FROM_TCB]
         if config.load:
             parts.append("    mret\n")
         else:

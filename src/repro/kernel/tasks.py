@@ -102,8 +102,17 @@ def _frame_words(sp_value: int, entry_symbol: str) -> list[str]:
 
 
 def data_section(objects: KernelObjects, layout: MemoryLayout,
-                 config: RTOSUnitConfig) -> str:
-    """Render the static data section (``.org``-placed)."""
+                 config: RTOSUnitConfig, personality=None) -> str:
+    """Render the static data section (``.org``-placed).
+
+    *personality* supplies the ready-structure words (between
+    ``tick_count`` and ``delay_list``); ``None`` resolves it from
+    ``config.personality``.
+    """
+    if personality is None:
+        from repro.personalities import personality_by_name
+
+        personality = personality_by_name(config.personality)
     tasks = objects.tasks
     if len(tasks) > layout.max_tasks:
         raise KernelError(
@@ -113,32 +122,20 @@ def data_section(objects: KernelObjects, layout: MemoryLayout,
         raise KernelError(f"duplicate task names in {names}")
 
     first = _first_task(tasks)
-    use_sw_ready = not config.sched
+    prelink = personality.prelink_ready and not config.sched
     lines = [f".org {layout.data_base:#x}", ""]
     lines.append(f"current_tcb: .word tcb_{first.name}")
     lines.append("tick_count: .word 0")
-    top = max((t.priority for t in tasks if t.auto_ready), default=0)
-    lines.append(f"top_ready_prio: .word {top}")
-    lines.append("")
 
-    # Ready lists: 8 sentinel headers, statically chained when the
-    # software scheduler owns them.
+    # Ready structure: personality-shaped (per-priority sentinel lists
+    # for freertos, bitmaps/tables elsewhere), statically chained into
+    # the TCB state nodes when the personality pre-links them.
     by_prio: dict[int, list[TaskSpec]] = {}
-    if use_sw_ready:
+    if prelink:
         for task in tasks:
             if task.auto_ready:
                 by_prio.setdefault(task.priority, []).append(task)
-    lines.append("ready_lists:")
-    for prio in range(MAX_PRIORITIES):
-        header = f"ready_lists+{prio * NODE_SIZE}"
-        chain = by_prio.get(prio, [])
-        if chain:
-            head = f"tcb_{chain[0].name}+{TCB_STATE_NODE}"
-            tail = f"tcb_{chain[-1].name}+{TCB_STATE_NODE}"
-        else:
-            head = tail = header
-        lines.append(f"    .word {head}, {tail}, "
-                     f"{LIST_SENTINEL_VALUE:#x}, {len(chain)}")
+    lines.extend(personality.ready_data(tasks, by_prio))
     lines.append("delay_list: .word delay_list, delay_list, "
                  f"{LIST_SENTINEL_VALUE:#x}, 0")
     lines.append("")
@@ -153,7 +150,7 @@ def data_section(objects: KernelObjects, layout: MemoryLayout,
         stack_top = layout.stack_top(task_id)
         top_of_stack = stack_top if config.store else stack_top - FRAME_BYTES
         node_next, node_prev, node_owner = _chain_links(
-            task, by_prio, use_sw_ready)
+            task, by_prio, prelink)
         lines += [
             f"tcb_{task.name}:",
             f"    .word {top_of_stack:#x}",

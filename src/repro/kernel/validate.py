@@ -148,3 +148,15 @@ def require_clean(objects) -> None:
     if issues:
         rendered = "\n".join(str(issue) for issue in issues)
         raise KernelError(f"task validation failed:\n{rendered}")
+
+
+def personality_conflicts(tasks, personality) -> list[str]:
+    """Reasons *tasks* (including idle) cannot run under *personality*.
+
+    Unlike the lint above this is not optional: a conflicting task set
+    has no kernel image at all (scm has exactly one slot per priority;
+    echronos fixes the task set at build time). The builder checks this
+    regardless of its ``validate`` flag and raises
+    :class:`KernelError` on any conflict.
+    """
+    return list(personality.task_set_conflicts(tasks))

@@ -1,0 +1,131 @@
+"""Shared kernel-API overrides for bitmap-readiness personalities.
+
+``scm`` and ``echronos`` both track readiness as bits (a priority map
+and per-task run flags respectively) behind the same two entry points —
+``sw_add_ready`` / ``sw_remove_ready`` with the TCB in ``a0`` — so the
+blocking, wake and delay paths of the kernel API are identical: detach
+from the ready structure by clearing a bit instead of unlinking a list
+node, and keep the shared linked delay/event lists exactly as the
+FreeRTOS-workalike has them. The tick handler and panic path are reused
+verbatim from :mod:`repro.kernel.sched` (they only touch the delay list
+and ``sw_add_ready``, both personality-dispatched).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.sched import SCHED_ASM
+
+#: tick_handler + kernel_panic, verbatim from the FreeRTOS scheduler
+#: block: both personalities re-emit it after their own ready-structure
+#: entry points (it calls ``sw_add_ready``, which resolves to theirs).
+TICK_AND_PANIC = SCHED_ASM[SCHED_ASM.index("# void tick_handler"):]
+
+#: k_block_current: detach the caller (in ``s3``) from the ready bitmap.
+REMOVE_SELF = """\
+    mv   a0, s3
+    jal  sw_remove_ready
+"""
+
+#: k_block_current_timeout: clear the ready bit, then park the state
+#: node in the shared delay list (the node is free — bitmap
+#: personalities never link it into a ready structure).
+BLOCK_DELAY_SELF = """\
+    mv   a0, s3
+    jal  sw_remove_ready
+    la   t2, tick_count
+    lw   t3, 0(t2)
+    add  t3, t3, s4
+    sw   t3, TCB_STATE_NODE+NODE_VALUE(s3)
+    addi a1, s3, TCB_STATE_NODE
+    la   a0, delay_list
+    jal  list_insert_sorted
+"""
+
+DELAY_BODY = """\
+k_delay:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s2, 4(sp)
+    sw   s3, 8(sp)
+    mv   s3, a0
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t0, current_tcb
+    lw   s2, 0(t0)
+    mv   a0, s2
+    jal  sw_remove_ready
+    la   t2, tick_count
+    lw   t3, 0(t2)
+    add  t3, t3, s3
+    sw   t3, TCB_STATE_NODE+NODE_VALUE(s2)
+    addi a1, s2, TCB_STATE_NODE
+    la   a0, delay_list
+    jal  list_insert_sorted
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    lw   s2, 4(sp)
+    lw   s3, 8(sp)
+    addi sp, sp, 12
+    ret
+"""
+
+#: Start/suspend: the delay-list guard keeps k_task_start idempotent
+#: for parked tasks; setting an already-set bit is harmless otherwise.
+TASK_CONTROL = """\
+# void k_task_start(a0 = tcb)  -- make a dormant task runnable
+k_task_start:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    csrci mstatus, MSTATUS_MIE_BIT
+    lw   t0, TCB_STATE_NODE+NODE_OWNER(a0)
+    bnez t0, kts_done            # parked in the delay list
+    jal  sw_add_ready
+kts_done:
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+# void k_task_suspend_self()  -- remove the caller from scheduling
+k_task_suspend_self:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    csrci mstatus, MSTATUS_MIE_BIT
+    la   t0, current_tcb
+    lw   a0, 0(t0)
+    jal  sw_remove_ready
+    li   t0, MSIP_ADDR
+    li   t1, 1
+    sw   t1, 0(t0)
+    csrsi mstatus, MSTATUS_MIE_BIT
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+"""
+
+#: Neither personality implements priority inheritance: scm binds one
+#: task per priority (inversion is bounded by construction) and
+#: echronos never preempts outside yield points, so the PI entry
+#: points fall back to plain mutexes.
+PI_PLAIN_FALLBACK = """\
+# Priority inheritance is a FreeRTOS-personality feature; under this
+# personality the PI entry points fall back to plain mutexes (see
+# docs/PERSONALITIES.md).
+k_mutex_lock_pi:
+    j    k_sem_take
+k_mutex_unlock_pi:
+    j    k_sem_give
+"""
+
+
+def api_overrides() -> dict:
+    """The shared override set for :func:`repro.kernel.api.api_asm`."""
+    return {
+        "remove_self": REMOVE_SELF,
+        "block_delay_self": BLOCK_DELAY_SELF,
+        "delay_body": DELAY_BODY,
+        "pi_bodies": PI_PLAIN_FALLBACK,
+        "task_control": TASK_CONTROL,
+    }

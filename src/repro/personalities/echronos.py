@@ -1,0 +1,179 @@
+"""The ``echronos`` personality: static, cooperative kernel.
+
+The eChronos RTOS (and its verified RISC-V port, arXiv:1908.11648)
+builds a fixed task set at system-generation time and schedules it
+cooperatively: a task runs until it blocks, delays or yields — ticks
+and external interrupts never force a switch. Readiness is a per-task
+run flag; the scheduler is a circular scan of the static ``task_table``
+starting after the current task, keeping the highest-priority runnable
+task (strict comparison, so equal priorities rotate at yield points).
+The ISR path is correspondingly simplified: only the software interrupt
+— raised by the yield points themselves — reaches the scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.api import api_asm as _api_asm
+from repro.kernel.isr import isr_asm as _isr_asm
+from repro.kernel.tasks import TaskSpec
+from repro.personalities import bitmap
+from repro.personalities.base import Personality
+
+EC_SCHED_ASM = """
+# -------------------------------------------------- scheduler (echronos) --
+# eChronos-style static cooperative scheduler: run_flags holds one
+# readiness bit per task ID; switch_context_sw scans the fixed
+# task_table circularly starting after the current task and keeps the
+# highest-priority runnable task (strict >, so equal priorities rotate
+# at yield points).
+# void sw_add_ready(a0 = tcb)
+sw_add_ready:
+    lw   t3, TCB_TASK_ID(a0)
+    li   t0, 1
+    sll  t0, t0, t3
+    la   t4, run_flags
+    lw   t5, 0(t4)
+    or   t5, t5, t0
+    sw   t5, 0(t4)
+    ret
+
+# void sw_remove_ready(a0 = tcb)
+sw_remove_ready:
+    lw   t3, TCB_TASK_ID(a0)
+    li   t0, 1
+    sll  t0, t0, t3
+    not  t0, t0
+    la   t4, run_flags
+    lw   t5, 0(t4)
+    and  t5, t5, t0
+    sw   t5, 0(t4)
+    ret
+
+# void switch_context_sw()  -- circular scan of the static task set
+switch_context_sw:
+    la   t0, current_tcb
+    lw   t1, 0(t0)
+    lw   t6, TCB_TASK_ID(t1)     # scan cursor, starts after current
+    la   t3, task_table
+    la   t4, run_flags
+    lw   t4, 0(t4)
+    la   t5, ec_task_count
+    lw   t5, 0(t5)
+    li   a1, 0                   # best TCB so far
+    li   a0, -1                  # best priority so far
+    mv   t1, t5                  # slots left to visit
+ec_scan:                         #@ bound LIST_SCAN_BOUND
+    beqz t1, ec_done
+    addi t1, t1, -1
+    addi t6, t6, 1
+    blt  t6, t5, ec_inrange
+    li   t6, 0
+ec_inrange:
+    srl  t0, t4, t6
+    andi t0, t0, 1
+    beqz t0, ec_scan
+    slli t0, t6, 2
+    add  t0, t0, t3
+    lw   t0, 0(t0)               # candidate TCB
+    lw   t2, TCB_PRIORITY(t0)
+    ble  t2, a0, ec_scan         # strict >: first hit at a level wins
+    mv   a0, t2
+    mv   a1, t0
+    j    ec_scan
+ec_done:
+    beqz a1, kernel_panic
+    la   t0, current_tcb
+    sw   a1, 0(t0)
+    ret
+
+""" + bitmap.TICK_AND_PANIC
+
+#: Cooperative dispatch: ticks wake delayed tasks and external
+#: interrupts run their handler, but neither reschedules — only the
+#: software interrupt (raised by k_yield/k_delay/blocking calls)
+#: reaches switch_context_sw.
+EC_DISPATCH = """\
+    csrr t0, mcause
+    li   t1, MCAUSE_MTI
+    beq  t0, t1, isr_tick
+    li   t1, MCAUSE_MEI
+    beq  t0, t1, isr_ext
+    jal  switch_context_sw
+    j    isr_done
+isr_tick:
+    jal  tick_handler
+    j    isr_done
+isr_ext:
+    jal  ext_irq_handler
+isr_done:
+"""
+
+#: The cooperative idle task must yield: under echronos nothing ever
+#: preempts it, so after each wakeup-producing interrupt it hands the
+#: processor back through k_yield.
+EC_IDLE_TASK = TaskSpec(
+    name="idle",
+    priority=0,
+    body="""\
+task_idle:
+idle_loop:
+    wfi
+    jal  k_yield
+    j    idle_loop
+""",
+)
+
+
+def _no_preempt(skip: str) -> str:
+    """Wakes never force a switch under cooperative scheduling."""
+    return ""
+
+
+class EChronosPersonality(Personality):
+    """Static task set, cooperative switching (eChronos-style)."""
+
+    name = "echronos"
+    summary = ("eChronos-style: fixed task set, run-flag readiness, "
+               "cooperative (no preemption outside yield points)")
+    prelink_ready = False
+
+    def sched_asm(self, config) -> str:
+        return EC_SCHED_ASM
+
+    def api_asm(self, config) -> str:
+        overrides = bitmap.api_overrides()
+        overrides["preempt"] = _no_preempt
+        return _api_asm(hw_sched=False, hwsync=False, overrides=overrides)
+
+    def isr_asm(self, config) -> str:
+        return _isr_asm(config, dispatch=EC_DISPATCH)
+
+    def idle_task(self):
+        return EC_IDLE_TASK
+
+    def ready_data(self, tasks, by_prio) -> list[str]:
+        mask = 0
+        for task_id, task in enumerate(tasks):
+            if task.auto_ready:
+                mask |= 1 << task_id
+        return [
+            f"run_flags: .word {mask:#x}",
+            f"ec_task_count: .word {len(tasks)}",
+            "",
+        ]
+
+    def task_set_conflicts(self, tasks) -> list[str]:
+        conflicts = []
+        for task in tasks:
+            if not task.auto_ready:
+                conflicts.append(
+                    f"task {task.name!r} is not auto_ready: echronos "
+                    f"fixes the task set at system-generation time "
+                    f"(every task starts runnable)")
+        if len(tasks) > 32:
+            conflicts.append(
+                f"{len(tasks)} tasks exceed the 32 run-flag bits")
+        return conflicts
+
+    def fingerprint_text(self) -> str:
+        return EC_SCHED_ASM + "\0" + EC_DISPATCH

@@ -1,0 +1,137 @@
+"""The ``scm`` personality: scmRTOS-style process-per-priority kernel.
+
+scmRTOS (and its RISC-V ports) binds exactly one process to each
+priority level, which collapses the scheduler to a bitmap: readiness is
+one bit per priority in ``ready_map``, picking the next task is a
+constant-time highest-bit resolver over an MSB nibble table, and there
+is no round-robin — rotation is meaningless when a priority owns a
+single task. Wakes stay preemptive (the standard priority check raises
+the software interrupt), blocking reuses the shared delay/event lists,
+and priority inheritance degenerates to plain mutexes because unique
+priorities bound inversion by construction.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.api import api_asm as _api_asm
+from repro.kernel.isr import isr_asm as _isr_asm
+from repro.personalities import bitmap
+from repro.personalities.base import Personality
+
+SCM_SCHED_ASM = """
+# ------------------------------------------------------- scheduler (scm) --
+# scmRTOS-style process-per-priority scheduler: readiness is one bit
+# per priority in ready_map, prio_table maps priority -> TCB, and the
+# next task is found with a constant-time MSB nibble lookup (the
+# scmRTOS "process map" + priority resolver). No rotation: each
+# priority owns exactly one task.
+# void sw_add_ready(a0 = tcb)
+sw_add_ready:
+    lw   t3, TCB_PRIORITY(a0)
+    li   t0, 1
+    sll  t0, t0, t3
+    la   t4, ready_map
+    lw   t5, 0(t4)
+    or   t5, t5, t0
+    sw   t5, 0(t4)
+    ret
+
+# void sw_remove_ready(a0 = tcb)
+sw_remove_ready:
+    lw   t3, TCB_PRIORITY(a0)
+    li   t0, 1
+    sll  t0, t0, t3
+    not  t0, t0
+    la   t4, ready_map
+    lw   t5, 0(t4)
+    and  t5, t5, t0
+    sw   t5, 0(t4)
+    ret
+
+# void switch_context_sw()  -- constant-time highest-set-bit resolver
+switch_context_sw:
+    la   t4, ready_map
+    lw   t3, 0(t4)
+    beqz t3, kernel_panic
+    la   t6, scm_msb_table
+    srli t5, t3, 4
+    beqz t5, scm_low
+    slli t5, t5, 2
+    add  t5, t5, t6
+    lw   t2, 0(t5)
+    addi t2, t2, 4
+    j    scm_pick
+scm_low:
+    andi t5, t3, 15
+    slli t5, t5, 2
+    add  t5, t5, t6
+    lw   t2, 0(t5)
+scm_pick:
+    la   t4, prio_table
+    slli t5, t2, 2
+    add  t4, t4, t5
+    lw   t2, 0(t4)
+    la   t0, current_tcb
+    sw   t2, 0(t0)
+    ret
+
+""" + bitmap.TICK_AND_PANIC
+
+
+class ScmPersonality(Personality):
+    """Process-per-priority, bitmap-ready, preemptive (scmRTOS-style)."""
+
+    name = "scm"
+    summary = ("scmRTOS-style: one process per priority, bitmap ready "
+               "map, constant-time resolver, preemptive wakes")
+    prelink_ready = False
+
+    def sched_asm(self, config) -> str:
+        return SCM_SCHED_ASM
+
+    def api_asm(self, config) -> str:
+        return _api_asm(hw_sched=False, hwsync=False,
+                        overrides=bitmap.api_overrides())
+
+    def isr_asm(self, config) -> str:
+        return _isr_asm(config)
+
+    def idle_task(self):
+        from repro.kernel.tasks import IDLE_TASK
+
+        return IDLE_TASK
+
+    def ready_data(self, tasks, by_prio) -> list[str]:
+        mask = 0
+        for task in tasks:
+            if task.auto_ready:
+                mask |= 1 << task.priority
+        slots = {task.priority: task for task in tasks}
+        lines = [f"ready_map: .word {mask:#x}", "", "prio_table:"]
+        for prio in range(8):
+            task = slots.get(prio)
+            lines.append(f"    .word {f'tcb_{task.name}' if task else 0}")
+        lines += [
+            "scm_msb_table:",
+            "    .word 0, 0, 1, 1, 2, 2, 2, 2",
+            "    .word 3, 3, 3, 3, 3, 3, 3, 3",
+            "",
+        ]
+        return lines
+
+    def task_set_conflicts(self, tasks) -> list[str]:
+        conflicts = []
+        by_prio: dict[int, list] = {}
+        for task in tasks:
+            by_prio.setdefault(task.priority, []).append(task)
+        for prio in sorted(by_prio):
+            owners = by_prio[prio]
+            if len(owners) > 1:
+                names = ", ".join(repr(t.name) for t in owners)
+                conflicts.append(
+                    f"tasks {names} share priority {prio} (scm binds "
+                    f"exactly one process per priority)")
+        return conflicts
+
+    def fingerprint_text(self) -> str:
+        return SCM_SCHED_ASM

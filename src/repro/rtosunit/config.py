@@ -13,6 +13,15 @@ Validity rules from the paper:
 * O requires L — it skips *loading* (§4.6).
 * P requires S, L and T (it preloads the head of the *hardware* ready
   list in lockstep with storing, §4.7) and is incompatible with D.
+
+Beyond the paper's letters, a configuration names its **kernel
+personality** (:mod:`repro.personalities`): the scheduler design built
+behind the assembly-kernel interface. ``freertos`` (the paper's kernel)
+is the default and keeps every existing name unchanged; alternative
+personalities are spelled with an ``@`` suffix, e.g. ``SL@scm`` or
+``vanilla@echronos``. Non-default personalities are software schedulers
+by definition, so they cannot be combined with hardware scheduling (T,
+and therefore Y/P) or with the CV32RT comparison point.
 """
 
 from __future__ import annotations
@@ -42,8 +51,25 @@ class RTOSUnitConfig:
     cv32rt: bool = False
     list_length: int = 8
     sem_slots: int = 4
+    personality: str = "freertos"
 
     def __post_init__(self) -> None:
+        if self.personality != "freertos":
+            # Lazy import: repro.personalities renders kernel assembly
+            # and therefore imports modules that import this one.
+            from repro.personalities import require_personality
+
+            require_personality(self.personality)
+            if self.sched or self.hwsync or self.preload:
+                raise ConfigurationError(
+                    f"personality {self.personality!r} is a software "
+                    f"scheduler; it cannot be combined with hardware "
+                    f"scheduling (T, Y, P)")
+            if self.cv32rt:
+                raise ConfigurationError(
+                    f"CV32RT is a comparison point for the freertos "
+                    f"kernel; personality {self.personality!r} cannot "
+                    f"select it")
         if self.cv32rt and (self.store or self.load or self.sched
                             or self.dirty or self.omit or self.preload
                             or self.hwsync):
@@ -112,7 +138,7 @@ class RTOSUnitConfig:
         return tuple(letter for letter, enabled in pairs if enabled)
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         """Paper-style letter name, e.g. ``SLT``, ``SDLOT``, ``SPLIT``."""
         if self.cv32rt:
             return "CV32RT"
@@ -139,6 +165,19 @@ class RTOSUnitConfig:
             name = "SPLIT" + name[4:]
         return name
 
+    @property
+    def name(self) -> str:
+        """Config name with the personality suffix when non-default.
+
+        ``freertos`` names stay exactly the paper's spelling, so every
+        pre-personality cache key, seed derivation and export remains
+        byte-identical.
+        """
+        base = self.base_name
+        if self.personality == "freertos":
+            return base
+        return f"{base}@{self.personality}"
+
     def __str__(self) -> str:
         return self.name
 
@@ -161,16 +200,31 @@ def parse_config(name: str, list_length: int = 8) -> RTOSUnitConfig:
 
     Accepts ``vanilla``, ``CV32RT`` (case-insensitive), and letter strings
     such as ``S``, ``SL``, ``SLT``, ``SDLOT`` or ``SPLIT`` (the paper's
-    spelling of S+P+L+T; the stray ``I`` is tolerated). Unknown letters
-    and invalid combinations raise :class:`ConfigurationError` naming the
-    offending letter/rule and suggesting the nearest evaluated config.
+    spelling of S+P+L+T; the stray ``I`` is tolerated). An ``@`` suffix
+    selects a kernel personality (``SL@scm``, ``vanilla@echronos``); no
+    suffix means ``freertos``. Unknown letters, unknown personalities and
+    invalid combinations raise :class:`ConfigurationError` naming the
+    offending letter/rule and suggesting the nearest valid name.
     """
     text = name.strip()
+    personality = "freertos"
+    if "@" in text:
+        text, _, personality = text.partition("@")
+        text = text.strip()
+        personality = personality.strip().lower()
+        from repro.personalities import require_personality
+
+        require_personality(personality)
     lowered = text.lower()
     if lowered == "vanilla":
-        return RTOSUnitConfig(list_length=list_length)
+        return RTOSUnitConfig(list_length=list_length,
+                              personality=personality)
     if lowered == "cv32rt":
-        return RTOSUnitConfig(cv32rt=True, list_length=list_length)
+        try:
+            return RTOSUnitConfig(cv32rt=True, list_length=list_length,
+                                  personality=personality)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{exc}{_suggest(text)}") from None
     flags = {"store": False, "load": False, "sched": False,
              "dirty": False, "omit": False, "preload": False,
              "hwsync": False}
@@ -190,9 +244,10 @@ def parse_config(name: str, list_length: int = 8) -> RTOSUnitConfig:
                 f"duplicate letter {letter!r} in {name!r}{_suggest(name)}")
         flags[field] = True
     try:
-        return RTOSUnitConfig(list_length=list_length, **flags)
+        return RTOSUnitConfig(list_length=list_length,
+                              personality=personality, **flags)
     except ConfigurationError as exc:
-        raise ConfigurationError(f"{exc}{_suggest(name)}") from None
+        raise ConfigurationError(f"{exc}{_suggest(text)}") from None
 
 
 #: The configuration sweep evaluated in the paper's Figures 9, 10, 11, 13.

@@ -50,11 +50,18 @@ def snapshot_key(core: str, config, layout, workload, source: str) -> tuple:
     task bodies, iteration counts, semaphores/queues and data layout, so
     two workloads that assemble identically share warm state. Runtime
     parameters that never reach the source (tick period, external
-    events, warmup discard, cycle budget) are keyed explicitly.
+    events, warmup discard, cycle budget) are keyed explicitly, and so
+    is the kernel fingerprint (personality identity + templates,
+    :func:`repro.personalities.kernel_fingerprint`) — the same
+    dimension the DSE result cache keys on, so warm state can never be
+    shared across kernel designs.
     """
+    from repro.personalities import kernel_fingerprint
+
     return (
         core,
         config.name,
+        kernel_fingerprint(config),
         layout,
         workload.name,
         workload.tick_period,

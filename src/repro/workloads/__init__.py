@@ -11,10 +11,14 @@ wakeups), and deferred external-interrupt handling.
 
 from repro.workloads.suite import (
     ALL_WORKLOADS,
+    LADDER_WORKLOADS,
     RTOSBENCH_WORKLOADS,
     Workload,
     delay_periodic,
     interrupt_response,
+    ladder_irq,
+    ladder_jitter,
+    ladder_switch,
     mixed_stress,
     mutex_workload,
     queue_passing,
@@ -27,10 +31,14 @@ from repro.workloads.suite import (
 
 __all__ = [
     "ALL_WORKLOADS",
+    "LADDER_WORKLOADS",
     "RTOSBENCH_WORKLOADS",
     "Workload",
     "delay_periodic",
     "interrupt_response",
+    "ladder_irq",
+    "ladder_jitter",
+    "ladder_switch",
     "mixed_stress",
     "mutex_workload",
     "queue_passing",

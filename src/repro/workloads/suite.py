@@ -327,6 +327,130 @@ main_loop:
                     warmup_switches=8, max_cycles=60_000_000)
 
 
+def ladder_switch(iterations: int = 20) -> Workload:
+    """Two-semaphore ping-pong between unique-priority tasks.
+
+    The latency-ladder's context-switch probe: unlike
+    ``yield_pingpong`` it uses unique priorities and pure blocking, so
+    it runs unchanged under every kernel personality — preemptive
+    designs switch on the wake, the cooperative one at the next
+    blocking call — always two switches per round.
+    """
+    body_hi = f"""\
+task_hi:
+    li   s0, {iterations * 2}
+hi_loop:
+    la   a0, sem_ping
+    jal  k_sem_take
+    la   a0, sem_pong
+    jal  k_sem_give
+    addi s0, s0, -1
+    bnez s0, hi_loop
+    li   a0, 0
+    jal  k_halt
+"""
+    body_lo = """\
+task_lo:
+lo_loop:
+    la   a0, sem_ping
+    jal  k_sem_give
+    la   a0, sem_pong
+    jal  k_sem_take
+    j    lo_loop
+"""
+    objects = KernelObjects(
+        tasks=[TaskSpec("hi", body_hi, priority=3),
+               TaskSpec("lo", body_lo, priority=2)],
+        semaphores=[Semaphore("ping", initial=0),
+                    Semaphore("pong", initial=0)])
+    return Workload("ladder_switch", objects)
+
+
+def ladder_irq(iterations: int = 20, spacing: int = 9000) -> Workload:
+    """Deferred interrupt handling with a yielding background task.
+
+    The latency-ladder's interrupt-entry probe: ``interrupt_response``
+    with a background task that yields each loop, so the cooperative
+    personality reaches its reschedule point and the handler task is
+    never starved. Preemptive personalities switch straight out of the
+    ISR exactly as in ``interrupt_response``.
+    """
+    events = [10_000 + i * spacing for i in range(iterations * 2)]
+    ext_handler = """\
+ext_irq_handler:
+    addi sp, sp, -4
+    sw   ra, 0(sp)
+    la   a0, sem_ext
+    jal  k_sem_give_from_isr
+    lw   ra, 0(sp)
+    addi sp, sp, 4
+    ret
+"""
+    body_handler = f"""\
+task_hnd:
+    li   s0, {iterations * 2}
+hnd_loop:
+    la   a0, sem_ext
+    jal  k_sem_take
+    addi s0, s0, -1
+    bnez s0, hnd_loop
+    li   a0, 0
+    jal  k_halt
+"""
+    body_bg = """\
+task_bg:
+bg_loop:
+    addi s0, s0, 1
+    jal  k_yield
+    j    bg_loop
+"""
+    objects = KernelObjects(
+        tasks=[TaskSpec("hnd", body_handler, priority=4),
+               TaskSpec("bg", body_bg, priority=1)],
+        semaphores=[Semaphore("ext", initial=0)],
+        ext_handler=ext_handler)
+    return Workload("ladder_irq", objects,
+                    external_events=events, warmup_switches=4,
+                    max_cycles=60_000_000)
+
+
+def ladder_jitter(iterations: int = 20) -> Workload:
+    """Unique-priority periodic tasks exercising the tick/delay path.
+
+    The latency-ladder's jitter probe: like ``delay_periodic`` but with
+    one task per priority level (periods 2, 3 and 4 ticks), so every
+    personality — including ``scm``'s one-process-per-priority design —
+    can represent it; the spread of switch latencies across ticks is
+    the reported jitter.
+    """
+    tasks = []
+    for prio, ticks in ((1, 2), (2, 3), (3, 4)):
+        name = f"p{prio}"
+        body = f"""\
+task_{name}:
+{name}_loop:
+    li   a0, {ticks}
+    jal  k_delay
+    j    {name}_loop
+"""
+        tasks.append(TaskSpec(name, body, priority=prio))
+    body_main = f"""\
+task_main:
+    li   s0, {iterations * 3}
+main_loop:
+    li   a0, 1
+    jal  k_delay
+    addi s0, s0, -1
+    bnez s0, main_loop
+    li   a0, 0
+    jal  k_halt
+"""
+    tasks.append(TaskSpec("main", body_main, priority=4))
+    objects = KernelObjects(tasks=tasks)
+    return Workload("ladder_jitter", objects, tick_period=6000,
+                    warmup_switches=6)
+
+
 #: The tests mirroring the RISC-V port of RTOSBench, aggregated for the
 #: Fig. 9 latency distributions. (RTOSBench has no external-interrupt
 #: test; ``interrupt_response`` is our addition for the paper's §1
@@ -339,7 +463,18 @@ RTOSBENCH_WORKLOADS = (
     delay_periodic,
 )
 
-ALL_WORKLOADS = RTOSBENCH_WORKLOADS + (interrupt_response, mixed_stress)
+#: Personality-portable probes backing the latency-ladder report
+#: (:mod:`repro.personalities.ladder`): unique priorities and a
+#: blocking/yield point in every task, so all three kernel
+#: personalities can build and finish them.
+LADDER_WORKLOADS = (
+    ladder_switch,
+    ladder_irq,
+    ladder_jitter,
+)
+
+ALL_WORKLOADS = (RTOSBENCH_WORKLOADS + (interrupt_response, mixed_stress)
+                 + LADDER_WORKLOADS)
 
 
 def _suggest_workload(name: str) -> str:

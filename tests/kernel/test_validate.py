@@ -1,11 +1,14 @@
-"""The task-body linter."""
+"""The task-body linter and personality representability checks."""
 
 import pytest
 
 from repro.errors import KernelError
 from repro.kernel.builder import KernelBuilder
 from repro.kernel.tasks import KernelObjects, TaskSpec
-from repro.kernel.validate import lint_task, lint_objects, require_clean
+from repro.kernel.validate import (lint_task, lint_objects,
+                                   personality_conflicts, require_clean)
+from repro.personalities import personality_by_name
+from repro.rtosunit.config import parse_config
 
 
 def issues_for(body: str, name: str = "t"):
@@ -106,3 +109,76 @@ class TestBuilderIntegration:
                      priority=1)])
         with pytest.raises(KernelError, match="x:2"):
             require_clean(objects)
+
+
+def _loop_task(name: str, priority: int, auto_ready: bool = True) -> TaskSpec:
+    body = f"task_{name}:\n{name}_l:\n    jal  k_yield\n    j    {name}_l\n"
+    return TaskSpec(name, body, priority=priority, auto_ready=auto_ready)
+
+
+class TestPersonalityConflicts:
+    """Task-set representability per personality (always enforced)."""
+
+    def test_freertos_accepts_shared_priorities(self):
+        personality = personality_by_name("freertos")
+        tasks = [_loop_task("a", 2), _loop_task("b", 2)]
+        assert personality_conflicts(tasks, personality) == []
+
+    def test_freertos_accepts_suspended_tasks(self):
+        personality = personality_by_name("freertos")
+        tasks = [_loop_task("a", 2, auto_ready=False)]
+        assert personality_conflicts(tasks, personality) == []
+
+    def test_scm_rejects_shared_priorities(self):
+        personality = personality_by_name("scm")
+        tasks = [_loop_task("a", 2), _loop_task("b", 2), _loop_task("c", 3)]
+        conflicts = personality_conflicts(tasks, personality)
+        assert len(conflicts) == 1
+        assert "'a'" in conflicts[0] and "'b'" in conflicts[0]
+        assert "priority 2" in conflicts[0]
+
+    def test_scm_accepts_unique_priorities(self):
+        personality = personality_by_name("scm")
+        tasks = [_loop_task("a", 1), _loop_task("b", 2), _loop_task("c", 3)]
+        assert personality_conflicts(tasks, personality) == []
+
+    def test_echronos_rejects_non_auto_ready(self):
+        personality = personality_by_name("echronos")
+        tasks = [_loop_task("a", 1), _loop_task("b", 2, auto_ready=False)]
+        conflicts = personality_conflicts(tasks, personality)
+        assert len(conflicts) == 1
+        assert "auto_ready" in conflicts[0]
+
+    def test_echronos_rejects_oversized_task_set(self):
+        personality = personality_by_name("echronos")
+        tasks = [_loop_task(f"t{i}", i % 8) for i in range(33)]
+        assert any("32" in c
+                   for c in personality_conflicts(tasks, personality))
+
+    def test_builder_rejects_scm_priority_collision(self):
+        # Builder-level enforcement: the idle task occupies priority 0
+        # and the two workers collide on 2.
+        objects = KernelObjects(tasks=[_loop_task("a", 2),
+                                       _loop_task("b", 2)])
+        with pytest.raises(KernelError,
+                           match="not representable under personality 'scm'"):
+            KernelBuilder(config=parse_config("vanilla@scm"),
+                          objects=objects)
+
+    def test_builder_rejects_echronos_suspended_task(self):
+        objects = KernelObjects(tasks=[
+            _loop_task("a", 1), _loop_task("b", 2, auto_ready=False)])
+        with pytest.raises(
+                KernelError,
+                match="not representable under personality 'echronos'"):
+            KernelBuilder(config=parse_config("vanilla@echronos"),
+                          objects=objects)
+
+    def test_builder_conflict_check_survives_validate_off(self):
+        # Representability is structural, not a lint: validate=False must
+        # not bypass it (the kernel would not assemble or would misrun).
+        objects = KernelObjects(tasks=[_loop_task("a", 2),
+                                       _loop_task("b", 2)])
+        with pytest.raises(KernelError, match="not representable"):
+            KernelBuilder(config=parse_config("vanilla@scm"),
+                          objects=objects, validate=False)

@@ -1,0 +1,80 @@
+"""Personality separation in every content-addressed cache.
+
+The regression this file pins: two personalities may render *different*
+kernels for the *same* config letters and workload, so any cache keyed
+without the kernel fingerprint could serve one personality's results to
+another. Both the warm-start snapshot store and the DSE result cache key
+on :func:`repro.personalities.kernel_fingerprint`.
+"""
+
+import itertools
+
+from repro.dse.cache import point_key
+from repro.dse.executor import GridPoint
+from repro.kernel.builder import KernelBuilder
+from repro.mem.regions import MemoryLayout
+from repro.personalities import personality_names
+from repro.rtosunit.config import parse_config
+from repro.snapshot.cache import snapshot_key
+from repro.workloads import ladder_switch
+
+
+def _qualified(personality: str, base: str = "vanilla") -> str:
+    return base if personality == "freertos" else f"{base}@{personality}"
+
+
+class TestSnapshotKeys:
+    def test_personalities_never_collide(self):
+        workload = ladder_switch(4)
+        layout = MemoryLayout()
+        keys = {}
+        for personality in personality_names():
+            config = parse_config(_qualified(personality))
+            builder = KernelBuilder(config=config,
+                                    objects=workload.objects,
+                                    layout=layout,
+                                    tick_period=workload.tick_period)
+            keys[personality] = snapshot_key("cv32e40p", config, layout,
+                                             workload, builder.source())
+        for a, b in itertools.combinations(keys, 2):
+            assert keys[a] != keys[b], (a, b)
+
+    def test_key_contains_kernel_fingerprint(self):
+        from repro.personalities import kernel_fingerprint
+
+        config = parse_config("vanilla@scm")
+        workload = ladder_switch(4)
+        key = snapshot_key("cv32e40p", config, MemoryLayout(), workload,
+                           "source")
+        assert kernel_fingerprint(config) in key
+
+
+class TestPointKeys:
+    def test_personalities_never_collide(self):
+        keys = {}
+        for personality in personality_names():
+            point = GridPoint(core="cv32e40p",
+                              config=_qualified(personality),
+                              workload="ladder_switch", iterations=4,
+                              seed=0)
+            keys[personality] = point_key(point, fingerprint="fixed")
+        for a, b in itertools.combinations(keys, 2):
+            assert keys[a] != keys[b], (a, b)
+
+    def test_same_personality_same_key(self):
+        point = GridPoint(core="cv32e40p", config="vanilla@scm",
+                          workload="ladder_switch", iterations=4, seed=0)
+        assert point_key(point, "fixed") == point_key(point, "fixed")
+
+    def test_kernel_fingerprint_participates(self, monkeypatch):
+        # Even with an identical logical point, a changed kernel
+        # fingerprint must change the key: the kernel dimension is part
+        # of the address, not advisory metadata.
+        import repro.personalities as personalities
+
+        point = GridPoint(core="cv32e40p", config="vanilla",
+                          workload="ladder_switch", iterations=4, seed=0)
+        before = point_key(point, "fixed")
+        monkeypatch.setattr(personalities, "kernel_fingerprint_for_name",
+                            lambda name: "0" * 16)
+        assert point_key(point, "fixed") != before

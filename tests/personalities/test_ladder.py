@@ -1,0 +1,151 @@
+"""The latency-ladder report: shape, determinism, service parity."""
+
+import json
+
+import pytest
+
+from repro.cores import CORE_NAMES
+from repro.errors import AnalysisError
+from repro.personalities.ladder import (
+    LADDER_WORKLOAD_NAMES,
+    LadderSpec,
+    config_name_for,
+    ladder_cells,
+    ladder_from_records,
+    ladder_markdown,
+    ladder_report,
+    ladder_requests,
+    supported_config_names,
+    write_ladder,
+)
+
+QUICK = LadderSpec(cores=("cv32e40p",), configs=("vanilla",), iterations=4)
+
+
+def _canon(report: dict) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+class TestSpec:
+    def test_defaults_cover_everything(self):
+        spec = LadderSpec()
+        assert spec.cores == tuple(CORE_NAMES)
+        assert spec.configs == ("vanilla", "SL", "SLT")
+        assert spec.personalities == ("echronos", "freertos", "scm")
+
+    def test_quick_keeps_all_personalities_and_cores(self):
+        spec = LadderSpec.quick()
+        assert spec.cores == tuple(CORE_NAMES)
+        assert spec.personalities == ("echronos", "freertos", "scm")
+        assert spec.configs == ("vanilla",)
+
+    def test_config_name_for(self):
+        assert config_name_for("SL", "freertos") == "SL"
+        assert config_name_for("SL", "scm") == "SL@scm"
+
+
+class TestCells:
+    def test_full_grid_shape(self):
+        cells = ladder_cells(LadderSpec())
+        assert len(cells) == 3 * 3 * 3  # cores x configs x personalities
+
+    def test_hardware_configs_unsupported_off_freertos(self):
+        cells = {(c["config"], c["personality"]): c
+                 for c in ladder_cells(LadderSpec(cores=("cv32e40p",)))}
+        assert cells[("SLT", "freertos")]["supported"]
+        for personality in ("scm", "echronos"):
+            cell = cells[("SLT", personality)]
+            assert not cell["supported"]
+            assert "software scheduler" in cell["reason"]
+
+    def test_supported_names_deduplicated(self):
+        names = supported_config_names(LadderSpec())
+        assert len(names) == len(set(names))
+        assert "SLT@scm" not in names
+        assert "SL@echronos" in names
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ladder_report(QUICK)
+
+    def test_every_cell_present(self, report):
+        rows = {(r["core"], r["config"], r["personality"])
+                for r in report["rows"]}
+        assert rows == {("cv32e40p", "vanilla", p)
+                        for p in ("echronos", "freertos", "scm")}
+
+    def test_rows_carry_all_three_metrics(self, report):
+        for row in report["rows"]:
+            assert row["switch"]["count"] > 0
+            assert row["irq_entry"]["count"] > 0
+            assert row["jitter"] >= 0
+
+    def test_deterministic_across_runs(self, report):
+        assert _canon(ladder_report(QUICK)) == _canon(report)
+
+    def test_jobs_parity(self, report):
+        assert _canon(ladder_report(QUICK, jobs=2)) == _canon(report)
+
+    def test_markdown_renders_every_row(self, report):
+        text = ladder_markdown(report)
+        assert "## cv32e40p" in text
+        for personality in ("echronos", "freertos", "scm"):
+            assert f"| vanilla | {personality} |" in text
+
+    def test_markdown_marks_unsupported(self):
+        spec = LadderSpec(cores=("cv32e40p",), configs=("SLT",),
+                          personalities=("freertos", "scm"), iterations=4)
+        text = ladder_markdown(ladder_report(spec))
+        assert "unsupported:" in text
+
+    def test_envelope(self, report, tmp_path):
+        record = write_ladder(report, json_path=tmp_path / "L.json",
+                              md_path=tmp_path / "L.md")
+        assert record["schema"] == "repro-bench/v1"
+        assert record["bench"] == "ladder"
+        on_disk = json.loads((tmp_path / "L.json").read_text())
+        assert on_disk["rows"] == report["rows"]
+        assert on_disk["bench"] == "ladder"
+        assert "## cv32e40p" in (tmp_path / "L.md").read_text()
+
+    def test_write_is_byte_identical(self, report, tmp_path):
+        write_ladder(report, json_path=tmp_path / "a.json")
+        write_ladder(report, json_path=tmp_path / "b.json")
+        assert (tmp_path / "a.json").read_bytes() == \
+            (tmp_path / "b.json").read_bytes()
+
+
+class TestServiceParity:
+    def test_requests_cover_supported_cells(self):
+        requests = ladder_requests(QUICK)
+        assert len(requests) == 3 * len(LADDER_WORKLOAD_NAMES)
+        assert {r.config for r in requests} == \
+            {"vanilla", "vanilla@scm", "vanilla@echronos"}
+        for request in requests:
+            request.validate()
+            assert request.seed == QUICK.seed
+
+    def test_report_from_service_records_matches_sweep(self):
+        import asyncio
+
+        from repro.service.server import SimulationService
+
+        async def run_jobs():
+            service = SimulationService(jobs=2)
+            service.start()
+            try:
+                return [await service.submit_and_wait(request)
+                        for request in ladder_requests(QUICK)]
+            finally:
+                await service.stop()
+
+        results = asyncio.run(run_jobs())
+        from_service = ladder_from_records(QUICK,
+                                           [r.run for r in results])
+        assert _canon(from_service) == _canon(ladder_report(QUICK))
+
+    def test_missing_cell_is_loud(self):
+        with pytest.raises(AnalysisError, match="no ladder runs"):
+            ladder_from_records(QUICK, [])

@@ -1,0 +1,94 @@
+"""Personality registry, config integration and kernel fingerprints."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.personalities import (
+    DEFAULT_PERSONALITY,
+    PERSONALITIES,
+    kernel_fingerprint,
+    kernel_fingerprint_for_name,
+    personality_by_name,
+    personality_names,
+)
+from repro.rtosunit.config import parse_config
+
+
+class TestRegistry:
+    def test_three_personalities(self):
+        assert personality_names() == ("echronos", "freertos", "scm")
+        assert DEFAULT_PERSONALITY == "freertos"
+
+    def test_lookup(self):
+        for name in personality_names():
+            assert personality_by_name(name).name == name
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ConfigurationError,
+                           match="echronos, freertos, scm"):
+            personality_by_name("zephyr")
+
+    def test_did_you_mean_suggestion(self):
+        with pytest.raises(ConfigurationError,
+                           match="did you mean 'freertos'"):
+            personality_by_name("freertoss")
+        with pytest.raises(ConfigurationError, match="did you mean 'scm'"):
+            personality_by_name("smc")
+
+    def test_summaries_present(self):
+        for personality in PERSONALITIES.values():
+            assert personality.summary
+
+
+class TestConfigIntegration:
+    def test_suffix_round_trip(self):
+        config = parse_config("SL@scm")
+        assert config.personality == "scm"
+        assert config.base_name == "SL"
+        assert config.name == "SL@scm"
+        assert parse_config(config.name) == config
+
+    def test_default_personality_has_no_suffix(self):
+        config = parse_config("vanilla")
+        assert config.personality == "freertos"
+        assert config.name == "vanilla"
+
+    def test_suffix_normalised(self):
+        assert parse_config("vanilla@ SCM ").personality == "scm"
+
+    def test_unknown_suffix_suggests(self):
+        with pytest.raises(ConfigurationError,
+                           match="did you mean 'echronos'"):
+            parse_config("vanilla@echrono")
+
+    @pytest.mark.parametrize("name", ("T@scm", "Y@scm", "SLT@echronos",
+                                      "SLTYP@scm"))
+    def test_hardware_scheduling_is_freertos_only(self, name):
+        with pytest.raises(ConfigurationError, match="software scheduler"):
+            parse_config(name)
+
+    def test_cv32rt_is_freertos_only(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("CV32RT@scm")
+
+
+class TestKernelFingerprint:
+    def test_pairwise_distinct(self):
+        prints = {name: PERSONALITIES[name].fingerprint()
+                  for name in personality_names()}
+        assert len(set(prints.values())) == len(prints)
+
+    def test_stable_across_calls(self):
+        for name in personality_names():
+            personality = personality_by_name(name)
+            assert personality.fingerprint() == personality.fingerprint()
+
+    def test_config_and_name_paths_agree(self):
+        for name in ("vanilla", "vanilla@scm", "SL@echronos"):
+            config = parse_config(name)
+            assert kernel_fingerprint(config) == \
+                kernel_fingerprint_for_name(name)
+
+    def test_unqualified_name_is_freertos(self):
+        assert kernel_fingerprint_for_name("SLT") == \
+            PERSONALITIES["freertos"].fingerprint()

@@ -11,7 +11,7 @@ class TestParser:
         text = parser.format_help()
         for command in ("table1", "fig9", "fig10", "fig11", "fig12",
                         "fig13", "wcet", "run", "asm", "dse", "faults",
-                        "fuzz", "workloads"):
+                        "fuzz", "workloads", "ladder", "personalities"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -38,6 +38,35 @@ class TestCommands:
                      "--config", "SLT", "--iterations", "3"]) == 0
         out = capsys.readouterr().out
         assert "switches=" in out
+
+    def test_personalities(self, capsys):
+        assert main(["personalities"]) == 0
+        out = capsys.readouterr().out
+        for name in ("freertos", "scm", "echronos"):
+            assert name in out
+
+    def test_run_with_personality_suffix(self, capsys):
+        assert main(["run", "--workload", "ladder_switch",
+                     "--config", "vanilla@scm", "--iterations", "3"]) == 0
+        assert "switches=" in capsys.readouterr().out
+
+    def test_unknown_personality_suggests(self, capsys):
+        assert main(["run", "--config", "vanilla@freertoss",
+                     "--workload", "yield_pingpong"]) == 1
+        assert "did you mean 'freertos'" in capsys.readouterr().err
+
+    def test_ladder_subset(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "ladder.json"
+        assert main(["ladder", "--cores", "cv32e40p",
+                     "--configs", "vanilla", "--iterations", "3",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "| vanilla | scm |" in out
+        record = json.loads(json_path.read_text())
+        assert record["bench"] == "ladder"
+        assert len(record["rows"]) == 3
 
     def test_wcet_single_config(self, capsys):
         assert main(["wcet", "--config", "SLT"]) == 0

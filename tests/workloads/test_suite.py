@@ -7,10 +7,14 @@ from repro.harness import run_workload
 from repro.rtosunit.config import parse_config
 from repro.workloads import (
     ALL_WORKLOADS,
+    LADDER_WORKLOADS,
     mixed_stress,
     RTOSBENCH_WORKLOADS,
     delay_periodic,
     interrupt_response,
+    ladder_irq,
+    ladder_jitter,
+    ladder_switch,
     mutex_workload,
     queue_passing,
     sem_signal,
@@ -22,7 +26,9 @@ from repro.workloads import (
 class TestConstruction:
     def test_suite_composition(self):
         assert len(RTOSBENCH_WORKLOADS) == 5
-        assert len(ALL_WORKLOADS) == 7  # + interrupt_response, mixed_stress
+        assert len(LADDER_WORKLOADS) == 3
+        # + interrupt_response, mixed_stress + the ladder probes
+        assert len(ALL_WORKLOADS) == 10
 
     @pytest.mark.parametrize("factory", ALL_WORKLOADS)
     def test_factories_build(self, factory):
@@ -105,6 +111,38 @@ class TestMixedStress:
         result = run_workload("cv32e40p", parse_config("vanilla"),
                               mixed_stress(6))
         assert result.core_stats.traps > 100
+
+
+class TestLadderProbes:
+    """The personality-portable latency-ladder probe workloads."""
+
+    def test_lookup_by_name(self):
+        for name in ("ladder_switch", "ladder_irq", "ladder_jitter"):
+            assert workload_by_name(name, iterations=4).name == name
+
+    @pytest.mark.parametrize("personality", ("freertos", "scm", "echronos"))
+    @pytest.mark.parametrize("factory", LADDER_WORKLOADS)
+    def test_runs_under_every_personality(self, factory, personality):
+        config_name = ("vanilla" if personality == "freertos"
+                       else f"vanilla@{personality}")
+        result = run_workload("cv32e40p", parse_config(config_name),
+                              factory(4))
+        assert result.stats.count >= 8
+
+    def test_ladder_switch_unique_priorities(self):
+        # One task per priority level: representable under scm too.
+        prios = [t.priority for t in ladder_switch(4).objects.tasks]
+        assert len(prios) == len(set(prios))
+
+    def test_ladder_irq_has_events(self):
+        workload = ladder_irq(4)
+        assert len(workload.external_events) == 8
+        assert workload.objects.ext_handler
+
+    def test_ladder_jitter_is_tick_driven(self):
+        result = run_workload("cv32e40p", parse_config("vanilla"),
+                              ladder_jitter(4))
+        assert result.stats.jitter > 0
 
 
 class TestIterationScaling:
