@@ -209,6 +209,7 @@ def _cmd_profile(args) -> int:
     blocks = not args.no_blocks
     report = profile_workload(args.core, config, workload, blocks=blocks,
                               opcodes=args.opcodes, cprofile=args.cprofile,
+                              block_stats=args.blocks,
                               iterations=args.iterations)
     baseline = None
     if args.compare:
@@ -799,6 +800,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=40)
     p.add_argument("--no-blocks", action="store_true",
                    help="time the exact per-instruction path instead")
+    p.add_argument("--blocks", action="store_true",
+                   help="dump block/superblock telemetry: cache hit "
+                        "rate, superblock census and the top slow-path "
+                        "PCs classified by opcode")
     p.add_argument("--opcodes", action="store_true",
                    help="per-opcode cycle attribution (forces exact path)")
     p.add_argument("--cprofile", action="store_true",

@@ -114,6 +114,11 @@ class BaseCore:
     PARAMS = CoreParams()
     #: Where RTOSUnit memory traffic is arbitrated: "bus" or "lsu" (§5).
     ARBITRATION = "bus"
+    #: True when :meth:`rtosunit_word_cost` is a constant 1 per word with
+    #: no side effects — lets the RTOSUnit FSMs move whole context slots
+    #: with bulk memory ops instead of per-word calls. Cores whose cost
+    #: probes mutate state (NaxRiscv's shared D$) must clear this.
+    RTOSUNIT_FLAT_WORD_COST = True
     #: LRU bounds for the per-PC decode cache and the basic-block cache.
     #: Far above any real program here — eviction is a memory safety net
     #: for long fault campaigns, not a working-set knob.
@@ -223,8 +228,9 @@ class BaseCore:
 
         With a block engine attached and nothing observing individual
         steps (no tracer, step hook or guard), whole predecoded blocks
-        dispatch on the fast path; interrupts, traps, custom ops, CSR
-        ops and ``wfi`` fall back to the exact per-instruction path.
+        dispatch on the fast path; interrupts, traps, ``mret``, ``wfi``
+        and rescheduling custom/CSR ops fall back to the exact
+        per-instruction path.
         """
         while not self.halted:
             engine = self.block_engine
@@ -307,6 +313,25 @@ class BaseCore:
         if engine is not None and word in engine.addr_map:
             self.invalidate_code(word, decode_cache=False)
 
+    def _note_raw_code_write_range(self, addr: int, nbytes: int) -> None:
+        """Batched :meth:`_note_raw_code_write` over ``[addr, addr+nbytes)``.
+
+        Bulk FSM transfers (``Memory.write_words_raw``) notify once per
+        transfer instead of once per word; the effects are identical —
+        blocks covering any written word are dropped, the decode cache
+        is left alone.
+        """
+        engine = self.block_engine
+        if engine is None:
+            return
+        addr_map = engine.addr_map
+        word = addr & ~3
+        end = addr + nbytes
+        while word < end:
+            if word in addr_map:
+                self.invalidate_code(word, decode_cache=False)
+            word += 4
+
     def reset_code_caches(self) -> None:
         """Bulk-drop every cached decode and block (snapshot restores
         with many dirty pages take this instead of per-word walks)."""
@@ -384,6 +409,10 @@ class BaseCore:
             "fast_instret": 0,
             "invalidations": 0,
             "slow_pcs": 0,
+            "slow_pc_evictions": 0,
+            "superblocks": 0,
+            "superblocks_cached": 0,
+            "side_exits": 0,
         }
         if self.block_engine is not None:
             counters.update(self.block_engine.counters())
@@ -427,8 +456,7 @@ class BaseCore:
         self._reset_avail(entry_cycle)
 
     def _reset_avail(self, cycle: int) -> None:
-        for i in range(32):
-            self.reg_avail[i] = cycle
+        self.reg_avail[:] = (cycle,) * 32
 
     # -- mret -----------------------------------------------------------------------------
 
@@ -675,6 +703,22 @@ class BaseCore:
             self.reg_avail[instr.rd] = issue + result_latency
         self.cycle = issue + penalty
         self.next_issue = self.cycle + 1
+
+    def _time_block(self, items) -> None:
+        """Replay deferred timing for a run of already-executed records.
+
+        *items* is a list of ``(instr, mem_addr, is_store, taken)``
+        tuples from the block executor — never MMIO accesses, custom ops
+        or generic handlers (those flush the batch and time per record).
+        Must leave every piece of timing state (cycle, next_issue,
+        reg_avail, stats, caches, predictor, timeline) exactly as the
+        equivalent sequence of :meth:`_time` calls would. Cores that
+        replace ``_time`` wholesale should override this with a hoisted
+        batch loop; the default simply iterates.
+        """
+        time = self._time
+        for instr, mem_addr, is_store, taken in items:
+            time(instr, (mem_addr, is_store, taken))
 
     def _mem_time(self, addr: int, is_store: bool, issue: int) -> tuple[int, int]:
         """Default: no cache, single-cycle SRAM on a shared port."""

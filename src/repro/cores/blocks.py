@@ -13,18 +13,24 @@ Exactness contract (the whole point):
   (``BaseCore._exec`` / ``_time``) is left untouched and the differential
   tests run both paths against each other.
 * Anything a block cannot replay exactly stays on the exact path:
-  custom (RTOSUnit) ops, ``mret``, CSR ops, ``wfi``, ``ecall``/``ebreak``
-  are never predecoded, and a tracer, step hook or progress guard on the
-  core disables block dispatch entirely (fault campaigns and invariant
-  checkers therefore always observe the per-instruction path).
+  ``mret``, CSR ops, ``wfi``, ``ecall``/``ebreak`` are never predecoded,
+  and a tracer, step hook or progress guard on the core disables block
+  dispatch entirely (fault campaigns and invariant checkers therefore
+  always observe the per-instruction path). RTOSUnit custom ops are
+  *tiered*: deterministic FSM interactions (scheduler list ops, hardware
+  semaphores) predecode into block-resident records driving per-op fast
+  handlers with the exact path's issue/commit arithmetic; ops that can
+  reschedule (bank switches, context restores that write MSTATUS/MEPC)
+  end the block and run through ``_step_custom`` unchanged.
 * Interrupts: instead of polling the CLINT per instruction, dispatch
   computes an *interrupt horizon* — the earliest cycle at which
   ``Clint.pending`` could return non-None or mutate state (pop an
   external event) — and bails out of block execution as soon as the
   cycle counter reaches it. In-block instructions cannot change the
-  horizon (CSR ops are excluded; MMIO stores bail immediately), so the
-  exact path takes the interrupt on precisely the same instruction
-  boundary as before.
+  horizon silently: MMIO stores bail immediately, and horizon-writing
+  CSR/custom records either recompute it in place (in-order executor)
+  or end the block (architectural executor), so the exact path takes
+  the interrupt on precisely the same instruction boundary as before.
 * Stores into cached code (self-modifying code) invalidate the decode
   and block caches and end the block; the same check runs on the slow
   path so both modes stay in lockstep.
@@ -37,18 +43,33 @@ Two executor layers:
   to virtual ``_mem_time`` / ``_branch_time`` calls only when a subclass
   overrides them;
 * an *architectural* loop for cores that replace ``_time`` wholesale
-  (`NaxRiscv`) — the same inlined execute records, but the core's own
-  ``_time`` runs per record (keeping ``core.cycle`` live for MMIO
-  delegates), still skipping fetch/decode/poll overhead.
+  (`NaxRiscv`) — the same inlined execute records, with timing either
+  batched into one ``core._time_block`` call per block (when a
+  conservative advance bound proves the bail cycle cannot be crossed)
+  or run per record through the core's own ``_time``.
+
+On top of both layers, hot blocks (:data:`SUPERBLOCK_HOT` clean
+completions) are chained with their dominant successors into
+*superblocks* — one record stream spanning several basic blocks, with
+``K_LINK`` guard records that side-exit back to the exact block boundary
+whenever control leaves the recorded trace. Superblocks register every
+constituent word in the invalidation map, so SMC and fault injection
+drop them exactly like plain blocks; ``REPRO_SUPERBLOCKS=0`` disables
+the tier.
 """
 
 from __future__ import annotations
+
+import os
+import types
 
 from repro.cores.base import BaseCore, MASK32, _divrem, _sgn
 from repro.errors import ReproError
 from repro.isa.csr import (MIE, MIP_MEIP, MIP_MSIP, MIP_MTIP, MSTATUS,
                            MSTATUS_MIE)
-from repro.isa.instructions import BLOCK_TERMINATORS, FMT_CUSTOM, SYNC_OPS
+from repro.isa.custom import CustomOp
+from repro.isa.instructions import (BLOCK_TERMINATORS, CSR_OPS, FMT_CUSTOM,
+                                    SYNC_OPS)
 from repro.mem.memory import MMIO_ADDRS
 from repro.util import LRUCache
 
@@ -59,6 +80,21 @@ _WORD = 0xFFFFFFFC
 #: control transfer or excluded mnemonic; this bounds straight-line runs
 #: (and decode-ahead into non-code bytes that happen to decode).
 MAX_BLOCK_INSTRS = 96
+
+#: Clean completions of a block before it is promoted into a superblock.
+SUPERBLOCK_HOT = 16
+#: Caps on superblock growth: constituent blocks and total records.
+SUPERBLOCK_MAX_SEGMENTS = 8
+SUPERBLOCK_MAX_RECORDS = 512
+#: Bound on the slow-PC memo (same LRU recency policy as the decode cache).
+SLOW_PC_CAPACITY = 65536
+
+
+def superblocks_enabled_default() -> bool:
+    """Superblock trace linking defaults on; ``REPRO_SUPERBLOCKS=0``
+    disables it (tier-2 blocks still run)."""
+    value = os.environ.get("REPRO_SUPERBLOCKS", "").strip().lower()
+    return value not in ("0", "false", "off", "no")
 
 # -- per-mnemonic execute handlers (generic layer + fence) -------------------
 #
@@ -251,6 +287,24 @@ K_JALR = 11
 K_MUL = 12
 K_DIV = 13
 K_GENERIC = 14
+#: RTOSUnit custom op resident in the block: ``fn`` is the per-op fast
+#: handler ``(rs1_value, rs2_value, issue) -> (rd_value, complete_cycle)``.
+K_CUSTOM = 15
+#: RTOSUnit custom op that may reschedule (bank switch / context load):
+#: executes via the exact ``_step_custom`` path and ends the block.
+K_CUSTOM_BRK = 16
+#: Superblock segment boundary guard: ``imm`` is the expected next entry,
+#: ``rd`` is 1 when the previous record falls through to it implicitly.
+K_LINK = 17
+#: Zicsr op resident in the block: ``fn`` is a prebuilt ``(rs1_value) ->
+#: old_csr_value`` closure applying the exact read/write/set/clear
+#: effects on the live ``csr.regs`` dict. ``imm`` is 1 when the op can
+#: write an interrupt-horizon input (mstatus/mie) — the block ends there
+#: with the cached horizon invalidated, exactly like an MMIO store.
+K_CSR = 18
+
+#: CSR addresses whose writes feed ``_horizon`` / ``_maybe_take_interrupt``.
+_HORIZON_CSRS = frozenset({MSTATUS, MIE})
 
 
 def _classify_inorder(instr: Instr):
@@ -305,18 +359,145 @@ def _classify_inorder(instr: Instr):
     return (K_GENERIC, rd, rs1, rs2, imm, instr, handler)
 
 
-class Block:
-    """One predecoded straight-line run starting at ``entry``."""
+def _classify_csr(instr: Instr, csr_regs):
+    """Pre-resolve a Zicsr instruction into a ``K_CSR`` record, or None.
 
-    __slots__ = ("entry", "records", "addrs")
+    ``fn`` closes over the live ``CSRFile.regs`` dict (its identity
+    survives snapshot restore, see ``CSRFile.restore_state``) and applies
+    exactly what ``BaseCore._exec``'s CSR arm would: read-modify-write
+    per mnemonic, with csrrs/csrrc writing only for a non-zero rs1
+    *index* and the immediate forms only for a non-zero zimm. The
+    terminal flag (record ``imm``) marks ops that can write mstatus/mie.
+    """
+    m = instr.mnemonic
+    a = instr.csr
+    get = csr_regs.get
+    writes = True
+    if m == "csrrw":
+        def fn(x, _r=csr_regs, _a=a, _get=get):
+            old = _get(_a, 0) & MASK32
+            _r[_a] = x & MASK32
+            return old
+    elif m == "csrrs":
+        if instr.rs1:
+            def fn(x, _r=csr_regs, _a=a, _get=get):
+                old = _get(_a, 0) & MASK32
+                _r[_a] = old | (x & MASK32)
+                return old
+        else:
+            writes = False
+
+            def fn(x, _a=a, _get=get):
+                return _get(_a, 0) & MASK32
+    elif m == "csrrc":
+        if instr.rs1:
+            def fn(x, _r=csr_regs, _a=a, _get=get):
+                old = _get(_a, 0) & MASK32
+                _r[_a] = old & ~x & MASK32
+                return old
+        else:
+            writes = False
+
+            def fn(x, _a=a, _get=get):
+                return _get(_a, 0) & MASK32
+    elif m == "csrrwi":
+        def fn(x, _r=csr_regs, _a=a, _get=get, _z=instr.imm & MASK32):
+            old = _get(_a, 0) & MASK32
+            _r[_a] = _z
+            return old
+    elif m == "csrrsi" or m == "csrrci":
+        zimm = instr.imm & MASK32
+        if not zimm:
+            writes = False
+
+            def fn(x, _a=a, _get=get):
+                return _get(_a, 0) & MASK32
+        elif m == "csrrsi":
+            def fn(x, _r=csr_regs, _a=a, _get=get, _z=zimm):
+                old = _get(_a, 0) & MASK32
+                _r[_a] = old | _z
+                return old
+        else:
+            def fn(x, _r=csr_regs, _a=a, _get=get, _z=zimm):
+                old = _get(_a, 0) & MASK32
+                _r[_a] = old & ~_z & MASK32
+                return old
+    else:
+        return None
+    terminal = 1 if writes and a in _HORIZON_CSRS else 0
+    return (K_CSR, instr.rd, instr.rs1, instr.rs2, terminal, instr, fn)
+
+
+class Block:
+    """One predecoded straight-line run starting at ``entry``.
+
+    ``hot`` counts clean completions toward superblock promotion (-1 once
+    promoted or chained, so a block is considered at most once). ``segs``
+    is None for plain blocks; for superblocks it is the tuple of
+    constituent entry PCs (in execution order).
+    """
+
+    __slots__ = ("entry", "records", "addrs", "hot", "segs")
 
     def __init__(self, entry, records, addrs):
         self.entry = entry
         self.records = records
         self.addrs = addrs
+        self.hot = 0
+        self.segs = None
 
     def __len__(self):
         return len(self.records)
+
+
+def _static_successor(block):
+    """Statically-known next entry PC after *block*, or None.
+
+    Used for superblock growth past the first (observed) link: only
+    successors that do not depend on register values qualify. Backward
+    branches are assumed taken (loop back-edges dominate hot traces);
+    forward branches are assumed not taken.
+    """
+    kind, rd, rs1, rs2, imm, instr, fn = block.records[-1]
+    if kind == K_JAL:
+        return (instr.addr + imm) & MASK32
+    if kind == K_BRANCH:
+        if imm < 0:
+            return (instr.addr + imm) & MASK32
+        return (instr.addr + 4) & MASK32
+    if kind == K_JALR or kind == K_CUSTOM_BRK:
+        return None
+    if (kind == K_CSR or kind == K_CUSTOM) and imm:
+        # Terminal CSR (mstatus/mie write) or terminal custom (context
+        # restore): execution always breaks out for the horizon resync,
+        # so chaining past it is dead weight.
+        return None
+    return (instr.addr + 4) & MASK32
+
+
+#: (core class, executor name) -> per-class clone of the executor.
+_EXEC_CLONES: dict = {}
+
+
+def _monomorphic_executor(cls, fn):
+    """Per-core-class clone of a block executor function.
+
+    CPython's specializing interpreter keeps its inline caches *per code
+    object*. One shared executor serving several core classes (CV32E40P
+    and CVA6 both run the in-order loop) watches its attribute-load and
+    call sites go polymorphic and deoptimise — measurably slower than
+    the same loop serving a single class. Cloning the code object per
+    core class keeps every copy's caches monomorphic; the clones share
+    globals and are otherwise identical.
+    """
+    key = (cls, fn.__name__)
+    clone = _EXEC_CLONES.get(key)
+    if clone is None:
+        clone = types.FunctionType(
+            fn.__code__.replace(), fn.__globals__, fn.__name__,
+            fn.__defaults__, fn.__closure__)
+        _EXEC_CLONES[key] = clone
+    return clone
 
 
 class BlockEngine:
@@ -330,11 +511,21 @@ class BlockEngine:
         #: word address -> set of block entry PCs covering that word.
         self.addr_map: dict[int, set[int]] = {}
         #: PCs whose first instruction must stay on the exact path.
-        self.slow_pcs: set[int] = set()
+        #: Bounded like the decode cache: recency-refreshed only once
+        #: full, evicting the least-recently-dispatched memo entry.
+        self.slow_pcs: LRUCache = LRUCache(SLOW_PC_CAPACITY)
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.fast_instret = 0
+        self.superblocks = 0
+        self.side_exits = 0
+        #: pc -> slow-path dispatch count; None unless profiling enables it.
+        self.slow_counts: dict[int, int] | None = None
+        self._superblocks_on = superblocks_enabled_default()
+        unit = getattr(core, "unit", None)
+        self._custom_handlers = (unit.fast_custom_handlers()
+                                 if unit is not None else None)
         cls = type(core)
         #: True when the core keeps BaseCore's in-order timing engine and
         #: reference executor, enabling the fully inlined loop.
@@ -357,10 +548,29 @@ class BlockEngine:
             self._base_mem, self._base_branch,
             params.load_result_latency, params.branch_taken_penalty,
             params.jump_penalty, params.mul_latency, params.div_cycles,
-            core.config.dirty,
+            core.config.dirty, params.custom_commit_delay,
+            params.csr_cycles - 1,
         )
-        self._exec_block = (self._exec_block_inorder if self._inorder
-                            else self._exec_block_arch)
+        exec_fn = (BlockEngine._exec_block_inorder if self._inorder
+                   else BlockEngine._exec_block_arch)
+        self._exec_block = _monomorphic_executor(cls, exec_fn).__get__(self)
+        # The dispatch loop runs once per block and loads core attributes
+        # just as often as the executors — clone it per class too (the
+        # instance attribute shadows the class method for callers).
+        self.dispatch = _monomorphic_executor(
+            cls, BlockEngine.dispatch).__get__(self)
+        # Batched-timing admission bound for the architectural layer: a
+        # conservative per-record ceiling on how far ``core.cycle`` can
+        # advance, so a whole block can run with timing deferred to one
+        # ``_time_block`` call iff even the worst case cannot cross the
+        # bail cycle mid-block. Custom ops and MMIO always flush first.
+        self._adv_per = ((1 + params.branch_mispredict_penalty)
+                         + max(params.div_cycles,
+                               params.load_result_latency
+                               + params.cache_miss_penalty,
+                               params.mul_latency, params.csr_cycles,
+                               params.custom_commit_delay + 16, 2))
+        self._adv_base = 64
 
     # -- cache maintenance ---------------------------------------------------
 
@@ -379,7 +589,7 @@ class BlockEngine:
 
     def invalidate_word(self, word: int) -> None:
         """Drop every cached block containing *word* (word-aligned)."""
-        self.slow_pcs.discard(word)
+        self.slow_pcs.pop(word, None)
         pcs = self.addr_map.get(word)
         if not pcs:
             return
@@ -413,6 +623,11 @@ class BlockEngine:
             "fast_instret": self.fast_instret,
             "invalidations": self.invalidations,
             "slow_pcs": len(self.slow_pcs),
+            "slow_pc_evictions": self.slow_pcs.evictions,
+            "superblocks": self.superblocks,
+            "superblocks_cached": sum(1 for b in self.cache.values()
+                                      if b.segs is not None),
+            "side_exits": self.side_exits,
         }
 
     # -- predecode -----------------------------------------------------------
@@ -420,6 +635,14 @@ class BlockEngine:
     def _build(self, pc: int):
         core = self.core
         fetch = core._fetch
+        custom_handlers = self._custom_handlers
+        # The in-order executor resyncs the interrupt horizon *inside*
+        # the record loop after a horizon-writing CSR/custom record, so
+        # its blocks run straight through them. The architectural
+        # executor cannot (its batched-timing admission bound must not
+        # span a context-restoring FSM op), so there they stay block
+        # terminators.
+        resync_inline = self._inorder
         records = []
         addrs = []
         addr = pc
@@ -429,7 +652,51 @@ class BlockEngine:
             except ReproError:
                 break  # ran off RAM or into non-code bytes: end the block
             m = instr.mnemonic
-            if instr.fmt == FMT_CUSTOM or m in SYNC_OPS:
+            if instr.fmt == FMT_CUSTOM:
+                # RTOSUnit custom ops: deterministic FSM interactions.
+                # Ops with a registered fast handler stay block-resident;
+                # horizon-writing ones (context restore into MSTATUS/MEPC)
+                # resync the horizon in place on the in-order executor
+                # and end the block on the architectural one. Ops that
+                # switch register banks end the block and run through the
+                # exact ``_step_custom``.
+                if custom_handlers is None:
+                    break
+                try:
+                    op = CustomOp[m.split(".", 1)[1].upper()]
+                except (KeyError, IndexError):
+                    break
+                entry = custom_handlers.get(op)
+                if entry is not None:
+                    handler, terminal = entry
+                    records.append((K_CUSTOM, instr.rd, instr.rs1,
+                                    instr.rs2, terminal, instr, handler))
+                    addrs.append(addr)
+                    if terminal and not resync_inline:
+                        break
+                    addr = (addr + 4) & MASK32
+                    continue
+                records.append((K_CUSTOM_BRK, instr.rd, instr.rs1,
+                                instr.rs2, 0, instr, op))
+                addrs.append(addr)
+                break
+            if m in CSR_OPS:
+                # Zicsr stays block-resident: CSRFile is a plain dict
+                # (reads and writes are hook-free), so effects predecode
+                # into a closure. Writes that can touch mstatus/mie —
+                # interrupt-horizon inputs — carry the terminal flag:
+                # inline horizon resync on the in-order executor, block
+                # end on the architectural one.
+                rec = _classify_csr(instr, core.csr.regs)
+                if rec is None:
+                    break
+                records.append(rec)
+                addrs.append(addr)
+                if rec[4] and not resync_inline:
+                    break
+                addr = (addr + 4) & MASK32
+                continue
+            if m in SYNC_OPS:
                 break
             rec = _classify_inorder(instr)
             if rec is None:
@@ -495,10 +762,12 @@ class BlockEngine:
         slow-path; the caller's per-instruction loop handles it.
 
         The interrupt horizon is computed lazily and cached across blocks:
-        inside dispatch nothing but an MMIO store can change its inputs
-        (CSR ops never enter blocks, ``read_mmio`` is side-effect-free,
-        and event-queue pops happen only in the exact-path poll), so it is
-        recomputed only after an executor reports an MMIO store. Cache
+        inside dispatch nothing but an MMIO store or a horizon-writing
+        CSR/custom record can change its inputs (``read_mmio`` is
+        side-effect-free, and event-queue pops happen only in the
+        exact-path poll), so it is recomputed only after an executor
+        reports one of those (rc = 3) — the in-order executor also
+        resyncs it in place mid-block to keep executing. Cache
         probes use the raw dict lookup; LRU recency is refreshed only once
         the cache is actually full, when eviction order starts to matter.
         """
@@ -507,7 +776,11 @@ class BlockEngine:
         cap = cache.capacity or _INF
         dget = dict.get
         slow_pcs = self.slow_pcs
+        slow_cap = slow_pcs.capacity or _INF
+        counts = self.slow_counts
+        sb_on = self._superblocks_on
         exec_block = self._exec_block
+        limit = max_cycles + 1  # bail ceiling handed to the executors
         horizon = None
         while True:
             if core.halted or core.cycle > max_cycles:
@@ -516,12 +789,16 @@ class BlockEngine:
             block = dget(cache, pc)
             if block is None:
                 if pc in slow_pcs:
+                    if len(slow_pcs) >= slow_cap:
+                        slow_pcs.move_to_end(pc)
+                    if counts is not None:
+                        counts[pc] = counts.get(pc, 0) + 1
                     return
                 block = self._build(pc)
                 if block is None:
-                    if len(slow_pcs) >= 65536:
-                        slow_pcs.clear()
-                    slow_pcs.add(pc)
+                    slow_pcs[pc] = True
+                    if counts is not None:
+                        counts[pc] = counts.get(pc, 0) + 1
                     return
                 self.misses += 1
             else:
@@ -532,38 +809,151 @@ class BlockEngine:
                 horizon = self._horizon()
             if horizon <= core.cycle:
                 return
-            bail = horizon if horizon <= max_cycles else max_cycles + 1
-            if exec_block(block, bail):
-                horizon = None  # MMIO store: the CLINT may have re-armed
+            bail = horizon if horizon < limit else limit
+            rc = exec_block(block, bail, limit)
+            if rc:
+                if rc & 1:
+                    horizon = None  # MMIO store / custom op: the CLINT or
+                    #                 CSR state may have re-armed
+            elif sb_on:
+                # Clean completion: count toward superblock promotion.
+                h = block.hot
+                if h >= 0:
+                    if h < SUPERBLOCK_HOT:
+                        block.hot = h + 1
+                    elif not core.halted:
+                        block.hot = -1
+                        self._promote(block)
+
+    # -- superblock promotion --------------------------------------------------
+
+    def _promote(self, head) -> None:
+        """Chain *head*'s dominant successors into one superblock.
+
+        Called right after a clean completion, so ``core.pc`` is the
+        observed successor — the first link follows the trace the program
+        actually took (taken back-edges included). Further links follow
+        statically-known successors only. The superblock replaces the
+        head entry in the cache and registers every constituent word in
+        ``addr_map``, so SMC/fault invalidation of *any* covered word
+        drops the whole superblock. Segment boundaries become ``K_LINK``
+        guard records that side-exit back to the exact block boundary
+        whenever control leaves the recorded trace.
+        """
+        cache = self.cache
+        dget = dict.get
+        slow_pcs = self.slow_pcs
+        segs = [head]
+        entries = {head.entry}
+        total = len(head.records)
+        succ = self.core.pc
+        while (len(segs) < SUPERBLOCK_MAX_SEGMENTS
+               and total < SUPERBLOCK_MAX_RECORDS):
+            if succ is None or succ in entries:
+                break  # unknown target or trace loops back: stop growing
+            nxt = dget(cache, succ)
+            if nxt is None:
+                if succ in slow_pcs:
+                    break
+                nxt = self._build(succ)
+                if nxt is None:
+                    slow_pcs[succ] = True
+                    break
+            if nxt.segs is not None:
+                break  # never chain into another superblock
+            nxt.hot = -1
+            segs.append(nxt)
+            entries.add(nxt.entry)
+            total += len(nxt.records)
+            succ = _static_successor(nxt)
+        if len(segs) < 2:
+            return
+        records = list(segs[0].records)
+        addrs = list(segs[0].addrs)
+        for seg in segs[1:]:
+            prev_instr = records[-1][5]
+            fall_ok = 1 if ((prev_instr.addr + 4) & MASK32) == seg.entry \
+                else 0
+            records.append((K_LINK, fall_ok, 0, 0, seg.entry,
+                            prev_instr, None))
+            records.extend(seg.records)
+            addrs.extend(seg.addrs)
+        entry = head.entry
+        old = cache.pop(entry, None)
+        if old is not None:
+            self._unregister(old)
+        sblock = Block(entry, tuple(records), tuple(addrs))
+        sblock.hot = -1
+        sblock.segs = tuple(b.entry for b in segs)
+        cache[entry] = sblock
+        addr_map = self.addr_map
+        for a in sblock.addrs:
+            pcs = addr_map.get(a)
+            if pcs is None:
+                addr_map[a] = {entry}
+            else:
+                pcs.add(entry)
+        self.superblocks += 1
 
     # -- executors -----------------------------------------------------------
 
-    def _exec_block_arch(self, block, bail):
-        """Inlined execute + per-record virtual ``_time`` (NaxRiscv).
+    def _exec_block_arch(self, block, bail, _limit=0):
+        """Inlined execute + batched or per-record ``_time`` (NaxRiscv).
 
-        Architectural effects run exactly as in the in-order layer, but
-        every record calls the core's own ``_time`` (the OoO dataflow
-        window), which keeps ``core.cycle`` live — MMIO delegates never
-        need an explicit sync. Straight-line ``core.pc`` updates are
-        deferred like the in-order layer (``_time`` implementations never
-        read ``core.pc``; they key on ``instr.addr``). Returns True when
-        the block ended on an MMIO store (the horizon must be redone).
+        Architectural effects run exactly as in the in-order layer. When
+        the conservative advance bound proves the block cannot reach the
+        bail cycle, per-record timing is deferred: ``(instr, mem_addr,
+        is_store, taken)`` tuples accumulate and replay in one
+        ``core._time_block`` call. Deferring is unobservable because the
+        D$/predictor/timeline are timing-only state and load data comes
+        from the memory bytes — any point that *does* observe timing
+        (MMIO access, custom op, generic handler, exception) flushes the
+        pending batch first so ``core.cycle`` is live. When the bound
+        fails, every record calls ``core._time`` directly with per-record
+        bail checks, exactly as before. Return codes: 0 = clean
+        completion (counts toward superblock promotion), 2 = early break
+        (bail / SMC / side exit), 3 = break that invalidates the cached
+        interrupt horizon (MMIO store, rescheduling custom op).
         """
         core = self.core
-        (mem, data, memsize, _avail, stats, dcache, addr_map,
+        (mem, data, memsize, avail, stats, dcache, addr_map,
          mmio, _base_mem, _base_branch, _ll, _tp, _jp, _ml, _dc,
-         config_dirty) = self._hoist
+         config_dirty, custom_delay, _csr_pen) = self._hoist
         bank = core.active_bank
         regs = core.banks[bank]
         track_dirty = bank == 0 and config_dirty
         time_fn = core._time
-        loads = stores = branches = takenb = regw = dirty = done = 0
+        records = block.records
+        batch = (core.cycle + self._adv_base
+                 + self._adv_per * len(records) < bail)
+        if batch:
+            time_block = core._time_block
+            pending = []
+            append = pending.append
+        else:
+            pending = None
+        loads = stores = branches = takenb = regw = customs = 0
+        dirty = done = 0
         instr = None
         pc_set = False
-        mmio_store = False
+        rc = 0
         try:
-            for rec in block.records:
+            for rec in records:
                 kind, rd, rs1, rs2, imm, instr, fn = rec
+                if kind == K_LINK:
+                    # Superblock segment guard (needs the *previous*
+                    # record's pc_set, hence checked before the reset).
+                    if pc_set:
+                        if core.pc != imm:
+                            self.side_exits += 1
+                            rc = 2
+                            break
+                    elif not rd:  # rd=1 marks an implicit fall-through
+                        core.pc = (instr.addr + 4) & MASK32
+                        self.side_exits += 1
+                        rc = 2
+                        break
+                    continue
                 pc_set = False
                 if kind <= _K_SIMPLE_MAX:
                     if kind == K_ADDI:
@@ -581,6 +971,10 @@ class BlockEngine:
                         regw += 1
                         if track_dirty:
                             dirty |= 1 << rd
+                    if batch:
+                        append((instr, None, False, False))
+                        done += 1
+                        continue
                     time_fn(instr, _NO_MEM)
                 elif kind == K_LW or kind == K_LBH:
                     if kind == K_LW:
@@ -588,10 +982,14 @@ class BlockEngine:
                     else:
                         size, sign_bit, sign_sub = fn
                     addr = (regs[rs1] + imm) & MASK32
-                    if addr in mmio:
-                        value = mem.read(addr, size)  # cycle already live
-                    elif addr % size or addr + size > memsize:
-                        value = mem.read(addr, size)  # raises exactly
+                    rare = (addr in mmio or addr % size
+                            or addr + size > memsize)
+                    if rare:
+                        if pending:
+                            time_block(pending)
+                            del pending[:]
+                        value = mem.read(addr, size)  # MMIO with the live
+                        #                               cycle; else raises
                     else:
                         value = int.from_bytes(data[addr:addr + size],
                                                "little")
@@ -603,18 +1001,28 @@ class BlockEngine:
                         if track_dirty:
                             dirty |= 1 << rd
                     loads += 1
+                    if batch and not rare:
+                        append((instr, addr, False, False))
+                        done += 1
+                        continue
                     time_fn(instr, (addr, False, False))
                 elif kind == K_SW or kind == K_SBH:
                     size = 4 if kind == K_SW else fn
                     addr = (regs[rs1] + imm) & MASK32
                     if addr in mmio:
+                        if pending:
+                            time_block(pending)
+                            del pending[:]
                         mem.write(addr, regs[rs2], size)
                         stores += 1
                         time_fn(instr, (addr, True, False))
                         done += 1
-                        mmio_store = True
+                        rc = 3
                         break  # halt/msip/mtimecmp may have changed
                     if addr % size or addr + size > memsize:
+                        if pending:
+                            time_block(pending)
+                            del pending[:]
                         mem.write(addr, regs[rs2], size)  # raises exactly
                     if size == 4:
                         data[addr:addr + 4] = regs[rs2].to_bytes(4, "little")
@@ -623,13 +1031,22 @@ class BlockEngine:
                         data[addr:addr + size] = (regs[rs2] & mask).to_bytes(
                             size, "little")
                     stores += 1
-                    time_fn(instr, (addr, True, False))
                     done += 1
                     word = addr & _WORD
+                    if batch:
+                        append((instr, addr, True, False))
+                        if word in dcache or word in addr_map:
+                            core.invalidate_code(word)  # self-modifying
+                            rc = 2
+                            break
+                        continue
+                    time_fn(instr, (addr, True, False))
                     if word in dcache or word in addr_map:
                         core.invalidate_code(word)  # self-modifying store
+                        rc = 2
                         break
                     if core.cycle >= bail:
+                        rc = 2
                         break
                     continue
                 elif kind == K_BRANCH:
@@ -639,8 +1056,16 @@ class BlockEngine:
                         takenb += 1
                         core.pc = (instr.addr + imm) & MASK32
                         pc_set = True
+                        if batch:
+                            append((instr, None, False, True))
+                            done += 1
+                            continue
                         time_fn(instr, _JUMP)  # (None, False, taken=True)
                     else:
+                        if batch:
+                            append((instr, None, False, False))
+                            done += 1
+                            continue
                         time_fn(instr, _NO_MEM)
                 elif kind == K_JAL or kind == K_JALR:
                     if kind == K_JALR:
@@ -654,6 +1079,10 @@ class BlockEngine:
                             dirty |= 1 << rd
                     core.pc = target
                     pc_set = True
+                    if batch:
+                        append((instr, None, False, True))
+                        done += 1
+                        continue
                     time_fn(instr, _JUMP)
                 elif kind == K_MUL or kind == K_DIV:
                     value = fn(regs[rs1], regs[rs2])
@@ -662,75 +1091,196 @@ class BlockEngine:
                         regw += 1
                         if track_dirty:
                             dirty |= 1 << rd
+                    if batch:
+                        append((instr, None, False, False))
+                        done += 1
+                        continue
                     time_fn(instr, _NO_MEM)
+                elif kind == K_CSR:
+                    # Zicsr: never batched — the core's ``_time`` may
+                    # serialise the window (NaxRiscv), which the batch
+                    # replay does not model. Flush, then time per record.
+                    if pending:
+                        time_block(pending)
+                        del pending[:]
+                    old = fn(regs[rs1])
+                    if rd:
+                        regs[rd] = old
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                    time_fn(instr, _NO_MEM)
+                    done += 1
+                    if imm:
+                        # mstatus/mie write: interrupts may have been
+                        # enabled or masked — resync the horizon.
+                        rc = 3
+                        break
+                    if core.cycle >= bail:
+                        rc = 2
+                        break
+                    continue
+                elif kind == K_CUSTOM or kind == K_CUSTOM_BRK:
+                    if pending:
+                        time_block(pending)
+                        del pending[:]
+                    if kind == K_CUSTOM_BRK:
+                        # May reschedule (bank switch / context restore):
+                        # run the exact path and end the block.
+                        core.pc = instr.addr
+                        core._step_custom(instr)
+                        pc_set = True
+                        done += 1
+                        rc = 3
+                        break
+                    # Block-resident: same issue/commit arithmetic as
+                    # ``_step_custom``, effects via the per-op handler.
+                    issue = core.next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    issue += custom_delay
+                    rdv, complete = fn(regs[rs1], regs[rs2], issue)
+                    if complete < issue:
+                        complete = issue
+                    if rd:
+                        regs[rd] = rdv & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = complete + 1
+                    customs += 1
+                    core.cycle = complete
+                    core.next_issue = complete + 1
+                    done += 1
+                    if imm:
+                        # Terminal: restored MSTATUS/MEPC — resync the
+                        # cached interrupt horizon.
+                        rc = 3
+                        break
+                    if core.cycle >= bail:
+                        rc = 2
+                        break
+                    continue
                 else:  # K_GENERIC (fence and any future mnemonic)
+                    if pending:
+                        time_block(pending)
+                        del pending[:]
                     info = fn(core, instr)
                     time_fn(instr, info)
                     pc_set = True
+                    done += 1
                     if info[1]:  # a future store-like handler: same checks
-                        done += 1
                         addr = info[0]
                         if addr in mmio:
-                            mmio_store = True
+                            rc = 3
                             break
                         word = addr & _WORD
                         if word in dcache or word in addr_map:
                             core.invalidate_code(word)
+                            rc = 2
                             break
-                        if core.cycle >= bail:
-                            break
-                        continue
+                    if core.cycle >= bail:
+                        rc = 2
+                        break
+                    continue
                 done += 1
                 if core.cycle >= bail:
+                    rc = 2
                     break
         except BaseException:
             # Exact-path contract: a faulting instruction leaves pc at its
-            # own address.
+            # own address. Every raise point flushes ``pending`` first, so
+            # the batch only ever holds fully-retired records.
             if instr is not None:
                 core.pc = instr.addr
             raise
         finally:
+            if pending:
+                core._time_block(pending)
             stats.instret += done
             stats.loads += loads
             stats.stores += stores
             stats.branches += branches
             stats.taken_branches += takenb
             stats.reg_writes += regw
+            if customs:
+                stats.custom_ops += customs
             if dirty:
                 core.dirty_mask |= dirty
             self.fast_instret += done
         if not pc_set:
             core.pc = (instr.addr + 4) & MASK32
-        return mmio_store
+        return rc
 
-    def _exec_block_inorder(self, block, bail):
+    def _exec_block_inorder(self, block, bail, limit=0):
         """Fully inlined loop for cores on BaseCore's in-order timing.
 
         Hot state (cycle, next_issue, stat deltas, the active register
         bank) is hoisted into locals and synced back on every exit path;
         ``core.cycle`` is synced *before* any MMIO delegate (mtime and
         probe records read it). The bank cannot change inside a block
-        (traps/mret/custom ops are never predecoded), so hoisting
-        ``regs`` once per block is exact. Returns True when the block
-        ended on an MMIO store (the dispatch horizon must be redone).
+        (traps/mret and rescheduling custom ops are never predecoded;
+        block-resident custom ops never switch banks), so hoisting
+        ``regs`` once per block is exact. Horizon-writing records
+        (mstatus/mie CSR writes, context-restoring custom ops) do not
+        end the block here: they recompute the horizon in place —
+        ``self._horizon()`` is side-effect-free — clamp ``bail`` to
+        ``limit`` (the caller's cycle ceiling), and keep executing; the
+        per-record ``cycle >= bail`` check then lands the exact-path
+        interrupt poll on the same instruction boundary as before. Any
+        such block reports rc 3 so dispatch drops its cached horizon.
+        Return codes as in :meth:`_exec_block_arch`: 0 = clean
+        completion, 2 = early break, 3 = break invalidating the cached
+        interrupt horizon.
         """
         core = self.core
         (mem, data, memsize, avail, stats, dcache, addr_map,
          mmio, base_mem, base_branch, load_lat, taken_pen, jump_pen,
-         mul_lat, div_cyc, config_dirty) = self._hoist
-        mark_busy = core.timeline.mark_core_busy
+         mul_lat, div_cyc, config_dirty, custom_delay,
+         csr_pen) = self._hoist
+        # ``mark_core_busy`` inlined: the busy queue appends eagerly while
+        # the scan fence and last-mark clamp stay in locals. The hoisted
+        # fence may go stale when a resident custom handler consumes free
+        # cycles mid-block — that only appends already-consumed marks,
+        # which ``consume_free`` pops as stale and ``capture_state``
+        # filters, so semantics are unchanged. ``_last_marked`` is only
+        # ever touched by marking, so the local copy is authoritative.
+        timeline = core.timeline
+        tl_append = timeline._busy.append
+        tl_scan = timeline._scan
+        tl_last = timeline._last_marked
+        tl_marks = 0
         bank = core.active_bank
         regs = core.banks[bank]
         track_dirty = bank == 0 and config_dirty
         cycle = core.cycle
         next_issue = core.next_issue
-        loads = stores = branches = takenb = regw = stall = dirty = done = 0
+        loads = stores = branches = takenb = regw = stall = customs = 0
+        dirty = done = hflip = 0
         instr = None
         pc_set = False
-        mmio_store = False
+        rc = 0
         try:
             for rec in block.records:
                 kind, rd, rs1, rs2, imm, instr, fn = rec
+                if kind == K_LINK:
+                    # Superblock segment guard (needs the *previous*
+                    # record's pc_set, hence checked before the reset).
+                    if pc_set:
+                        if core.pc != imm:
+                            self.side_exits += 1
+                            rc = 2
+                            break
+                    elif not rd:  # rd=1 marks an implicit fall-through
+                        core.pc = (instr.addr + 4) & MASK32
+                        self.side_exits += 1
+                        rc = 2
+                        break
+                    continue
                 pc_set = False
                 if kind <= _K_SIMPLE_MAX:
                     # Zero-penalty, zero-latency ALU class.
@@ -784,7 +1334,11 @@ class BlockEngine:
                         issue = a
                     stall += issue - next_issue
                     if base_mem:
-                        mark_busy(issue)
+                        if issue >= tl_last:
+                            tl_last = issue
+                        if tl_last >= tl_scan:
+                            tl_append(tl_last)
+                        tl_marks += 1
                         if rd:
                             avail[rd] = issue + load_lat
                         cycle = issue
@@ -809,14 +1363,18 @@ class BlockEngine:
                             issue = a
                         stall += issue - next_issue
                         if base_mem:
-                            mark_busy(issue)
+                            if issue >= tl_last:
+                                tl_last = issue
+                            if tl_last >= tl_scan:
+                                tl_append(tl_last)
+                            tl_marks += 1
                             cycle = issue
                         else:
                             pen, _rlat = core._mem_time(addr, True, issue)
                             cycle = issue + pen
                         next_issue = cycle + 1
                         done += 1
-                        mmio_store = True
+                        rc = 3
                         break  # halt/msip/mtimecmp may have changed
                     if addr & 3 or addr + 4 > memsize:
                         mem.write(addr, regs[rs2], 4)  # raises exactly
@@ -831,7 +1389,11 @@ class BlockEngine:
                         issue = a
                     stall += issue - next_issue
                     if base_mem:
-                        mark_busy(issue)
+                        if issue >= tl_last:
+                            tl_last = issue
+                        if tl_last >= tl_scan:
+                            tl_append(tl_last)
+                        tl_marks += 1
                         cycle = issue
                     else:
                         pen, _rlat = core._mem_time(addr, True, issue)
@@ -841,8 +1403,10 @@ class BlockEngine:
                     word = addr & _WORD
                     if word in dcache or word in addr_map:
                         core.invalidate_code(word)  # self-modifying store
+                        rc = 2
                         break
                     if cycle >= bail:
+                        rc = 2
                         break
                     continue
                 elif kind == K_BRANCH:
@@ -932,7 +1496,11 @@ class BlockEngine:
                         issue = a
                     stall += issue - next_issue
                     if base_mem:
-                        mark_busy(issue)
+                        if issue >= tl_last:
+                            tl_last = issue
+                        if tl_last >= tl_scan:
+                            tl_append(tl_last)
+                        tl_marks += 1
                         if rd:
                             avail[rd] = issue + load_lat
                         cycle = issue
@@ -958,14 +1526,18 @@ class BlockEngine:
                             issue = a
                         stall += issue - next_issue
                         if base_mem:
-                            mark_busy(issue)
+                            if issue >= tl_last:
+                                tl_last = issue
+                            if tl_last >= tl_scan:
+                                tl_append(tl_last)
+                            tl_marks += 1
                             cycle = issue
                         else:
                             pen, _rlat = core._mem_time(addr, True, issue)
                             cycle = issue + pen
                         next_issue = cycle + 1
                         done += 1
-                        mmio_store = True
+                        rc = 3
                         break
                     if addr % size or addr + size > memsize:
                         mem.write(addr, regs[rs2], size)  # raises exactly
@@ -982,7 +1554,11 @@ class BlockEngine:
                         issue = a
                     stall += issue - next_issue
                     if base_mem:
-                        mark_busy(issue)
+                        if issue >= tl_last:
+                            tl_last = issue
+                        if tl_last >= tl_scan:
+                            tl_append(tl_last)
+                        tl_marks += 1
                         cycle = issue
                     else:
                         pen, _rlat = core._mem_time(addr, True, issue)
@@ -992,8 +1568,10 @@ class BlockEngine:
                     word = addr & _WORD
                     if word in dcache or word in addr_map:
                         core.invalidate_code(word)
+                        rc = 2
                         break
                     if cycle >= bail:
+                        rc = 2
                         break
                     continue
                 elif kind == K_MUL:
@@ -1032,6 +1610,78 @@ class BlockEngine:
                         avail[rd] = issue
                     cycle = issue + div_cyc
                     next_issue = cycle + 1
+                elif kind == K_CSR:
+                    # Zicsr: effects via the prebuilt closure, timing as
+                    # in ``_time``'s CSR arm (zero result latency,
+                    # ``csr_cycles - 1`` completion penalty).
+                    old = fn(regs[rs1])
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    stall += issue - next_issue
+                    if rd:
+                        regs[rd] = old
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = issue
+                    cycle = issue + csr_pen
+                    next_issue = cycle + 1
+                    if imm:
+                        # mstatus/mie write: interrupts may have been
+                        # enabled or masked — resync the horizon in
+                        # place and keep going under the new bail.
+                        hflip = 1
+                        core.cycle = cycle
+                        h = self._horizon()
+                        bail = h if h < limit else limit
+                elif kind == K_CUSTOM or kind == K_CUSTOM_BRK:
+                    if kind == K_CUSTOM_BRK:
+                        # May reschedule (bank switch / context restore):
+                        # run the exact path and end the block.
+                        core.cycle = cycle
+                        core.next_issue = next_issue
+                        core.pc = instr.addr
+                        core._step_custom(instr)
+                        cycle = core.cycle
+                        next_issue = core.next_issue
+                        pc_set = True
+                        done += 1
+                        rc = 3
+                        break
+                    # Block-resident: same issue/commit arithmetic as
+                    # ``_step_custom``, effects via the per-op handler.
+                    issue = next_issue
+                    a = avail[rs1]
+                    if a > issue:
+                        issue = a
+                    a = avail[rs2]
+                    if a > issue:
+                        issue = a
+                    issue += custom_delay
+                    rdv, complete = fn(regs[rs1], regs[rs2], issue)
+                    if complete < issue:
+                        complete = issue
+                    if rd:
+                        regs[rd] = rdv & MASK32
+                        regw += 1
+                        if track_dirty:
+                            dirty |= 1 << rd
+                        avail[rd] = complete + 1
+                    customs += 1
+                    cycle = complete
+                    next_issue = complete + 1
+                    if imm:
+                        # Restored MSTATUS/MEPC — resync the horizon in
+                        # place and keep going under the new bail.
+                        hflip = 1
+                        core.cycle = cycle
+                        h = self._horizon()
+                        bail = h if h < limit else limit
                 else:  # K_GENERIC (fence and any future mnemonic)
                     core.cycle = cycle
                     core.next_issue = next_issue
@@ -1044,17 +1694,20 @@ class BlockEngine:
                         done += 1
                         addr = info[0]
                         if addr in mmio:
-                            mmio_store = True
+                            rc = 3
                             break
                         word = addr & _WORD
                         if word in dcache or word in addr_map:
                             core.invalidate_code(word)
+                            rc = 2
                             break
                         if cycle >= bail:
+                            rc = 2
                             break
                         continue
                 done += 1
                 if cycle >= bail:
+                    rc = 2
                     break
         except BaseException:
             # Exact-path contract: a faulting instruction leaves pc at its
@@ -1065,6 +1718,15 @@ class BlockEngine:
         finally:
             core.cycle = cycle
             core.next_issue = next_issue
+            if tl_marks:
+                timeline._last_marked = tl_last
+                timeline.core_cycles += tl_marks
+            if hflip:
+                # A horizon-writing record ran: dispatch's cached
+                # horizon is stale whichever way the block ended (and
+                # the block must not count toward superblock promotion —
+                # its bail moved mid-run).
+                rc = 3
             stats.instret += done
             stats.loads += loads
             stats.stores += stores
@@ -1072,9 +1734,11 @@ class BlockEngine:
             stats.taken_branches += takenb
             stats.reg_writes += regw
             stats.stall_cycles += stall
+            if customs:
+                stats.custom_ops += customs
             if dirty:
                 core.dirty_mask |= dirty
             self.fast_instret += done
         if not pc_set:
             core.pc = (instr.addr + 4) & MASK32
-        return mmio_store
+        return rc

@@ -49,6 +49,9 @@ class NaxRiscv(BaseCore):
         switch_rf_restart_cycles=4,  # reschedule event, like a mispredict
     )
     ARBITRATION = "lsu"
+    #: ctxQueue words probe (and refill) the shared write-back D$ — the
+    #: per-word cost has cache side effects, so no bulk-transfer shortcut.
+    RTOSUNIT_FLAT_WORD_COST = False
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -128,6 +131,101 @@ class NaxRiscv(BaseCore):
         if serialize_after is not None:
             self._flush_front(serialize_after)
 
+    def _time_block(self, items) -> None:
+        """Batched :meth:`_time` over one block's deferred records.
+
+        Bit-identical to calling ``_time`` per record (the differential
+        suite asserts it): the dataflow window, commit front and LSU port
+        state are hoisted into locals, advanced across the whole run, and
+        written back once. The block executor never defers MMIO accesses,
+        custom ops or CSR records, so those arms are omitted here — MMIO
+        flushes the batch and times per record, and CSR records flush the
+        batch before timing through ``_time`` (which serialises the
+        window — behaviour the batch replay deliberately omits).
+        """
+        if not items:
+            return
+        params = self.params
+        width = params.issue_width
+        redirect = 1 + params.branch_mispredict_penalty
+        lrl = params.load_result_latency
+        mul_lat = params.mul_latency
+        div_cyc = params.div_cycles
+        line_words = params.cache_line_words
+        refill_occ = line_words // 2
+        store_miss = 1 + params.cache_miss_penalty // 2
+        load_miss = lrl + params.cache_miss_penalty
+        avail = self.reg_avail
+        predict = self.predictor.predict_and_update
+        lookup = self.dcache.lookup
+        mark_busy = self.timeline.mark_core_busy
+        front = self._front
+        slots = self._front_slots
+        commit = self._last_commit
+        lsu = self._lsu_next
+        stall = 0
+        mispredicts = 0
+        issue = 0
+        for instr, mem_addr, is_store, taken in items:
+            if slots == 0:
+                front += 1
+                slots = width
+            slots -= 1
+            issue = front
+            a = avail[instr.rs1]
+            if a > issue:
+                issue = a
+            a = avail[instr.rs2]
+            if a > issue:
+                issue = a
+            stall += issue - front
+            latency = 1
+            if mem_addr is not None:
+                if lsu > issue:
+                    issue = lsu
+                if lookup(mem_addr, is_store):
+                    mark_busy(issue)
+                    if not is_store:
+                        latency = lrl
+                    lsu = issue + 1
+                else:
+                    for beat in range(line_words):
+                        mark_busy(issue + beat)
+                    latency = store_miss if is_store else load_miss
+                    lsu = issue + refill_occ
+            elif instr.fmt == "B":
+                if not predict(instr.addr, taken):
+                    mispredicts += 1
+                    c = issue + redirect
+                    if c > front:
+                        front = c
+                        slots = width
+            else:
+                m = instr.mnemonic
+                if m == "jalr":
+                    c = issue + 2
+                    if c > front:
+                        front = c
+                        slots = width
+                elif m in ("mul", "mulh", "mulhsu", "mulhu"):
+                    latency = mul_lat
+                elif m in ("div", "divu", "rem", "remu"):
+                    latency = div_cyc
+            complete = issue + latency
+            if instr.rd:
+                avail[instr.rd] = complete
+            if complete > commit:
+                commit = complete
+        self._front = front
+        self._front_slots = slots
+        self._last_commit = commit
+        self._lsu_next = lsu
+        self.cycle = commit
+        self.next_issue = front if front > issue + 1 else issue + 1
+        self.stats.stall_cycles += stall
+        if mispredicts:
+            self.stats.mispredicts += mispredicts
+
     def _advance_front(self) -> int:
         if self._front_slots == 0:
             self._front += 1
@@ -161,6 +259,15 @@ class NaxRiscv(BaseCore):
                 refill_occupancy)
 
     # -- pipeline synchronisation points -----------------------------------------
+
+    def _do_wfi(self) -> None:
+        super()._do_wfi()
+        # The base implementation advances ``cycle``/``next_issue`` to the
+        # wake event, but ``_time`` derives ``cycle`` from the commit front.
+        # Without projecting the skip into the front, the very next
+        # ``_time`` call would rewind the clock and ``wfi`` would busy-spin
+        # one cycle at a time instead of sleeping until the interrupt.
+        self._flush_front(self.cycle)
 
     def _reset_avail(self, cycle: int) -> None:
         super()._reset_avail(cycle)

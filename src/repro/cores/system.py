@@ -81,6 +81,7 @@ class System:
         # Keep cached blocks coherent with writes that bypass the core
         # (RTOSUnit FSM stores, fault flips, direct raw pokes).
         self.memory.code_watch = self.core._note_raw_code_write
+        self.memory.code_watch_range = self.core._note_raw_code_write_range
 
     # -- MMIO routing ---------------------------------------------------------
 

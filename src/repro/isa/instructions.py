@@ -87,9 +87,12 @@ MUL_DIV = frozenset({"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "re
 CSR_OPS = frozenset({"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"})
 
 #: Mnemonics the block predecoder must leave on the exact per-instruction
-#: path: CSR traffic, privilege/bank transitions, waiting and environment
-#: calls all have side effects (interrupt enables, RTOSUnit FSMs, time
-#: skips) that a predecoded block cannot replay cycle-exactly.
+#: path: privilege/bank transitions, waiting and environment calls all
+#: have side effects (RTOSUnit FSMs, time skips) that a predecoded block
+#: cannot replay cycle-exactly. CSR ops are listed for any generic
+#: consumer, but the predecoder intercepts them first: they ride inside
+#: blocks as prebuilt read-modify-write records, with mstatus/mie writes
+#: ending the block for an interrupt-horizon resync.
 SYNC_OPS = CSR_OPS | frozenset({"mret", "wfi", "ecall", "ebreak"})
 
 #: Control transfers that terminate (and are included in) a basic block.

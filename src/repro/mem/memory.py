@@ -15,6 +15,7 @@ plus:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from repro.errors import MemoryError_
@@ -65,6 +66,11 @@ class Memory:
     #: stores go through :meth:`write` and are handled by the core's own
     #: self-modifying-store check instead.
     code_watch: object | None = field(default=None, repr=False, compare=False)
+    #: Batched form ``watch_range(addr, nbytes)`` — when set, bulk raw
+    #: writes notify once per transfer instead of once per word (same
+    #: invalidation effects; the observer walks the words itself).
+    code_watch_range: object | None = field(default=None, repr=False,
+                                            compare=False)
 
     def __post_init__(self) -> None:
         self.data = bytearray(self.size)
@@ -129,6 +135,39 @@ class Memory:
         self.data[addr:addr + 4] = (value & MASK32).to_bytes(4, "little")
         if self.code_watch is not None:
             self.code_watch(addr)
+
+    def read_words_raw(self, addr: int, count: int) -> tuple[int, ...]:
+        """Bulk :meth:`read_word_raw`: *count* consecutive words."""
+        nbytes = 4 * count
+        if addr < 0 or addr + nbytes > self.size or addr & 3:
+            self._check(addr, nbytes)
+        return struct.unpack_from(f"<{count}I", self.data, addr)
+
+    def write_words_raw(self, addr: int, values) -> None:
+        """Bulk :meth:`write_word_raw`: consecutive words in one slice.
+
+        Byte-identical to the word loop, including per-word
+        ``code_watch`` notification for SMC/fault bookkeeping.
+        """
+        count = len(values)
+        nbytes = 4 * count
+        if addr < 0 or addr + nbytes > self.size or addr & 3:
+            self._check(addr, nbytes)
+        try:
+            # Values are almost always already-masked register words;
+            # skip the per-word masking pass unless one overflows.
+            struct.pack_into(f"<{count}I", self.data, addr, *values)
+        except struct.error:
+            struct.pack_into(f"<{count}I", self.data, addr,
+                             *(v & MASK32 for v in values))
+        watch_range = self.code_watch_range
+        if watch_range is not None:
+            watch_range(addr, nbytes)
+            return
+        watch = self.code_watch
+        if watch is not None:
+            for offset in range(0, nbytes, 4):
+                watch(addr + offset)
 
     def flip_bit(self, addr: int, bit: int) -> int:
         """Flip one bit of a RAM word (fault injection; no MMIO, no timing).

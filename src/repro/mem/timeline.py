@@ -55,17 +55,31 @@ class MemoryTimeline:
         if count <= 0:
             return max(start, self._scan) - 1
         cycle = max(start, self._scan)
+        busy = self._busy
+        popleft = busy.popleft
         remaining = count
-        while remaining:
-            while self._busy and self._busy[0] < cycle:
-                self._busy.popleft()
-            if self._busy and self._busy[0] == cycle:
-                self._busy.popleft()
+        while True:
+            while busy and busy[0] < cycle:
+                popleft()
+            if not busy:
+                # Nothing marked ahead: the rest of the run is free.
+                cycle += remaining
+                self.unit_cycles += remaining
+                break
+            b = busy[0]
+            if b == cycle:
+                popleft()
                 cycle += 1
                 continue
-            remaining -= 1
-            self.unit_cycles += 1
-            cycle += 1
+            # ``[cycle, b)`` is a free run — consume it in one step.
+            free = b - cycle
+            if free >= remaining:
+                cycle += remaining
+                self.unit_cycles += remaining
+                break
+            cycle = b
+            self.unit_cycles += free
+            remaining -= free
         self._scan = cycle
         return cycle - 1
 
@@ -81,17 +95,29 @@ class MemoryTimeline:
         if count <= 0:
             return max(start, self._scan) - 1
         cycle = max(start, self._scan)
+        busy = self._busy
+        popleft = busy.popleft
         remaining = count
         while remaining and cycle <= deadline:
-            while self._busy and self._busy[0] < cycle:
-                self._busy.popleft()
-            if self._busy and self._busy[0] == cycle:
-                self._busy.popleft()
+            while busy and busy[0] < cycle:
+                popleft()
+            if busy and busy[0] == cycle:
+                popleft()
                 cycle += 1
                 continue
-            remaining -= 1
-            self.unit_cycles += 1
-            cycle += 1
+            # Free run up to the next busy mark or the deadline fence.
+            limit = busy[0] if busy else deadline + 1
+            if limit > deadline + 1:
+                limit = deadline + 1
+            free = limit - cycle
+            if free >= remaining:
+                cycle += remaining
+                self.unit_cycles += remaining
+                remaining = 0
+                break
+            cycle = limit
+            self.unit_cycles += free
+            remaining -= free
         self._scan = cycle
         return None if remaining else cycle - 1
 

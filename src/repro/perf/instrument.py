@@ -40,6 +40,7 @@ class PerfReport:
     counters: dict
     opcode_cycles: dict = field(default_factory=dict)
     opcode_counts: dict = field(default_factory=dict)
+    block_report: dict = field(default_factory=dict)
     profile_text: str = ""
 
     @property
@@ -66,6 +67,7 @@ class PerfReport:
             "counters": self.counters,
             "opcode_cycles": dict(self.opcode_cycles),
             "opcode_counts": dict(self.opcode_counts),
+            "block_report": dict(self.block_report),
         }
 
 
@@ -116,7 +118,7 @@ class OpcodeAttributor:
 
 def profile_workload(core: str, config: RTOSUnitConfig, workload: Workload,
                      *, blocks: bool = True, opcodes: bool = False,
-                     cprofile: bool = False,
+                     cprofile: bool = False, block_stats: bool = False,
                      iterations: int = 0) -> PerfReport:
     """Build, run and time one workload; return the performance report.
 
@@ -124,6 +126,10 @@ def profile_workload(core: str, config: RTOSUnitConfig, workload: Workload,
     ``REPRO_BLOCKS`` environment default). ``opcodes`` attaches the
     cycle attributor — which forces the exact path. ``cprofile``
     captures a host-level profile of the hottest simulator functions.
+    ``block_stats`` turns on the engine's per-PC slow-path counter and
+    fills :attr:`PerfReport.block_report` with cache hit rate, the
+    superblock census and the top slow PCs classified by opcode — the
+    starting data for a slow-path hunt (docs/PERF.md).
 
     Profiling deliberately never warm-starts: it builds its own system
     below :func:`repro.harness.run_workload`, so the timed region is
@@ -140,6 +146,8 @@ def profile_workload(core: str, config: RTOSUnitConfig, workload: Workload,
         cpu.block_engine = BlockEngine(cpu)
     elif not blocks:
         cpu.block_engine = None
+    if block_stats and cpu.block_engine is not None:
+        cpu.block_engine.slow_counts = {}
     attributor = None
     if opcodes:
         attributor = OpcodeAttributor()
@@ -165,6 +173,9 @@ def profile_workload(core: str, config: RTOSUnitConfig, workload: Workload,
         profile_text = stream.getvalue()
     if attributor is not None:
         attributor.finish(cpu)
+    block_report = {}
+    if block_stats and cpu.block_engine is not None:
+        block_report = _block_report(cpu)
     return PerfReport(
         core=core,
         config=config.name,
@@ -179,8 +190,45 @@ def profile_workload(core: str, config: RTOSUnitConfig, workload: Workload,
         counters=cpu.perf_counters(),
         opcode_cycles=attributor.cycles if attributor else {},
         opcode_counts=attributor.counts if attributor else {},
+        block_report=block_report,
         profile_text=profile_text,
     )
+
+
+#: Slow PCs reported by ``repro profile --blocks``.
+TOP_SLOW_PCS = 10
+
+
+def _block_report(cpu) -> dict:
+    """Block/superblock telemetry for one finished run.
+
+    The top slow PCs are ranked by exact-path dispatch count; each is
+    classified via :func:`repro.isa.instructions.opclass` so the report
+    says *what kind* of instruction keeps falling off the fast path
+    (sync, custom, trap return, ...), not just where.
+    """
+    engine = cpu.block_engine
+    counters = engine.counters()
+    ranked = sorted((engine.slow_counts or {}).items(),
+                    key=lambda kv: (-kv[1], kv[0]))[:TOP_SLOW_PCS]
+    slow_rows = []
+    for pc, count in ranked:
+        try:
+            instr = cpu._fetch(pc)
+            mnemonic = instr.mnemonic
+            cls = opclass(mnemonic, instr.fmt)
+        except Exception:
+            mnemonic, cls = "?", "unknown"
+        slow_rows.append({"pc": pc, "count": count,
+                          "mnemonic": mnemonic, "opclass": cls})
+    return {
+        "hit_rate": counters["block_hit_rate"],
+        "blocks_cached": counters["blocks_cached"],
+        "superblocks": counters["superblocks"],
+        "superblocks_cached": counters["superblocks_cached"],
+        "side_exits": counters["side_exits"],
+        "slow_pcs": slow_rows,
+    }
 
 
 def format_report(report: PerfReport) -> str:
@@ -206,6 +254,19 @@ def format_report(report: PerfReport) -> str:
         f"{c['decode_cache_capacity']} entries, "
         f"{c['decode_cache_evictions']} evictions",
     ]
+    if report.block_report:
+        b = report.block_report
+        lines.append(
+            f"  tiered blocks   hit rate {b['hit_rate'] * 100.0:.1f}%, "
+            f"{b['blocks_cached']} blocks cached "
+            f"({b['superblocks_cached']} superblocks; "
+            f"{b['superblocks']} promoted, {b['side_exits']} side exits)")
+        if b["slow_pcs"]:
+            lines.append("  top slow-path PCs (exact-path dispatches):")
+            for row in b["slow_pcs"]:
+                lines.append(
+                    f"    {row['pc']:#010x} {row['count']:8d}  "
+                    f"{row['mnemonic']:12s} [{row['opclass']}]")
     if report.opcode_cycles:
         lines.append("  cycles by opcode class (exact path):")
         total = sum(report.opcode_cycles.values()) or 1

@@ -42,6 +42,11 @@ CV32RT_HW_REGS: tuple[int, ...] = (1, 5, 6, 7, 10, 11, 12, 13, 14, 15, 28, 29, 3
 FSM_STARTUP_CYCLES = 1
 
 
+def _flat_word_cost(addr: int, is_write: bool) -> int:
+    """Default port cost: one cycle per word, no side effects."""
+    return 1
+
+
 @dataclass
 class _Transfer:
     """One pending FSM transfer over the shared port."""
@@ -93,7 +98,7 @@ class RTOSUnit:
         self.region = region
         # Per-word port cost hook; NaxRiscv shares the data cache (§5.3),
         # so the word cost depends on hit/miss there.
-        self.word_cost = word_cost or (lambda addr, is_write: 1)
+        self.word_cost = word_cost or _flat_word_cost
         self.scheduler = (HardwareScheduler(length=config.list_length)
                           if config.sched else None)
         self.hwsync = None
@@ -144,29 +149,53 @@ class RTOSUnit:
         if self.config.store:
             self._kick_store(cycle)
 
+    def _flat_cost(self) -> bool:
+        """True when ``word_cost`` is a side-effect-free constant 1.
+
+        The System rewires ``word_cost`` to the core's
+        ``rtosunit_word_cost`` after construction, so this is evaluated
+        per transfer, not cached at init.
+        """
+        fn = self.word_cost
+        if fn is _flat_word_cost:
+            return True
+        owner = getattr(fn, "__self__", None)
+        return (owner is not None
+                and getattr(type(owner), "RTOSUNIT_FLAT_WORD_COST", False))
+
     def _kick_store(self, cycle: int) -> None:
         if self.current_task_id is None:
             raise SimulationError("store FSM kicked before boot()")
         regs = self.core.app_bank
         slot = self.region.slot_addr(self.current_task_id)
         dirty_mask = getattr(self.core, "dirty_mask", 0)
-        cost = 0
-        for index, reg in enumerate(CONTEXT_REG_ORDER):
-            if self.config.dirty and not (dirty_mask >> reg) & 1:
-                self.stats.dirty_words_skipped += 1
-                continue
-            addr = slot + 4 * index
-            self.memory.write_word_raw(addr, regs[reg])
-            cost += self.word_cost(addr, True)
-            self.stats.words_stored += 1
-        for index, value in (
-            (MSTATUS_SLOT_INDEX, self.core.csr.read(csrmod.MSTATUS)),
-            (MEPC_SLOT_INDEX, self.core.csr.read(csrmod.MEPC)),
-        ):
-            addr = slot + 4 * index
-            self.memory.write_word_raw(addr, value)
-            cost += self.word_cost(addr, True)
-            self.stats.words_stored += 1
+        if not self.config.dirty and self._flat_cost():
+            # Whole slot is contiguous (regs, then MSTATUS/MEPC) and each
+            # word costs exactly one port cycle: move it in one bulk write.
+            values = [regs[reg] for reg in CONTEXT_REG_ORDER]
+            values.append(self.core.csr.read(csrmod.MSTATUS))
+            values.append(self.core.csr.read(csrmod.MEPC))
+            self.memory.write_words_raw(slot, values)
+            cost = len(values)
+            self.stats.words_stored += cost
+        else:
+            cost = 0
+            for index, reg in enumerate(CONTEXT_REG_ORDER):
+                if self.config.dirty and not (dirty_mask >> reg) & 1:
+                    self.stats.dirty_words_skipped += 1
+                    continue
+                addr = slot + 4 * index
+                self.memory.write_word_raw(addr, regs[reg])
+                cost += self.word_cost(addr, True)
+                self.stats.words_stored += 1
+            for index, value in (
+                (MSTATUS_SLOT_INDEX, self.core.csr.read(csrmod.MSTATUS)),
+                (MEPC_SLOT_INDEX, self.core.csr.read(csrmod.MEPC)),
+            ):
+                addr = slot + 4 * index
+                self.memory.write_word_raw(addr, value)
+                cost += self.word_cost(addr, True)
+                self.stats.words_stored += 1
         self._pending.append(_Transfer("store", cycle + FSM_STARTUP_CYCLES, cost))
         if self.observer is not None:
             self.observer.on_context_stored(self.current_task_id, slot)
@@ -241,6 +270,79 @@ class RTOSUnit:
             return CustomResult(rd_value=value, complete_cycle=cycle)
         raise SimulationError(f"unknown custom op {op!r}")
 
+    # -- block-resident fast path (repro.cores.blocks) ---------------------------
+
+    def fast_custom_handlers(self):
+        """Per-op ``(handler, terminal)`` pairs for predecoded blocks.
+
+        Each handler has the signature ``(rs1_value, rs2_value, issue)
+        -> (rd_value, complete_cycle)`` and must apply exactly the
+        architectural effects and cycle charging of :meth:`exec_custom`
+        for its op — the on/off differential suite holds it to that.
+        ``terminal`` is 1 for ops whose effects feed the interrupt
+        horizon: under the (L) context loader ``SET_CONTEXT_ID`` /
+        ``GET_HW_SCHED`` restore MSTATUS/MEPC, so they run resident but
+        end the block with the cached horizon invalidated (the restore
+        mutates the *application* bank in place, which is exact in both
+        the banked-ISR and flat-RF cases). ``SWITCH_RF`` switches
+        register banks mid-stream and stays a block terminator on the
+        exact ``_step_custom`` path. Ops whose extension is absent from
+        the config are excluded; executing one must raise through the
+        exact path, FSMs untouched.
+        """
+        handlers = {}
+        if self.scheduler is not None:
+            handlers[CustomOp.ADD_READY] = (self._fast_add_ready, 0)
+            handlers[CustomOp.ADD_DELAY] = (self._fast_add_delay, 0)
+            handlers[CustomOp.RM_TASK] = (self._fast_rm_task, 0)
+        terminal = 1 if self.config.load else 0
+        handlers[CustomOp.SET_CONTEXT_ID] = (self._fast_set_context_id,
+                                             terminal)
+        if self.scheduler is not None:
+            handlers[CustomOp.GET_HW_SCHED] = (self._fast_get_hw_sched,
+                                               terminal)
+        if self.hwsync is not None:
+            handlers[CustomOp.SEM_TAKE] = (self._fast_sem_take, 0)
+            handlers[CustomOp.SEM_GIVE] = (self._fast_sem_give, 0)
+        return handlers
+
+    def _fast_add_ready(self, rs1: int, rs2: int, cycle: int):
+        self.scheduler.add_ready(rs1, rs2, cycle)
+        self.stats.sched_ops += 1
+        return 0, cycle
+
+    def _fast_add_delay(self, rs1: int, rs2: int, cycle: int):
+        if self.current_task_id is None:
+            raise SimulationError("ADD_DELAY with no current task")
+        self.scheduler.add_delay(self.current_task_id, rs1, rs2, cycle)
+        self.stats.sched_ops += 1
+        return 0, cycle
+
+    def _fast_rm_task(self, rs1: int, rs2: int, cycle: int):
+        self.scheduler.rm_task(rs1, cycle)
+        self.stats.sched_ops += 1
+        return 0, cycle
+
+    def _fast_set_context_id(self, rs1: int, rs2: int, cycle: int):
+        result = self._set_next_task(rs1, cycle)
+        return result.rd_value, result.complete_cycle
+
+    def _fast_get_hw_sched(self, rs1: int, rs2: int, cycle: int):
+        task_id, ready_cycle = self.scheduler.get_next(
+            cycle, self.current_task_id)
+        self.stats.sched_ops += 1
+        result = self._set_next_task(task_id, ready_cycle)
+        return task_id, result.complete_cycle
+
+    def _fast_sem_take(self, rs1: int, rs2: int, cycle: int):
+        value = self.hwsync.take(rs1, self.current_task_id,
+                                 self._current_priority(), cycle)
+        return value, cycle
+
+    def _fast_sem_give(self, rs1: int, rs2: int, cycle: int):
+        value = self.hwsync.give(rs1, cycle)
+        return value, cycle
+
     def _require_hwsync(self, what: str) -> None:
         if self.hwsync is None:
             raise SimulationError(
@@ -296,11 +398,15 @@ class RTOSUnit:
 
     def _load_context(self, task_id: int) -> int:
         """Functional restore; returns the port cost in cycles."""
-        cost = 0
-        slot = self.region.slot_addr(task_id)
-        for index in range(len(CONTEXT_REG_ORDER) + 2):
-            cost += self.word_cost(slot + 4 * index, False)
-            self.stats.words_loaded += 1
+        n = len(CONTEXT_REG_ORDER) + 2
+        if self._flat_cost():
+            cost = n
+        else:
+            cost = 0
+            slot = self.region.slot_addr(task_id)
+            for index in range(n):
+                cost += self.word_cost(slot + 4 * index, False)
+        self.stats.words_loaded += n
         self._apply_context_words(task_id)
         return cost
 
@@ -311,14 +417,11 @@ class RTOSUnit:
             # Verify before the words land in the RF: corruption of the
             # slot between save and restore is still observable here.
             self.observer.on_context_restored(task_id, slot)
+        words = self.memory.read_words_raw(slot, len(CONTEXT_REG_ORDER) + 2)
         for index, reg in enumerate(CONTEXT_REG_ORDER):
-            regs[reg] = self.memory.read_word_raw(slot + 4 * index)
-        self.core.csr.write(csrmod.MSTATUS,
-                            self.memory.read_word_raw(
-                                slot + 4 * MSTATUS_SLOT_INDEX))
-        self.core.csr.write(csrmod.MEPC,
-                            self.memory.read_word_raw(
-                                slot + 4 * MEPC_SLOT_INDEX))
+            regs[reg] = words[index]
+        self.core.csr.write(csrmod.MSTATUS, words[MSTATUS_SLOT_INDEX])
+        self.core.csr.write(csrmod.MEPC, words[MEPC_SLOT_INDEX])
 
     # -- snapshot/restore (repro.snapshot) -------------------------------------
 
@@ -405,9 +508,13 @@ class RTOSUnit:
         self._preload_transfer = None
         if predicted is None or predicted == self.current_task_id:
             return
-        slot = self.region.slot_addr(predicted)
-        cost = sum(self.word_cost(slot + 4 * i, False)
-                   for i in range(len(CONTEXT_REG_ORDER) + 2))
+        n = len(CONTEXT_REG_ORDER) + 2
+        if self._flat_cost():
+            cost = n
+        else:
+            slot = self.region.slot_addr(predicted)
+            cost = sum(self.word_cost(slot + 4 * i, False)
+                       for i in range(n))
         self._preload_transfer = _Transfer("preload",
                                            cycle + FSM_STARTUP_CYCLES, cost)
         self._pending.append(self._preload_transfer)

@@ -149,17 +149,47 @@ next:
         assert len(block) == 3
         assert system.core.regs[18] == 0  # branch skipped s2
 
-    def test_csr_ops_never_predecoded(self):
+    def test_csr_ops_ride_inside_blocks(self):
         system = _run("""
     addi s0, s0, 1
     csrr s1, mcycle
     addi s2, s2, 1
 """)
         engine = system.core.block_engine
-        # Block at 0 stops before the CSR read.
-        assert len(engine.cache[0]) == 1
-        counters = engine.counters()
-        assert counters["slow_pcs"] >= 1  # the csrr pc stays slow-path
+        # The CSR read predecodes into a resident record: the block
+        # runs straight through it (covering the csrr word at 0x4).
+        assert len(engine.cache[0]) >= 3
+        assert 4 in engine.cache[0].addrs
+
+    def test_horizon_csr_writes_resync_inline_on_inorder_cores(self):
+        source = """
+    addi s0, s0, 1
+    csrrw s1, mscratch, s0
+    csrrci s2, mstatus, 8
+    addi s3, s3, 1
+"""
+        system = _run(source)
+        engine = system.core.block_engine
+        # mscratch traffic is resident; the mstatus write carries the
+        # terminal flag but the in-order executor resyncs the horizon in
+        # place, so the block runs straight through it.
+        block = engine.cache[0]
+        assert len(block) > 3
+        assert block.records[2][4]  # csrrci mstatus: horizon-writing
+        assert system.core.csr.read(0x340) == system.core.regs[8]
+
+    def test_horizon_csr_writes_end_the_block_on_arch_cores(self):
+        # The architectural executor's batched-timing admission bound
+        # cannot span a horizon write, so there it still ends the block.
+        system = _run("""
+    addi s0, s0, 1
+    csrrw s1, mscratch, s0
+    csrrci s2, mstatus, 8
+    addi s3, s3, 1
+""", core="naxriscv")
+        engine = system.core.block_engine
+        assert len(engine.cache[0]) == 3
+        assert system.core.csr.read(0x340) == system.core.regs[8]
 
     def test_max_block_length_bounds_straight_line_runs(self):
         body = "\n".join(f"    addi s0, s0, {i % 7}"
@@ -221,16 +251,20 @@ f{i}:
         assert counters["blocks_cached"] == len(system.core.block_engine.cache)
 
     def test_slow_pc_memoised_not_rebuilt(self):
+        # ``mret`` stays on the exact path (privilege transition): its
+        # pc is attempted once, then memoised as slow.
         system = _run("""
     li   s0, 50
 loop:
-    csrr s1, mcycle
     addi s0, s0, -1
-    bnez s0, loop
+    beqz s0, out
+    la   t0, loop
+    csrw mepc, t0
+    mret
+out:
 """)
         engine = system.core.block_engine
-        # The csrr pc is attempted once, then memoised as slow.
-        assert 0 in {pc for pc in engine.slow_pcs} or engine.slow_pcs
+        assert engine.slow_pcs
         # Builds are not retried 50 times: misses stay far below the
         # loop trip count.
         assert engine.misses < 10

@@ -165,6 +165,90 @@ loop:
         assert word in core._decode_cache
 
 
+class TestSuperblockInvalidation:
+    """Promoted superblocks obey the same lockstep invalidation contract
+    as plain blocks: any write into a covered range — raw poke, fault
+    flip or self-modifying store — must drop every chained trace."""
+
+    def _hot_system(self):
+        """Run a loop long enough to promote its back-edge superblock.
+
+        The mid-loop branch splits the body into two blocks — a pure
+        self-loop never promotes (the chain would loop straight back to
+        its own entry), a two-block trace does.
+        """
+        system = _run("""
+    li   s0, 60
+loop:
+    addi s1, s1, 1
+    bnez s1, mid
+mid:
+    addi s0, s0, -1
+    bnez s0, loop
+""")
+        engine = system.core.block_engine
+        assert engine.superblocks > 0
+        supers = [b for b in engine.cache.values() if b.segs is not None]
+        assert supers
+        return system, supers[0]
+
+    def test_raw_write_drops_covering_superblock(self):
+        system, sb = self._hot_system()
+        engine = system.core.block_engine
+        # Dirty the *last* covered word so the whole chain must go, not
+        # just the head segment.
+        word = sb.addrs[-1]
+        system.memory.write_word_raw(word, _encoding("nop"))
+        assert all(word not in b.addrs for b in engine.cache.values())
+        assert sb.entry not in engine.cache
+
+    def test_fault_flip_drops_covering_superblock(self):
+        system, sb = self._hot_system()
+        engine = system.core.block_engine
+        word = sb.addrs[-1]
+        injector = FaultInjector(
+            system, [FaultSpec(kind="mem_flip", cycle=0, target=word, bit=3)])
+        injector.on_step(system.core)
+        assert injector.done
+        assert all(word not in b.addrs for b in engine.cache.values())
+        assert sb.entry not in engine.cache
+
+    def test_smc_after_promotion_stays_exact(self):
+        """A loop hot enough to be promoted patches its own body on a
+        second pass: the stale superblock must never replay the old
+        encoding, and both dispatch modes must agree bit-for-bit."""
+        patch = _encoding("addi s1, s1, 50")
+        source = f"""
+    li   s0, 24
+    j    loop
+patchword: .word {patch:#010x}
+loop:
+body:
+    addi s1, s1, 1
+    bnez s1, mid
+mid:
+    addi s0, s0, -1
+    bnez s0, loop
+    bnez s2, done
+    li   s2, 1
+    la   t0, body
+    la   t1, patchword
+    lw   t2, 0(t1)
+    sw   t2, 0(t0)
+    li   s0, 8
+    j    loop
+done:
+"""
+        on = _run(source, blocks=True)
+        off = _run(source, blocks=False)
+        assert _state(on) == _state(off)
+        # 24 original + 8 patched iterations.
+        assert on.core.regs[9] == 24 + 8 * 50
+        engine = on.core.block_engine
+        assert engine.superblocks > 0
+        assert engine.invalidations >= 1
+
+
 class TestBankSwitchBoundaries:
     """Hardware context switches (SWITCH_RF / trap / mret) are block
     boundaries by construction; the full RTOS workloads crossing them

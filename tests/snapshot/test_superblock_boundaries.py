@@ -1,0 +1,85 @@
+"""Snapshot boundaries taken while the superblock tier is warm.
+
+The tiered interpreter (docs/PERF.md) keeps no architectural state of
+its own — superblocks are pure caches over predecoded records — so a
+``System.capture()`` taken mid-run, with hot traces already promoted
+and dispatching, must restore to a state whose continued run is
+byte-identical to an uninterrupted cold run. These tests pin that
+contract on all three cores, including the OoO model whose batched
+``_time_block`` state lives entirely in the core (nothing mid-batch
+survives a return to Python).
+"""
+
+import pytest
+
+from tests.snapshot.test_capture_restore import _build, _observable
+from repro.workloads import yield_pingpong
+
+CORES = ("cv32e40p", "cva6", "naxriscv")
+
+#: Enough loop trips for SUPERBLOCK_HOT promotions well before the end.
+ITERATIONS = 24
+
+
+def _checkpoint_with_warm_tier(system):
+    """Run *system*, capturing at the first switch after a promotion.
+
+    Returns the snapshot; asserts the run completed and that the
+    superblock tier really was warm (promotions observed) at capture
+    time — a checkpoint taken before any promotion would test nothing.
+    """
+    checkpoints = []
+
+    def hook(cpu):
+        engine = cpu.block_engine
+        if engine is not None and engine.superblocks and not checkpoints:
+            checkpoints.append((system.capture(), engine.superblocks))
+            cpu.switch_hook = None
+
+    system.core.switch_hook = hook
+    assert system.run(1_000_000) == 0
+    assert checkpoints, "no superblock was promoted before any switch"
+    snapshot, promoted = checkpoints[0]
+    assert promoted > 0
+    return snapshot
+
+
+@pytest.mark.parametrize("core", CORES)
+@pytest.mark.parametrize("config_name", ("vanilla", "SLT"))
+def test_mid_superblock_capture_resumes_identically(core, config_name):
+    """Clone from a warm-tier checkpoint finishes byte-identical to cold."""
+    workload = yield_pingpong(iterations=ITERATIONS)
+    reference = _build(core, config_name, workload)
+    assert reference.run(workload.max_cycles) == 0
+
+    system = _build(core, config_name, workload)
+    snapshot = _checkpoint_with_warm_tier(system)
+    # Capturing must not have perturbed the donor run.
+    assert _observable(system) == _observable(reference)
+
+    clone = snapshot.materialize()
+    assert not clone.core.halted
+    assert clone.run(workload.max_cycles) == 0
+    assert _observable(clone) == _observable(reference)
+    # The clone re-warms its own tier while finishing the trace.
+    assert clone.core.perf_counters()["superblocks"] > 0
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_restore_rewinds_live_warm_tier(core):
+    """Rewinding a finished system onto a mid-run checkpoint replays it.
+
+    The restore path must invalidate every cached block/superblock
+    covering memory the rewind dirties (the lockstep contract) — stale
+    promoted traces would otherwise replay the pre-rewind program.
+    """
+    workload = yield_pingpong(iterations=ITERATIONS)
+    reference = _build(core, "SLT", workload)
+    assert reference.run(workload.max_cycles) == 0
+
+    system = _build(core, "SLT", workload)
+    snapshot = _checkpoint_with_warm_tier(system)
+    system.restore(snapshot)
+    assert not system.core.halted
+    assert system.run(workload.max_cycles) == 0
+    assert _observable(system) == _observable(reference)
