@@ -1,0 +1,201 @@
+"""Meta-benchmark: NumPy substrate + lane-engine throughput gates.
+
+Not a paper figure — the CI gate for the execution substrate PR
+(``repro.mem.substrate`` + ``repro.lanes``). Three measurements:
+
+* **capture/restore** — the vectorised snapshot page scans
+  (``REPRO_NUMPY=1``) against the bytearray loop fallback on a 1 MiB
+  RAM with scattered dirty bytes. Gated: the vector path must be at
+  least ``CAPTURE_SPEEDUP_GATE`` times faster.
+* **lane sweep** — a multi-seed vanilla-core grid slice (the service
+  CI shape: many congruent points per content key) through
+  ``DSEExecutor`` twice at the same worker count: per-point
+  process-parallel dispatch vs ``lanes=N`` pack dispatch. Gated: packs
+  must deliver at least ``LANE_THROUGHPUT_GATE`` times the throughput,
+  and the two result sets must be byte-identical.
+* **lockstep** — one vectorised ``lockstep_run`` over identical lanes,
+  reported (occupancy, vector/scalar split) but not gated: the
+  lockstep stepper trades raw speed for exactness and divergence
+  tracking, and its win case (congruent lanes) is served by replay.
+
+Numbers land in ``BENCH_lanes.json`` at the repo root.
+"""
+
+import dataclasses
+import json
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.dse.executor import DSEExecutor, GridPoint
+from repro.kernel.builder import KernelBuilder, reset_program_cache
+from repro.lanes import lockstep_run
+from repro.mem.substrate import get_numpy
+from repro.perf import bench_record
+from repro.rtosunit.config import parse_config
+from repro.snapshot import reset_store
+from repro.snapshot.pages import capture_image, restore_image
+from repro.workloads import workload_by_name
+
+from benchmarks.conftest import publish
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parent.parent
+              / "BENCH_lanes.json")
+#: Gated: vectorised capture+restore vs the bytearray loop.
+CAPTURE_SPEEDUP_GATE = 3.0
+#: Gated: lane-pack sweep vs per-point process-parallel, equal workers.
+LANE_THROUGHPUT_GATE = 2.0
+RAM_BYTES = 1 << 20
+JOBS = 2
+SEEDS = 32
+ITERATIONS = 20
+REPEATS = 3
+
+pytestmark = pytest.mark.skipif(get_numpy() is None,
+                                reason="the substrate gates need numpy")
+
+
+def _dirty_ram() -> bytearray:
+    rng = random.Random(1234)
+    data = bytearray(RAM_BYTES)
+    for _ in range(200):
+        addr = rng.randrange(0, RAM_BYTES - 64)
+        data[addr:addr + 64] = rng.randbytes(64)
+    return data
+
+
+def _capture_cycle_cost(env_value: str | None, monkeypatch) -> float:
+    """Mean seconds per capture-diff-restore cycle on one backend."""
+    if env_value is None:
+        monkeypatch.delenv("REPRO_NUMPY", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_NUMPY", env_value)
+    rng = random.Random(99)
+    data = _dirty_ram()
+    base = capture_image(data)
+    cycles = 30
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(cycles):
+            addr = rng.randrange(0, RAM_BYTES - 4)
+            data[addr:addr + 4] = rng.randbytes(4)
+            capture_image(data, base)
+            restore_image(data, base)
+            base = capture_image(data, base)
+        best = min(best, (time.perf_counter() - start) / cycles)
+    return best
+
+
+def _grid_slice() -> list[GridPoint]:
+    """The service-CI shape: congruent points differing only in seed."""
+    return [GridPoint(core="cv32e40p", config="vanilla", workload=workload,
+                      iterations=ITERATIONS, seed=seed)
+            for workload in ("yield_pingpong", "delay_periodic")
+            for seed in range(SEEDS)]
+
+
+def _run_obs(run) -> dict:
+    return {
+        "latencies": run.latencies,
+        "switches": [dataclasses.asdict(s) for s in run.switches],
+        "cycles": run.cycles,
+        "instret": run.instret,
+        "seed": run.seed,
+    }
+
+
+def _sweep_wall(lanes: int) -> tuple[float, dict]:
+    best, runs = float("inf"), None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        runs = DSEExecutor(jobs=JOBS, lanes=lanes).run(_grid_slice())
+        best = min(best, time.perf_counter() - start)
+    return best, runs
+
+
+def _lockstep_report() -> dict:
+    reset_store()
+    reset_program_cache()
+    workload = workload_by_name("yield_pingpong", iterations=10)
+
+    def build():
+        builder = KernelBuilder(config=parse_config("vanilla"),
+                                objects=workload.objects,
+                                tick_period=workload.tick_period)
+        return builder.build("cv32e40p",
+                             external_events=workload.external_events)
+
+    systems = [build() for _ in range(4)]
+    start = time.perf_counter()
+    report = lockstep_run(systems, max_cycles=workload.max_cycles)
+    wall = time.perf_counter() - start
+    payload = report.as_dict()
+    payload["wall_s"] = round(wall, 4)
+    return payload
+
+
+def test_substrate_and_lane_gates(monkeypatch):
+    # -- gate 1: vectorised page scans --------------------------------
+    numpy_cost = _capture_cycle_cost(None, monkeypatch)
+    loop_cost = _capture_cycle_cost("0", monkeypatch)
+    monkeypatch.delenv("REPRO_NUMPY", raising=False)
+    capture_speedup = loop_cost / numpy_cost
+
+    # -- gate 2: lane packs vs per-point dispatch ---------------------
+    scalar_wall, scalar_runs = _sweep_wall(lanes=0)
+    lane_wall, lane_runs = _sweep_wall(lanes=SEEDS)
+    throughput_gain = scalar_wall / lane_wall
+
+    points = _grid_slice()
+    assert list(scalar_runs) == list(lane_runs) == points
+    for point in points:
+        assert _run_obs(scalar_runs[point]) == _run_obs(lane_runs[point]), (
+            f"{point.label} seed={point.seed}: lane result differs")
+
+    lockstep = _lockstep_report()
+
+    record = bench_record("lane_speed", {
+        "capture": {
+            "ram_bytes": RAM_BYTES,
+            "numpy_ms": round(numpy_cost * 1000.0, 4),
+            "loop_ms": round(loop_cost * 1000.0, 4),
+            "speedup": round(capture_speedup, 2),
+            "gate": CAPTURE_SPEEDUP_GATE,
+        },
+        "sweep": {
+            "points": len(points),
+            "jobs": JOBS,
+            "lanes": SEEDS,
+            "scalar_wall_s": round(scalar_wall, 3),
+            "lane_wall_s": round(lane_wall, 3),
+            "throughput_gain": round(throughput_gain, 2),
+            "gate": LANE_THROUGHPUT_GATE,
+        },
+        "lockstep": lockstep,
+    })
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                          + "\n")
+
+    lines = [
+        f"capture/restore 1 MiB: numpy {numpy_cost * 1000:.2f} ms, "
+        f"loop {loop_cost * 1000:.2f} ms "
+        f"({capture_speedup:.1f}x, gate {CAPTURE_SPEEDUP_GATE:.1f}x)",
+        f"sweep {len(points)} pts @ jobs={JOBS}: per-point "
+        f"{scalar_wall:.2f} s, lanes={SEEDS} {lane_wall:.2f} s "
+        f"({throughput_gain:.1f}x, gate {LANE_THROUGHPUT_GATE:.1f}x)",
+        f"lockstep x{lockstep['lanes']}: occupancy "
+        f"{lockstep['occupancy']}, vector {lockstep['vector_instret']} "
+        f"instret, scalar {lockstep['scalar_steps']} steps "
+        f"({lockstep['wall_s'] * 1000:.0f} ms)",
+    ]
+    publish("bench_lane_speed", "\n".join(lines))
+
+    assert capture_speedup >= CAPTURE_SPEEDUP_GATE, (
+        f"vectorised capture/restore only {capture_speedup:.2f}x the "
+        f"loop path (gate {CAPTURE_SPEEDUP_GATE}x)")
+    assert throughput_gain >= LANE_THROUGHPUT_GATE, (
+        f"lane sweep only {throughput_gain:.2f}x process-parallel "
+        f"(gate {LANE_THROUGHPUT_GATE}x)")

@@ -322,18 +322,30 @@ class DSEExecutor:
     ``manifest`` an optional
     :class:`repro.dse.cache.SweepManifest` checkpointed after every
     completion so an interrupted sweep can resume.
+
+    ``lanes >= 2`` selects the third execution mode (after serial and
+    process-parallel): uncached points are planned into lane packs
+    (:mod:`repro.lanes`) and whole packs are dispatched per worker, so
+    congruent points batch into one simulation plus follower replays and
+    every content key pays its cold build once per sweep. Results stay
+    byte-identical to ``--jobs 1`` (grid-ordered, same derived seeds);
+    pack telemetry accumulates on :attr:`lane_stats`.
     """
 
     def __init__(self, jobs: int = 1, retries: int = 1,
                  timeout: float | None = None, cache=None, manifest=None,
-                 progress=None):
+                 progress=None, lanes: int = 0):
+        from repro.lanes import LaneStats
+
         self.jobs = jobs
         self.retries = retries
         self.timeout = timeout
         self.cache = cache
         self.manifest = manifest
         self.progress = progress
+        self.lanes = lanes
         self.health = PoolHealth()
+        self.lane_stats = LaneStats()
 
     def run(self, points) -> dict:
         """Execute (or recall) every grid point; returns point → RunResult.
@@ -357,6 +369,11 @@ class DSEExecutor:
             else:
                 pending.append(point)
 
+        if self.lanes >= 2:
+            for point, run in self._run_lanes(pending, run_dict):
+                results[point] = run
+            return {point: results[point] for point in points}
+
         def on_result(index, run):
             point = pending[index]
             if self.cache is not None:
@@ -369,6 +386,32 @@ class DSEExecutor:
         for point, run in zip(pending, executed):
             results[point] = run
         return {point: results[point] for point in points}
+
+    def _run_lanes(self, pending, run_dict):
+        """Lane-mode execution: dispatch whole packs per worker.
+
+        Yields ``(point, run)`` for every pending point. Pack-level
+        retry/timeout supervision rides the same :func:`parallel_map`;
+        a pack is the retry unit (its lanes share one simulation, so a
+        poisoned lane poisons its pack).
+        """
+        from repro.lanes import execute_pack, plan_packs
+
+        packs = plan_packs(pending, self.lanes)
+
+        def on_pack(index, outcome):
+            runs, stats = outcome
+            self.lane_stats.merge(stats)
+            for point, run in zip(packs[index].points, runs):
+                if self.cache is not None:
+                    self.cache.put(point, run_dict(run))
+                self._complete(point, run, from_cache=False)
+
+        executed = parallel_map(execute_pack, packs, jobs=self.jobs,
+                                timeout=self.timeout, retries=self.retries,
+                                on_result=on_pack, health=self.health)
+        for pack, (runs, _stats) in zip(packs, executed):
+            yield from zip(pack.points, runs)
 
     def _complete(self, point, run, from_cache: bool) -> None:
         if self.manifest is not None:

@@ -1,0 +1,29 @@
+"""Lane-parallel execution: lockstep packs over the NumPy substrate.
+
+Public surface:
+
+* :func:`plan_packs` / :class:`LanePack` — batch compatible grid points;
+* :func:`execute_pack` / :class:`LaneStats` — the ``--lanes N`` worker
+  entry and its telemetry;
+* :class:`LockstepStepper` / :func:`lockstep_run` /
+  :func:`inadmissible_reason` — the vectorised N-simulation stepper
+  with divergence detection and scalar retirement.
+"""
+
+from repro.lanes.engine import LaneStats, execute_pack, replay_result
+from repro.lanes.lockstep import (LockstepReport, LockstepStepper,
+                                  inadmissible_reason, lockstep_run)
+from repro.lanes.pack import LanePack, congruence_key, plan_packs
+
+__all__ = [
+    "LanePack",
+    "LaneStats",
+    "LockstepReport",
+    "LockstepStepper",
+    "congruence_key",
+    "execute_pack",
+    "inadmissible_reason",
+    "lockstep_run",
+    "plan_packs",
+    "replay_result",
+]

@@ -1,0 +1,127 @@
+"""Lane-pack execution: congruence dedup, follower replay, telemetry.
+
+One pack (see :mod:`repro.lanes.pack`) is the unit a ``--lanes N`` sweep
+dispatches to a worker. Inside the worker the pack's lanes are grouped
+into *congruence classes* — points identical in everything that shapes
+the simulation (the pack planner already guarantees one class per pack
+for today's grid axes; the classing is kept explicit so future per-lane
+axes compose). Each class simulates **once** through the ordinary
+:func:`~repro.harness.experiment.run_workload` path — warm-start tiers,
+chaos hooks and exit checking included — and every follower lane replays
+the representative's result with its own derived seed stamped on. This
+is the maximally-convergent case of lockstep: lanes that can never
+diverge are never stepped twice, which is where the throughput win over
+process-parallel scatter comes from (each content key pays its cold
+simulation once per *sweep* instead of once per *worker*).
+
+Lanes that genuinely differ run the vectorised
+:class:`~repro.lanes.lockstep.LockstepStepper` (entered through
+``repro profile --lanes`` and the divergence tests); its divergence /
+retirement counters surface through the same :class:`LaneStats`.
+
+Chaos campaigns (``REPRO_CHAOS``) disable follower replay: host-fault
+injection perturbs individual executions, so every lane must really
+run. Correctness never depends on replay — it is an optimisation
+justified by the determinism contract in
+:mod:`repro.harness.experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.lanes.pack import LanePack, congruence_key
+
+
+@dataclass
+class LaneStats:
+    """Aggregated lane telemetry for one sweep (or one pack)."""
+
+    packs: int = 0
+    points: int = 0
+    executed: int = 0            # simulations actually stepped
+    replays: int = 0             # congruent follower lanes replayed
+    lockstep_lanes: int = 0      # lanes run through the vector stepper
+    vector_instret: int = 0
+    scalar_steps: int = 0
+    divergences: int = 0
+    retirements: int = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Mean lanes per pack — the packing efficiency of the sweep."""
+        return self.points / self.packs if self.packs else 0.0
+
+    def merge(self, other: dict) -> None:
+        for name, value in other.items():
+            if name == "occupancy":
+                continue
+            setattr(self, name, getattr(self, name) + value)
+
+    def merge_lockstep(self, report_dict: dict) -> None:
+        """Fold a :class:`LockstepReport` dict into the sweep counters."""
+        self.lockstep_lanes += report_dict["lanes"]
+        self.vector_instret += report_dict["vector_instret"]
+        self.scalar_steps += report_dict["scalar_steps"]
+        self.divergences += report_dict["divergences"]
+        self.retirements += report_dict["retirements"]
+
+    def as_dict(self) -> dict:
+        return {
+            "packs": self.packs,
+            "points": self.points,
+            "executed": self.executed,
+            "replays": self.replays,
+            "lockstep_lanes": self.lockstep_lanes,
+            "vector_instret": self.vector_instret,
+            "scalar_steps": self.scalar_steps,
+            "divergences": self.divergences,
+            "retirements": self.retirements,
+            "occupancy": round(self.occupancy, 3),
+        }
+
+
+def replay_result(run, point):
+    """A follower lane's result: the representative's run, reseeded.
+
+    Valid exactly because the simulation is seed-deterministic — the
+    seed is recorded bookkeeping, never an input (see
+    ``repro.harness.experiment``). The returned result is byte-identical
+    to executing *point* directly.
+    """
+    from repro.harness.experiment import derive_point_seed
+
+    return replace(run, seed=derive_point_seed(
+        point.seed, point.core, point.config, point.workload))
+
+
+def execute_pack(pack: LanePack):
+    """Worker entry: run one pack; returns ``(results, stats_dict)``.
+
+    Results are in pack order. Picklable both ways (packs are tuples of
+    ``GridPoint``; ``RunResult`` fields are plain dataclasses), so packs
+    ride the same supervised pool as single points.
+    """
+    from repro.chaos import hooks as chaos_hooks
+    from repro.dse.executor import execute_point
+
+    chaos_hooks.ensure_from_env()
+    stats = LaneStats(packs=1, points=len(pack.points))
+    results: list = [None] * len(pack.points)
+    replay_ok = chaos_hooks.active() is None
+    classes: dict[tuple, list[int]] = {}
+    for slot, point in enumerate(pack.points):
+        classes.setdefault(congruence_key(point), []).append(slot)
+    for members in classes.values():
+        representative = execute_point(pack.points[members[0]])
+        results[members[0]] = representative
+        stats.executed += 1
+        for slot in members[1:]:
+            if replay_ok:
+                results[slot] = replay_result(representative,
+                                              pack.points[slot])
+                stats.replays += 1
+            else:
+                results[slot] = execute_point(pack.points[slot])
+                stats.executed += 1
+    return results, stats.as_dict()

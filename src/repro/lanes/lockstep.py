@@ -1,0 +1,532 @@
+"""Vectorised lockstep execution of N simulations over stacked arrays.
+
+The :class:`LockstepStepper` advances N *lanes* — independent
+:class:`~repro.cores.system.System` instances sharing one kernel image —
+through one fetch/decode per step: per-lane architectural state lives in
+stacked NumPy arrays (register file ``(N, 32)``, per-register
+availability ``(N, 32)``, PC / cycle / next-issue vectors), ALU,
+branch and jump execution and the in-order timing rules of
+:class:`~repro.cores.base.BaseCore` are applied across all lanes with
+array arithmetic, and memory operations touch each lane's own RAM and
+MMIO through the exact ``Memory``/``System`` delegates.
+
+Exactness contract: a lane stepped here is **byte-identical** to the
+same system stepped by ``core.step()``. Three mechanisms guarantee it:
+
+* instructions outside the vectorised set (CSR ops, ``mret``, ``wfi``,
+  divides, custom ops) take a *scalar round* — the lane's array state is
+  synced into its core, ``core.step()`` runs the exact path, and the
+  result is hoisted back;
+* interrupts are polled exactly like the block engine: a per-lane
+  *horizon* (mirroring ``repro.cores.blocks``) bounds how far a lane may
+  run vectorised before an exact-path poll, so trap entry, CLINT side
+  effects and ``wfi`` wakeups always take the scalar path;
+* **divergence detection** at control transfers: when a lane's next PC
+  (or its fetched instruction word) departs the pack lead, the lane is
+  *retired* — its state is synced back and the caller finishes it on
+  the scalar block engine, where it is byte-identical to a solo run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cores.base import MASK32, BaseCore
+from repro.errors import SimulationError
+from repro.isa.csr import (MIE, MIP_MEIP, MIP_MSIP, MIP_MTIP, MSTATUS,
+                           MSTATUS_MIE)
+from repro.mem.substrate import get_numpy
+
+_INF = float("inf")
+
+_LOAD_SIZES = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}
+_STORE_SIZES = {"sw": 4, "sh": 2, "sb": 1}
+
+#: Mnemonics executed and timed across lanes with array arithmetic.
+_VEC_ALU = frozenset({
+    "addi", "add", "sub", "lui", "auipc", "andi", "ori", "xori",
+    "slti", "sltiu", "slli", "srli", "srai", "sll", "srl", "sra",
+    "slt", "sltu", "and", "or", "xor", "mul", "fence",
+})
+
+#: Methods the lockstep fast path re-implements; a core overriding any
+#: of them has its own semantics and must run scalar.
+_EXACT_METHODS = (
+    "step", "_step_normal", "_exec", "_time", "_mem_time", "_branch_time",
+    "_write_reg", "_fetch", "_step_mret", "_maybe_take_interrupt",
+    "_take_interrupt",
+)
+
+#: Per-lane scalar stats mirrored into stacked arrays during lockstep.
+_STAT_NAMES = ("instret", "loads", "stores", "branches", "taken_branches",
+               "reg_writes", "stall_cycles")
+
+
+def inadmissible_reason(system) -> str | None:
+    """Why *system* cannot join a lockstep pack, or ``None`` if it can.
+
+    Admissible lanes are vanilla (no RTOSUnit, single register bank) on
+    a core whose execution and timing methods are the ``BaseCore``
+    in-order defaults (cv32e40p qualifies; CVA6's cache model and
+    NaxRiscv's out-of-order timing do not), with no per-step observers
+    attached and the NumPy substrate enabled.
+    """
+    if get_numpy() is None:
+        return "NumPy substrate disabled (REPRO_NUMPY=0 or not installed)"
+    core = system.core
+    if system.unit is not None:
+        return f"config {core.config.name!r} uses an RTOSUnit"
+    if len(core.banks) != 1:
+        return "banked register file"
+    if core.tracer is not None or core.step_hook is not None \
+            or core.guard is not None:
+        return "per-step observer attached"
+    if core.halted:
+        return "core already halted"
+    cls = type(core)
+    for name in _EXACT_METHODS:
+        if getattr(cls, name) is not getattr(BaseCore, name):
+            return f"core {cls.__name__} overrides {name}"
+    return None
+
+
+@dataclass
+class LockstepReport:
+    """Counters and per-lane outcomes of one stepper run."""
+
+    lanes: int = 0
+    steps: int = 0                     # vectorised dispatch rounds
+    vector_instret: int = 0            # instructions executed vectorised
+    scalar_steps: int = 0              # exact-path fallback core.step()s
+    divergences: int = 0               # lanes that left the pack's trace
+    retirements: int = 0               # lanes handed to the scalar engine
+    occupancy_sum: int = 0             # sum of active lanes over steps
+    statuses: list = field(default_factory=list)   # per-lane outcome
+
+    @property
+    def occupancy(self) -> float:
+        """Mean active lanes per vectorised step."""
+        return self.occupancy_sum / self.steps if self.steps else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "lanes": self.lanes,
+            "steps": self.steps,
+            "vector_instret": self.vector_instret,
+            "scalar_steps": self.scalar_steps,
+            "divergences": self.divergences,
+            "retirements": self.retirements,
+            "occupancy": round(self.occupancy, 3),
+            "statuses": list(self.statuses),
+        }
+
+
+class LockstepStepper:
+    """Advance N admissible systems in vectorised lockstep."""
+
+    def __init__(self, systems, max_cycles: int = 10_000_000):
+        np = get_numpy()
+        if np is None:
+            raise SimulationError("lockstep requires the NumPy substrate")
+        if not systems:
+            raise SimulationError("lockstep needs at least one lane")
+        for system in systems:
+            reason = inadmissible_reason(system)
+            if reason is not None:
+                raise SimulationError(f"lane not lockstep-admissible: {reason}")
+        head = systems[0].core
+        for system in systems[1:]:
+            core = system.core
+            if type(core) is not type(head) or core.params != head.params:
+                raise SimulationError(
+                    "lockstep lanes must share one core microarchitecture")
+        self.np = np
+        self.systems = list(systems)
+        self.cores = [system.core for system in systems]
+        self.max_cycles = max_cycles
+        self.params = head.params
+        self.track_dirty = head.config.dirty
+        n = len(self.cores)
+        self.regs = np.zeros((n, 32), np.int64)
+        self.avail = np.zeros((n, 32), np.int64)
+        self.pc = np.zeros(n, np.int64)
+        self.cycle = np.zeros(n, np.int64)
+        self.next_issue = np.zeros(n, np.int64)
+        self.dirty = np.zeros(n, np.int64)
+        self.stat = {name: np.zeros(n, np.int64) for name in _STAT_NAMES}
+        self.horizon: list = [_INF] * n
+        #: "lane" while in the pack; "halted" / "retired:<why>" after.
+        self.status = ["lane"] * n
+        self.report = LockstepReport(lanes=n, statuses=self.status)
+        for i in range(n):
+            self._hoist(i)
+            self.horizon[i] = self._lane_horizon(i)
+            if self.cores[i].halted:  # pragma: no cover - guarded above
+                self.status[i] = "halted"
+
+    # -- array <-> core state transfer ------------------------------------
+
+    def _hoist(self, i: int) -> None:
+        """Copy lane *i*'s core state into the stacked arrays."""
+        core = self.cores[i]
+        self.regs[i] = core.regs
+        self.avail[i] = core.reg_avail
+        self.pc[i] = core.pc
+        self.cycle[i] = core.cycle
+        self.next_issue[i] = core.next_issue
+        self.dirty[i] = core.dirty_mask
+        stats = core.stats
+        for name in _STAT_NAMES:
+            self.stat[name][i] = getattr(stats, name)
+
+    def _sync(self, i: int) -> None:
+        """Write the stacked arrays back into lane *i*'s core, in place.
+
+        Containers are mutated (never rebound): the block engine holds
+        hoisted references into ``regs`` and ``reg_avail``, exactly like
+        :meth:`BaseCore.restore_state`.
+        """
+        core = self.cores[i]
+        core.regs[:] = self.regs[i].tolist()
+        core.reg_avail[:] = self.avail[i].tolist()
+        core.pc = int(self.pc[i])
+        core.cycle = int(self.cycle[i])
+        core.next_issue = int(self.next_issue[i])
+        core.dirty_mask = int(self.dirty[i])
+        stats = core.stats
+        for name in _STAT_NAMES:
+            setattr(stats, name, int(self.stat[name][i]))
+
+    # -- lane lifecycle ----------------------------------------------------
+
+    def _finish(self, i: int) -> None:
+        self._sync(i)
+        self.status[i] = "halted"
+
+    def _retire(self, i: int, why: str) -> None:
+        self._sync(i)
+        self.status[i] = f"retired:{why}"
+        self.report.retirements += 1
+        if why in ("pc-divergence", "code-divergence", "path-divergence"):
+            self.report.divergences += 1
+
+    def _scalar_step(self, i: int) -> None:
+        """One exact-path ``core.step()`` for lane *i* (sync → step → hoist)."""
+        core = self.cores[i]
+        self._sync(i)
+        core.step()
+        self._hoist(i)
+        self.horizon[i] = self._lane_horizon(i)
+        self.report.scalar_steps += 1
+        if core.halted:
+            self._finish(i)
+
+    def _lane_horizon(self, i: int):
+        """Earliest cycle at which lane *i*'s interrupt poll could fire.
+
+        Mirrors ``BaseCore._maybe_take_interrupt`` + ``Clint.pending``
+        exactly like the block engine's horizon (repro.cores.blocks):
+        recomputed after every scalar round and every MMIO store, which
+        are the only lockstep events that can move its inputs.
+        """
+        core = self.cores[i]
+        clint = core.clint
+        if clint is None:
+            return _INF
+        csr_regs = core.csr.regs
+        if not (csr_regs.get(MSTATUS, 0) & MSTATUS_MIE):
+            return _INF
+        mie = csr_regs.get(MIE, 0)
+        horizon = _INF
+        if clint._external_pending_since is not None:
+            if mie & MIP_MEIP:
+                return int(self.cycle[i])
+        elif clint.external_events:
+            horizon = clint.external_events[0]
+        if clint.msip and mie & MIP_MSIP:
+            return int(self.cycle[i])
+        if mie & MIP_MTIP and clint.mtimecmp < horizon:
+            horizon = clint.mtimecmp
+        return horizon
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> LockstepReport:
+        """Step all lanes until each has halted or retired."""
+        np = self.np
+        active = [i for i, s in enumerate(self.status) if s == "lane"]
+        while active:
+            # Lanes past the cycle budget retire; their own scalar
+            # ``run()`` then raises the same structured error a solo
+            # run would.
+            for i in list(active):
+                if self.cycle[i] > self.max_cycles:
+                    self._retire(i, "cycle-budget")
+            # Exact-path polls at the interrupt horizon: trap entry and
+            # CLINT side effects always happen on the scalar path.
+            for i in list(active):
+                while (self.status[i] == "lane"
+                       and self.cycle[i] >= self.horizon[i]
+                       and self.cycle[i] <= self.max_cycles):
+                    self._scalar_step(i)
+            active = [i for i in active if self.status[i] == "lane"]
+            if not active:
+                break
+            # Convergence: the pack executes the lead lane's PC; lanes
+            # elsewhere (legitimately, e.g. a trap the others have not
+            # reached) retire to the scalar engine.
+            lead = active[0]
+            pc0 = int(self.pc[lead])
+            for i in active[1:]:
+                if int(self.pc[i]) != pc0:
+                    self._retire(i, "pc-divergence")
+            active = [i for i in active if self.status[i] == "lane"]
+            # Fetch once, verify everywhere: all lanes must read the
+            # same instruction word at the shared PC (self-modifying
+            # stores can split the pack's code).
+            word0 = self.cores[lead].mem.read_word_raw(pc0)
+            for i in active[1:]:
+                if self.cores[i].mem.read_word_raw(pc0) != word0:
+                    self._retire(i, "code-divergence")
+            active = [i for i in active if self.status[i] == "lane"]
+            instr = self.cores[lead]._fetch(pc0)
+            mnemonic = instr.mnemonic
+            self.report.steps += 1
+            self.report.occupancy_sum += len(active)
+            if mnemonic in _VEC_ALU:
+                self._step_alu(np, active, instr, pc0)
+            elif mnemonic in _LOAD_SIZES or mnemonic in _STORE_SIZES:
+                self._step_mem(np, active, instr, pc0)
+            elif mnemonic in ("jal", "jalr") or instr.fmt == "B":
+                active = self._step_control(np, active, instr, pc0)
+            else:
+                # CSR ops, mret, wfi, divides, mulh*, custom ops: the
+                # exact path, one lane at a time.
+                for i in list(active):
+                    if self.status[i] == "lane":
+                        self._scalar_step(i)
+            active = [i for i, s in enumerate(self.status) if s == "lane"]
+        return self.report
+
+    # -- vectorised issue timing ------------------------------------------
+
+    def _issue(self, np, idx, instr):
+        """Issue cycle per lane: operand availability vs issue slot.
+
+        Mirrors ``BaseCore._time``: ``max(next_issue, avail[rs1],
+        avail[rs2])`` with the difference charged to ``stall_cycles``.
+        """
+        issue = np.maximum(
+            self.next_issue[idx],
+            np.maximum(self.avail[idx, instr.rs1],
+                       self.avail[idx, instr.rs2]))
+        self.stat["stall_cycles"][idx] += issue - self.next_issue[idx]
+        return issue
+
+    def _writeback(self, idx, rd, value):
+        """Vectorised ``_write_reg``: mask, count, dirty-track (rd != 0)."""
+        self.regs[idx, rd] = value & MASK32
+        self.stat["reg_writes"][idx] += 1
+        if self.track_dirty:
+            self.dirty[idx] |= 1 << rd
+
+    def _commit(self, idx, issue, penalty, next_pc) -> None:
+        self.stat["instret"][idx] += 1
+        self.cycle[idx] = issue + penalty
+        self.next_issue[idx] = self.cycle[idx] + 1
+        self.pc[idx] = next_pc
+        self.report.vector_instret += len(idx)
+
+    # -- vectorised execution ---------------------------------------------
+
+    def _step_alu(self, np, active, instr, pc0: int) -> None:
+        idx = np.array(active)
+        mnemonic = instr.mnemonic
+        r1 = self.regs[idx, instr.rs1]
+        r2 = self.regs[idx, instr.rs2]
+        imm = instr.imm
+        value = self._alu_value(np, mnemonic, r1, r2, imm, pc0)
+        issue = self._issue(np, idx, instr)
+        result_latency = self.params.mul_latency if mnemonic == "mul" else 0
+        if instr.rd:
+            if value is not None:
+                self._writeback(idx, instr.rd, value)
+            self.avail[idx, instr.rd] = issue + result_latency
+        self._commit(idx, issue, 0, (pc0 + 4) & MASK32)
+
+    def _alu_value(self, np, m, r1, r2, imm, pc0: int):
+        if m == "addi":
+            return r1 + imm
+        if m == "add":
+            return r1 + r2
+        if m == "sub":
+            return r1 - r2
+        if m == "lui":
+            return imm << 12
+        if m == "auipc":
+            return pc0 + (imm << 12)
+        if m == "andi":
+            return r1 & (imm & MASK32)
+        if m == "ori":
+            return r1 | (imm & MASK32)
+        if m == "xori":
+            return r1 ^ (imm & MASK32)
+        if m == "slti":
+            return (self._signed(np, r1) < imm).astype(np.int64)
+        if m == "sltiu":
+            return (r1 < (imm & MASK32)).astype(np.int64)
+        if m == "slli":
+            return r1 << imm
+        if m == "srli":
+            return r1 >> imm
+        if m == "srai":
+            return self._signed(np, r1) >> imm
+        if m == "sll":
+            return r1 << (r2 & 31)
+        if m == "srl":
+            return r1 >> (r2 & 31)
+        if m == "sra":
+            return self._signed(np, r1) >> (r2 & 31)
+        if m == "slt":
+            return (self._signed(np, r1)
+                    < self._signed(np, r2)).astype(np.int64)
+        if m == "sltu":
+            return (r1 < r2).astype(np.int64)
+        if m == "and":
+            return r1 & r2
+        if m == "or":
+            return r1 | r2
+        if m == "xor":
+            return r1 ^ r2
+        if m == "mul":
+            # Low 32 bits: exact under uint64 wraparound.
+            product = r1.astype(np.uint64) * r2.astype(np.uint64)
+            return (product & np.uint64(MASK32)).astype(np.int64)
+        assert m == "fence", m
+        return None
+
+    @staticmethod
+    def _signed(np, values):
+        """Reinterpret 32-bit lane values as signed (vector ``_sgn``)."""
+        return values - ((values >> 31) << 32)
+
+    def _step_mem(self, np, active, instr, pc0: int) -> None:
+        idx = np.array(active)
+        mnemonic = instr.mnemonic
+        addr = (self.regs[idx, instr.rs1] + instr.imm) & MASK32
+        issue = self._issue(np, idx, instr)
+        params = self.params
+        if mnemonic in _LOAD_SIZES:
+            size = _LOAD_SIZES[mnemonic]
+            values = np.empty(len(active), np.int64)
+            for k, i in enumerate(active):
+                core = self.cores[i]
+                # MMIO delegates (mtime, probes) observe the lane's
+                # pre-instruction cycle, exactly like ``_exec``.
+                core.cycle = int(self.cycle[i])
+                value = core.mem.read(int(addr[k]), size)
+                if mnemonic == "lh" and value & 0x8000:
+                    value -= 0x10000
+                elif mnemonic == "lb" and value & 0x80:
+                    value -= 0x100
+                values[k] = value
+                core.timeline.mark_core_busy(int(issue[k]))
+            self.stat["loads"][idx] += 1
+            if instr.rd:
+                self._writeback(idx, instr.rd, values)
+                self.avail[idx, instr.rd] = issue + params.load_result_latency
+            self._commit(idx, issue, 0, (pc0 + 4) & MASK32)
+            return
+        size = _STORE_SIZES[mnemonic]
+        r2 = self.regs[idx, instr.rs2]
+        for k, i in enumerate(active):
+            core = self.cores[i]
+            core.cycle = int(self.cycle[i])
+            lane_addr = int(addr[k])
+            core.mem.write(lane_addr, int(r2[k]), size)
+            core.timeline.mark_core_busy(int(issue[k]))
+            if lane_addr < core.mem.size:
+                core._note_code_store(lane_addr)
+            else:
+                # MMIO stores can move CLINT state (msip, mtimecmp) or
+                # halt the lane — refresh the interrupt horizon.
+                self.horizon[i] = self._lane_horizon(i)
+        self.stat["stores"][idx] += 1
+        self._commit(idx, issue, 0, (pc0 + 4) & MASK32)
+        for i in active:
+            if self.cores[i].halted:
+                self._finish(i)
+
+    def _step_control(self, np, active, instr, pc0: int) -> list:
+        idx = np.array(active)
+        mnemonic = instr.mnemonic
+        params = self.params
+        fallthrough = (pc0 + 4) & MASK32
+        if mnemonic == "jal":
+            issue = self._issue(np, idx, instr)
+            if instr.rd:
+                self._writeback(idx, instr.rd, np.full(len(idx), fallthrough,
+                                                       np.int64))
+                self.avail[idx, instr.rd] = issue
+            self._commit(idx, issue, params.jump_penalty,
+                         (pc0 + instr.imm) & MASK32)
+            return active
+        if mnemonic == "jalr":
+            # Target reads rs1 *before* the link write (rd may be rs1).
+            target = (self.regs[idx, instr.rs1] + instr.imm) & MASK32 & ~1
+            issue = self._issue(np, idx, instr)
+            if instr.rd:
+                self._writeback(idx, instr.rd, np.full(len(idx), fallthrough,
+                                                       np.int64))
+                self.avail[idx, instr.rd] = issue
+            self._commit(idx, issue, params.jump_penalty, target)
+            return self._split(active, target)
+        r1 = self.regs[idx, instr.rs1]
+        r2 = self.regs[idx, instr.rs2]
+        if mnemonic == "beq":
+            taken = r1 == r2
+        elif mnemonic == "bne":
+            taken = r1 != r2
+        elif mnemonic == "blt":
+            taken = self._signed(np, r1) < self._signed(np, r2)
+        elif mnemonic == "bge":
+            taken = self._signed(np, r1) >= self._signed(np, r2)
+        elif mnemonic == "bltu":
+            taken = r1 < r2
+        else:  # bgeu
+            taken = r1 >= r2
+        issue = self._issue(np, idx, instr)
+        self.stat["branches"][idx] += 1
+        self.stat["taken_branches"][idx] += taken
+        if instr.rd:  # pragma: no cover - B-format encodes rd == 0
+            self.avail[idx, instr.rd] = issue
+        penalty = np.where(taken, params.branch_taken_penalty, 0)
+        target = np.where(taken, (pc0 + instr.imm) & MASK32, fallthrough)
+        self._commit(idx, issue, penalty, target)
+        return self._split(active, target)
+
+    def _split(self, active, targets) -> list:
+        """Retire lanes whose control transfer left the lead's trace."""
+        lead_target = int(targets[0])
+        survivors = []
+        for k, i in enumerate(active):
+            if int(targets[k]) == lead_target:
+                survivors.append(i)
+            else:
+                self._retire(i, "path-divergence")
+        return survivors
+
+
+def lockstep_run(systems, max_cycles: int = 10_000_000) -> LockstepReport:
+    """Run *systems* in lockstep; finish retired lanes on the scalar engine.
+
+    Every lane ends either halted inside the stepper or retired and
+    completed by its own ``System.run`` — byte-identical to a solo run
+    in both cases. Returns the stepper's :class:`LockstepReport`.
+    """
+    stepper = LockstepStepper(systems, max_cycles=max_cycles)
+    report = stepper.run()
+    for i, system in enumerate(systems):
+        if report.statuses[i].startswith("retired") and not system.core.halted:
+            system.run(max_cycles=max_cycles)
+    return report

@@ -1,0 +1,65 @@
+"""Lane-pack planning: batch compatible grid points for one worker.
+
+A *pack* is the unit of lane-mode dispatch: up to ``lanes`` grid points
+that share a congruence key — ``(core, config, workload, iterations)``,
+everything that shapes the simulation except the recorded seed — and
+therefore share one kernel image, one snapshot content key and (when
+they are byte-for-byte congruent) one actual simulation.
+
+Planning preserves grid order twice over: groups appear in first-seen
+order and points keep their order inside each group, so scattering pack
+results back to their grid slots reproduces exactly the ``--jobs 1``
+result sequence. That property (not the packing itself) is what makes
+``--lanes N`` exports byte-identical to scalar sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def congruence_key(point) -> tuple:
+    """Everything that shapes a grid point's simulation except the seed.
+
+    The simulator is deterministic and the per-run seed is derived
+    bookkeeping (:func:`repro.harness.experiment.derive_point_seed`), so
+    two points with equal congruence keys are the *same* simulation —
+    the foundation of follower replay in :mod:`repro.lanes.engine`.
+    """
+    return (point.core, point.config, point.workload, point.iterations)
+
+
+@dataclass(frozen=True)
+class LanePack:
+    """One worker's batch: congruent grid points sharing a kernel image."""
+
+    points: tuple
+
+    @property
+    def width(self) -> int:
+        return len(self.points)
+
+    @property
+    def label(self) -> str:
+        head = self.points[0]
+        return f"{head.core}/{head.config}/{head.workload}×{self.width}"
+
+
+def plan_packs(points, lanes: int) -> list[LanePack]:
+    """Partition *points* into packs of at most ``lanes`` congruent lanes.
+
+    Groups are keyed by :func:`congruence_key` in first-seen order;
+    oversized groups are chunked. Every input point lands in exactly one
+    pack, and concatenating ``pack.points`` over the returned list is a
+    permutation of *points* that is stable within each congruence class.
+    """
+    if lanes < 1:
+        raise ValueError(f"lane count must be >= 1, got {lanes}")
+    groups: dict[tuple, list] = {}
+    for point in points:
+        groups.setdefault(congruence_key(point), []).append(point)
+    packs = []
+    for members in groups.values():
+        for start in range(0, len(members), lanes):
+            packs.append(LanePack(tuple(members[start:start + lanes])))
+    return packs

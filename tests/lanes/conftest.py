@@ -1,0 +1,19 @@
+"""Isolation for lane tests: fresh snapshot store and build cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.builder import reset_program_cache
+from repro.snapshot import reset_store
+
+
+@pytest.fixture(autouse=True)
+def fresh_state(monkeypatch):
+    monkeypatch.delenv("REPRO_SNAPSHOT", raising=False)
+    monkeypatch.delenv("REPRO_NUMPY", raising=False)
+    reset_store()
+    reset_program_cache()
+    yield
+    reset_store()
+    reset_program_cache()

@@ -1,0 +1,98 @@
+"""Lane-pack engine: follower replay, chaos opt-out, DSE parity."""
+
+import dataclasses
+
+import pytest
+
+from repro.dse.executor import DSEExecutor, GridPoint, execute_point
+from repro.harness.experiment import derive_point_seed
+from repro.lanes import LaneStats, execute_pack, plan_packs, replay_result
+
+
+def _points(seeds=(0, 1, 2), config="vanilla", workload="yield_pingpong"):
+    return [GridPoint(core="cv32e40p", config=config, workload=workload,
+                      iterations=2, seed=seed) for seed in seeds]
+
+
+def _run_obs(run):
+    return {
+        "latencies": run.latencies,
+        "switches": [dataclasses.asdict(s) for s in run.switches],
+        "cycles": run.cycles,
+        "instret": run.instret,
+        "seed": run.seed,
+    }
+
+
+def test_replay_result_restamps_the_derived_seed():
+    points = _points(seeds=(3, 4))
+    representative = execute_point(points[0])
+    follower = replay_result(representative, points[1])
+    assert follower.seed == derive_point_seed(4, "cv32e40p", "vanilla",
+                                              "yield_pingpong")
+    assert follower.latencies == representative.latencies
+    assert follower.cycles == representative.cycles
+
+
+def test_execute_pack_matches_per_point_execution():
+    points = _points()
+    pack = plan_packs(points, lanes=4)[0]
+    results, stats = execute_pack(pack)
+    assert stats["executed"] == 1 and stats["replays"] == 2
+    for point, run in zip(points, results):
+        assert _run_obs(run) == _run_obs(execute_point(point))
+
+
+def test_execute_pack_mixed_classes_all_execute():
+    # Explicit classing: a hand-built pack with two congruence classes
+    # simulates once per class (the planner never builds these today).
+    points = _points(seeds=(0, 0), workload="yield_pingpong")
+    points[1] = dataclasses.replace(points[1], workload="delay_periodic")
+    from repro.lanes.pack import LanePack
+
+    results, stats = execute_pack(LanePack(tuple(points)))
+    assert stats["executed"] == 2 and stats["replays"] == 0
+    for point, run in zip(points, results):
+        assert run.workload == point.workload
+
+
+def test_chaos_campaign_disables_follower_replay(monkeypatch):
+    import repro.chaos.hooks as chaos_hooks
+
+    monkeypatch.setattr(chaos_hooks, "active", lambda: object())
+    points = _points()
+    results, stats = execute_pack(plan_packs(points, lanes=4)[0])
+    assert stats["executed"] == 3 and stats["replays"] == 0
+    for point, run in zip(points, results):
+        assert _run_obs(run) == _run_obs(execute_point(point))
+
+
+@pytest.mark.parametrize("numpy_env", ["1", "0"])
+def test_dse_lane_mode_matches_scalar_run(monkeypatch, numpy_env):
+    monkeypatch.setenv("REPRO_NUMPY", numpy_env)
+    points = _points(seeds=(0, 1, 2, 3))
+    scalar = DSEExecutor(jobs=1).run(points)
+    laned = DSEExecutor(jobs=1, lanes=4).run(points)
+    assert list(scalar) == list(laned) == points
+    for point in points:
+        assert _run_obs(scalar[point]) == _run_obs(laned[point])
+
+
+def test_dse_lane_mode_populates_lane_stats():
+    executor = DSEExecutor(jobs=1, lanes=2)
+    executor.run(_points(seeds=(0, 1, 2)))
+    stats = executor.lane_stats
+    assert isinstance(stats, LaneStats)
+    assert stats.points == 3 and stats.packs == 2
+    assert stats.executed == 2 and stats.replays == 1
+    assert stats.occupancy == pytest.approx(1.5)
+
+
+def test_lane_stats_merge_lockstep_report():
+    stats = LaneStats()
+    stats.merge_lockstep({"lanes": 4, "vector_instret": 100,
+                          "scalar_steps": 7, "divergences": 1,
+                          "retirements": 2})
+    assert stats.lockstep_lanes == 4
+    assert stats.vector_instret == 100
+    assert stats.divergences == 1 and stats.retirements == 2

@@ -1,0 +1,142 @@
+"""Lockstep stepper: byte-identity, divergence retirement, admissibility.
+
+The exactness contract under test: a lane run through
+:class:`repro.lanes.LockstepStepper` — including one that diverges and
+retires to the scalar block engine — finishes byte-identical to the same
+system run solo through ``System.run``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cores import attach_tracer
+from repro.errors import SimulationError
+from repro.kernel.builder import KernelBuilder
+from repro.lanes import LockstepStepper, inadmissible_reason, lockstep_run
+from repro.mem.substrate import get_numpy
+from repro.rtosunit.config import parse_config
+from repro.workloads import workload_by_name
+
+pytestmark = pytest.mark.skipif(get_numpy() is None,
+                                reason="lockstep requires numpy")
+
+
+def _build(core="cv32e40p", config="vanilla", workload="yield_pingpong",
+           iterations=4):
+    load = workload_by_name(workload, iterations=iterations)
+    builder = KernelBuilder(config=parse_config(config),
+                            objects=load.objects,
+                            tick_period=load.tick_period)
+    return load, builder.build(core, external_events=load.external_events)
+
+
+def _obs(system):
+    core = system.core
+    return {
+        "regs": list(core.regs),
+        "pc": core.pc,
+        "cycle": core.cycle,
+        "csr": dict(core.csr.regs),
+        "stats": dict(vars(core.stats)),
+        "memory": bytes(core.mem.data),
+        "console": list(system.console),
+        "probes": list(system.probes),
+        "switches": [dataclasses.asdict(s) for s in system.switches],
+        "exit_code": core.exit_code,
+    }
+
+
+def _solo(workload_name, iterations):
+    load, system = _build(workload=workload_name, iterations=iterations)
+    system.run(max_cycles=load.max_cycles)
+    return _obs(system)
+
+
+@pytest.mark.parametrize("workload", ["yield_pingpong", "delay_periodic"])
+def test_identical_lanes_match_solo(workload):
+    load, _ = _build(workload=workload)
+    systems = [_build(workload=workload)[1] for _ in range(3)]
+    report = lockstep_run(systems, max_cycles=load.max_cycles)
+
+    assert report.lanes == 3
+    assert report.statuses == ["halted"] * 3
+    assert report.divergences == 0 and report.retirements == 0
+    assert report.vector_instret > 0, "nothing ran vectorised"
+    assert report.occupancy == pytest.approx(3.0)
+
+    reference = _solo(workload, 4)
+    for system in systems:
+        assert _obs(system) == reference
+
+
+def test_divergent_lane_retires_and_stays_exact():
+    # Different iteration counts encode a different loop immediate in
+    # the kernel image: the lanes share a PC trajectory until the word
+    # at that address differs, where lane 1 must retire.
+    load_a, sys_a = _build(iterations=4)
+    load_b, sys_b = _build(iterations=9)
+    max_cycles = max(load_a.max_cycles, load_b.max_cycles)
+    report = lockstep_run([sys_a, sys_b], max_cycles=max_cycles)
+
+    assert report.divergences == 1 and report.retirements == 1
+    assert report.statuses[0] == "halted"
+    assert report.statuses[1].startswith("retired:")
+
+    assert _obs(sys_a) == _solo("yield_pingpong", 4)
+    assert _obs(sys_b) == _solo("yield_pingpong", 9)
+
+
+def test_retired_lane_finishes_even_as_pack_of_two():
+    # Symmetric check: the lead lane keeps running vectorised after the
+    # follower retires (active set shrinks to one).
+    load, sys_a = _build(iterations=9)
+    _, sys_b = _build(iterations=4)
+    report = lockstep_run([sys_a, sys_b], max_cycles=load.max_cycles)
+    assert report.retirements == 1
+    assert _obs(sys_a) == _solo("yield_pingpong", 9)
+    assert _obs(sys_b) == _solo("yield_pingpong", 4)
+
+
+def test_stepper_reports_scalar_rounds():
+    load, system = _build()
+    stepper = LockstepStepper([system], max_cycles=load.max_cycles)
+    report = stepper.run()
+    # CSR setup, mret, wfi and interrupts all take the exact path.
+    assert report.scalar_steps > 0
+    assert report.vector_instret > 0
+    assert system.core.halted
+
+
+def test_inadmissible_cva6_timing_override():
+    _, system = _build(core="cva6")
+    reason = inadmissible_reason(system)
+    assert reason is not None and "overrides" in reason
+
+
+def test_inadmissible_rtosunit_config():
+    _, system = _build(config="SLT")
+    reason = inadmissible_reason(system)
+    assert reason is not None and "RTOSUnit" in reason
+
+
+def test_inadmissible_observer_attached():
+    _, system = _build()
+    attach_tracer(system.core, capacity=16)
+    reason = inadmissible_reason(system)
+    assert reason is not None and "observer" in reason
+
+
+def test_inadmissible_without_numpy(monkeypatch):
+    monkeypatch.setenv("REPRO_NUMPY", "0")
+    _, system = _build()
+    assert inadmissible_reason(system) is not None
+    with pytest.raises(SimulationError):
+        LockstepStepper([system])
+
+
+def test_stepper_rejects_mixed_admissibility():
+    _, good = _build()
+    _, bad = _build(config="SLT")
+    with pytest.raises(SimulationError):
+        LockstepStepper([good, bad])

@@ -1,0 +1,54 @@
+"""Pack planning: congruence grouping, chunking, ordering."""
+
+import pytest
+
+from repro.dse.executor import GridPoint
+from repro.lanes import LanePack, congruence_key, plan_packs
+
+
+def _point(core="cv32e40p", config="vanilla", workload="yield_pingpong",
+           iterations=2, seed=0):
+    return GridPoint(core=core, config=config, workload=workload,
+                     iterations=iterations, seed=seed)
+
+
+def test_congruence_key_ignores_seed():
+    assert congruence_key(_point(seed=1)) == congruence_key(_point(seed=99))
+    assert congruence_key(_point(config="SLT")) != congruence_key(_point())
+    assert (congruence_key(_point(iterations=3))
+            != congruence_key(_point(iterations=4)))
+
+
+def test_plan_packs_groups_congruent_points():
+    points = [_point(seed=s) for s in range(3)] + [_point(config="SLT")]
+    packs = plan_packs(points, lanes=4)
+    assert [pack.width for pack in packs] == [3, 1]
+    assert packs[0].points == tuple(points[:3])
+    assert packs[1].points == (points[3],)
+
+
+def test_plan_packs_chunks_to_lane_width():
+    points = [_point(seed=s) for s in range(7)]
+    packs = plan_packs(points, lanes=3)
+    assert [pack.width for pack in packs] == [3, 3, 1]
+    flattened = [p for pack in packs for p in pack.points]
+    assert flattened == points
+
+
+def test_plan_packs_preserves_first_seen_order():
+    a = _point(config="SLT")
+    b = _point(config="vanilla")
+    packs = plan_packs([a, b, _point(config="SLT", seed=5)], lanes=8)
+    assert packs[0].points[0] is a
+    assert packs[1].points == (b,)
+
+
+def test_plan_packs_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        plan_packs([_point()], lanes=0)
+
+
+def test_pack_label_names_the_class():
+    pack = plan_packs([_point(seed=s) for s in range(2)], lanes=2)[0]
+    assert isinstance(pack, LanePack)
+    assert "cv32e40p" in pack.label and "yield_pingpong" in pack.label

@@ -1,0 +1,117 @@
+"""NumPy substrate: backend gating + byte-identity across backends.
+
+Satellite of the lane-engine PR: every bulk path in ``Memory`` (blob
+loads, bulk word stores) and the shared raw-store helper behind
+``write_word_raw`` / ``flip_bit`` must leave RAM byte-identical whether
+the vectorised NumPy path or the bytearray fallback ran.
+"""
+
+import pytest
+
+from repro.mem.memory import Memory
+from repro.mem.substrate import byte_view, get_numpy, numpy_enabled
+
+BACKENDS = ["1", "0"]
+
+
+def _backend(monkeypatch, flag):
+    monkeypatch.setenv("REPRO_NUMPY", flag)
+
+
+def test_numpy_enabled_env_gate(monkeypatch):
+    monkeypatch.delenv("REPRO_NUMPY", raising=False)
+    assert numpy_enabled()
+    for off in ("0", "false", "off", "no"):
+        monkeypatch.setenv("REPRO_NUMPY", off)
+        assert not numpy_enabled()
+        assert get_numpy() is None
+        assert byte_view(bytearray(8)) is None
+    monkeypatch.setenv("REPRO_NUMPY", "1")
+    assert numpy_enabled()
+
+
+def test_byte_view_shares_storage(monkeypatch):
+    monkeypatch.delenv("REPRO_NUMPY", raising=False)
+    np = get_numpy()
+    if np is None:
+        pytest.skip("numpy unavailable")
+    buffer = bytearray(16)
+    view = byte_view(buffer)
+    view[3] = 0xAB
+    assert buffer[3] == 0xAB
+    buffer[4] = 0xCD
+    assert int(view[4]) == 0xCD
+
+
+def _exercise(mem: Memory) -> None:
+    """The same raw-write sequence on either backend."""
+    mem.load_blob(bytes(range(256)) * 64)            # 16 KiB: vector blit
+    mem.load_blob(b"\x5A" * 64)                      # small: slice path
+    mem.write_words_raw(0x400, list(range(100)))     # bulk vector store
+    mem.write_words_raw(0x800, [0xDEAD_BEEF, -1])    # short scalar store
+    mem.write_words_raw(0xC00, [1 << 40])            # overflow: masked
+    mem.write_words_raw(0x2000, [-5] * 40)           # negatives, vector
+    mem.write_words_raw(0x2800, [1 << 70] * 40)      # int64 overflow
+    mem.write_word_raw(0x40, 0x1234_5678)
+    for addr, bit in ((0x40, 0), (0x40, 31), (0x404, 7), (0x1000, 13)):
+        mem.flip_bit(addr, bit)
+
+
+@pytest.fixture
+def rams(monkeypatch):
+    """The exercise sequence run once per backend; yields both RAMs."""
+    images = {}
+    for flag in BACKENDS:
+        _backend(monkeypatch, flag)
+        mem = Memory(size=1 << 16)
+        _exercise(mem)
+        images[flag] = mem
+    return images
+
+
+def test_backends_byte_identical(rams):
+    assert bytes(rams["1"].data) == bytes(rams["0"].data)
+
+
+def test_flip_bit_round_trips_on_both_backends(monkeypatch):
+    for flag in BACKENDS:
+        _backend(monkeypatch, flag)
+        mem = Memory(size=4096)
+        mem.write_word_raw(0x100, 0x0F0F_0F0F)
+        before = bytes(mem.data)
+        new = mem.flip_bit(0x100, 4)
+        assert new == 0x0F0F_0F1F
+        assert bytes(mem.data) != before
+        assert mem.flip_bit(0x100, 4) == 0x0F0F_0F0F
+        assert bytes(mem.data) == before
+
+
+def test_raw_store_helper_fires_code_watch(monkeypatch):
+    for flag in BACKENDS:
+        _backend(monkeypatch, flag)
+        mem = Memory(size=4096)
+        seen = []
+        mem.code_watch = seen.append
+        mem.write_word_raw(0x10, 1)
+        mem.flip_bit(0x20, 3)
+        assert seen == [0x10, 0x20]
+
+
+def test_bulk_store_notifies_range_once(monkeypatch):
+    for flag in BACKENDS:
+        _backend(monkeypatch, flag)
+        mem = Memory(size=1 << 16)
+        ranges = []
+        mem.code_watch_range = lambda addr, nbytes: ranges.append(
+            (addr, nbytes))
+        mem.write_words_raw(0x200, list(range(64)))
+        assert ranges == [(0x200, 256)], flag
+        ranges.clear()
+
+
+def test_load_blob_bounds_checked_on_both_backends(monkeypatch):
+    for flag in BACKENDS:
+        _backend(monkeypatch, flag)
+        mem = Memory(size=4096)
+        with pytest.raises(Exception):
+            mem.load_blob(b"\x00" * 8192)

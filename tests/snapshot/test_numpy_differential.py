@@ -1,0 +1,123 @@
+"""Backend differential: vectorised page scans vs the bytearray loop.
+
+Property-style sweep over seeded RAM mutation histories. For every
+scenario the whole capture / CoW-share / restore cycle runs once with
+the NumPy fast paths (``REPRO_NUMPY=1``) and once with the loop
+fallback (``REPRO_NUMPY=0``); the two backends must agree on
+
+* the captured page tuples (byte-identical images),
+* the dirty ranges reported by ``restore_image``,
+* CoW accounting — identity-shared page counts and ``unique_bytes``,
+* interning of all-zero pages.
+"""
+
+import random
+
+import pytest
+
+from repro.mem.substrate import get_numpy
+from repro.snapshot.pages import (PAGE_SIZE, _ZERO_PAGE, capture_image,
+                                  restore_image)
+
+pytestmark = pytest.mark.skipif(get_numpy() is None,
+                                reason="differential needs numpy installed")
+
+NPAGES = 6
+SEEDS = (0, 1, 2, 3)
+
+
+def _mutate(data: bytearray, rng: random.Random) -> None:
+    """A few writes of varied shapes: words, spans, page clears."""
+    for _ in range(rng.randrange(1, 6)):
+        kind = rng.randrange(3)
+        if kind == 0:  # word poke
+            addr = rng.randrange(0, len(data) - 4)
+            data[addr:addr + 4] = rng.randbytes(4)
+        elif kind == 1:  # multi-page span
+            start = rng.randrange(0, len(data) // 2)
+            span = rng.randrange(1, 2 * PAGE_SIZE)
+            data[start:start + span] = bytes([rng.randrange(256)]) * min(
+                span, len(data) - start)
+        else:  # clear a whole page back to zero
+            page = rng.randrange(NPAGES)
+            data[page * PAGE_SIZE:(page + 1) * PAGE_SIZE] = _ZERO_PAGE
+
+
+def _history(seed: int, monkeypatch, numpy_flag: str):
+    """One capture/restore history; returns the observable trace."""
+    monkeypatch.setenv("REPRO_NUMPY", numpy_flag)
+    rng = random.Random(seed)
+    data = bytearray(NPAGES * PAGE_SIZE)
+    trace = []
+    base = None
+    for _ in range(4):
+        _mutate(data, rng)
+        image = capture_image(data, base)
+        shared = image.shared_pages(base) if base is not None else 0
+        zero_interned = sum(1 for page in image.pages
+                            if page is _ZERO_PAGE)
+        trace.append({
+            "pages": image.pages,
+            "size": image.size,
+            "shared_with_base": shared,
+            "unique_bytes": image.unique_bytes(),
+            "zero_interned": zero_interned,
+        })
+        base = image
+    # Restore the *first* image into the final RAM state and record
+    # which ranges the restorer considered dirty.
+    first_pages = trace[0]["pages"]
+    from repro.snapshot.pages import MemoryImage
+
+    dirty = restore_image(data, MemoryImage(first_pages, len(data)))
+    trace.append({"restore_dirty": dirty, "restored": bytes(data)})
+    assert bytes(data) == b"".join(first_pages)
+    return trace
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_backends_agree_on_capture_restore_history(seed, monkeypatch):
+    numpy_trace = _history(seed, monkeypatch, "1")
+    loop_trace = _history(seed, monkeypatch, "0")
+    assert numpy_trace == loop_trace
+
+
+def test_zero_page_interning_and_unique_bytes(monkeypatch):
+    for flag in ("1", "0"):
+        monkeypatch.setenv("REPRO_NUMPY", flag)
+        data = bytearray(4 * PAGE_SIZE)
+        data[PAGE_SIZE + 3] = 0x7F
+        image = capture_image(data)
+        # Three all-zero pages intern to the module-level zero page...
+        assert sum(1 for p in image.pages if p is _ZERO_PAGE) == 3
+        # ...so distinct storage is one zero page + one payload page.
+        assert image.unique_bytes() == 2 * PAGE_SIZE
+
+        # Clearing the payload page makes a fully-interned image whose
+        # unique storage is the single shared zero page.
+        data[PAGE_SIZE + 3] = 0
+        cleared = capture_image(data, image)
+        assert cleared.unique_bytes() == PAGE_SIZE
+        assert cleared.shared_pages(image) == 3
+
+
+def test_unchanged_recapture_shares_every_page(monkeypatch):
+    for flag in ("1", "0"):
+        monkeypatch.setenv("REPRO_NUMPY", flag)
+        data = bytearray(3 * PAGE_SIZE)
+        data[10:20] = b"\xEE" * 10
+        first = capture_image(data)
+        second = capture_image(data, first)
+        assert second.shared_pages(first) == 3
+        assert second.unique_bytes() == first.unique_bytes()
+
+
+def test_non_page_aligned_ram_uses_loop_on_both(monkeypatch):
+    for flag in ("1", "0"):
+        monkeypatch.setenv("REPRO_NUMPY", flag)
+        data = bytearray(2 * PAGE_SIZE + 100)
+        data[-1] = 0x42
+        image = capture_image(data)
+        blank = bytearray(len(data))
+        restore_image(blank, image)
+        assert blank == data
